@@ -1,0 +1,90 @@
+package mogul
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs one query of a batch with its answers (or error).
+type BatchResult struct {
+	// Query is the in-database query item id.
+	Query int
+	// Results are the ranked answers; nil when Err is set.
+	Results []Result
+	// Err reports a per-query failure (e.g. out-of-range id).
+	Err error
+}
+
+// TopKBatch answers many in-database queries concurrently. The index
+// is read-only during search, so queries parallelize perfectly; this
+// is the bulk-evaluation entry point (e.g. scoring a whole query log).
+// parallelism <= 0 selects GOMAXPROCS. Results are returned in input
+// order; per-query failures are reported in the corresponding
+// BatchResult rather than aborting the batch.
+func (ix *Index) TopKBatch(queries []int, k, parallelism int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := queries[i]
+				res, err := ix.TopK(q, k)
+				out[i] = BatchResult{Query: q, Results: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// TopKVectorBatch answers many out-of-sample queries concurrently,
+// mirroring TopKBatch. The i-th BatchResult's Query field holds i (the
+// position in the input slice).
+func (ix *Index) TopKVectorBatch(queries []Vector, k, parallelism int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := ix.TopKVector(queries[i], k)
+				out[i] = BatchResult{Query: i, Results: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

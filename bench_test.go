@@ -1,0 +1,477 @@
+package mogul
+
+// One benchmark per table/figure of the paper's evaluation
+// (Section 5). The mogul-bench command runs the same experiments at
+// larger scales with full report tables; these testing.B benches keep
+// every experiment reproducible straight from `go test -bench`.
+//
+// Where a figure reports quality rather than time (Figures 2, 3, the
+// Figure 6 factor sizes, Table 2's phase split), the benchmark attaches
+// the quantity via b.ReportMetric, so the -bench output contains the
+// figure's numbers alongside ns/op.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mogul/internal/baseline"
+	"mogul/internal/core"
+	"mogul/internal/dataset"
+	"mogul/internal/eval"
+	"mogul/internal/knn"
+	"mogul/internal/vec"
+)
+
+// benchSizes are deliberately small: the benches demonstrate shape
+// (who wins, how costs scale), while cmd/mogul-bench handles the
+// paper-scale runs.
+var benchDatasets = []struct {
+	name string
+	gen  func() *vec.Dataset
+}{
+	{"COIL", func() *vec.Dataset {
+		return dataset.COILSim(dataset.COILConfig{Objects: 20, Poses: 72, Dim: 32, Seed: 1})
+	}},
+	{"PubFig", func() *vec.Dataset { return dataset.PubFigSim(2500, 2) }},
+	{"NUS", func() *vec.Dataset { return dataset.NUSWideSim(3500, 3) }},
+	{"INRIA", func() *vec.Dataset { return dataset.INRIASim(5000, 4) }},
+}
+
+type benchFixture struct {
+	ds    *vec.Dataset
+	graph *knn.Graph
+	index *core.Index
+	exact *core.Index
+}
+
+var (
+	fixturesMu sync.Mutex
+	fixtures   = map[string]*benchFixture{}
+)
+
+func fixture(b *testing.B, name string) *benchFixture {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if f, ok := fixtures[name]; ok {
+		return f
+	}
+	var gen func() *vec.Dataset
+	for _, d := range benchDatasets {
+		if d.name == name {
+			gen = d.gen
+		}
+	}
+	if gen == nil {
+		b.Fatalf("unknown bench dataset %q", name)
+	}
+	ds := gen()
+	g, err := knn.BuildGraph(ds.Points, knn.GraphConfig{K: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.NewIndex(g, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exact, err := core.NewIndex(g, core.Options{Exact: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &benchFixture{ds: ds, graph: g, index: ix, exact: exact}
+	fixtures[name] = f
+	return f
+}
+
+func benchQueries(n, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = (i*2654435761 + 17) % n
+	}
+	return out
+}
+
+// BenchmarkFig1SearchTime reproduces Figure 1: per-query top-k search
+// time of Mogul(k) and every baseline on each dataset. The Inverse
+// baseline runs only on COIL (O(n^3) per query, as in the paper).
+func BenchmarkFig1SearchTime(b *testing.B) {
+	for _, d := range benchDatasets {
+		f := fixture(b, d.name)
+		queries := benchQueries(f.graph.Len(), 64)
+
+		for _, k := range []int{5, 10, 15, 20} {
+			b.Run(fmt.Sprintf("%s/Mogul-k%d", d.name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := f.index.TopK(queries[i%len(queries)], k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(d.name+"/EMR", func(b *testing.B) {
+			emr, err := baseline.NewEMR(f.ds.Points, core.DefaultAlpha, baseline.EMRConfig{NumAnchors: 10, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := emr.TopK(queries[i%len(queries)], 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(d.name+"/FMR", func(b *testing.B) {
+			fmr, err := baseline.NewFMR(f.graph, core.DefaultAlpha, baseline.FMRConfig{
+				NumBlocks: f.graph.Len() / 250, Rank: 250, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fmr.TopK(queries[i%len(queries)], 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(d.name+"/Iterative", func(b *testing.B) {
+			it, err := baseline.NewIterative(f.graph, core.DefaultAlpha)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := it.TopK(queries[i%len(queries)], 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if d.name == "COIL" {
+			b.Run(d.name+"/Inverse", func(b *testing.B) {
+				inv, err := baseline.NewInverse(f.graph, core.DefaultAlpha)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inv.ResetCache() // the paper's per-query cost includes the O(n^3) solve
+					if _, err := inv.TopK(queries[i%len(queries)], 5); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig234AnchorSweep reproduces Figures 2-4: EMR accuracy and
+// search time as the anchor count d grows, against the flat Mogul and
+// MogulE references. P@5 (Figure 2) and retrieval precision (Figure 3)
+// are attached as custom metrics; ns/op is Figure 4.
+func BenchmarkFig234AnchorSweep(b *testing.B) {
+	f := fixture(b, "COIL")
+	const k = 5
+	queries := benchQueries(f.graph.Len(), 32)
+
+	ref := make(map[int][]int, len(queries))
+	for _, q := range queries {
+		scores, err := f.exact.AllScores(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref[q] = eval.TopKFromScores(scores, k, nil)
+	}
+
+	report := func(b *testing.B, topk func(q int) []core.Result) {
+		var patk, prec float64
+		for _, q := range queries {
+			ids := eval.TopKIDs(topk(q))
+			patk += eval.PAtK(ids, ref[q])
+			prec += eval.RetrievalPrecision(ids, f.ds.Labels, f.ds.Labels[q], q)
+		}
+		b.ReportMetric(patk/float64(len(queries)), "P@5")
+		b.ReportMetric(prec/float64(len(queries)), "precision")
+	}
+
+	b.Run("Mogul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.index.TopK(queries[i%len(queries)], k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, func(q int) []core.Result {
+			res, err := f.index.TopK(q, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		})
+	})
+	b.Run("MogulE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.exact.TopK(queries[i%len(queries)], k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, func(q int) []core.Result {
+			res, err := f.exact.TopK(q, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		})
+	})
+	for _, d := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("EMR-d%d", d), func(b *testing.B) {
+			emr, err := baseline.NewEMR(f.ds.Points, core.DefaultAlpha, baseline.EMRConfig{NumAnchors: d, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := emr.TopK(queries[i%len(queries)], k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			report(b, func(q int) []core.Result {
+				res, err := emr.TopK(q, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res
+			})
+		})
+	}
+}
+
+// BenchmarkFig5Pruning reproduces Figure 5: full Mogul versus the
+// "W/O estimation" and plain "Incomplete Cholesky" ablations.
+func BenchmarkFig5Pruning(b *testing.B) {
+	variants := []struct {
+		label string
+		opts  core.SearchOptions
+	}{
+		{"Mogul", core.SearchOptions{K: 5}},
+		{"WithoutEstimation", core.SearchOptions{K: 5, DisablePruning: true}},
+		{"IncompleteCholesky", core.SearchOptions{K: 5, FullSubstitution: true}},
+	}
+	for _, d := range benchDatasets {
+		f := fixture(b, d.name)
+		queries := benchQueries(f.graph.Len(), 64)
+		for _, v := range variants {
+			b.Run(d.name+"/"+v.label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := f.index.Search(queries[i%len(queries)], v.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6FactorStructure reproduces Figure 6 quantitatively (the
+// spy plots themselves come from mogul-bench -exp fig6). The incomplete
+// factor's nnz is ordering-invariant (the pattern is W's), so the
+// ordering's effect shows in the complete factor's fill-in; both are
+// reported as custom metrics. The timed operation is the index build.
+func BenchmarkFig6FactorStructure(b *testing.B) {
+	variants := []struct {
+		label string
+		opts  core.Options
+	}{
+		{"Incomplete-MogulOrder", core.Options{}},
+		{"Complete-MogulOrder", core.Options{Exact: true}},
+		{"Complete-RandomOrder", core.Options{Exact: true, Ordering: core.OrderingRandom, Seed: 7}},
+	}
+	for _, d := range benchDatasets {
+		f := fixture(b, d.name)
+		for _, v := range variants {
+			opts := v.opts
+			b.Run(d.name+"/"+v.label, func(b *testing.B) {
+				var nnz int
+				for i := 0; i < b.N; i++ {
+					ix, err := core.NewIndex(f.graph, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nnz = ix.Factor().NNZ()
+				}
+				b.ReportMetric(float64(nnz), "nnz(L)")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7OutOfSample reproduces Figure 7: out-of-sample query
+// time, Mogul versus EMR.
+func BenchmarkFig7OutOfSample(b *testing.B) {
+	for _, d := range benchDatasets {
+		full := fixture(b, d.name).ds
+		in, queries, _, err := dataset.HoldOut(full, 0.02, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := knn.BuildGraph(in.Points, knn.GraphConfig{K: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := core.NewIndex(g, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emr, err := baseline.NewEMR(in.Points, core.DefaultAlpha, baseline.EMRConfig{NumAnchors: 10, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(d.name+"/Mogul", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.SearchOutOfSample(queries[i%len(queries)], core.OOSOptions{K: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(d.name+"/EMR", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := emr.TopKOutOfSample(queries[i%len(queries)], 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Breakdown reproduces Table 2: the nearest-neighbour
+// versus top-k phase split of Mogul's out-of-sample search, attached
+// as custom metrics in milliseconds.
+func BenchmarkTable2Breakdown(b *testing.B) {
+	for _, d := range benchDatasets {
+		full := fixture(b, d.name).ds
+		in, queries, _, err := dataset.HoldOut(full, 0.02, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := knn.BuildGraph(in.Points, knn.GraphConfig{K: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := core.NewIndex(g, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(d.name, func(b *testing.B) {
+			var nnMs, tkMs float64
+			for i := 0; i < b.N; i++ {
+				_, bd, err := ix.SearchOutOfSample(queries[i%len(queries)], core.OOSOptions{K: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nnMs += bd.NearestNeighbor.Seconds() * 1000
+				tkMs += bd.TopK.Seconds() * 1000
+			}
+			b.ReportMetric(nnMs/float64(b.N), "nn-ms")
+			b.ReportMetric(tkMs/float64(b.N), "topk-ms")
+		})
+	}
+}
+
+// BenchmarkFig8Precompute reproduces Figure 8: total precomputation
+// time (clustering + permutation + factorization) under the Mogul
+// ordering versus the random-order Incomplete Cholesky baseline.
+func BenchmarkFig8Precompute(b *testing.B) {
+	for _, d := range benchDatasets {
+		f := fixture(b, d.name)
+		b.Run(d.name+"/Mogul", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewIndex(f.graph, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(d.name+"/RandomOrderICF", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewIndex(f.graph, core.Options{Ordering: core.OrderingRandom, Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9CaseStudy reproduces the Figure 9 comparison
+// quantitatively: retrieval precision of Connected (plain k-NN), Mogul
+// and EMR (d=100, the paper's case-study setting) on the COIL
+// stand-in, attached as a custom metric.
+func BenchmarkFig9CaseStudy(b *testing.B) {
+	f := fixture(b, "COIL")
+	const k = 4
+	queries := benchQueries(f.graph.Len(), 32)
+	emr, err := baseline.NewEMR(f.ds.Points, core.DefaultAlpha, baseline.EMRConfig{NumAnchors: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	precision := func(topk func(q int) []int) float64 {
+		var total float64
+		for _, q := range queries {
+			total += eval.RetrievalPrecision(topk(q), f.ds.Labels, f.ds.Labels[q], q)
+		}
+		return total / float64(len(queries))
+	}
+
+	b.Run("Connected", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cols, _ := f.graph.Neighbors(queries[i%len(queries)])
+			_ = cols
+		}
+		b.ReportMetric(precision(func(q int) []int {
+			cols, _ := f.graph.Neighbors(q)
+			if len(cols) > k {
+				cols = cols[:k]
+			}
+			return cols
+		}), "precision")
+	})
+	b.Run("Mogul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.index.TopK(queries[i%len(queries)], k+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(precision(func(q int) []int {
+			res, err := f.index.TopK(q, k+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return eval.TopKIDs(res)
+		}), "precision")
+	})
+	b.Run("EMR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := emr.TopK(queries[i%len(queries)], k+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(precision(func(q int) []int {
+			res, err := emr.TopK(q, k+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return eval.TopKIDs(res)
+		}), "precision")
+	})
+}
+
+// BenchmarkIndexBuild tracks end-to-end public-API build cost (not a
+// paper figure; a regression guard for the library itself).
+func BenchmarkIndexBuild(b *testing.B) {
+	ds := dataset.Mixture(dataset.MixtureConfig{N: 2000, Classes: 20, Dim: 16, Seed: 9, Separation: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ds.Points, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mogul/internal/baseline"
+	"mogul/internal/core"
+	"mogul/internal/dataset"
+	"mogul/internal/eval"
+	"mogul/internal/knn"
+	"mogul/internal/workload"
+)
+
+// expScaling validates the paper's complexity claims (Theorems 2 and
+// 3) directly: Mogul's precompute time, factor size and per-query
+// search time as functions of n on the INRIA stand-in. Each column
+// should grow linearly (time roughly doubles per row); the dense
+// inverse approach would grow 8x per row.
+func expScaling(l *lab) {
+	ns := []int{2000, 4000, 8000, 16000}
+	if l.scale.inria >= 48000 {
+		ns = append(ns, 32000)
+	}
+	rows := [][]string{{"n", "graph build [s]", "precompute [s]", "nnz(L)", "Mogul search [s]", "EMR search [s]"}}
+	for _, n := range ns {
+		ds := dataset.INRIASim(n, l.seed)
+		t0 := time.Now()
+		g, err := knn.BuildGraph(ds.Points, knn.GraphConfig{K: 5, Approximate: true, Seed: l.seed})
+		if err != nil {
+			fatal(err)
+		}
+		graphTime := time.Since(t0)
+		t1 := time.Now()
+		ix, err := core.NewIndex(g, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		pre := time.Since(t1)
+		emr, err := baseline.NewEMR(ds.Points, core.DefaultAlpha, baseline.EMRConfig{NumAnchors: 10, Seed: l.seed})
+		if err != nil {
+			fatal(err)
+		}
+		queries := make([]int, l.queries)
+		for i := range queries {
+			queries[i] = (i*2654435761 + 17) % n
+		}
+		mogulMed := medianSearchTime(queries, func(q int) {
+			if _, err := ix.TopK(q, 5); err != nil {
+				fatal(err)
+			}
+		})
+		emrMed := medianSearchTime(queries, func(q int) {
+			if _, err := emr.TopK(q, 5); err != nil {
+				fatal(err)
+			}
+		})
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			eval.Seconds(graphTime),
+			eval.Seconds(pre),
+			fmt.Sprintf("%d", ix.Factor().NNZ()),
+			eval.Seconds(mogulMed),
+			eval.Seconds(emrMed),
+		})
+	}
+	fmt.Println("Scaling with n (Theorems 2-3; INRIA stand-in, top-5)")
+	emitTable(rows)
+}
+
+// expQuality extends the paper's accuracy evaluation (Section 5.2.1)
+// with standard retrieval metrics: P@10 against the exact ranking, MAP
+// with same-label relevance, and Spearman rank correlation between
+// each method's full score vector and the exact one. Run on the COIL
+// stand-in.
+func expQuality(l *lab) {
+	const name = "COIL-100"
+	const k = 10
+	ds := l.dataset(name)
+	g := l.graph(name)
+	ix := l.index(name)
+	exact := l.exactIndex(name)
+	emr := l.emr(name, 100)
+	it, err := baseline.NewIterative(g, core.DefaultAlpha)
+	if err != nil {
+		fatal(err)
+	}
+
+	queries := l.queryNodes(name)
+	// Per-label relevant counts for MAP.
+	labelCount := map[int]int{}
+	for _, lab := range ds.Labels {
+		labelCount[lab]++
+	}
+
+	type method struct {
+		label  string
+		scores func(q int) []float64
+	}
+	methods := []method{
+		{"Mogul", func(q int) []float64 {
+			s, err := ix.AllScores(q)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}},
+		{"MogulE", func(q int) []float64 {
+			s, err := exact.AllScores(q)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}},
+		{"EMR(d=100)", func(q int) []float64 {
+			s, err := emr.AllScores(q)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}},
+		{"Iterative", func(q int) []float64 {
+			s, err := it.AllScores(q)
+			if err != nil {
+				fatal(err)
+			}
+			return s
+		}},
+	}
+
+	rows := [][]string{{"method", "P@10 vs exact", "MAP (same label)", "Spearman rho vs exact"}}
+	for _, m := range methods {
+		var patk, ap, rho float64
+		for _, q := range queries {
+			exactScores, err := exact.AllScores(q)
+			if err != nil {
+				fatal(err)
+			}
+			ref := eval.TopKFromScores(exactScores, k, nil)
+			s := m.scores(q)
+			ids := eval.TopKFromScores(s, k, nil)
+			patk += eval.PAtK(ids, ref)
+			relevant := map[int]bool{}
+			for i, lab := range ds.Labels {
+				if lab == ds.Labels[q] && i != q {
+					relevant[i] = true
+				}
+			}
+			// Exclude the query itself from the ranked list for AP.
+			ranked := eval.TopKFromScores(s, k+1, map[int]bool{q: true})
+			ap += eval.AveragePrecision(ranked, relevant, labelCount[ds.Labels[q]]-1)
+			rho += eval.RankCorrelation(s, exactScores)
+		}
+		n := float64(len(queries))
+		rows = append(rows, []string{
+			m.label,
+			fmt.Sprintf("%.3f", patk/n),
+			fmt.Sprintf("%.3f", ap/n),
+			fmt.Sprintf("%.3f", rho/n),
+		})
+	}
+	fmt.Printf("Extended quality metrics on %s (top-%d)\n", ds.Name, k)
+	emitTable(rows)
+}
+
+// expServing replays a service-style query stream (Zipf popularity,
+// 10% out-of-sample uploads) over each dataset's index and reports
+// throughput and tail latency at several concurrency levels — the
+// operational consequence of the paper's O(n) search.
+func expServing(l *lab) {
+	rows := [][]string{{"dataset", "clients", "QPS", "p50", "p90", "p99"}}
+	for _, name := range datasetNames {
+		h := l.holdoutFor(name, 10)
+		for _, clients := range []int{1, 4, 16} {
+			rep, err := workload.Run(h.index, workload.Config{
+				Queries:             400,
+				K:                   10,
+				Concurrency:         clients,
+				OutOfSampleFraction: 0.1,
+				HoldOut:             h.queries,
+				Seed:                l.seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if rep.Errors > 0 {
+				fatal(fmt.Errorf("serving %s: %d query errors", name, rep.Errors))
+			}
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%d", clients),
+				fmt.Sprintf("%.0f", rep.QPS),
+				rep.Latency.Median.Round(time.Microsecond).String(),
+				rep.Latency.P90.Round(time.Microsecond).String(),
+				rep.Latency.P99.Round(time.Microsecond).String(),
+			})
+		}
+	}
+	fmt.Println("Serving workload: Zipf query stream, 10% out-of-sample, top-10")
+	emitTable(rows)
+}
+
+// expMogulCG reports the CG extension: exact scores from the
+// incomplete factor used as an IC(0) preconditioner, versus MogulE's
+// complete factorization. Columns: per-query time, CG iterations, and
+// the two precompute times.
+func expMogulCG(l *lab) {
+	rows := [][]string{{"dataset", "MogulCG search [s]", "CG iters", "MogulE search [s]", "incomplete precompute [s]", "complete precompute [s]"}}
+	for _, name := range datasetNames {
+		g := l.graph(name)
+		ix := l.index(name)
+		exact := l.exactIndex(name)
+		queries := l.queryNodes(name)
+
+		var iters int
+		cgMed := medianSearchTime(queries, func(q int) {
+			_, it, err := ix.ExactScoresCG(q, 1e-8)
+			if err != nil {
+				fatal(err)
+			}
+			iters += it
+		})
+		exactMed := medianSearchTime(queries, func(q int) {
+			if _, err := exact.TopK(q, 5); err != nil {
+				fatal(err)
+			}
+		})
+		// Fresh builds for precompute timing.
+		t0 := time.Now()
+		if _, err := core.NewIndex(g, core.Options{}); err != nil {
+			fatal(err)
+		}
+		incPre := time.Since(t0)
+		t1 := time.Now()
+		if _, err := core.NewIndex(g, core.Options{Exact: true}); err != nil {
+			fatal(err)
+		}
+		comPre := time.Since(t1)
+		rows = append(rows, []string{
+			name,
+			eval.Seconds(cgMed),
+			fmt.Sprintf("%.1f", float64(iters)/float64(len(queries))),
+			eval.Seconds(exactMed),
+			eval.Seconds(incPre),
+			eval.Seconds(comPre),
+		})
+	}
+	fmt.Println("MogulCG extension: exact scores via IC(0)-preconditioned CG vs MogulE")
+	emitTable(rows)
+}

@@ -1,0 +1,106 @@
+// Command mogul-server serves Manifold Ranking search over HTTP — the
+// image-retrieval-system deployment the paper's introduction
+// motivates. It builds (or loads) a Mogul index once and answers
+// queries from the precomputed factor:
+//
+//	mogul-datagen -dataset coil -o coil.gob
+//	mogul-server -data coil.gob -addr :8080
+//	curl 'localhost:8080/search?id=17&k=5'
+//	curl -X POST localhost:8080/search/vector -d '{"vector":[...],"k":5}'
+//
+// With -index the precomputed index file (from -save-index) is loaded
+// instead of rebuilding, so startup is I/O bound only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mogul"
+	"mogul/internal/diskio"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "", "dataset file (.gob from mogul-datagen, or .csv)")
+		indexPath = flag.String("index", "", "load a prebuilt index (from -save-index) instead of building")
+		saveIndex = flag.String("save-index", "", "after building, persist the index here and exit")
+		addr      = flag.String("addr", ":8080", "listen address")
+		graphK    = flag.Int("graph-k", 5, "k of the k-NN graph")
+		alpha     = flag.Float64("alpha", 0.99, "Manifold Ranking damping parameter")
+		exact     = flag.Bool("exact", false, "serve exact scores (MogulE)")
+		approx    = flag.Bool("approx-graph", false, "build the k-NN graph with the IVF index")
+	)
+	flag.Parse()
+
+	var (
+		idx    *mogul.Index
+		labels []int
+		err    error
+	)
+	switch {
+	case *indexPath != "":
+		t0 := time.Now()
+		idx, err = mogul.LoadIndex(*indexPath)
+		if err != nil {
+			log.Fatal("mogul-server: ", err)
+		}
+		log.Printf("loaded index (%d items) in %v", idx.Len(), time.Since(t0).Round(time.Millisecond))
+		// Labels may come from the dataset alongside, when given.
+		if *data != "" {
+			if ds, err := loadDataset(*data); err == nil && ds.Len() == idx.Len() {
+				labels = ds.Labels
+			}
+		}
+	case *data != "":
+		ds, err := loadDataset(*data)
+		if err != nil {
+			log.Fatal("mogul-server: ", err)
+		}
+		labels = ds.Labels
+		t0 := time.Now()
+		idx, err = mogul.BuildFromDataset(ds, mogul.Options{
+			GraphK:           *graphK,
+			Alpha:            *alpha,
+			Exact:            *exact,
+			ApproximateGraph: *approx,
+		})
+		if err != nil {
+			log.Fatal("mogul-server: ", err)
+		}
+		log.Printf("built index over %d items in %v", idx.Len(), time.Since(t0).Round(time.Millisecond))
+	default:
+		log.Fatal("mogul-server: provide -data or -index")
+	}
+
+	if *saveIndex != "" {
+		if err := idx.Save(*saveIndex); err != nil {
+			log.Fatal("mogul-server: saving index: ", err)
+		}
+		log.Printf("index saved to %s", *saveIndex)
+		return
+	}
+
+	srv := newServer(idx, labels)
+	log.Printf("serving Manifold Ranking search on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal("mogul-server: ", err)
+	}
+}
+
+func loadDataset(path string) (*mogul.Dataset, error) {
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("opening %s: %w", path, err)
+		}
+		defer f.Close()
+		return diskio.LoadCSV(f, path)
+	}
+	return diskio.LoadGob(path)
+}

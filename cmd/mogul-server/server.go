@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mogul"
+)
+
+// server wraps a built index behind a small JSON HTTP API — the
+// retrieval-service shape the paper's introduction motivates (image
+// search over a multimedia database). Endpoints:
+//
+//	GET  /healthz                  -> {"status":"ok", ...index stats}
+//	GET  /search?id=17&k=10        -> in-database query
+//	POST /search/vector {"vector":[...], "k":10}
+//	                               -> out-of-sample query
+//	POST /search/set {"ids":[1,2,3], "k":10}
+//	                               -> multi-seed query
+//	GET  /item/17                  -> item metadata (label, neighbours)
+type server struct {
+	idx    *mogul.Index
+	labels []int
+	mux    *http.ServeMux
+
+	// Cumulative counters surfaced by /stats (atomics: handlers run
+	// concurrently).
+	queriesServed atomic.Int64
+	queryErrors   atomic.Int64
+	totalLatUS    atomic.Int64
+}
+
+func newServer(idx *mogul.Index, labels []int) *server {
+	s := &server{idx: idx, labels: labels, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/search/vector", s.handleSearchVector)
+	s.mux.HandleFunc("/search/set", s.handleSearchSet)
+	s.mux.HandleFunc("/search/batch", s.handleSearchBatch)
+	s.mux.HandleFunc("/item/", s.handleItem)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// record updates the cumulative counters for one query.
+func (s *server) record(took time.Duration, err error) {
+	s.queriesServed.Add(1)
+	s.totalLatUS.Add(took.Microseconds())
+	if err != nil {
+		s.queryErrors.Add(1)
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	served := s.queriesServed.Load()
+	meanUS := int64(0)
+	if served > 0 {
+		meanUS = s.totalLatUS.Load() / served
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"queries_served":  served,
+		"query_errors":    s.queryErrors.Load(),
+		"mean_latency_us": meanUS,
+	})
+}
+
+// answer is one result row on the wire.
+type answer struct {
+	Item  int     `json:"item"`
+	Score float64 `json:"score"`
+	Label *int    `json:"label,omitempty"`
+}
+
+type searchResponse struct {
+	Query    interface{} `json:"query"`
+	K        int         `json:"k"`
+	TookUS   int64       `json:"took_us"`
+	Answers  []answer    `json:"answers"`
+	Exact    bool        `json:"exact"`
+	Pruned   int         `json:"clusters_pruned,omitempty"`
+	Scanned  int         `json:"clusters_scanned,omitempty"`
+	Computed int         `json:"scores_computed,omitempty"`
+}
+
+func (s *server) toAnswers(res []mogul.Result) []answer {
+	out := make([]answer, len(res))
+	for i, r := range res {
+		out[i] = answer{Item: r.Node, Score: r.Score}
+		if s.labels != nil {
+			l := s.labels[r.Node]
+			out[i].Label = &l
+		}
+	}
+	return out
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.idx.Stats()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":       "ok",
+		"items":        s.idx.Len(),
+		"clusters":     st.NumClusters,
+		"border_size":  st.BorderSize,
+		"factor_nnz":   st.FactorNNZ,
+		"exact":        s.idx.Exact(),
+		"has_labels":   s.labels != nil,
+		"precompute_s": st.PrecomputeTime().Seconds(),
+	})
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "id must be an integer")
+		return
+	}
+	k := parseK(r.URL.Query().Get("k"))
+	t0 := time.Now()
+	res, info, err := s.idx.TopKWithInfo(id, k)
+	s.record(time.Since(t0), err)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		Query:    id,
+		K:        k,
+		TookUS:   time.Since(t0).Microseconds(),
+		Answers:  s.toAnswers(res),
+		Exact:    s.idx.Exact(),
+		Pruned:   info.ClustersPruned,
+		Scanned:  info.ClustersScanned,
+		Computed: info.ScoresComputed,
+	})
+}
+
+func (s *server) handleSearchVector(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		Vector []float64 `json:"vector"`
+		K      int       `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	t0 := time.Now()
+	res, err := s.idx.TopKVector(req.Vector, req.K)
+	s.record(time.Since(t0), err)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		Query:   "vector",
+		K:       req.K,
+		TookUS:  time.Since(t0).Microseconds(),
+		Answers: s.toAnswers(res),
+		Exact:   s.idx.Exact(),
+	})
+}
+
+func (s *server) handleSearchSet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		IDs []int `json:"ids"`
+		K   int   `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	t0 := time.Now()
+	res, err := s.idx.TopKSet(req.IDs, req.K)
+	s.record(time.Since(t0), err)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		Query:   req.IDs,
+		K:       req.K,
+		TookUS:  time.Since(t0).Microseconds(),
+		Answers: s.toAnswers(res),
+		Exact:   s.idx.Exact(),
+	})
+}
+
+func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		IDs []int `json:"ids"`
+		K   int   `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, "ids must be non-empty")
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	t0 := time.Now()
+	batch := s.idx.TopKBatch(req.IDs, req.K, 0)
+	took := time.Since(t0)
+	type batchEntry struct {
+		Query   int      `json:"query"`
+		Answers []answer `json:"answers,omitempty"`
+		Error   string   `json:"error,omitempty"`
+	}
+	entries := make([]batchEntry, len(batch))
+	for i, br := range batch {
+		entries[i] = batchEntry{Query: br.Query}
+		if br.Err != nil {
+			entries[i].Error = br.Err.Error()
+			s.record(0, br.Err)
+			continue
+		}
+		entries[i].Answers = s.toAnswers(br.Results)
+		s.record(took/time.Duration(len(batch)), nil)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"k":       req.K,
+		"took_us": took.Microseconds(),
+		"results": entries,
+	})
+}
+
+func (s *server) handleItem(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/item/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "item id must be an integer")
+		return
+	}
+	ids, weights, err := s.idx.Neighbors(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	resp := map[string]interface{}{
+		"item":             id,
+		"neighbors":        ids,
+		"neighbor_weights": weights,
+	}
+	if s.labels != nil {
+		resp["label"] = s.labels[id]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseK(raw string) int {
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 10
+	}
+	return k
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is already out; nothing more to do than log.
+		fmt.Println("mogul-server: encoding response:", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

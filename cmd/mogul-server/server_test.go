@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mogul"
+)
+
+func testServer(t *testing.T) (*server, *mogul.Dataset) {
+	t.Helper()
+	ds := mogul.NewMixture(mogul.MixtureConfig{
+		N: 300, Classes: 6, Dim: 8, WithinStd: 0.2, Separation: 2.5, Seed: 4,
+	})
+	idx, err := mogul.BuildFromDataset(ds, mogul.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(idx, ds.Labels), ds
+}
+
+func doJSON(t *testing.T, s *server, method, path string, body interface{}) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	var reader *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader = bytes.NewReader(data)
+	} else {
+		reader = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, reader)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q", method, path, rec.Body.String())
+	}
+	return rec, decoded
+}
+
+func TestHealthz(t *testing.T) {
+	s, ds := testServer(t)
+	rec, body := doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("body: %v", body)
+	}
+	if int(body["items"].(float64)) != ds.Len() {
+		t.Fatalf("items: %v", body["items"])
+	}
+	if body["has_labels"] != true {
+		t.Fatal("labels not reported")
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	rec, body := doJSON(t, s, http.MethodGet, "/search?id=5&k=4", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	answers := body["answers"].([]interface{})
+	if len(answers) != 4 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	first := answers[0].(map[string]interface{})
+	if int(first["item"].(float64)) != 5 {
+		t.Fatalf("query not first: %v", first)
+	}
+	if int(first["label"].(float64)) != ds.Labels[5] {
+		t.Fatalf("label wrong: %v", first)
+	}
+	// Default k when the parameter is absent or junk.
+	_, body = doJSON(t, s, http.MethodGet, "/search?id=5", nil)
+	if int(body["k"].(float64)) != 10 {
+		t.Fatalf("default k: %v", body["k"])
+	}
+	// Errors.
+	rec, _ = doJSON(t, s, http.MethodGet, "/search?id=abc", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/search?id=999999", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range id status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/search?id=5", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /search status %d", rec.Code)
+	}
+}
+
+func TestSearchVectorEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	rec, body := doJSON(t, s, http.MethodPost, "/search/vector", map[string]interface{}{
+		"vector": ds.Points[7], "k": 3,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if len(body["answers"].([]interface{})) != 3 {
+		t.Fatalf("answers: %v", body["answers"])
+	}
+	// Wrong dimension.
+	rec, _ = doJSON(t, s, http.MethodPost, "/search/vector", map[string]interface{}{
+		"vector": []float64{1, 2}, "k": 3,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad vector status %d", rec.Code)
+	}
+	// Bad JSON.
+	req := httptest.NewRequest(http.MethodPost, "/search/vector", bytes.NewReader([]byte("{")))
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", rec2.Code)
+	}
+	// GET not allowed.
+	rec, _ = doJSON(t, s, http.MethodGet, "/search/vector", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", rec.Code)
+	}
+}
+
+func TestSearchSetEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := doJSON(t, s, http.MethodPost, "/search/set", map[string]interface{}{
+		"ids": []int{1, 2, 3}, "k": 5,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if len(body["answers"].([]interface{})) != 5 {
+		t.Fatalf("answers: %v", body["answers"])
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/search/set", map[string]interface{}{"ids": []int{}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty ids status %d", rec.Code)
+	}
+}
+
+func TestItemEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	rec, body := doJSON(t, s, http.MethodGet, "/item/9", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if int(body["label"].(float64)) != ds.Labels[9] {
+		t.Fatalf("label: %v", body["label"])
+	}
+	if len(body["neighbors"].([]interface{})) == 0 {
+		t.Fatal("no neighbours")
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/item/xyz", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/item/99999", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("out-of-range status %d", rec.Code)
+	}
+}
+
+func TestSearchBatchEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec, body := doJSON(t, s, http.MethodPost, "/search/batch", map[string]interface{}{
+		"ids": []int{1, 2, -5}, "k": 3,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	results := body["results"].([]interface{})
+	if len(results) != 3 {
+		t.Fatalf("got %d batch entries", len(results))
+	}
+	first := results[0].(map[string]interface{})
+	if len(first["answers"].([]interface{})) != 3 {
+		t.Fatalf("first entry answers: %v", first)
+	}
+	bad := results[2].(map[string]interface{})
+	if bad["error"] == nil || bad["error"] == "" {
+		t.Fatalf("invalid id did not error: %v", bad)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/search/batch", map[string]interface{}{"ids": []int{}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty ids status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/search/batch", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	// Fresh server: zero counters.
+	_, body := doJSON(t, s, http.MethodGet, "/stats", nil)
+	if int(body["queries_served"].(float64)) != 0 {
+		t.Fatalf("fresh stats: %v", body)
+	}
+	doJSON(t, s, http.MethodGet, "/search?id=5&k=3", nil)
+	doJSON(t, s, http.MethodGet, "/search?id=999999&k=3", nil) // error
+	_, body = doJSON(t, s, http.MethodGet, "/stats", nil)
+	if int(body["queries_served"].(float64)) != 2 {
+		t.Fatalf("served counter: %v", body)
+	}
+	if int(body["query_errors"].(float64)) != 1 {
+		t.Fatalf("error counter: %v", body)
+	}
+}
+
+func TestServerWithoutLabels(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 100, Classes: 3, Dim: 6, Seed: 5})
+	idx, err := mogul.BuildFromDataset(ds, mogul.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(idx, nil)
+	_, body := doJSON(t, s, http.MethodGet, "/search?id=0&k=2", nil)
+	first := body["answers"].([]interface{})[0].(map[string]interface{})
+	if _, ok := first["label"]; ok {
+		t.Fatal("label invented for unlabelled dataset")
+	}
+}

@@ -1,0 +1,53 @@
+package mogul
+
+import (
+	"mogul/internal/dataset"
+)
+
+// Synthetic dataset generators. The paper evaluates on four image
+// corpora (COIL-100, PubFig, NUS-WIDE, INRIA); these generators
+// produce structurally equivalent synthetic data — labelled manifold
+// mixtures — so examples, tests and benchmarks run self-contained.
+// See DESIGN.md for the substitution rationale.
+
+// COILConfig re-exports the COIL-100 stand-in configuration.
+type COILConfig = dataset.COILConfig
+
+// MixtureConfig re-exports the Gaussian-mixture generator
+// configuration.
+type MixtureConfig = dataset.MixtureConfig
+
+// NewCOILSim generates a COIL-100-like dataset: Objects x Poses points
+// on closed pose manifolds; labels are object ids.
+func NewCOILSim(cfg COILConfig) *Dataset { return dataset.COILSim(cfg) }
+
+// NewPubFigSim generates a PubFig-like dataset: n points of
+// 73-dimensional attribute features over unbalanced person classes.
+func NewPubFigSim(n int, seed int64) *Dataset { return dataset.PubFigSim(n, seed) }
+
+// NewNUSWideSim generates a NUS-WIDE-like dataset: n points of
+// 150-dimensional color-moment features over heavy-tailed concept
+// clusters.
+func NewNUSWideSim(n int, seed int64) *Dataset { return dataset.NUSWideSim(n, seed) }
+
+// NewINRIASim generates an INRIA-like dataset: n points of
+// 128-dimensional SIFT-like descriptors.
+func NewINRIASim(n int, seed int64) *Dataset { return dataset.INRIASim(n, seed) }
+
+// NewMixture generates a generic labelled Gaussian-mixture dataset.
+func NewMixture(cfg MixtureConfig) *Dataset { return dataset.Mixture(cfg) }
+
+// TwoMoonsConfig re-exports the two-moons generator configuration.
+type TwoMoonsConfig = dataset.TwoMoonsConfig
+
+// NewTwoMoons generates the interlocking half-circles pattern from the
+// original Manifold Ranking papers — the canonical "ranking must
+// follow the manifold" demonstration.
+func NewTwoMoons(cfg TwoMoonsConfig) *Dataset { return dataset.TwoMoons(cfg) }
+
+// HoldOut splits a dataset into an in-database part plus held-out
+// query vectors (with labels when present) for out-of-sample
+// experiments.
+func HoldOut(ds *Dataset, fraction float64, seed int64) (in *Dataset, queries []Vector, labels []int, err error) {
+	return dataset.HoldOut(ds, fraction, seed)
+}

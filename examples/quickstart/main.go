@@ -1,0 +1,66 @@
+// Quickstart: build a Mogul index over a small labelled dataset and
+// run one in-database and one out-of-sample query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mogul"
+)
+
+func main() {
+	// A synthetic labelled dataset: 1,000 points in 10 classes. In a
+	// real application these would be image descriptors, embeddings,
+	// audio features, etc.
+	ds := mogul.NewMixture(mogul.MixtureConfig{
+		N:          1000,
+		Classes:    10,
+		Dim:        32,
+		Separation: 2,
+		WithinStd:  0.25,
+		Seed:       7,
+	})
+
+	// Build the index: k-NN graph (k=5), alpha=0.99 — the paper's
+	// evaluation settings. All precomputation is query independent.
+	idx, err := mogul.BuildFromDataset(ds, mogul.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("indexed %d items: %d clusters, %d border nodes, nnz(L)=%d, precompute %v\n",
+		idx.Len(), st.NumClusters, st.BorderSize, st.FactorNNZ, st.PrecomputeTime().Round(1000))
+
+	// In-database query: rank everything against item 42.
+	const query = 42
+	results, err := idx.TopK(query, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop answers for item %d (label %d):\n", query, ds.Labels[query])
+	for rank, r := range results {
+		marker := ""
+		if ds.Labels[r.Node] == ds.Labels[query] {
+			marker = "  <- same class"
+		}
+		fmt.Printf("  %d. item %-5d score %.5f  label %d%s\n",
+			rank+1, r.Node, r.Score, ds.Labels[r.Node], marker)
+	}
+
+	// Out-of-sample query: a vector that is not in the database. Mogul
+	// routes it through its nearest cluster without touching the
+	// precomputed factorization (Section 4.6.2 of the paper).
+	probe := ds.Points[query].Clone()
+	probe[0] += 0.05 // a slightly perturbed copy of item 42
+	oos, err := idx.TopKVector(probe, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nout-of-sample query (perturbed copy of item 42):")
+	for rank, r := range oos {
+		fmt.Printf("  %d. item %-5d score %.5f  label %d\n", rank+1, r.Node, r.Score, ds.Labels[r.Node])
+	}
+}

@@ -1,0 +1,299 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mogul/internal/dataset"
+	"mogul/internal/knn"
+)
+
+func testGraph(t *testing.T, n, classes int, seed int64) (*knn.Graph, []int) {
+	t.Helper()
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: n, Classes: classes, Dim: 8, WithinStd: 0.2, Separation: 2.5, Seed: seed,
+	})
+	g, err := knn.BuildGraph(ds.Points, knn.GraphConfig{K: 5})
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	return g, ds.Labels
+}
+
+func TestIterativeConvergesToInverse(t *testing.T) {
+	g, _ := testGraph(t, 150, 3, 1)
+	inv, err := NewInverse(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewIterative(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Epsilon = 1e-10
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		q := rng.Intn(g.Len())
+		want, err := inv.AllScores(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := it.AllScores(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.LastIterations < 2 {
+			t.Fatalf("iterative converged suspiciously fast (%d iters)", it.LastIterations)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("query %d: score[%d] = %g, want %g", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverseTopKOrdering(t *testing.T) {
+	g, _ := testGraph(t, 120, 3, 3)
+	inv, err := NewInverse(g, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inv.TopK(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Query ranks first (it receives the injected mass).
+	if res[0].Node != 7 {
+		t.Fatalf("query not rank 1: %+v", res[0])
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not descending")
+		}
+	}
+	if _, err := inv.TopK(-1, 5); err == nil {
+		t.Fatal("negative query accepted")
+	}
+	if _, err := NewInverse(g, 1.5); err == nil {
+		t.Fatal("alpha out of range accepted")
+	}
+}
+
+func TestInverseResetCache(t *testing.T) {
+	g, _ := testGraph(t, 60, 2, 4)
+	inv, err := NewInverse(g, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.AllScores(0); err != nil {
+		t.Fatal(err)
+	}
+	if inv.factored == nil {
+		t.Fatal("cache not populated")
+	}
+	inv.ResetCache()
+	if inv.factored != nil {
+		t.Fatal("cache not cleared")
+	}
+}
+
+func TestFMRScoresWithinBlock(t *testing.T) {
+	g, labels := testGraph(t, 200, 4, 5)
+	f, err := NewFMR(g, 0.99, FMRConfig{NumBlocks: 4, Rank: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() < 2 {
+		t.Fatalf("partition produced %d blocks", f.NumBlocks())
+	}
+	scores, err := f.AllScores(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-zero only inside the query's block.
+	b := f.block[3]
+	for i, s := range scores {
+		if f.block[i] != b && s != 0 {
+			t.Fatalf("score leaked outside block: node %d", i)
+		}
+	}
+	// Query ranks first.
+	res, err := f.TopK(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Node != 3 {
+		t.Fatalf("query not rank 1: %+v", res)
+	}
+	_ = labels
+	if _, err := f.AllScores(-1); err == nil {
+		t.Fatal("negative query accepted")
+	}
+	if _, err := NewFMR(g, 0, FMRConfig{}); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+}
+
+func TestFMRHighRankApproachesExactWithinBlock(t *testing.T) {
+	// With rank = block size and one block, FMR is exact Manifold
+	// Ranking: verify against Inverse.
+	g, _ := testGraph(t, 80, 2, 6)
+	f, err := NewFMR(g, 0.9, FMRConfig{NumBlocks: 1, Rank: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := NewInverse(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.AllScores(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inv.AllScores(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			t.Fatalf("score[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEMRBasics(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 300, Classes: 5, Dim: 8, WithinStd: 0.2, Separation: 3, Seed: 7,
+	})
+	e, err := NewEMR(ds.Points, 0.99, EMRConfig{NumAnchors: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumAnchors() != 30 {
+		t.Fatalf("anchors = %d", e.NumAnchors())
+	}
+	res, err := e.TopK(11, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Node != 11 {
+		t.Fatalf("query not rank 1: %+v", res[0])
+	}
+	// Retrieval quality: most answers share the query's label on a
+	// well-separated mixture.
+	hits, cnt := 0, 0
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		q := rng.Intn(len(ds.Points))
+		res, err := e.TopK(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Node == q {
+				continue
+			}
+			cnt++
+			if ds.Labels[r.Node] == ds.Labels[q] {
+				hits++
+			}
+		}
+	}
+	if prec := float64(hits) / float64(cnt); prec < 0.7 {
+		t.Fatalf("EMR retrieval precision %.2f below 0.7", prec)
+	}
+}
+
+func TestEMRPrefactorConsistency(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 150, Classes: 3, Dim: 6, WithinStd: 0.2, Separation: 3, Seed: 9,
+	})
+	e1, err := NewEMR(ds.Points, 0.99, EMRConfig{NumAnchors: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEMR(ds.Points, 0.99, EMRConfig{NumAnchors: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.PrefactorGram = true
+	for _, q := range []int{0, 50, 149} {
+		a, err := e1.AllScores(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e2.AllScores(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-10 {
+				t.Fatalf("prefactored EMR differs at %d: %g vs %g", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestEMROutOfSample(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 300, Classes: 5, Dim: 8, WithinStd: 0.2, Separation: 3, Seed: 11,
+	})
+	in, queries, qLabels, err := dataset.HoldOut(ds, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEMR(in.Points, 0.99, EMRConfig{NumAnchors: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, cnt := 0, 0
+	for qi, q := range queries {
+		res, err := e.TopKOutOfSample(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 5 {
+			t.Fatalf("got %d results", len(res))
+		}
+		for _, r := range res {
+			cnt++
+			if in.Labels[r.Node] == qLabels[qi] {
+				hits++
+			}
+		}
+	}
+	if prec := float64(hits) / float64(cnt); prec < 0.7 {
+		t.Fatalf("EMR out-of-sample precision %.2f below 0.7", prec)
+	}
+	if _, err := e.TopKOutOfSample(queries[0][:2], 5); err == nil {
+		t.Fatal("wrong-dimension query accepted")
+	}
+}
+
+func TestEMRErrors(t *testing.T) {
+	if _, err := NewEMR(nil, 0.99, EMRConfig{}); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	pts := dataset.Mixture(dataset.MixtureConfig{N: 20, Classes: 2, Dim: 4, Seed: 1}).Points
+	if _, err := NewEMR(pts, 1.1, EMRConfig{}); err == nil {
+		t.Fatal("alpha out of range accepted")
+	}
+	e, err := NewEMR(pts, 0.99, EMRConfig{NumAnchors: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumAnchors() > 20 {
+		t.Fatalf("anchors not clamped: %d", e.NumAnchors())
+	}
+	if _, err := e.AllScores(100); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+}

@@ -1,0 +1,35 @@
+// Package baselinetest provides a tiny dense Manifold Ranking oracle
+// for tests. It lives outside internal/baseline so that internal/core
+// tests can use it without an import cycle (baseline depends on core
+// for the Result type).
+package baselinetest
+
+import (
+	"mogul/internal/dense"
+	"mogul/internal/knn"
+)
+
+// InverseScores returns a closure computing the exact Manifold Ranking
+// score vector x* = (1-alpha)(I - alpha S)^{-1} q for any query node,
+// via a dense LU factorization computed once. Intended for test-sized
+// graphs only (O(n^3) setup, O(n^2) memory).
+func InverseScores(g *knn.Graph, alpha float64) func(query int) []float64 {
+	n := g.Len()
+	s := g.NormalizedAdjacency()
+	a := dense.Identity(n)
+	for i := 0; i < n; i++ {
+		cols, vals := s.Row(i)
+		for t, j := range cols {
+			a.Add(i, j, -alpha*vals[t])
+		}
+	}
+	f, err := dense.Factorize(a)
+	if err != nil {
+		panic("baselinetest: factorization failed: " + err.Error())
+	}
+	return func(query int) []float64 {
+		q := make([]float64, n)
+		q[query] = 1 - alpha
+		return f.Solve(q)
+	}
+}

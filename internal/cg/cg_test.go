@@ -1,0 +1,181 @@
+package cg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mogul/internal/cholesky"
+	"mogul/internal/sparse"
+)
+
+// spd builds a random sparse symmetric diagonally dominant matrix.
+func spd(n, deg int, rng *rand.Rand) *sparse.CSR {
+	var entries []sparse.Coord
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for t := 0; t < deg; t++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := -rng.Float64()
+			entries = append(entries, sparse.Coord{Row: i, Col: j, Val: v})
+			entries = append(entries, sparse.Coord{Row: j, Col: i, Val: v})
+			rowAbs[i] -= v
+			rowAbs[j] -= v
+		}
+	}
+	for i := 0; i < n; i++ {
+		entries = append(entries, sparse.Coord{Row: i, Col: i, Val: rowAbs[i] + 1})
+	}
+	m, err := sparse.NewFromCoords(n, n, entries)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func residual(a *sparse.CSR, x, b []float64) float64 {
+	ax := a.MulVec(x)
+	var num, den float64
+	for i := range b {
+		d := ax[i] - b[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestSolveUnpreconditioned(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		a := spd(n, 2, rng)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		res, err := Solve(a, b, Options{Tol: 1e-10})
+		if err != nil || !res.Converged {
+			return false
+		}
+		return residual(a, res.X, b) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolvePreconditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(80)
+		a := spd(n, 3, rng)
+		f, err := cholesky.IncompleteLDL(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		plain, err := Solve(a, b, Options{Tol: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := Solve(a, b, Options{Tol: 1e-10, Preconditioner: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pre.Converged {
+			t.Fatalf("preconditioned CG did not converge: %+v", pre)
+		}
+		if residual(a, pre.X, b) > 1e-8 {
+			t.Fatalf("preconditioned residual %g", residual(a, pre.X, b))
+		}
+		// IC(0) preconditioning should not need more iterations than
+		// plain CG (usually far fewer).
+		if pre.Iterations > plain.Iterations {
+			t.Fatalf("preconditioned CG used %d iterations, plain %d", pre.Iterations, plain.Iterations)
+		}
+	}
+}
+
+func TestSolveCompletePreconditionerOneShot(t *testing.T) {
+	// With the complete factor as preconditioner, M = A exactly, so CG
+	// must converge in a single iteration.
+	rng := rand.New(rand.NewSource(5))
+	a := spd(40, 3, rng)
+	f, err := cholesky.CompleteLDL(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	res, err := Solve(a, b, Options{Tol: 1e-10, Preconditioner: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("exact preconditioner took %d iterations", res.Iterations)
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := spd(10, 2, rng)
+	// Zero rhs: zero solution, converged immediately.
+	res, err := Solve(a, make([]float64, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero rhs: %+v", res)
+	}
+	for _, x := range res.X {
+		if x != 0 {
+			t.Fatal("zero rhs gave non-zero solution")
+		}
+	}
+	// Errors.
+	rect, _ := sparse.NewFromCoords(2, 3, nil)
+	if _, err := Solve(rect, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+	if _, err := Solve(a, []float64{1}, Options{}); err == nil {
+		t.Fatal("wrong rhs length accepted")
+	}
+	small, _ := sparse.NewFromCoords(3, 3, []sparse.Coord{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}, {Row: 2, Col: 2, Val: 1},
+	})
+	wrongF, err := cholesky.CompleteLDL(small, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(a, make([]float64, 10), Options{Preconditioner: wrongF}); err == nil {
+		t.Fatal("mismatched preconditioner accepted")
+	}
+}
+
+func TestMaxIterRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := spd(100, 3, rng)
+	b := make([]float64, 100)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	res, err := Solve(a, b, Options{Tol: 1e-300, MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Iterations > 3 {
+		t.Fatalf("MaxIter violated: %+v", res)
+	}
+}

@@ -1,0 +1,250 @@
+package cholesky
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mogul/internal/dense"
+	"mogul/internal/sparse"
+)
+
+// randomSPD builds a random sparse symmetric diagonally dominant
+// matrix (hence SPD) with roughly avgDeg off-diagonal entries per row.
+func randomSPD(n, avgDeg int, rng *rand.Rand) *sparse.CSR {
+	var entries []sparse.Coord
+	offDiagSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for t := 0; t < avgDeg; t++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := -rng.Float64()
+			entries = append(entries, sparse.Coord{Row: i, Col: j, Val: v})
+			entries = append(entries, sparse.Coord{Row: j, Col: i, Val: v})
+			offDiagSum[i] += -v
+			offDiagSum[j] += -v
+		}
+	}
+	for i := 0; i < n; i++ {
+		entries = append(entries, sparse.Coord{Row: i, Col: i, Val: offDiagSum[i] + 1 + rng.Float64()})
+	}
+	m, err := sparse.NewFromCoords(n, n, entries)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func maxAbsDiff(a, b [][]float64) float64 {
+	var worst float64
+	for i := range a {
+		for j := range a[i] {
+			if d := math.Abs(a[i][j] - b[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestCompleteLDLReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		w := randomSPD(n, 3, rng)
+		f, err := CompleteLDL(w, 0)
+		if err != nil {
+			t.Fatalf("CompleteLDL: %v", err)
+		}
+		if f.Clamped != 0 {
+			t.Fatalf("trial %d: SPD input clamped %d pivots", trial, f.Clamped)
+		}
+		got := f.Reconstruct()
+		want := w.Dense()
+		if d := maxAbsDiff(got, want); d > 1e-8 {
+			t.Fatalf("trial %d: reconstruction error %g", trial, d)
+		}
+	}
+}
+
+func TestCompleteLDLSolveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		w := randomSPD(n, 3, rng)
+		f, err := CompleteLDL(w, 0)
+		if err != nil {
+			t.Fatalf("CompleteLDL: %v", err)
+		}
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		got := f.Solve(q)
+		want, err := dense.Solve(dense.NewMatrixFrom(w.Dense()), q)
+		if err != nil {
+			t.Fatalf("dense solve: %v", err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIncompletePatternRestriction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		w := randomSPD(n, 3, rng)
+		f, err := IncompleteLDL(w, 0)
+		if err != nil {
+			t.Fatalf("IncompleteLDL: %v", err)
+		}
+		// Every stored entry of L must correspond to a non-zero
+		// pattern position of W (Equation 6's "incomplete" rule).
+		for j := 0; j < n; j++ {
+			rows, _ := f.Col(j)
+			for _, i := range rows {
+				if i <= j {
+					t.Fatalf("entry (%d,%d) not strictly lower", i, j)
+				}
+				if w.At(i, j) == 0 {
+					t.Fatalf("fill-in at (%d,%d) violates the incomplete pattern", i, j)
+				}
+			}
+		}
+		if f.NNZ() > w.NNZ() {
+			t.Fatalf("incomplete factor has %d nnz, input %d", f.NNZ(), w.NNZ())
+		}
+	}
+}
+
+func TestIncompleteEqualsCompleteOnTriangularPattern(t *testing.T) {
+	// On a tridiagonal matrix no fill occurs, so incomplete and
+	// complete factorizations must coincide exactly.
+	rng := rand.New(rand.NewSource(4))
+	n := 30
+	var entries []sparse.Coord
+	for i := 0; i < n; i++ {
+		entries = append(entries, sparse.Coord{Row: i, Col: i, Val: 4 + rng.Float64()})
+		if i+1 < n {
+			v := -rng.Float64()
+			entries = append(entries, sparse.Coord{Row: i, Col: i + 1, Val: v})
+			entries = append(entries, sparse.Coord{Row: i + 1, Col: i, Val: v})
+		}
+	}
+	w, err := sparse.NewFromCoords(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := IncompleteLDL(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	com, err := CompleteLDL(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.NNZ() != com.NNZ() {
+		t.Fatalf("nnz mismatch: incomplete %d, complete %d", inc.NNZ(), com.NNZ())
+	}
+	for i := range inc.D {
+		if math.Abs(inc.D[i]-com.D[i]) > 1e-12 {
+			t.Fatalf("D[%d]: %g vs %g", i, inc.D[i], com.D[i])
+		}
+	}
+	for k := range inc.Val {
+		if inc.RowIdx[k] != com.RowIdx[k] || math.Abs(inc.Val[k]-com.Val[k]) > 1e-12 {
+			t.Fatalf("L entry %d differs", k)
+		}
+	}
+}
+
+func TestForwardBackSolveIdentities(t *testing.T) {
+	// Property: for random SPD W and random q,
+	// (L D) * ForwardSolve(q) == q and L^T * BackSolve(y) == y.
+	rng := rand.New(rand.NewSource(5))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		w := randomSPD(n, 2, r)
+		f, err := CompleteLDL(w, 0)
+		if err != nil {
+			return false
+		}
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = r.NormFloat64()
+		}
+		y := f.ForwardSolve(q)
+		// Verify (L D) y == q.
+		ld := make([]float64, n)
+		for j := 0; j < n; j++ {
+			ld[j] += f.D[j] * y[j]
+			rows, vals := f.Col(j)
+			for t, i := range rows {
+				ld[i] += vals[t] * f.D[j] * y[j]
+			}
+		}
+		for i := range q {
+			if math.Abs(ld[i]-q[i]) > 1e-8*(1+math.Abs(q[i])) {
+				return false
+			}
+		}
+		x := f.BackSolve(y)
+		// Verify L^T x == y.
+		lt := append([]float64(nil), x...)
+		for j := 0; j < n; j++ {
+			rows, vals := f.Col(j)
+			for t, i := range rows {
+				lt[j] += vals[t] * x[i]
+			}
+		}
+		for i := range y {
+			if math.Abs(lt[i]-y[i]) > 1e-8*(1+math.Abs(y[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(func(seed int64) bool { return check(seed) }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	m := &sparse.CSR{RowPtr: []int{0, 0, 0}, Rows: 2, Cols: 3}
+	if _, err := IncompleteLDL(m, 0); err == nil {
+		t.Fatal("IncompleteLDL accepted non-square input")
+	}
+	if _, err := CompleteLDL(m, 0); err == nil {
+		t.Fatal("CompleteLDL accepted non-square input")
+	}
+}
+
+func TestPivotClampCounts(t *testing.T) {
+	// An indefinite matrix forces clamping rather than failure.
+	entries := []sparse.Coord{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 1, Col: 1, Val: 1},
+		{Row: 0, Col: 1, Val: 2},
+		{Row: 1, Col: 0, Val: 2},
+	}
+	w, err := sparse.NewFromCoords(2, 2, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CompleteLDL(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Clamped == 0 {
+		t.Fatal("expected clamped pivots on indefinite input")
+	}
+}

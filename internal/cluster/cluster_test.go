@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mogul/internal/sparse"
+)
+
+// twoCliques builds two size-m cliques joined by a single bridge edge.
+func twoCliques(m int) *sparse.CSR {
+	var entries []sparse.Coord
+	add := func(a, b int) {
+		entries = append(entries, sparse.Coord{Row: a, Col: b, Val: 1})
+		entries = append(entries, sparse.Coord{Row: b, Col: a, Val: 1})
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			add(i, j)
+			add(m+i, m+j)
+		}
+	}
+	add(0, m)
+	adj, err := sparse.NewFromCoords(2*m, 2*m, entries)
+	if err != nil {
+		panic(err)
+	}
+	return adj
+}
+
+func TestLouvainTwoCliques(t *testing.T) {
+	adj := twoCliques(8)
+	cl, err := Louvain(adj, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N != 2 {
+		t.Fatalf("found %d clusters, want 2 (sizes %v)", cl.N, cl.Sizes())
+	}
+	for i := 1; i < 8; i++ {
+		if cl.Assign[i] != cl.Assign[0] {
+			t.Fatal("first clique split")
+		}
+		if cl.Assign[8+i] != cl.Assign[8] {
+			t.Fatal("second clique split")
+		}
+	}
+	if cl.Assign[0] == cl.Assign[8] {
+		t.Fatal("cliques merged")
+	}
+	if cl.Modularity < 0.3 {
+		t.Fatalf("modularity %g unexpectedly low", cl.Modularity)
+	}
+}
+
+func TestLouvainRingOfCliques(t *testing.T) {
+	// Classic benchmark: k cliques connected in a ring; Louvain must
+	// find roughly one cluster per clique.
+	const cliques, size = 6, 6
+	var entries []sparse.Coord
+	add := func(a, b int) {
+		entries = append(entries, sparse.Coord{Row: a, Col: b, Val: 1})
+		entries = append(entries, sparse.Coord{Row: b, Col: a, Val: 1})
+	}
+	for c := 0; c < cliques; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				add(base+i, base+j)
+			}
+		}
+		next := ((c + 1) % cliques) * size
+		add(base, next+1)
+	}
+	adj, err := sparse.NewFromCoords(cliques*size, cliques*size, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Louvain(adj, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N < cliques/2 || cl.N > cliques {
+		t.Fatalf("found %d clusters for %d cliques", cl.N, cliques)
+	}
+	// Every clique stays whole.
+	for c := 0; c < cliques; c++ {
+		base := c * size
+		for i := 1; i < size; i++ {
+			if cl.Assign[base+i] != cl.Assign[base] {
+				t.Fatalf("clique %d split", c)
+			}
+		}
+	}
+}
+
+func TestLouvainEdgeless(t *testing.T) {
+	adj, _ := sparse.NewFromCoords(5, 5, nil)
+	cl, err := Louvain(adj, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N != 5 {
+		t.Fatalf("edgeless graph: %d clusters, want 5 singletons", cl.N)
+	}
+	if cl.Modularity != 0 {
+		t.Fatalf("edgeless modularity = %g", cl.Modularity)
+	}
+}
+
+func TestLouvainEmpty(t *testing.T) {
+	adj, _ := sparse.NewFromCoords(0, 0, nil)
+	cl, err := Louvain(adj, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N != 0 {
+		t.Fatalf("empty graph: %d clusters", cl.N)
+	}
+}
+
+func TestLouvainRejectsRectangular(t *testing.T) {
+	adj, _ := sparse.NewFromCoords(2, 3, nil)
+	if _, err := Louvain(adj, Config{}); err == nil {
+		t.Fatal("rectangular adjacency accepted")
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	adj := twoCliques(10)
+	a, err := Louvain(adj, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Louvain(adj, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("non-deterministic clustering")
+		}
+	}
+}
+
+func TestClusteringAccessors(t *testing.T) {
+	cl := &Clustering{Assign: []int{0, 1, 0, 1, 1}, N: 2}
+	sizes := cl.Sizes()
+	if sizes[0] != 2 || sizes[1] != 3 {
+		t.Fatalf("Sizes = %v", sizes)
+	}
+	members := cl.Members()
+	if len(members[0]) != 2 || members[0][0] != 0 || members[0][1] != 2 {
+		t.Fatalf("Members = %v", members)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	// Property: modularity of any labelling lies in [-1, 1].
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		var entries []sparse.Coord
+		for e := 0; e < n*2; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			entries = append(entries, sparse.Coord{Row: i, Col: j, Val: 1})
+			entries = append(entries, sparse.Coord{Row: j, Col: i, Val: 1})
+		}
+		adj, err := sparse.NewFromCoords(n, n, entries)
+		if err != nil {
+			return false
+		}
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = rng.Intn(3)
+		}
+		q := Modularity(adj, assign, 1)
+		return q >= -1-1e-9 && q <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLouvainNeverWorseThanSingletons(t *testing.T) {
+	// The optimizer starts from singletons, so its final modularity
+	// cannot be below the singleton partition's.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		var entries []sparse.Coord
+		for e := 0; e < n*3; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			w := rng.Float64()
+			entries = append(entries, sparse.Coord{Row: i, Col: j, Val: w})
+			entries = append(entries, sparse.Coord{Row: j, Col: i, Val: w})
+		}
+		adj, err := sparse.NewFromCoords(n, n, entries)
+		if err != nil {
+			return false
+		}
+		cl, err := Louvain(adj, Config{})
+		if err != nil {
+			return false
+		}
+		singletons := make([]int, n)
+		for i := range singletons {
+			singletons[i] = i
+		}
+		return cl.Modularity >= Modularity(adj, singletons, 1)-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

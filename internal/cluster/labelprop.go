@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mogul/internal/sparse"
+)
+
+// LabelPropagation clusters an undirected weighted graph with the
+// classic label-propagation algorithm (Raghavan et al.): every node
+// starts with its own label and repeatedly adopts the label carrying
+// the most edge weight among its neighbours, until labels stabilize.
+//
+// It is the other standard linear-time community detector besides
+// modularity optimization; the reproduction offers it as an ablation
+// for Algorithm 1's clustering step — the permutation only needs
+// "few cross-cluster edges", so any detector with that property can
+// power Mogul, and comparing the two shows how sensitive the system is
+// to the exact choice (the paper's [17] is modularity-based).
+//
+// Ties between equally weighted labels are broken pseudo-randomly from
+// the seed (the standard remedy for label propagation's
+// epidemic-merge pathology on unweighted graphs); a fixed seed makes
+// runs deterministic. Nodes are visited in a fixed order and the sweep
+// count is capped, so termination is guaranteed.
+func LabelPropagation(adj *sparse.CSR, maxSweeps int, seed int64) (*Clustering, error) {
+	if adj.Rows != adj.Cols {
+		return nil, fmt.Errorf("cluster: adjacency must be square, got %dx%d", adj.Rows, adj.Cols)
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 32
+	}
+	n := adj.Rows
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	weight := make(map[int]float64, 16)
+	candidates := make([]int, 0, 16)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			cols, vals := adj.Row(i)
+			if len(cols) == 0 {
+				continue
+			}
+			for k := range weight {
+				delete(weight, k)
+			}
+			for t, j := range cols {
+				if j == i {
+					continue
+				}
+				weight[labels[j]] += vals[t]
+			}
+			if len(weight) == 0 {
+				continue
+			}
+			// Find the maximum weight, then collect all labels tied at
+			// it (sorted for determinism) and pick one at random.
+			// Keeping the current label when it ties the maximum
+			// prevents oscillation.
+			var maxW float64
+			for _, w := range weight {
+				if w > maxW {
+					maxW = w
+				}
+			}
+			if weight[labels[i]] >= maxW {
+				continue // current label already maximal
+			}
+			candidates = candidates[:0]
+			for l, w := range weight {
+				if w == maxW {
+					candidates = append(candidates, l)
+				}
+			}
+			sort.Ints(candidates)
+			next := candidates[rng.Intn(len(candidates))]
+			if next != labels[i] {
+				labels[i] = next
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	compact, nClusters := compactLabels(labels)
+	return &Clustering{
+		Assign:     compact,
+		N:          nClusters,
+		Modularity: Modularity(adj, compact, 1),
+		Levels:     1,
+	}, nil
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+
+	"mogul/internal/sparse"
+)
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	adj := twoCliques(8)
+	cl, err := LabelPropagation(adj, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N < 2 {
+		t.Fatalf("found %d clusters, want >= 2", cl.N)
+	}
+	// Each clique ends up in a single cluster.
+	for i := 1; i < 8; i++ {
+		if cl.Assign[i] != cl.Assign[0] {
+			t.Fatal("first clique split")
+		}
+		if cl.Assign[8+i] != cl.Assign[8] {
+			t.Fatal("second clique split")
+		}
+	}
+	if cl.Assign[0] == cl.Assign[8] {
+		t.Fatal("cliques merged")
+	}
+	if cl.Modularity <= 0 {
+		t.Fatalf("modularity %g", cl.Modularity)
+	}
+}
+
+func TestLabelPropagationEdgeless(t *testing.T) {
+	adj, _ := sparse.NewFromCoords(4, 4, nil)
+	cl, err := LabelPropagation(adj, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N != 4 {
+		t.Fatalf("edgeless graph: %d clusters", cl.N)
+	}
+}
+
+func TestLabelPropagationRejectsRectangular(t *testing.T) {
+	adj, _ := sparse.NewFromCoords(2, 3, nil)
+	if _, err := LabelPropagation(adj, 0, 1); err == nil {
+		t.Fatal("rectangular adjacency accepted")
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	adj := twoCliques(10)
+	a, err := LabelPropagation(adj, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LabelPropagation(adj, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("non-deterministic labels")
+		}
+	}
+}
+
+func TestLabelPropagationTerminates(t *testing.T) {
+	// A bipartite-ish structure that could oscillate under naive
+	// simultaneous updates; the sequential sweep with keep-on-tie must
+	// terminate within the sweep cap.
+	var entries []sparse.Coord
+	add := func(a, b int) {
+		entries = append(entries, sparse.Coord{Row: a, Col: b, Val: 1})
+		entries = append(entries, sparse.Coord{Row: b, Col: a, Val: 1})
+	}
+	for i := 0; i < 10; i++ {
+		for j := 10; j < 20; j++ {
+			add(i, j)
+		}
+	}
+	adj, err := sparse.NewFromCoords(20, 20, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := LabelPropagation(adj, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N < 1 || cl.N > 20 {
+		t.Fatalf("weird cluster count %d", cl.N)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+
+	"mogul/internal/cholesky"
+)
+
+// boundTables holds the precomputed quantities of the paper's upper
+// bounding estimation (Section 4.3, Definition 1):
+//
+//	x̄_Ci = X_i * (1 + Ū_i)^(N_i - 1)
+//	X_i  = Σ_{j >= c_N} Ū_{i:j} |x'_j|
+//	Ū_i  = max |U_jk| over j != k both in C_i
+//	Ū_{i:j} = max |U_kj| over k in C_i
+//
+// Everything except the |x'_j| factors is query independent, so it is
+// computed once at index-build time in O(nnz(L)) = O(n).
+type boundTables struct {
+	// uBar[c] is Ū_c.
+	uBar []float64
+	// borderCols[c] / borderMax[c] list, for cluster c, the border
+	// columns j (permuted index, j >= c_N) with the corresponding
+	// Ū_{c:j} = max_{k in C_c} |L_jk|. Entries appear in ascending j.
+	borderCols [][]int32
+	borderMax  [][]float64
+	// logOnePlusUBar caches log1p(Ū_c) for the overflow-safe power.
+	logOnePlusUBar []float64
+}
+
+// buildBoundTables scans the factor once. Recall U = Lᵀ, so
+// U_kj = L_jk: for cluster c we need (a) the largest |L| entry whose
+// row AND column both lie in c (that is Ū_c) and (b) for each border
+// row j >= c_N, the largest |L_jk| over columns k in c (that is
+// Ū_{c:j}).
+func buildBoundTables(f *cholesky.Factor, layout *Layout) *boundTables {
+	nc := layout.NumClusters
+	bt := &boundTables{
+		uBar:           make([]float64, nc),
+		borderCols:     make([][]int32, nc),
+		borderMax:      make([][]float64, nc),
+		logOnePlusUBar: make([]float64, nc),
+	}
+	cN := layout.BorderStart()
+	border := layout.Border()
+
+	// Scratch: per cluster, map border row -> running max. Because
+	// columns are processed cluster by cluster (clusters are
+	// contiguous in permuted order), a per-cluster map is built and
+	// flushed when the column range leaves the cluster.
+	acc := make(map[int]float64)
+	flush := func(c int) {
+		if len(acc) == 0 {
+			return
+		}
+		cols := make([]int32, 0, len(acc))
+		for j := range acc {
+			cols = append(cols, int32(j))
+		}
+		// Insertion sort is fine: lists are short relative to n and
+		// this runs once per cluster.
+		for i := 1; i < len(cols); i++ {
+			for t := i; t > 0 && cols[t] < cols[t-1]; t-- {
+				cols[t], cols[t-1] = cols[t-1], cols[t]
+			}
+		}
+		vals := make([]float64, len(cols))
+		for i, j := range cols {
+			vals[i] = acc[int(j)]
+		}
+		bt.borderCols[c] = cols
+		bt.borderMax[c] = vals
+		for k := range acc {
+			delete(acc, k)
+		}
+	}
+
+	current := -1
+	for col := 0; col < f.N; col++ {
+		c := layout.ClusterOf[col]
+		if c != current {
+			if current >= 0 {
+				flush(current)
+			}
+			current = c
+		}
+		if c == border {
+			// Ū and X are only needed for prunable clusters; border
+			// columns contribute to nothing here.
+			continue
+		}
+		rows, vals := f.Col(col)
+		for t, r := range rows {
+			a := math.Abs(vals[t])
+			if r < cN {
+				// Within-cluster entry (Lemma 3 guarantees the row is
+				// in the same cluster as the column when both are
+				// below c_N).
+				if a > bt.uBar[c] {
+					bt.uBar[c] = a
+				}
+			} else {
+				if a > acc[r] {
+					acc[r] = a
+				}
+			}
+		}
+	}
+	if current >= 0 {
+		flush(current)
+	}
+	for c := range bt.logOnePlusUBar {
+		bt.logOnePlusUBar[c] = math.Log1p(bt.uBar[c])
+	}
+	return bt
+}
+
+// clusterBound evaluates x̄_Cc for cluster c given the magnitudes of
+// the border scores: xAbsBorder[j-cN] = |x'_j| for j >= c_N
+// (Equation 8). The power (1+Ū)^(N-1) is evaluated in log space and
+// saturates to +Inf on overflow — a saturated bound can never prune,
+// which is the safe direction (Lemma 7 remains valid).
+func (bt *boundTables) clusterBound(c int, layout *Layout, xAbsBorder []float64) float64 {
+	var xi float64
+	cN := layout.BorderStart()
+	cols := bt.borderCols[c]
+	vals := bt.borderMax[c]
+	for t, j := range cols {
+		xi += vals[t] * xAbsBorder[int(j)-cN]
+	}
+	if xi == 0 {
+		return 0
+	}
+	exponent := float64(layout.Size(c) - 1)
+	logBound := math.Log(xi) + exponent*bt.logOnePlusUBar[c]
+	if logBound > 700 { // exp overflows float64 just above 709
+		return math.Inf(1)
+	}
+	return math.Exp(logBound)
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mogul/internal/dataset"
+	"mogul/internal/knn"
+	"mogul/internal/vec"
+)
+
+// Failure-injection tests: degenerate graphs and extreme parameters
+// must degrade gracefully, never panic or return wrong answers.
+
+func TestDisconnectedGraphSearch(t *testing.T) {
+	// Two far-apart blobs: scores outside the query's component must
+	// be zero, and top-k must not fail even when k exceeds the
+	// component size.
+	var pts []vec.Vector
+	for i := 0; i < 40; i++ {
+		pts = append(pts, vec.Vector{float64(i%5) * 0.01, float64(i/5) * 0.01})
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, vec.Vector{1e6 + float64(i%5)*0.01, float64(i/5) * 0.01})
+	}
+	g, err := knn.BuildGraph(pts, knn.GraphConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, comps := g.Components()
+	if comps < 2 {
+		t.Fatalf("expected a disconnected graph, got %d components", comps)
+	}
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.TopK(0, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 80 {
+		t.Fatalf("got %d results", len(res))
+	}
+	scores, err := ix.AllScores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if labels[i] != labels[0] && math.Abs(s) > 1e-12 {
+			t.Fatalf("node %d in another component scored %g", i, s)
+		}
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		pts := make([]vec.Vector, n)
+		for i := range pts {
+			pts[i] = vec.Vector{float64(i), 0}
+		}
+		g, err := knn.BuildGraph(pts, knn.GraphConfig{K: 5})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, exact := range []bool{false, true} {
+			ix, err := NewIndex(g, Options{Exact: exact})
+			if err != nil {
+				t.Fatalf("n=%d exact=%v: %v", n, exact, err)
+			}
+			res, err := ix.TopK(0, n)
+			if err != nil {
+				t.Fatalf("n=%d exact=%v: %v", n, exact, err)
+			}
+			if len(res) != n {
+				t.Fatalf("n=%d: got %d results", n, len(res))
+			}
+			// On a path the middle node can outrank an endpoint query
+			// at alpha = 0.99 (hub effect); require only that the
+			// query appears and the ordering is descending and finite.
+			found := false
+			for i, r := range res {
+				if r.Node == 0 {
+					found = true
+				}
+				if math.IsNaN(r.Score) || (i > 0 && r.Score > res[i-1].Score) {
+					t.Fatalf("n=%d: bad ranking: %+v", n, res)
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d: query missing: %+v", n, res)
+			}
+		}
+	}
+}
+
+func TestAlphaExtremes(t *testing.T) {
+	g := testGraph(t, 150, 3, 41)
+	for _, alpha := range []float64{0.01, 0.5, 0.999} {
+		ix, err := NewIndex(g, Options{Alpha: alpha, Exact: true})
+		if err != nil {
+			t.Fatalf("alpha=%g: %v", alpha, err)
+		}
+		res, err := ix.TopK(7, 5)
+		if err != nil {
+			t.Fatalf("alpha=%g: %v", alpha, err)
+		}
+		// At extreme alpha the diffusion is so strong that a hub node
+		// can legitimately outrank the query itself; the query must
+		// still appear among the top answers.
+		found := false
+		for _, r := range res {
+			if r.Node == 7 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("alpha=%g: query missing from top-5: %+v", alpha, res)
+		}
+		// With tiny alpha almost no mass diffuses: the query's own
+		// score dominates by a wide margin.
+		if alpha == 0.01 && len(res) > 1 && res[1].Score > res[0].Score*0.1 {
+			t.Fatalf("alpha=0.01: diffusion too strong: %+v", res[:2])
+		}
+		if ix.Stats().ClampedPivots != 0 {
+			t.Fatalf("alpha=%g: %d clamped pivots on an SPD system", alpha, ix.Stats().ClampedPivots)
+		}
+	}
+}
+
+func TestIsolatedNodesViaMutualGraph(t *testing.T) {
+	// Mutual k-NN symmetrization can leave nodes without edges; the
+	// index must handle degree-0 rows (W row = identity).
+	var pts []vec.Vector
+	// A tight clique of 20 plus one extreme outlier that nobody lists
+	// mutually.
+	for i := 0; i < 20; i++ {
+		pts = append(pts, vec.Vector{float64(i) * 0.001, 0})
+	}
+	pts = append(pts, vec.Vector{1e9, 1e9})
+	g, err := knn.BuildGraph(pts, knn.GraphConfig{K: 3, Mutual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query the outlier: it must rank itself first and everything else
+	// at zero.
+	res, err := ix.TopK(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Node != 20 {
+		t.Fatalf("outlier not first: %+v", res)
+	}
+	for _, r := range res[1:] {
+		if math.Abs(r.Score) > 1e-12 {
+			t.Fatalf("mass leaked from isolated node: %+v", r)
+		}
+	}
+}
+
+func TestDuplicatePointsDataset(t *testing.T) {
+	// Many exact duplicates: distances of zero, heat-kernel weight 1.
+	pts := make([]vec.Vector, 60)
+	for i := range pts {
+		pts[i] = vec.Vector{float64(i % 3), 0} // 3 distinct locations, 20 copies each
+	}
+	g, err := knn.BuildGraph(pts, knn.GraphConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.TopK(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		if math.IsNaN(r.Score) || math.IsInf(r.Score, 0) {
+			t.Fatalf("non-finite score: %+v", r)
+		}
+	}
+}
+
+func TestSingletonClusters(t *testing.T) {
+	// A star graph: Louvain tends to one big cluster, but the border
+	// extraction may isolate leaves; whatever the layout, search still
+	// matches the oracle-free invariants.
+	var pts []vec.Vector
+	pts = append(pts, vec.Vector{0, 0})
+	for i := 0; i < 30; i++ {
+		angle := float64(i) / 30 * 2 * math.Pi
+		pts = append(pts, vec.Vector{math.Cos(angle), math.Sin(angle)})
+	}
+	g, err := knn.BuildGraph(pts, knn.GraphConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := ix.Search(5, SearchOptions{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ix.Search(5, SearchOptions{K: 8, FullSubstitution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRanking(t, a, b, "star graph pruned vs full")
+}
+
+func TestOutOfSampleExtremelyRemoteQuery(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{N: 200, Classes: 4, Dim: 6, Seed: 42, Separation: 2})
+	g, err := knn.BuildGraph(ds.Points, knn.GraphConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query so remote every heat-kernel weight underflows: the
+	// uniform-weight fallback must keep the search well defined.
+	remote := make(vec.Vector, 6)
+	for i := range remote {
+		remote[i] = 1e9
+	}
+	res, bd, err := ix.SearchOutOfSample(remote, OOSOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 || len(bd.Neighbors) == 0 {
+		t.Fatalf("remote query: %d results, %d neighbours", len(res), len(bd.Neighbors))
+	}
+	for _, r := range res {
+		if math.IsNaN(r.Score) {
+			t.Fatalf("NaN score for remote query: %+v", r)
+		}
+	}
+}

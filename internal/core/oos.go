@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mogul/internal/vec"
+)
+
+// OOSOptions configures an out-of-sample search (Section 4.6.2).
+type OOSOptions struct {
+	// K is the number of answer nodes. Required.
+	K int
+	// NumNeighbors is how many in-database neighbours of the query are
+	// used as surrogate query nodes; defaults to the graph's k.
+	NumNeighbors int
+	// DisablePruning / FullSubstitution mirror SearchOptions.
+	DisablePruning   bool
+	FullSubstitution bool
+}
+
+// OOSBreakdown records the two phases the paper's Table 2 reports:
+// nearest-neighbour lookup time and top-k search time.
+type OOSBreakdown struct {
+	// NearestNeighbor is the time to locate the query's neighbours via
+	// the nearest cluster mean.
+	NearestNeighbor time.Duration
+	// TopK is the time of the pruned top-k search itself.
+	TopK time.Duration
+	// Neighbors are the surrogate query nodes (original ids) and their
+	// normalized weights in the query vector q.
+	Neighbors []Result
+}
+
+// Overall returns the total out-of-sample search time.
+func (b *OOSBreakdown) Overall() time.Duration { return b.NearestNeighbor + b.TopK }
+
+// ensureOOS lazily builds the per-cluster mean feature vectors and
+// member lists (original ids) used to find surrogate query nodes
+// without touching the whole database (the paper's nearest-cluster
+// trick keeps this O(n) worst case but far cheaper in practice).
+func (ix *Index) ensureOOS() {
+	ix.oosOnce.Do(func() {
+		layout := ix.layout
+		nc := layout.NumClusters
+		members := make([][]int, nc)
+		for pos := 0; pos < ix.factor.N; pos++ {
+			c := layout.ClusterOf[pos]
+			members[c] = append(members[c], layout.Perm.NewToOld[pos])
+		}
+		means := make([]vec.Vector, nc)
+		for c := 0; c < nc; c++ {
+			if len(members[c]) == 0 {
+				continue
+			}
+			pts := make([]vec.Vector, len(members[c]))
+			for i, id := range members[c] {
+				pts[i] = ix.graph.Points[id]
+			}
+			means[c] = vec.Mean(pts)
+		}
+		ix.oosMeans = means
+		ix.oosMembers = members
+	})
+}
+
+// SearchOutOfSample ranks database nodes for a query vector that is
+// not part of the graph. Following Section 4.6.2, the query's
+// neighbours inside the nearest cluster (by mean feature) become the
+// non-zero entries of q, weighted by heat-kernel similarity; the graph
+// itself is never modified, so the precomputed factor is reused as-is.
+func (ix *Index) SearchOutOfSample(q vec.Vector, opts OOSOptions) ([]Result, *OOSBreakdown, error) {
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	if len(ix.graph.Points) == 0 {
+		return nil, nil, fmt.Errorf("core: graph has no feature vectors; out-of-sample search unavailable")
+	}
+	if len(q) != len(ix.graph.Points[0]) {
+		return nil, nil, fmt.Errorf("core: query dimension %d, want %d", len(q), len(ix.graph.Points[0]))
+	}
+	numNbrs := opts.NumNeighbors
+	if numNbrs <= 0 {
+		numNbrs = ix.graph.K
+	}
+	ix.ensureOOS()
+
+	// Phase 1: nearest cluster by mean feature, then k neighbours
+	// inside it. Clusters are probed in ascending mean distance until
+	// enough candidates accumulate, so tiny clusters cannot starve the
+	// query (robustness extension over the paper's single-cluster
+	// description).
+	t0 := time.Now()
+	type clusterDist struct {
+		c int
+		d float64
+	}
+	order := make([]clusterDist, 0, len(ix.oosMeans))
+	for c, m := range ix.oosMeans {
+		if m == nil {
+			continue
+		}
+		order = append(order, clusterDist{c: c, d: vec.SquaredEuclidean(q, m)})
+	}
+	if len(order) == 0 {
+		return nil, nil, fmt.Errorf("core: no non-empty clusters")
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
+	var candidates []int
+	for _, cd := range order {
+		candidates = append(candidates, ix.oosMembers[cd.c]...)
+		if len(candidates) >= numNbrs {
+			break
+		}
+	}
+	type nbr struct {
+		id int
+		d  float64
+	}
+	nbrs := make([]nbr, 0, len(candidates))
+	for _, id := range candidates {
+		nbrs = append(nbrs, nbr{id: id, d: math.Sqrt(vec.SquaredEuclidean(q, ix.graph.Points[id]))})
+	}
+	sort.Slice(nbrs, func(i, j int) bool {
+		if nbrs[i].d != nbrs[j].d {
+			return nbrs[i].d < nbrs[j].d
+		}
+		return nbrs[i].id < nbrs[j].id
+	})
+	if len(nbrs) > numNbrs {
+		nbrs = nbrs[:numNbrs]
+	}
+
+	// Heat-kernel weights, normalized to sum 1 so the query vector has
+	// the same mass as an in-database query.
+	sigma := ix.graph.Sigma
+	weights := make([]float64, len(nbrs))
+	var total float64
+	for i, nb := range nbrs {
+		w := math.Exp(-nb.d * nb.d / (2 * sigma * sigma))
+		weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		// All neighbours are extremely remote under this bandwidth;
+		// fall back to uniform weights rather than an all-zero query.
+		for i := range weights {
+			weights[i] = 1
+		}
+		total = float64(len(weights))
+	}
+	sources := make([]source, len(nbrs))
+	breakNbrs := make([]Result, len(nbrs))
+	for i, nb := range nbrs {
+		w := weights[i] / total
+		sources[i] = source{pos: ix.layout.Perm.OldToNew[nb.id], weight: (1 - ix.alpha) * w}
+		breakNbrs[i] = Result{Node: nb.id, Score: w}
+	}
+	nnTime := time.Since(t0)
+
+	// Phase 2: the regular pruned top-k search with the multi-source
+	// query vector.
+	t1 := time.Now()
+	res, _, err := ix.searchSources(sources, SearchOptions{
+		K:                opts.K,
+		DisablePruning:   opts.DisablePruning,
+		FullSubstitution: opts.FullSubstitution,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	bd := &OOSBreakdown{NearestNeighbor: nnTime, TopK: time.Since(t1), Neighbors: breakNbrs}
+	return res, bd, nil
+}

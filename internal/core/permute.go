@@ -1,0 +1,167 @@
+// Package core implements Mogul, the paper's contribution: O(n) top-k
+// search for Manifold Ranking via node permutation, (incomplete)
+// Cholesky factorization, restricted substitution, and upper-bound
+// pruning (Sections 4.1-4.6).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mogul/internal/cluster"
+	"mogul/internal/sparse"
+)
+
+// Layout describes the cluster structure in permuted node order: the
+// clusters C_1 ... C_{N-1} occupy consecutive index ranges followed by
+// the border cluster C_N, which holds every node that has a
+// cross-cluster edge (Algorithm 1 lines 3-7).
+type Layout struct {
+	// Perm is the node permutation P (NewToOld / OldToNew).
+	Perm *sparse.Permutation
+	// Start has length NumClusters+1; cluster i occupies permuted
+	// positions [Start[i], Start[i+1]).
+	Start []int
+	// ClusterOf maps a permuted position to its cluster id. The border
+	// cluster C_N has id NumClusters-1.
+	ClusterOf []int
+	// NumClusters is N, including the border cluster (which may be
+	// empty when the graph has no cross-cluster edges).
+	NumClusters int
+}
+
+// Border returns the id of the border cluster C_N.
+func (l *Layout) Border() int { return l.NumClusters - 1 }
+
+// BorderStart returns c_N, the first permuted index of C_N (== n when
+// the border cluster is empty).
+func (l *Layout) BorderStart() int { return l.Start[l.NumClusters-1] }
+
+// ClusterRange returns the permuted index range [lo, hi) of cluster c.
+func (l *Layout) ClusterRange(c int) (lo, hi int) { return l.Start[c], l.Start[c+1] }
+
+// Size returns the node count of cluster c.
+func (l *Layout) Size(c int) int { return l.Start[c+1] - l.Start[c] }
+
+// BuildLayout runs Algorithm 1 of the paper: it clusters the graph,
+// moves every node that has a cross-cluster edge into the final border
+// cluster C_N, and orders the clusters C_1..C_N with the nodes of each
+// cluster in ascending within-cluster edge count e(u). The result is
+// the permutation matrix P plus the cluster geometry that the rest of
+// Mogul relies on (Lemmas 3-5).
+func BuildLayout(adj *sparse.CSR, clustering *cluster.Clustering) (*Layout, error) {
+	n := adj.Rows
+	if len(clustering.Assign) != n {
+		return nil, fmt.Errorf("core: clustering covers %d nodes, graph has %d", len(clustering.Assign), n)
+	}
+
+	// Phase 1 (lines 3-7): detect cross-cluster edges and move those
+	// nodes to the border cluster.
+	assign := append([]int(nil), clustering.Assign...)
+	base := clustering.N
+	border := base // temporary id for C_N
+	for i := 0; i < n; i++ {
+		cols, _ := adj.Row(i)
+		for _, j := range cols {
+			if clustering.Assign[j] != clustering.Assign[i] {
+				assign[i] = border
+				break
+			}
+		}
+	}
+
+	// Count within-cluster edges per node, e(u), under the final
+	// assignment (after border extraction) so that line 12's argmin is
+	// evaluated on the cluster each node actually belongs to.
+	within := make([]int, n)
+	for i := 0; i < n; i++ {
+		cols, _ := adj.Row(i)
+		for _, j := range cols {
+			if assign[j] == assign[i] {
+				within[i]++
+			}
+		}
+	}
+
+	// Collect members per cluster; drop clusters emptied by the border
+	// extraction, keeping original cluster order, border last.
+	memberLists := make([][]int, base+1)
+	for i := 0; i < n; i++ {
+		memberLists[assign[i]] = append(memberLists[assign[i]], i)
+	}
+	ordered := make([][]int, 0, base+1)
+	for c := 0; c < base; c++ {
+		if len(memberLists[c]) > 0 {
+			ordered = append(ordered, memberLists[c])
+		}
+	}
+	// The border cluster is always present (possibly empty) so that
+	// Layout.Border is well defined and the search code can treat C_N
+	// uniformly.
+	ordered = append(ordered, memberLists[border])
+
+	// Phase 2 (lines 8-17): arrange each cluster's nodes ascending by
+	// within-cluster edge count; ties broken by node id for
+	// determinism.
+	newToOld := make([]int, 0, n)
+	start := make([]int, 0, len(ordered)+1)
+	start = append(start, 0)
+	for _, members := range ordered {
+		sort.Slice(members, func(a, b int) bool {
+			if within[members[a]] != within[members[b]] {
+				return within[members[a]] < within[members[b]]
+			}
+			return members[a] < members[b]
+		})
+		newToOld = append(newToOld, members...)
+		start = append(start, len(newToOld))
+	}
+
+	perm, err := sparse.NewPermutation(newToOld)
+	if err != nil {
+		return nil, fmt.Errorf("core: Algorithm 1 produced invalid permutation: %w", err)
+	}
+	layout := &Layout{
+		Perm:        perm,
+		Start:       start,
+		ClusterOf:   make([]int, n),
+		NumClusters: len(ordered),
+	}
+	for c := 0; c < layout.NumClusters; c++ {
+		for p := start[c]; p < start[c+1]; p++ {
+			layout.ClusterOf[p] = c
+		}
+	}
+	return layout, nil
+}
+
+// RandomLayout builds the ablation ordering used by the paper's
+// Figure 6/8 comparisons ("Random"): nodes are permuted uniformly at
+// random and treated as a single cluster plus an empty border, so no
+// sparsity structure is available to the factorization or the search.
+func RandomLayout(n int, seed int64) *Layout {
+	rng := rand.New(rand.NewSource(seed))
+	newToOld := rng.Perm(n)
+	perm, err := sparse.NewPermutation(newToOld)
+	if err != nil {
+		panic("core: rand.Perm produced invalid permutation: " + err.Error())
+	}
+	return &Layout{
+		Perm:        perm,
+		Start:       []int{0, n, n},
+		ClusterOf:   make([]int, n),
+		NumClusters: 2,
+	}
+}
+
+// IdentityLayout keeps the input order as one cluster plus an empty
+// border; useful in tests.
+func IdentityLayout(n int) *Layout {
+	return &Layout{
+		Perm:        sparse.IdentityPermutation(n),
+		Start:       []int{0, n, n},
+		ClusterOf:   make([]int, n),
+		NumClusters: 2,
+	}
+}

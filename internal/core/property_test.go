@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mogul/internal/baselinetest"
+	"mogul/internal/dataset"
+	"mogul/internal/knn"
+)
+
+// End-to-end property tests: random pipeline configurations must
+// satisfy the paper's guarantees regardless of dataset shape, graph
+// parameters, or ordering.
+
+// randomPipeline builds a random small dataset + graph + index pair
+// (approximate and exact) from a property seed.
+func randomPipeline(seed int64) (*knn.Graph, *Index, *Index, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 60 + rng.Intn(140)
+	classes := 2 + rng.Intn(6)
+	dim := 2 + rng.Intn(10)
+	k := 3 + rng.Intn(5)
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: n, Classes: classes, Dim: dim,
+		WithinStd:  0.1 + rng.Float64()*0.4,
+		Separation: 0.5 + rng.Float64()*2.5,
+		Seed:       seed,
+	})
+	g, err := knn.BuildGraph(ds.Points, knn.GraphConfig{K: k, Mutual: rng.Intn(2) == 0})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	alpha := 0.5 + rng.Float64()*0.49
+	approx, err := NewIndex(g, Options{Alpha: alpha})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	exact, err := NewIndex(g, Options{Alpha: alpha, Exact: true})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, approx, exact, nil
+}
+
+func TestPropertyExactMatchesOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, _, exact, err := randomPipeline(seed)
+		if err != nil {
+			return false
+		}
+		oracle := baselinetest.InverseScores(g, exact.Alpha())
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		q := rng.Intn(g.Len())
+		got, err := exact.AllScores(q)
+		if err != nil {
+			return false
+		}
+		want := oracle(q)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPruningLossless(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, approx, _, err := randomPipeline(seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x3c3c))
+		q := rng.Intn(g.Len())
+		k := 1 + rng.Intn(15)
+		pruned, _, err := approx.Search(q, SearchOptions{K: k})
+		if err != nil {
+			return false
+		}
+		full, _, err := approx.Search(q, SearchOptions{K: k, FullSubstitution: true})
+		if err != nil {
+			return false
+		}
+		if len(pruned) != len(full) {
+			return false
+		}
+		for i := range pruned {
+			if math.Abs(pruned[i].Score-full[i].Score) > 1e-9*(1+math.Abs(full[i].Score)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySerializationPreservesSearch(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, approx, _, err := randomPipeline(seed)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := approx.Serialize(&buf); err != nil {
+			return false
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x77))
+		q := rng.Intn(g.Len())
+		a, err := approx.TopK(q, 10)
+		if err != nil {
+			return false
+		}
+		b, err := loaded.TopK(q, 10)
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyScoresNonNegativeExact(t *testing.T) {
+	// Exact Manifold Ranking scores are entries of
+	// (1-a)(I - aS)^{-1} e_q = (1-a) sum_t a^t S^t e_q; every term is
+	// a non-negative matrix power applied to a non-negative vector, so
+	// exact scores can never be negative.
+	prop := func(seed int64) bool {
+		g, _, exact, err := randomPipeline(seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x1234))
+		q := rng.Intn(g.Len())
+		scores, err := exact.AllScores(q)
+		if err != nil {
+			return false
+		}
+		for _, s := range scores {
+			if s < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMassConservation(t *testing.T) {
+	// For exact scores, x = (1-a) q + a S x (the fixed point). Verify
+	// the identity directly: it catches any silent normalization bug
+	// in the whole pipeline.
+	prop := func(seed int64) bool {
+		g, _, exact, err := randomPipeline(seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x4321))
+		q := rng.Intn(g.Len())
+		x, err := exact.AllScores(q)
+		if err != nil {
+			return false
+		}
+		s := g.NormalizedAdjacency()
+		sx := s.MulVec(x)
+		alpha := exact.Alpha()
+		for i := range x {
+			want := alpha * sx[i]
+			if i == q {
+				want += 1 - alpha
+			}
+			if math.Abs(x[i]-want) > 1e-7*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mogul/internal/baselinetest"
+	"mogul/internal/sparse"
+)
+
+func TestRCMLayoutIsValidPermutation(t *testing.T) {
+	g := testGraph(t, 200, 4, 31)
+	layout := RCMLayout(g.Adj)
+	if layout.Perm.Len() != 200 {
+		t.Fatalf("permutation over %d nodes", layout.Perm.Len())
+	}
+	seen := make([]bool, 200)
+	for _, old := range layout.Perm.NewToOld {
+		if seen[old] {
+			t.Fatalf("node %d repeated", old)
+		}
+		seen[old] = true
+	}
+	if layout.NumClusters != 2 || layout.Size(layout.Border()) != 0 {
+		t.Fatalf("RCM layout should be single cluster + empty border: %+v", layout.Start)
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// Path graph scrambled: RCM must recover a low-bandwidth order.
+	n := 64
+	scramble := make([]int, n)
+	for i := range scramble {
+		scramble[i] = (i * 37) % n // bijective since gcd(37, 64) = 1
+	}
+	var entries []sparse.Coord
+	for i := 0; i+1 < n; i++ {
+		a, b := scramble[i], scramble[i+1]
+		entries = append(entries, sparse.Coord{Row: a, Col: b, Val: 1})
+		entries = append(entries, sparse.Coord{Row: b, Col: a, Val: 1})
+	}
+	adj, err := sparse.NewFromCoords(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bandwidth := func(perm *sparse.Permutation) int {
+		maxBW := 0
+		for i := 0; i < n; i++ {
+			cols, _ := adj.Row(i)
+			pi := perm.OldToNew[i]
+			for _, j := range cols {
+				if d := pi - perm.OldToNew[j]; d > maxBW {
+					maxBW = d
+				} else if -d > maxBW {
+					maxBW = -d
+				}
+			}
+		}
+		return maxBW
+	}
+	rcm := RCMLayout(adj)
+	ident := sparse.IdentityPermutation(n)
+	bwRCM, bwIdent := bandwidth(rcm.Perm), bandwidth(ident)
+	if bwRCM != 1 {
+		t.Fatalf("RCM bandwidth on a path = %d, want 1 (identity order had %d)", bwRCM, bwIdent)
+	}
+}
+
+func TestRCMIndexExactMatchesOracle(t *testing.T) {
+	// MogulE over the RCM ordering must still be exact (the ordering
+	// changes only the factor's shape, never the algebra).
+	g := testGraph(t, 150, 3, 32)
+	ix, err := NewIndex(g, Options{Exact: true, Ordering: OrderingRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baselinetest.InverseScores(g, ix.Alpha())
+	got, err := ix.AllScores(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := want(11)
+	for i := range got {
+		if math.Abs(got[i]-ref[i]) > 1e-8*(1+math.Abs(ref[i])) {
+			t.Fatalf("score[%d] = %g, want %g", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestRCMHandlesDisconnectedGraph(t *testing.T) {
+	// Two components: RCM must cover all nodes.
+	var entries []sparse.Coord
+	add := func(a, b int) {
+		entries = append(entries, sparse.Coord{Row: a, Col: b, Val: 1})
+		entries = append(entries, sparse.Coord{Row: b, Col: a, Val: 1})
+	}
+	add(0, 1)
+	add(1, 2)
+	add(3, 4)
+	adj, err := sparse.NewFromCoords(6, 6, entries) // node 5 isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := RCMLayout(adj)
+	if layout.Perm.Len() != 6 {
+		t.Fatalf("covered %d of 6 nodes", layout.Perm.Len())
+	}
+}

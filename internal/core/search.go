@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mogul/internal/topk"
+)
+
+// Result is one ranked answer node.
+type Result struct {
+	// Node is the node id in the original (unpermuted) numbering.
+	Node int
+	// Score is the (approximate, or exact for MogulE) Manifold Ranking
+	// score of the node for the query.
+	Score float64
+}
+
+// SearchOptions tunes one search call. The zero value plus a positive
+// K is the full Mogul algorithm (Algorithm 2).
+type SearchOptions struct {
+	// K is the number of answer nodes (clamped to n).
+	K int
+	// DisablePruning turns off the upper-bound estimation of
+	// Section 4.3 while keeping the restricted substitution of
+	// Section 4.2.3; this is the paper's "W/O estimation" ablation
+	// (Figure 5).
+	DisablePruning bool
+	// FullSubstitution computes all n scores with unrestricted forward
+	// and back substitution, ignoring the cluster structure entirely;
+	// this is the paper's "Incomplete Cholesky" ablation (Figure 5).
+	FullSubstitution bool
+}
+
+// SearchInfo reports work counters for one search; the experiments use
+// them to show the effectiveness of pruning.
+type SearchInfo struct {
+	// ClustersPruned counts clusters skipped by the upper bound.
+	ClustersPruned int
+	// ClustersScanned counts clusters whose scores were computed
+	// (including C_Q and C_N).
+	ClustersScanned int
+	// ScoresComputed counts back-substituted node scores.
+	ScoresComputed int
+}
+
+// source is one non-zero of the permuted query vector q'.
+type source struct {
+	pos    int // permuted position
+	weight float64
+}
+
+// TopK returns the k nodes with the highest Manifold Ranking scores
+// for the in-database query node (original numbering), using the full
+// Mogul algorithm.
+func (ix *Index) TopK(query, k int) ([]Result, error) {
+	res, _, err := ix.Search(query, SearchOptions{K: k})
+	return res, err
+}
+
+// Search runs Algorithm 2 with the given options and returns ranked
+// results plus work counters.
+func (ix *Index) Search(query int, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	n := ix.factor.N
+	if query < 0 || query >= n {
+		return nil, nil, fmt.Errorf("core: query node %d outside [0,%d)", query, n)
+	}
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	src := []source{{pos: ix.layout.Perm.OldToNew[query], weight: 1 - ix.alpha}}
+	return ix.searchSources(src, opts)
+}
+
+// WeightedQuery is one seed node of a multi-query search.
+type WeightedQuery struct {
+	// Node is an in-database node id (original numbering).
+	Node int
+	// Weight is the node's share of the query mass; weights are used
+	// as given (callers normalize if they want unit mass).
+	Weight float64
+}
+
+// SearchMulti ranks nodes against a weighted set of in-database seed
+// nodes: the query vector q carries each seed's weight. This is the
+// in-database analogue of the out-of-sample mechanism (Section 4.6.2)
+// and serves recommendation-style workloads ("more items like these
+// three") that Section 1.1 motivates.
+func (ix *Index) SearchMulti(seeds []WeightedQuery, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("core: SearchMulti needs at least one seed")
+	}
+	n := ix.factor.N
+	sources := make([]source, len(seeds))
+	for i, s := range seeds {
+		if s.Node < 0 || s.Node >= n {
+			return nil, nil, fmt.Errorf("core: seed node %d outside [0,%d)", s.Node, n)
+		}
+		sources[i] = source{
+			pos:    ix.layout.Perm.OldToNew[s.Node],
+			weight: (1 - ix.alpha) * s.Weight,
+		}
+	}
+	return ix.searchSources(sources, opts)
+}
+
+// searchSources is the shared engine behind in-database and
+// out-of-sample queries: q' is given as a sparse list of permuted
+// positions with weights.
+func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	n := ix.factor.N
+	k := opts.K
+	if k > n {
+		k = n
+	}
+	info := &SearchInfo{}
+
+	if opts.FullSubstitution {
+		return ix.searchFull(sources, k, info)
+	}
+
+	layout := ix.layout
+	f := ix.factor
+	border := layout.Border()
+
+	// Active clusters: those holding a source, plus C_N (Lemma 4: the
+	// support of y is C_Q ∪ C_N; with multiple sources it is the union
+	// of their clusters plus C_N).
+	active := make(map[int]bool, 4)
+	for _, s := range sources {
+		active[layout.ClusterOf[s.pos]] = true
+	}
+	active[border] = true
+	activeList := make([]int, 0, len(active))
+	for c := 0; c < layout.NumClusters; c++ {
+		if active[c] {
+			activeList = append(activeList, c)
+		}
+	}
+
+	// Forward substitution restricted to active clusters (Equation 4 /
+	// Lemma 4). Column-oriented: finalize y_j, then scatter column j
+	// of L into later rows; Lemma 3 guarantees all touched rows lie in
+	// the same cluster or in C_N, both active.
+	y := make([]float64, n)
+	for _, s := range sources {
+		y[s.pos] += s.weight
+	}
+	for _, c := range activeList {
+		lo, hi := layout.ClusterRange(c)
+		for j := lo; j < hi; j++ {
+			y[j] /= f.D[j]
+			yj := y[j]
+			if yj == 0 {
+				continue
+			}
+			rows, vals := f.Col(j)
+			dj := f.D[j]
+			for t, i := range rows {
+				y[i] -= vals[t] * dj * yj
+			}
+		}
+	}
+
+	// Back substitution for C_N first (its scores feed every other
+	// cluster, Lemma 5), then the remaining active clusters.
+	x := make([]float64, n)
+	cN := layout.BorderStart()
+	ix.backSubstituteRange(x, y, cN, n)
+	info.ScoresComputed += n - cN
+	info.ClustersScanned++
+	for _, c := range activeList {
+		if c == border {
+			continue
+		}
+		lo, hi := layout.ClusterRange(c)
+		ix.backSubstituteRange(x, y, lo, hi)
+		info.ScoresComputed += hi - lo
+		info.ClustersScanned++
+	}
+
+	// Seed the top-k set with the active clusters (Algorithm 2 lines
+	// 8-16).
+	coll := topk.New(k)
+	for _, c := range activeList {
+		lo, hi := layout.ClusterRange(c)
+		for i := lo; i < hi; i++ {
+			coll.Offer(i, x[i])
+		}
+	}
+
+	// Border score magnitudes drive the X_i part of every cluster
+	// bound (Equation 9).
+	xAbsBorder := make([]float64, n-cN)
+	for i := cN; i < n; i++ {
+		xAbsBorder[i-cN] = math.Abs(x[i])
+	}
+
+	// Scan the remaining clusters, pruning with the upper bound
+	// (Algorithm 2 lines 17-30).
+	for c := 0; c < layout.NumClusters; c++ {
+		if active[c] {
+			continue
+		}
+		if !opts.DisablePruning {
+			bound := ix.bounds.clusterBound(c, layout, xAbsBorder)
+			if bound < coll.Threshold() {
+				info.ClustersPruned++
+				continue
+			}
+		}
+		lo, hi := layout.ClusterRange(c)
+		ix.backSubstituteRange(x, y, lo, hi)
+		info.ScoresComputed += hi - lo
+		info.ClustersScanned++
+		for i := lo; i < hi; i++ {
+			coll.Offer(i, x[i])
+		}
+	}
+
+	return ix.collect(coll), info, nil
+}
+
+// backSubstituteRange computes x[lo:hi] by back substitution
+// (Equation 5) assuming every x value the range depends on outside
+// [lo, hi) — i.e. the C_N block — is already computed.
+func (ix *Index) backSubstituteRange(x, y []float64, lo, hi int) {
+	f := ix.factor
+	for i := hi - 1; i >= lo; i-- {
+		rows, vals := f.Col(i)
+		s := y[i]
+		for t, j := range rows {
+			s -= vals[t] * x[j]
+		}
+		x[i] = s
+	}
+}
+
+// searchFull is the unstructured ablation: full forward and back
+// substitution over all n nodes, then a linear top-k scan.
+func (ix *Index) searchFull(sources []source, k int, info *SearchInfo) ([]Result, *SearchInfo, error) {
+	n := ix.factor.N
+	q := make([]float64, n)
+	for _, s := range sources {
+		q[s.pos] += s.weight
+	}
+	x := ix.factor.Solve(q)
+	info.ScoresComputed = n
+	info.ClustersScanned = ix.layout.NumClusters
+	coll := topk.New(k)
+	for i, v := range x {
+		coll.Offer(i, v)
+	}
+	return ix.collect(coll), info, nil
+}
+
+// collect converts a collector's content to Results in the original
+// node numbering (Algorithm 2 lines 31-33: permute answers back by P).
+func (ix *Index) collect(coll *topk.Collector) []Result {
+	items := coll.Results()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Node: ix.layout.Perm.NewToOld[it.ID], Score: it.Score}
+	}
+	return out
+}
+
+// AllScores computes the full score vector for an in-database query in
+// original node order, using unrestricted substitution. This is the
+// O(n) "compute everything" path (Lemma 1); evaluation code uses it as
+// the ranking oracle for P@k.
+func (ix *Index) AllScores(query int) ([]float64, error) {
+	n := ix.factor.N
+	if query < 0 || query >= n {
+		return nil, fmt.Errorf("core: query node %d outside [0,%d)", query, n)
+	}
+	q := make([]float64, n)
+	q[ix.layout.Perm.OldToNew[query]] = 1 - ix.alpha
+	x := ix.factor.Solve(q)
+	return ix.layout.Perm.ApplyInverse(x), nil
+}

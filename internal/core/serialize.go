@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mogul/internal/cholesky"
+	"mogul/internal/knn"
+	"mogul/internal/sparse"
+	"mogul/internal/vec"
+)
+
+// indexDisk is the stable on-disk layout of a prebuilt index. Because
+// every part of Mogul's precomputation is query independent (Lemma 2
+// discussion in the paper), serializing it turns the O(n) build into a
+// one-off: a search service can load the factor and answer queries
+// immediately.
+type indexDisk struct {
+	Version int
+	Alpha   float64
+	Exact   bool
+
+	// Graph.
+	GraphK    int
+	Sigma     float64
+	AdjRowPtr []int
+	AdjCol    []int
+	AdjVal    []float64
+	Points    [][]float64
+	PointDim  int
+	NumPoints int
+
+	// Layout.
+	NewToOld    []int
+	Start       []int
+	NumClusters int
+
+	// Factor.
+	ColPtr  []int
+	RowIdx  []int
+	Val     []float64
+	D       []float64
+	Clamped int
+}
+
+const indexDiskVersion = 1
+
+// Serialize writes the index in gob form. The feature vectors are
+// included so out-of-sample queries keep working after a load.
+func (ix *Index) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	d := indexDisk{
+		Version:     indexDiskVersion,
+		Alpha:       ix.alpha,
+		Exact:       ix.exact,
+		GraphK:      ix.graph.K,
+		Sigma:       ix.graph.Sigma,
+		AdjRowPtr:   ix.graph.Adj.RowPtr,
+		AdjCol:      ix.graph.Adj.Col,
+		AdjVal:      ix.graph.Adj.Val,
+		NumPoints:   len(ix.graph.Points),
+		NewToOld:    ix.layout.Perm.NewToOld,
+		Start:       ix.layout.Start,
+		NumClusters: ix.layout.NumClusters,
+		ColPtr:      ix.factor.ColPtr,
+		RowIdx:      ix.factor.RowIdx,
+		Val:         ix.factor.Val,
+		D:           ix.factor.D,
+		Clamped:     ix.factor.Clamped,
+	}
+	if len(ix.graph.Points) > 0 {
+		d.PointDim = len(ix.graph.Points[0])
+		d.Points = make([][]float64, len(ix.graph.Points))
+		for i, p := range ix.graph.Points {
+			d.Points[i] = p
+		}
+	}
+	if err := gob.NewEncoder(bw).Encode(&d); err != nil {
+		return fmt.Errorf("core: encoding index: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadIndex deserializes an index written by Serialize and reconstructs
+// every derived structure (cluster map, bound tables) so the result is
+// search-ready.
+func ReadIndex(r io.Reader) (*Index, error) {
+	var d indexDisk
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: decoding index: %w", err)
+	}
+	if d.Version != indexDiskVersion {
+		return nil, fmt.Errorf("core: index format version %d, want %d", d.Version, indexDiskVersion)
+	}
+	n := d.NumPoints
+	if len(d.AdjRowPtr) != n+1 {
+		return nil, fmt.Errorf("core: corrupt index: %d row pointers for %d nodes", len(d.AdjRowPtr), n)
+	}
+	adj := &sparse.CSR{RowPtr: d.AdjRowPtr, Col: d.AdjCol, Val: d.AdjVal, Rows: n, Cols: n}
+	points := make([]vec.Vector, len(d.Points))
+	for i, p := range d.Points {
+		if len(p) != d.PointDim {
+			return nil, fmt.Errorf("core: corrupt index: point %d has dim %d, want %d", i, len(p), d.PointDim)
+		}
+		points[i] = p
+	}
+	g := &knn.Graph{Adj: adj, K: d.GraphK, Sigma: d.Sigma, Points: points}
+
+	perm, err := sparse.NewPermutation(d.NewToOld)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt index permutation: %w", err)
+	}
+	if d.NumClusters < 1 || len(d.Start) != d.NumClusters+1 || d.Start[0] != 0 || d.Start[d.NumClusters] != n {
+		return nil, fmt.Errorf("core: corrupt index layout")
+	}
+	layout := &Layout{
+		Perm:        perm,
+		Start:       d.Start,
+		ClusterOf:   make([]int, n),
+		NumClusters: d.NumClusters,
+	}
+	for c := 0; c < d.NumClusters; c++ {
+		if d.Start[c] > d.Start[c+1] {
+			return nil, fmt.Errorf("core: corrupt index layout: cluster %d has negative size", c)
+		}
+		for p := d.Start[c]; p < d.Start[c+1]; p++ {
+			layout.ClusterOf[p] = c
+		}
+	}
+
+	if len(d.ColPtr) != n+1 || len(d.D) != n {
+		return nil, fmt.Errorf("core: corrupt index factor")
+	}
+	factor := &cholesky.Factor{
+		N:       n,
+		ColPtr:  d.ColPtr,
+		RowIdx:  d.RowIdx,
+		Val:     d.Val,
+		D:       d.D,
+		Clamped: d.Clamped,
+	}
+
+	ix := &Index{
+		graph:  g,
+		alpha:  d.Alpha,
+		exact:  d.Exact,
+		layout: layout,
+		factor: factor,
+	}
+	ix.bounds = buildBoundTables(factor, layout)
+	ix.stats = Stats{
+		NumNodes:      n,
+		NumEdges:      adj.NNZ() / 2,
+		NumClusters:   d.NumClusters,
+		BorderSize:    layout.Size(layout.Border()),
+		FactorNNZ:     factor.NNZ(),
+		ClampedPivots: d.Clamped,
+	}
+	return ix, nil
+}

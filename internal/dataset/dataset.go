@@ -1,0 +1,386 @@
+// Package dataset generates the synthetic stand-ins for the four image
+// datasets of the paper's evaluation (Section 5). The real corpora
+// (COIL-100 images, PubFig face attributes, NUS-WIDE color moments,
+// INRIA SIFT descriptors) are not redistributable here, so each
+// generator reproduces the *structure* that the corresponding dataset
+// contributes to the experiments:
+//
+//   - COILSim: many small, well-separated closed pose manifolds
+//     (100 objects x 72 poses on a ring) — the regime where Manifold
+//     Ranking shines and retrieval precision is measured against
+//     object identity.
+//   - PubFigSim: moderate-dimensional semantic attributes with
+//     strongly unbalanced class sizes — the regime where FMR's
+//     balanced spectral cut degrades.
+//   - NUSWideSim: large, noisy, overlapping clusters with heavy-tailed
+//     sizes (web images).
+//   - INRIASim: the largest-n regime with high-dimensional
+//     SIFT-like descriptors.
+//
+// All generators are deterministic given a seed. DESIGN.md Section 4
+// records the substitution rationale.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mogul/internal/vec"
+)
+
+// COILConfig parameterizes the COIL-100 stand-in.
+type COILConfig struct {
+	// Objects is the number of distinct objects (classes); the real
+	// dataset has 100.
+	Objects int
+	// Poses is the number of viewpoints per object; the real dataset
+	// has 72 (5-degree steps on a turntable).
+	Poses int
+	// Dim is the feature dimensionality. The real dataset uses 3,048
+	// raw RGB dimensions; the default 64 keeps distances meaningful
+	// and computation fast while preserving the manifold structure.
+	Dim int
+	// Harmonics is the number of Fourier harmonics of the pose ring
+	// embedding (default 3): higher values give wigglier manifolds.
+	Harmonics int
+	// Noise is the isotropic feature noise level (default 0.02).
+	Noise float64
+	// Separation scales the distance between object centers
+	// (default 1.0).
+	Separation float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *COILConfig) withDefaults() COILConfig {
+	out := *c
+	if out.Objects <= 0 {
+		out.Objects = 100
+	}
+	if out.Poses <= 0 {
+		out.Poses = 72
+	}
+	if out.Dim <= 0 {
+		out.Dim = 64
+	}
+	if out.Harmonics <= 0 {
+		out.Harmonics = 3
+	}
+	if out.Noise < 0 {
+		out.Noise = 0
+	} else if out.Noise == 0 {
+		out.Noise = 0.02
+	}
+	if out.Separation <= 0 {
+		out.Separation = 1
+	}
+	return out
+}
+
+// COILSim generates the COIL-100 stand-in: each object is a closed
+// one-dimensional manifold — a random smooth ring embedding in feature
+// space — sampled at Poses equally spaced angles, plus noise. Labels
+// are object ids.
+func COILSim(cfg COILConfig) *vec.Dataset {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	n := c.Objects * c.Poses
+	ds := &vec.Dataset{
+		Points: make([]vec.Vector, 0, n),
+		Labels: make([]int, 0, n),
+		Name:   fmt.Sprintf("COIL-sim(n=%d,d=%d)", n, c.Dim),
+	}
+	for obj := 0; obj < c.Objects; obj++ {
+		center := make(vec.Vector, c.Dim)
+		for j := range center {
+			center[j] = rng.NormFloat64() * c.Separation
+		}
+		// Random Fourier coefficients define the ring embedding
+		// x(theta) = center + sum_h a_h cos(h theta) + b_h sin(h theta);
+		// amplitudes decay with the harmonic index so the manifold is
+		// smooth, and the fundamental is large enough that adjacent
+		// poses are nearest neighbours.
+		cosCoef := make([]vec.Vector, c.Harmonics)
+		sinCoef := make([]vec.Vector, c.Harmonics)
+		for h := 0; h < c.Harmonics; h++ {
+			amp := 0.35 / float64(h+1)
+			cosCoef[h] = make(vec.Vector, c.Dim)
+			sinCoef[h] = make(vec.Vector, c.Dim)
+			for j := 0; j < c.Dim; j++ {
+				cosCoef[h][j] = rng.NormFloat64() * amp / math.Sqrt(float64(c.Dim))
+				sinCoef[h][j] = rng.NormFloat64() * amp / math.Sqrt(float64(c.Dim))
+			}
+		}
+		for p := 0; p < c.Poses; p++ {
+			theta := 2 * math.Pi * float64(p) / float64(c.Poses)
+			x := center.Clone()
+			for h := 0; h < c.Harmonics; h++ {
+				ct := math.Cos(float64(h+1) * theta)
+				st := math.Sin(float64(h+1) * theta)
+				for j := 0; j < c.Dim; j++ {
+					x[j] += cosCoef[h][j]*ct + sinCoef[h][j]*st
+				}
+			}
+			for j := 0; j < c.Dim; j++ {
+				x[j] += rng.NormFloat64() * c.Noise
+			}
+			ds.Points = append(ds.Points, x)
+			ds.Labels = append(ds.Labels, obj)
+		}
+	}
+	return ds
+}
+
+// MixtureConfig parameterizes the Gaussian-mixture generators shared
+// by the PubFig / NUS-WIDE / INRIA stand-ins.
+type MixtureConfig struct {
+	// N is the total number of points.
+	N int
+	// Classes is the number of mixture components (semantic classes).
+	Classes int
+	// Dim is the feature dimensionality.
+	Dim int
+	// ZipfExponent shapes the class-size distribution: 0 gives equal
+	// sizes; larger values make sizes heavy-tailed/unbalanced.
+	ZipfExponent float64
+	// WithinStd is the within-class standard deviation along each of
+	// the class's intrinsic directions.
+	WithinStd float64
+	// NoiseStd is isotropic ambient noise added on top.
+	NoiseStd float64
+	// IntrinsicDim is the number of directions a class varies along
+	// (low intrinsic dimensionality is what makes the data a manifold
+	// mixture); default min(8, Dim).
+	IntrinsicDim int
+	// Separation scales the distance between class centers.
+	Separation float64
+	// Seed drives all randomness.
+	Seed int64
+	// Name labels the dataset in reports.
+	Name string
+}
+
+func (c *MixtureConfig) withDefaults() MixtureConfig {
+	out := *c
+	if out.N <= 0 {
+		out.N = 1000
+	}
+	if out.Classes <= 0 {
+		out.Classes = 10
+	}
+	if out.Dim <= 0 {
+		out.Dim = 32
+	}
+	if out.WithinStd <= 0 {
+		out.WithinStd = 0.25
+	}
+	if out.NoiseStd < 0 {
+		out.NoiseStd = 0
+	}
+	if out.IntrinsicDim <= 0 {
+		out.IntrinsicDim = 8
+	}
+	if out.IntrinsicDim > out.Dim {
+		out.IntrinsicDim = out.Dim
+	}
+	if out.Separation <= 0 {
+		out.Separation = 1
+	}
+	if out.Name == "" {
+		out.Name = "mixture"
+	}
+	return out
+}
+
+// zipfSizes splits n into k parts with sizes proportional to
+// 1/rank^exponent (>= 1 each).
+func zipfSizes(n, k int, exponent float64) []int {
+	if k > n {
+		k = n
+	}
+	weights := make([]float64, k)
+	var total float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), exponent)
+		total += weights[i]
+	}
+	sizes := make([]int, k)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(n) * weights[i] / total)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		assigned += sizes[i]
+	}
+	// Distribute rounding surplus to the largest class; when the
+	// 1-minimum overshot n (many tiny classes), shave the largest
+	// classes down until the total is exactly n.
+	if assigned < n {
+		sizes[0] += n - assigned
+	}
+	for assigned > n {
+		largest := 0
+		for i, s := range sizes {
+			if s > sizes[largest] {
+				largest = i
+			}
+		}
+		if sizes[largest] == 1 {
+			break // k == n: every class already minimal
+		}
+		sizes[largest]--
+		assigned--
+	}
+	return sizes
+}
+
+// Mixture generates a low-intrinsic-dimension Gaussian mixture with
+// Zipf-distributed class sizes: the common skeleton of the PubFig /
+// NUS-WIDE / INRIA stand-ins.
+func Mixture(cfg MixtureConfig) *vec.Dataset {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	sizes := zipfSizes(c.N, c.Classes, c.ZipfExponent)
+	ds := &vec.Dataset{
+		Points: make([]vec.Vector, 0, c.N),
+		Labels: make([]int, 0, c.N),
+		Name:   c.Name,
+	}
+	for class, size := range sizes {
+		center := make(vec.Vector, c.Dim)
+		for j := range center {
+			center[j] = rng.NormFloat64() * c.Separation
+		}
+		// Random intrinsic directions (not orthonormalized: slight
+		// correlation between directions is realistic and harmless).
+		basis := make([]vec.Vector, c.IntrinsicDim)
+		for b := range basis {
+			basis[b] = make(vec.Vector, c.Dim)
+			for j := range basis[b] {
+				basis[b][j] = rng.NormFloat64() / math.Sqrt(float64(c.Dim))
+			}
+		}
+		for p := 0; p < size; p++ {
+			x := center.Clone()
+			for _, dir := range basis {
+				coef := rng.NormFloat64() * c.WithinStd
+				for j := range x {
+					x[j] += coef * dir[j]
+				}
+			}
+			if c.NoiseStd > 0 {
+				for j := range x {
+					x[j] += rng.NormFloat64() * c.NoiseStd
+				}
+			}
+			ds.Points = append(ds.Points, x)
+			ds.Labels = append(ds.Labels, class)
+		}
+	}
+	return ds
+}
+
+// PubFigSim generates the PubFig stand-in: 73-dimensional
+// attribute-like features, moderately many classes (people) with
+// unbalanced frequencies (celebrities differ wildly in photo counts).
+func PubFigSim(n int, seed int64) *vec.Dataset {
+	classes := 200
+	if n < classes {
+		classes = n/4 + 1
+	}
+	return Mixture(MixtureConfig{
+		N:            n,
+		Classes:      classes,
+		Dim:          73,
+		ZipfExponent: 0.9,
+		WithinStd:    0.22,
+		NoiseStd:     0.05,
+		IntrinsicDim: 6,
+		Separation:   0.9,
+		Seed:         seed,
+		Name:         fmt.Sprintf("PubFig-sim(n=%d,d=73)", n),
+	})
+}
+
+// NUSWideSim generates the NUS-WIDE stand-in: 150-dimensional color
+// moments, fewer but larger and noisier clusters with overlapping
+// support.
+func NUSWideSim(n int, seed int64) *vec.Dataset {
+	classes := 81 // NUS-WIDE has 81 concept tags
+	if n < classes {
+		classes = n/4 + 1
+	}
+	return Mixture(MixtureConfig{
+		N:            n,
+		Classes:      classes,
+		Dim:          150,
+		ZipfExponent: 1.1,
+		WithinStd:    0.3,
+		NoiseStd:     0.1,
+		IntrinsicDim: 10,
+		Separation:   0.8,
+		Seed:         seed,
+		Name:         fmt.Sprintf("NUS-sim(n=%d,d=150)", n),
+	})
+}
+
+// INRIASim generates the INRIA stand-in: 128-dimensional SIFT-like
+// descriptors, the paper's largest corpus; many clusters with
+// heavy-tailed sizes and substantial noise.
+func INRIASim(n int, seed int64) *vec.Dataset {
+	classes := 256
+	if n < classes {
+		classes = n/4 + 1
+	}
+	return Mixture(MixtureConfig{
+		N:            n,
+		Classes:      classes,
+		Dim:          128,
+		ZipfExponent: 1.2,
+		WithinStd:    0.28,
+		NoiseStd:     0.08,
+		IntrinsicDim: 8,
+		Separation:   0.75,
+		Seed:         seed,
+		Name:         fmt.Sprintf("INRIA-sim(n=%d,d=128)", n),
+	})
+}
+
+// HoldOut splits a dataset into an in-database part and held-out query
+// points for out-of-sample experiments (Section 5.2.3). fraction is
+// the held-out share in (0, 1); at least one point stays on each side.
+func HoldOut(ds *vec.Dataset, fraction float64, seed int64) (in *vec.Dataset, outPoints []vec.Vector, outLabels []int, err error) {
+	n := ds.Len()
+	if n < 2 {
+		return nil, nil, nil, fmt.Errorf("dataset: need at least 2 points to hold out, got %d", n)
+	}
+	if fraction <= 0 || fraction >= 1 {
+		return nil, nil, nil, fmt.Errorf("dataset: fraction must lie in (0,1), got %g", fraction)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	hold := int(float64(n) * fraction)
+	if hold < 1 {
+		hold = 1
+	}
+	if hold >= n {
+		hold = n - 1
+	}
+	in = &vec.Dataset{Name: ds.Name + "/in"}
+	for i, idx := range perm {
+		if i < hold {
+			outPoints = append(outPoints, ds.Points[idx])
+			if ds.Labels != nil {
+				outLabels = append(outLabels, ds.Labels[idx])
+			}
+		} else {
+			in.Points = append(in.Points, ds.Points[idx])
+			if ds.Labels != nil {
+				in.Labels = append(in.Labels, ds.Labels[idx])
+			}
+		}
+	}
+	return in, outPoints, outLabels, nil
+}

@@ -1,0 +1,207 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"mogul/internal/knn"
+	"mogul/internal/vec"
+)
+
+func TestCOILSimStructure(t *testing.T) {
+	ds := COILSim(COILConfig{Objects: 10, Poses: 24, Dim: 16, Seed: 1})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 240 || ds.Dim() != 16 {
+		t.Fatalf("n=%d dim=%d", ds.Len(), ds.Dim())
+	}
+	// Labels: 24 consecutive points per object.
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Labels[i] != i/24 {
+			t.Fatalf("label[%d] = %d", i, ds.Labels[i])
+		}
+	}
+	// Pose manifold: adjacent poses of the same object must be much
+	// closer than points of different objects on average.
+	var within, across float64
+	var wc, ac int
+	for obj := 0; obj < 10; obj++ {
+		base := obj * 24
+		for p := 0; p < 24; p++ {
+			within += math.Sqrt(vec.SquaredEuclidean(ds.Points[base+p], ds.Points[base+(p+1)%24]))
+			wc++
+		}
+		other := ((obj + 1) % 10) * 24
+		across += math.Sqrt(vec.SquaredEuclidean(ds.Points[base], ds.Points[other]))
+		ac++
+	}
+	if within/float64(wc) >= across/float64(ac) {
+		t.Fatalf("pose neighbours (%g) not closer than cross-object (%g)",
+			within/float64(wc), across/float64(ac))
+	}
+}
+
+func TestCOILSimDeterminism(t *testing.T) {
+	a := COILSim(COILConfig{Objects: 3, Poses: 8, Dim: 8, Seed: 7})
+	b := COILSim(COILConfig{Objects: 3, Poses: 8, Dim: 8, Seed: 7})
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c := COILSim(COILConfig{Objects: 3, Poses: 8, Dim: 8, Seed: 8})
+	same := true
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != c.Points[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestMixtureDefaults(t *testing.T) {
+	ds := Mixture(MixtureConfig{Seed: 1})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1000 {
+		t.Fatalf("default N = %d", ds.Len())
+	}
+}
+
+func TestZipfSizes(t *testing.T) {
+	sizes := zipfSizes(100, 5, 1.0)
+	total := 0
+	for i, s := range sizes {
+		if s < 1 {
+			t.Fatalf("size[%d] = %d", i, s)
+		}
+		total += s
+	}
+	if total != 100 {
+		t.Fatalf("sizes sum to %d", total)
+	}
+	// Exponent > 0 makes the first class strictly largest.
+	if sizes[0] <= sizes[4] {
+		t.Fatalf("zipf sizes not decreasing: %v", sizes)
+	}
+	// Exponent 0 gives near-equal sizes.
+	flat := zipfSizes(100, 5, 0)
+	for _, s := range flat {
+		if s < 18 || s > 22 {
+			t.Fatalf("flat sizes uneven: %v", flat)
+		}
+	}
+	// k > n clamps.
+	tiny := zipfSizes(3, 10, 1)
+	sum := 0
+	for _, s := range tiny {
+		sum += s
+	}
+	if sum != 3 {
+		t.Fatalf("clamped sizes sum to %d", sum)
+	}
+}
+
+func TestNamedGenerators(t *testing.T) {
+	cases := map[string]*vec.Dataset{
+		"pubfig": PubFigSim(500, 1),
+		"nus":    NUSWideSim(500, 2),
+		"inria":  INRIASim(500, 3),
+	}
+	wantDim := map[string]int{"pubfig": 73, "nus": 150, "inria": 128}
+	for name, ds := range cases {
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Len() != 500 {
+			t.Fatalf("%s: n = %d", name, ds.Len())
+		}
+		if ds.Dim() != wantDim[name] {
+			t.Fatalf("%s: dim = %d, want %d", name, ds.Dim(), wantDim[name])
+		}
+		// Unbalanced class sizes: largest class well above the mean.
+		counts := map[int]int{}
+		for _, l := range ds.Labels {
+			counts[l]++
+		}
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		mean := float64(ds.Len()) / float64(len(counts))
+		if float64(maxC) < 1.5*mean {
+			t.Fatalf("%s: classes look balanced (max %d, mean %.1f)", name, maxC, mean)
+		}
+	}
+}
+
+func TestMixtureRetrievalSignal(t *testing.T) {
+	// Integration: a k-NN graph over a generated mixture must connect
+	// mostly same-label nodes, otherwise the retrieval experiments
+	// have no signal to measure.
+	ds := Mixture(MixtureConfig{N: 400, Classes: 8, Dim: 16, WithinStd: 0.2, Separation: 2, Seed: 5})
+	g, err := knn.BuildGraph(ds.Points, knn.GraphConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, total := 0, 0
+	for i := 0; i < g.Len(); i++ {
+		cols, _ := g.Neighbors(i)
+		for _, j := range cols {
+			total++
+			if ds.Labels[i] == ds.Labels[j] {
+				same++
+			}
+		}
+	}
+	if frac := float64(same) / float64(total); frac < 0.9 {
+		t.Fatalf("only %.2f of graph edges are within-class", frac)
+	}
+}
+
+func TestHoldOut(t *testing.T) {
+	ds := Mixture(MixtureConfig{N: 100, Classes: 4, Dim: 8, Seed: 6})
+	in, queries, labels, err := HoldOut(ds, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 20 || in.Len() != 80 {
+		t.Fatalf("split %d/%d", len(queries), in.Len())
+	}
+	if len(labels) != len(queries) {
+		t.Fatalf("labels %d for %d queries", len(labels), len(queries))
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if _, _, _, err := HoldOut(ds, 0, 1); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+	if _, _, _, err := HoldOut(ds, 1, 1); err == nil {
+		t.Fatal("fraction 1 accepted")
+	}
+	tiny := &vec.Dataset{Points: []vec.Vector{{1}}}
+	if _, _, _, err := HoldOut(tiny, 0.5, 1); err == nil {
+		t.Fatal("single-point dataset accepted")
+	}
+	// Unlabelled datasets work too.
+	unlabelled := &vec.Dataset{Points: ds.Points, Name: "u"}
+	_, q2, l2, err := HoldOut(unlabelled, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2) == 0 || l2 != nil {
+		t.Fatalf("unlabelled holdout: %d queries, labels %v", len(q2), l2)
+	}
+}

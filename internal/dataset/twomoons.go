@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mogul/internal/vec"
+)
+
+// TwoMoonsConfig parameterizes the two-moons generator.
+type TwoMoonsConfig struct {
+	// N is the total number of points (split evenly between moons).
+	N int
+	// Noise is the isotropic noise level (default 0.08).
+	Noise float64
+	// Gap shifts the moons apart vertically; 0 gives the classic
+	// interlocking pattern.
+	Gap float64
+	// Dim pads the 2-D pattern with zero-mean noise dimensions
+	// (default 2, i.e. the plain pattern).
+	Dim int
+	// Seed drives the randomness.
+	Seed int64
+}
+
+// TwoMoons generates the interlocking half-circles pattern from Zhou
+// et al.'s original Manifold Ranking papers ([25, 26] in the paper's
+// references) — the canonical illustration of why ranking must follow
+// the manifold: the two classes interleave in Euclidean space, so
+// nearest-neighbour retrieval crosses moons while diffusion along the
+// k-NN graph stays on the query's moon. Labels are 0 (upper moon) and
+// 1 (lower moon).
+func TwoMoons(cfg TwoMoonsConfig) *vec.Dataset {
+	n := cfg.N
+	if n <= 0 {
+		n = 400
+	}
+	noise := cfg.Noise
+	if noise == 0 {
+		noise = 0.08
+	}
+	dim := cfg.Dim
+	if dim < 2 {
+		dim = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &vec.Dataset{
+		Points: make([]vec.Vector, 0, n),
+		Labels: make([]int, 0, n),
+		Name:   fmt.Sprintf("two-moons(n=%d)", n),
+	}
+	half := n / 2
+	for i := 0; i < n; i++ {
+		p := make(vec.Vector, dim)
+		if i < half {
+			// Upper moon: half circle from 0 to pi.
+			theta := math.Pi * float64(i) / float64(half)
+			p[0] = math.Cos(theta)
+			p[1] = math.Sin(theta) + cfg.Gap/2
+			ds.Labels = append(ds.Labels, 0)
+		} else {
+			// Lower moon: shifted half circle from pi to 2pi.
+			theta := math.Pi * float64(i-half) / float64(n-half)
+			p[0] = 1 - math.Cos(theta)
+			p[1] = 0.5 - math.Sin(theta) - cfg.Gap/2
+			ds.Labels = append(ds.Labels, 1)
+		}
+		for j := 0; j < dim; j++ {
+			p[j] += rng.NormFloat64() * noise
+		}
+		ds.Points = append(ds.Points, p)
+	}
+	return ds
+}

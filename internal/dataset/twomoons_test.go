@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"testing"
+
+	"mogul/internal/knn"
+)
+
+func TestTwoMoonsShape(t *testing.T) {
+	ds := TwoMoons(TwoMoonsConfig{N: 300, Seed: 1})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 300 || ds.Dim() != 2 {
+		t.Fatalf("n=%d dim=%d", ds.Len(), ds.Dim())
+	}
+	zero, one := 0, 0
+	for _, l := range ds.Labels {
+		switch l {
+		case 0:
+			zero++
+		case 1:
+			one++
+		default:
+			t.Fatalf("unexpected label %d", l)
+		}
+	}
+	if zero != 150 || one != 150 {
+		t.Fatalf("moon sizes %d/%d", zero, one)
+	}
+}
+
+func TestTwoMoonsDefaultsAndPadding(t *testing.T) {
+	ds := TwoMoons(TwoMoonsConfig{Seed: 2, Dim: 5})
+	if ds.Len() != 400 || ds.Dim() != 5 {
+		t.Fatalf("defaults: n=%d dim=%d", ds.Len(), ds.Dim())
+	}
+}
+
+func TestTwoMoonsManifoldSignal(t *testing.T) {
+	// The classic property: with modest noise the k-NN graph keeps the
+	// moons mostly separate, so manifold-following retrieval works
+	// where raw distance does not.
+	ds := TwoMoons(TwoMoonsConfig{N: 400, Noise: 0.06, Seed: 3})
+	g, err := knn.BuildGraph(ds.Points, knn.GraphConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, total := 0, 0
+	for i := 0; i < g.Len(); i++ {
+		cols, _ := g.Neighbors(i)
+		for _, j := range cols {
+			total++
+			if ds.Labels[i] == ds.Labels[j] {
+				same++
+			}
+		}
+	}
+	if frac := float64(same) / float64(total); frac < 0.95 {
+		t.Fatalf("within-moon edge fraction %.3f below 0.95", frac)
+	}
+}
+
+func TestTwoMoonsDeterminism(t *testing.T) {
+	a := TwoMoons(TwoMoonsConfig{N: 50, Seed: 9})
+	b := TwoMoons(TwoMoonsConfig{N: 50, Seed: 9})
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("same seed differs")
+			}
+		}
+	}
+}

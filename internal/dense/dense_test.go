@@ -1,0 +1,292 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 4, 4)
+	got := a.Mul(Identity(4))
+	for i := range a.Data {
+		if math.Abs(got.Data[i]-a.Data[i]) > 1e-14 {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+}
+
+func TestMulAgainstManual(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("C[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("Transpose wrong: %+v", at)
+	}
+}
+
+func TestLUSolveProperty(t *testing.T) {
+	// Property: for random well-conditioned A and b, A*Solve(b) == b.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randomMatrix(rng, n, n)
+		// Diagonal dominance for conditioning.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+2)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+2)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod.At(i, j)-want) > 1e-8 {
+					t.Fatalf("A*A^-1 at (%d,%d) = %g", i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSingularRejected(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err == nil {
+		t.Fatal("singular matrix factorized")
+	}
+	if _, err := Factorize(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square matrix factorized")
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{2, 0}, {0, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-6) > 1e-12 {
+		t.Fatalf("det = %g, want 6", f.Det())
+	}
+	// Row swap flips sign bookkeeping but not the determinant value.
+	b := NewMatrixFrom([][]float64{{0, 1}, {1, 0}})
+	fb, err := Factorize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fb.Det()+1) > 1e-12 {
+		t.Fatalf("det(swap) = %g, want -1", fb.Det())
+	}
+}
+
+func TestEigSymSmall(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{2, 1}, {1, 2}})
+	w, v, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-1) > 1e-9 || math.Abs(w[1]-3) > 1e-9 {
+		t.Fatalf("eigenvalues = %v, want [1 3]", w)
+	}
+	// Columns orthonormal.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var dot float64
+			for r := 0; r < 2; r++ {
+				dot += v.At(r, i) * v.At(r, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("V^T V at (%d,%d) = %g", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestEigSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(10)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		w, v, err := EigSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check A v_k = w_k v_k for each eigenpair.
+		for k := 0; k < n; k++ {
+			col := make([]float64, n)
+			for r := 0; r < n; r++ {
+				col[r] = v.At(r, k)
+			}
+			av := a.MulVec(col)
+			for r := 0; r < n; r++ {
+				if math.Abs(av[r]-w[k]*col[r]) > 1e-7 {
+					t.Fatalf("trial %d: eigenpair %d residual %g", trial, k, av[r]-w[k]*col[r])
+				}
+			}
+		}
+		// Ascending order.
+		for k := 1; k < n; k++ {
+			if w[k] < w[k-1]-1e-12 {
+				t.Fatalf("eigenvalues not ascending: %v", w)
+			}
+		}
+	}
+}
+
+func TestEigSymRejectsAsymmetric(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigSym(a); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if _, _, err := EigSym(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.Intn(8)
+		n := 2 + rng.Intn(8)
+		a := randomMatrix(rng, m, n)
+		svd, err := ComputeSVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct A = U S V^T.
+		r := len(svd.S)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < r; k++ {
+					s += svd.U.At(i, k) * svd.S[k] * svd.V.At(j, k)
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-8 {
+					t.Fatalf("trial %d (%dx%d): reconstruction at (%d,%d): %g vs %g",
+						trial, m, n, i, j, s, a.At(i, j))
+				}
+			}
+		}
+		// Singular values descending and non-negative.
+		for k := 1; k < r; k++ {
+			if svd.S[k] > svd.S[k-1]+1e-12 || svd.S[k] < 0 {
+				t.Fatalf("singular values not sorted: %v", svd.S)
+			}
+		}
+	}
+}
+
+func TestSVDTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomMatrix(rng, 6, 4)
+	svd, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, s, v := svd.Truncate(2)
+	if u.Cols != 2 || len(s) != 2 || v.Cols != 2 {
+		t.Fatalf("Truncate(2) shapes: U %dx%d, S %d, V %dx%d", u.Rows, u.Cols, len(s), v.Rows, v.Cols)
+	}
+	// Clamp beyond rank.
+	u, s, _ = svd.Truncate(100)
+	if u.Cols != len(svd.S) || len(s) != len(svd.S) {
+		t.Fatal("Truncate beyond rank did not clamp")
+	}
+	if _, s, _ := svd.Truncate(-1); len(s) != 0 {
+		t.Fatal("negative rank did not clamp to 0")
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value must be ~0.
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	svd, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svd.S[1] > 1e-10 {
+		t.Fatalf("rank-1 matrix has sigma_2 = %g", svd.S[1])
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	if _, err := ComputeSVD(NewMatrix(0, 3)); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}

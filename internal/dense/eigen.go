@@ -1,0 +1,110 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigSym computes the full eigendecomposition of a symmetric matrix
+// using the cyclic Jacobi rotation method: A = V diag(w) V^T with
+// orthonormal columns of V. Eigenvalues are returned in ascending
+// order. The FMR baseline uses this for spectral clustering (the
+// smallest eigenvectors of the normalized Laplacian).
+//
+// Jacobi is O(n^3) per sweep but unconditionally stable and simple,
+// which is the right trade-off for the baseline sizes used here.
+func EigSym(a *Matrix) (w []float64, v *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("dense: EigSym of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Verify symmetry up to a scaled tolerance so silent mistakes in
+	// callers surface here rather than as garbage eigenvectors.
+	var maxAbs float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := math.Abs(a.At(i, j)); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	tol := 1e-9 * (1 + maxAbs)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol {
+				return nil, nil, fmt.Errorf("dense: EigSym input not symmetric at (%d,%d): %g vs %g", i, j, a.At(i, j), a.At(j, i))
+			}
+		}
+	}
+
+	m := a.Clone()
+	vec := Identity(n)
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm decides convergence.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if math.Sqrt(2*off) <= 1e-12*(1+maxAbs)*float64(n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation J(p, q, theta) on both sides.
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := vec.At(k, p), vec.At(k, q)
+					vec.Set(k, p, c*vkp-s*vkq)
+					vec.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract eigenvalues and sort ascending with their vectors.
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m.At(i, i)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return w[idx[i]] < w[idx[j]] })
+	sortedW := make([]float64, n)
+	sortedV := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedW[newCol] = w[oldCol]
+		for r := 0; r < n; r++ {
+			sortedV.Set(r, newCol, vec.At(r, oldCol))
+		}
+	}
+	return sortedW, sortedV, nil
+}

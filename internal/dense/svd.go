@@ -1,0 +1,144 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U diag(S) V^T with
+// U of size m x r, S of length r, and V of size n x r, where
+// r = min(m, n). Singular values are in descending order.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// ComputeSVD computes a thin SVD with the one-sided Jacobi method:
+// columns of a working copy of A are orthogonalized by plane rotations;
+// the resulting column norms are the singular values. One-sided Jacobi
+// is slow (O(m n^2) per sweep) but accurate and entirely stdlib, which
+// matches this repository's constraints. The FMR baseline uses it for
+// the per-block low-rank approximation of the adjacency matrix.
+func ComputeSVD(a *Matrix) (*SVD, error) {
+	m, n := a.Rows, a.Cols
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("dense: SVD of empty %dx%d matrix", m, n)
+	}
+	// One-sided Jacobi wants m >= n; transpose if needed and swap U/V.
+	if m < n {
+		s, err := ComputeSVD(a.Transpose())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: s.V, S: s.S, V: s.U}, nil
+	}
+
+	w := a.Clone()
+	v := Identity(n)
+	var frob float64
+	for _, x := range w.Data {
+		frob += x * x
+	}
+	eps := 1e-14 * (1 + frob)
+
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Compute the 2x2 Gram block of columns p and q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					cp, cq := w.At(i, p), w.At(i, q)
+					app += cp * cp
+					aqq += cq * cq
+					apq += cp * cq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq)+1e-300 {
+					continue
+				}
+				rotated = true
+				// Jacobi rotation that zeroes the Gram off-diagonal.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				for i := 0; i < m; i++ {
+					cp, cq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*cp-s*cq)
+					w.Set(i, q, s*cp+c*cq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Column norms are singular values; normalized columns form U.
+	sv := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += w.At(i, j) * w.At(i, j)
+		}
+		sv[j] = math.Sqrt(s)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return sv[idx[i]] > sv[idx[j]] })
+
+	u := NewMatrix(m, n)
+	vOut := NewMatrix(n, n)
+	sOut := make([]float64, n)
+	for newCol, oldCol := range idx {
+		sOut[newCol] = sv[oldCol]
+		if sv[oldCol] > 0 {
+			inv := 1 / sv[oldCol]
+			for i := 0; i < m; i++ {
+				u.Set(i, newCol, w.At(i, oldCol)*inv)
+			}
+		}
+		for i := 0; i < n; i++ {
+			vOut.Set(i, newCol, v.At(i, oldCol))
+		}
+	}
+	return &SVD{U: u, S: sOut, V: vOut}, nil
+}
+
+// Truncate returns the rank-r approximation factors (U_r, S_r, V_r)
+// keeping the r largest singular triplets. r is clamped to the
+// available rank.
+func (s *SVD) Truncate(r int) (*Matrix, []float64, *Matrix) {
+	if r > len(s.S) {
+		r = len(s.S)
+	}
+	if r < 0 {
+		r = 0
+	}
+	u := NewMatrix(s.U.Rows, r)
+	v := NewMatrix(s.V.Rows, r)
+	for j := 0; j < r; j++ {
+		for i := 0; i < s.U.Rows; i++ {
+			u.Set(i, j, s.U.At(i, j))
+		}
+		for i := 0; i < s.V.Rows; i++ {
+			v.Set(i, j, s.V.At(i, j))
+		}
+	}
+	return u, append([]float64(nil), s.S[:r]...), v
+}

@@ -1,0 +1,167 @@
+// Package diskio persists datasets so the command-line tools can hand
+// data to each other: a compact gob container for full datasets and a
+// plain CSV reader/writer for interoperability (one row per point,
+// optional integer label in the last column when headers mark it).
+package diskio
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mogul/internal/vec"
+)
+
+// gobDataset is the on-disk gob layout; kept separate from
+// vec.Dataset so the disk format is stable even if the in-memory type
+// grows fields.
+type gobDataset struct {
+	Name   string
+	Dim    int
+	Points [][]float64
+	Labels []int
+}
+
+// SaveGob writes a dataset to path in gob format.
+func SaveGob(path string, ds *vec.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("diskio: refusing to save invalid dataset: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := gob.NewEncoder(w)
+	g := gobDataset{Name: ds.Name, Dim: ds.Dim(), Labels: ds.Labels}
+	g.Points = make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		g.Points[i] = p
+	}
+	if err := enc.Encode(&g); err != nil {
+		return fmt.Errorf("diskio: encoding %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadGob reads a dataset written by SaveGob.
+func LoadGob(path string) (*vec.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var g gobDataset
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&g); err != nil {
+		return nil, fmt.Errorf("diskio: decoding %s: %w", path, err)
+	}
+	ds := &vec.Dataset{Name: g.Name, Labels: g.Labels}
+	ds.Points = make([]vec.Vector, len(g.Points))
+	for i, p := range g.Points {
+		ds.Points[i] = p
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("diskio: %s holds invalid dataset: %w", path, err)
+	}
+	return ds, nil
+}
+
+// SaveCSV writes the dataset as CSV: feature columns f0..f{d-1} plus a
+// trailing "label" column when labels exist.
+func SaveCSV(w io.Writer, ds *vec.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("diskio: refusing to save invalid dataset: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	dim := ds.Dim()
+	for j := 0; j < dim; j++ {
+		if j > 0 {
+			fmt.Fprint(bw, ",")
+		}
+		fmt.Fprintf(bw, "f%d", j)
+	}
+	if ds.Labels != nil {
+		fmt.Fprint(bw, ",label")
+	}
+	fmt.Fprintln(bw)
+	for i, p := range ds.Points {
+		for j, x := range p {
+			if j > 0 {
+				fmt.Fprint(bw, ",")
+			}
+			fmt.Fprintf(bw, "%g", x)
+		}
+		if ds.Labels != nil {
+			fmt.Fprintf(bw, ",%d", ds.Labels[i])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// LoadCSV reads a dataset from CSV. A header row is required; a final
+// column named "label" (case insensitive) becomes integer labels, all
+// other columns must be numeric features.
+func LoadCSV(r io.Reader, name string) (*vec.Dataset, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !scanner.Scan() {
+		return nil, fmt.Errorf("diskio: empty CSV input")
+	}
+	header := strings.Split(scanner.Text(), ",")
+	hasLabel := len(header) > 0 && strings.EqualFold(strings.TrimSpace(header[len(header)-1]), "label")
+	dim := len(header)
+	if hasLabel {
+		dim--
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("diskio: CSV has no feature columns")
+	}
+	ds := &vec.Dataset{Name: name}
+	if hasLabel {
+		ds.Labels = []int{}
+	}
+	line := 1
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("diskio: line %d has %d fields, want %d", line, len(fields), len(header))
+		}
+		p := make(vec.Vector, dim)
+		for j := 0; j < dim; j++ {
+			x, err := strconv.ParseFloat(strings.TrimSpace(fields[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("diskio: line %d column %d: %w", line, j, err)
+			}
+			p[j] = x
+		}
+		ds.Points = append(ds.Points, p)
+		if hasLabel {
+			lab, err := strconv.Atoi(strings.TrimSpace(fields[dim]))
+			if err != nil {
+				return nil, fmt.Errorf("diskio: line %d label: %w", line, err)
+			}
+			ds.Labels = append(ds.Labels, lab)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

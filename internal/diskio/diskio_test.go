@@ -1,0 +1,114 @@
+package diskio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mogul/internal/dataset"
+	"mogul/internal/vec"
+)
+
+func sample() *vec.Dataset {
+	return dataset.Mixture(dataset.MixtureConfig{N: 50, Classes: 3, Dim: 4, Seed: 1, Name: "sample"})
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	ds := sample()
+	path := filepath.Join(t.TempDir(), "ds.gob")
+	if err := SaveGob(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGob(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ds.Name || got.Len() != ds.Len() || got.Dim() != ds.Dim() {
+		t.Fatalf("metadata mismatch: %s %d %d", got.Name, got.Len(), got.Dim())
+	}
+	for i := range ds.Points {
+		if got.Labels[i] != ds.Labels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range ds.Points[i] {
+			if got.Points[i][j] != ds.Points[i][j] {
+				t.Fatalf("point %d[%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestGobErrors(t *testing.T) {
+	if err := SaveGob(filepath.Join(t.TempDir(), "x.gob"), &vec.Dataset{}); err == nil {
+		t.Fatal("invalid dataset saved")
+	}
+	if _, err := LoadGob(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := sample()
+	var b strings.Builder
+	if err := SaveCSV(&b, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(strings.NewReader(b.String()), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() || got.Dim() != ds.Dim() {
+		t.Fatalf("shape mismatch: %d x %d", got.Len(), got.Dim())
+	}
+	for i := range ds.Points {
+		if got.Labels[i] != ds.Labels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range ds.Points[i] {
+			// %g formatting is lossless for float64 via strconv round trip.
+			if got.Points[i][j] != ds.Points[i][j] {
+				t.Fatalf("point %d[%d]: %v != %v", i, j, got.Points[i][j], ds.Points[i][j])
+			}
+		}
+	}
+}
+
+func TestCSVWithoutLabels(t *testing.T) {
+	in := "f0,f1\n1,2\n3,4\n"
+	ds, err := LoadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Labels != nil {
+		t.Fatal("labels invented")
+	}
+	if ds.Len() != 2 || ds.Points[1][1] != 4 {
+		t.Fatalf("parsed wrong: %+v", ds.Points)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"no-features": "label\n1\n",
+		"ragged":      "f0,f1\n1\n",
+		"bad-number":  "f0\nxyz\n",
+		"bad-label":   "f0,label\n1,abc\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadCSV(strings.NewReader(in), name); err == nil {
+			t.Fatalf("%s: invalid CSV accepted", name)
+		}
+	}
+}
+
+func TestCSVSkipsBlankLines(t *testing.T) {
+	in := "f0\n1\n\n2\n"
+	ds, err := LoadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("got %d points", ds.Len())
+	}
+}

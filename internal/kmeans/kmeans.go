@@ -1,0 +1,169 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding.
+//
+// Three parts of the reproduction depend on it: the EMR baseline
+// selects its anchor points with k-means (paper Section 2), the IVF
+// approximate nearest-neighbour index uses k-means as its coarse
+// quantizer, and out-of-sample query handling compares against cluster
+// mean features (paper Section 4.6.2).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mogul/internal/vec"
+)
+
+// Result holds the outcome of a k-means run.
+type Result struct {
+	// Centroids are the k cluster centers.
+	Centroids []vec.Vector
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Inertia is the final sum of squared distances to assigned centers.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+}
+
+// Config controls a k-means run.
+type Config struct {
+	// K is the number of clusters; clamped to the number of points.
+	K int
+	// MaxIter bounds Lloyd iterations (default 25).
+	MaxIter int
+	// Tol stops early when relative inertia improvement drops below it
+	// (default 1e-4).
+	Tol float64
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Run clusters the points. It returns an error on empty input or
+// non-positive K.
+func Run(points []vec.Vector, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: K must be positive, got %d", cfg.K)
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	prevInertia := math.Inf(1)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Assignment step.
+		inertia := 0.0
+		for i, p := range points {
+			best, bestD := 0, vec.SquaredEuclidean(p, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := vec.SquaredEuclidean(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			inertia += bestD
+		}
+		// Update step.
+		counts := make([]int, k)
+		sums := make([]vec.Vector, k)
+		for c := range sums {
+			sums[c] = make(vec.Vector, len(points[0]))
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			sums[c].Add(p)
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point; keeps K
+				// stable, which EMR requires (fixed anchor count d).
+				centroids[c] = points[rng.Intn(n)].Clone()
+				continue
+			}
+			sums[c].Scale(1 / float64(counts[c]))
+			centroids[c] = sums[c]
+		}
+		if prevInertia-inertia <= tol*math.Max(1, prevInertia) {
+			prevInertia = inertia
+			iters++
+			break
+		}
+		prevInertia = inertia
+	}
+	// Final assignment against the last centroid update.
+	inertia := 0.0
+	for i, p := range points {
+		best, bestD := 0, vec.SquaredEuclidean(p, centroids[0])
+		for c := 1; c < k; c++ {
+			if d := vec.SquaredEuclidean(p, centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		inertia += bestD
+	}
+	return &Result{Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iters}, nil
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ rule:
+// the first uniformly, each next with probability proportional to the
+// squared distance from the nearest chosen center.
+func seedPlusPlus(points []vec.Vector, k int, rng *rand.Rand) []vec.Vector {
+	n := len(points)
+	centroids := make([]vec.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(n)].Clone())
+	d2 := make([]float64, n)
+	for i, p := range points {
+		d2[i] = vec.SquaredEuclidean(p, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			// All points coincide with chosen centers; fall back to
+			// uniform choice so we still return k centers.
+			next = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			next = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					next = i
+					break
+				}
+			}
+		}
+		c := points[next].Clone()
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := vec.SquaredEuclidean(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}

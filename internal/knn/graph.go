@@ -1,0 +1,279 @@
+package knn
+
+import (
+	"fmt"
+	"math"
+
+	"mogul/internal/sparse"
+	"mogul/internal/vec"
+)
+
+// Graph is the k-NN graph of a dataset: the object Manifold Ranking
+// and every baseline operate on (paper Section 3).
+type Graph struct {
+	// Adj is the symmetric weighted adjacency matrix with zero
+	// diagonal (no self-loops, per the paper: "there is no loop in the
+	// k-NN graph").
+	Adj *sparse.CSR
+	// K is the neighbour count the graph was built with.
+	K int
+	// Sigma is the heat-kernel bandwidth used for edge weights.
+	Sigma float64
+	// Points are the underlying feature vectors (aliased, not copied).
+	Points []vec.Vector
+}
+
+// Backend selects the nearest-neighbour search structure used during
+// graph construction.
+type Backend int
+
+const (
+	// BackendAuto picks brute force, or IVF for large inputs when
+	// Approximate is set.
+	BackendAuto Backend = iota
+	// BackendBruteForce forces the exact O(n^2 d) scan.
+	BackendBruteForce
+	// BackendIVF forces the approximate inverted-file index.
+	BackendIVF
+	// BackendVPTree forces the exact vantage-point tree (best for low
+	// to moderate dimensionality).
+	BackendVPTree
+	// BackendIVFPQ forces the product-quantized inverted file: lowest
+	// memory, approximate, suited to the largest datasets (requires
+	// the dimension to be divisible by 8 or PQM to be set via NProbe
+	// conventions; see IVFPQConfig).
+	BackendIVFPQ
+)
+
+// GraphConfig controls graph construction.
+type GraphConfig struct {
+	// K is the number of nearest neighbours per node; the paper uses
+	// 5-20 and evaluates with 5. Required.
+	K int
+	// Mutual, when true, keeps an edge only when each endpoint is in
+	// the other's k-NN list; the default (false) is the standard union
+	// symmetrization.
+	Mutual bool
+	// Sigma overrides the heat-kernel bandwidth. When 0, sigma is set
+	// to the standard deviation of all observed k-NN distances
+	// (Section 3: "sigma is the standard variation of the function
+	// scores").
+	Sigma float64
+	// Backend selects the search structure; BackendAuto honours
+	// Approximate/ApproxThreshold below.
+	Backend Backend
+	// Approximate selects the IVF backend instead of exact brute
+	// force under BackendAuto. Exact is used regardless when
+	// n <= ApproxThreshold.
+	Approximate bool
+	// ApproxThreshold is the point count below which exact search is
+	// always used under BackendAuto (default 4096).
+	ApproxThreshold int
+	// NProbe configures IVF probing (default 8).
+	NProbe int
+	// Seed drives the IVF quantizer and VP-tree vantage choice.
+	Seed int64
+}
+
+// BuildGraph constructs the k-NN graph over the points.
+func BuildGraph(points []vec.Vector, cfg GraphConfig) (*Graph, error) {
+	n := len(points)
+	if n < 2 {
+		return nil, fmt.Errorf("knn: need at least 2 points, got %d", n)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("knn: K must be positive, got %d", cfg.K)
+	}
+	k := cfg.K
+	if k > n-1 {
+		k = n - 1
+	}
+	threshold := cfg.ApproxThreshold
+	if threshold <= 0 {
+		threshold = 4096
+	}
+
+	var searcher Searcher
+	switch cfg.Backend {
+	case BackendBruteForce:
+		searcher = NewBruteForce(points)
+	case BackendVPTree:
+		searcher = NewVPTree(points, cfg.Seed)
+	case BackendIVF:
+		ix, err := NewIVF(points, IVFConfig{NProbe: cfg.NProbe, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		searcher = ix
+	case BackendIVFPQ:
+		m := 8
+		if dim := len(points[0]); dim%m != 0 {
+			// Pick the largest divisor of dim no greater than 8 so PQ
+			// training succeeds for any dimensionality.
+			for m = 8; m > 1; m-- {
+				if dim%m == 0 {
+					break
+				}
+			}
+		}
+		ix, err := NewIVFPQ(points, IVFPQConfig{
+			NProbe: cfg.NProbe,
+			Seed:   cfg.Seed,
+			PQ:     PQConfig{M: m, KSub: 64, Seed: cfg.Seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		searcher = ix
+	case BackendAuto:
+		if cfg.Approximate && n > threshold {
+			ix, err := NewIVF(points, IVFConfig{NProbe: cfg.NProbe, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			searcher = ix
+		} else {
+			searcher = NewBruteForce(points)
+		}
+	default:
+		return nil, fmt.Errorf("knn: unknown backend %d", cfg.Backend)
+	}
+
+	neighbors := AllKNN(points, searcher, k)
+
+	// Choose sigma from the distribution of k-NN distances unless the
+	// caller pinned it.
+	sigma := cfg.Sigma
+	if sigma <= 0 {
+		dists := make([]float64, 0, n*k)
+		for _, nbrs := range neighbors {
+			for _, nb := range nbrs {
+				dists = append(dists, nb.Dist)
+			}
+		}
+		sigma = vec.Stddev(dists)
+		if sigma <= 0 {
+			// Degenerate data (all points identical): any positive
+			// bandwidth yields weight 1 on every edge.
+			sigma = 1
+		}
+	}
+
+	entries := buildEdges(neighbors, sigma, cfg.Mutual)
+	adj, err := sparse.NewFromCoords(n, n, entries)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{Adj: adj, K: k, Sigma: sigma, Points: points}, nil
+}
+
+// buildEdges symmetrizes the directed k-NN lists and applies the heat
+// kernel. With union symmetrization an edge (i, j) exists when either
+// endpoint lists the other; with mutual, only when both do.
+func buildEdges(neighbors [][]Neighbor, sigma float64, mutual bool) []sparse.Coord {
+	n := len(neighbors)
+	type edge struct{ a, b int }
+	// dist holds one distance per undirected pair; count tracks how
+	// many directions listed the pair.
+	dist := make(map[edge]float64, n*4)
+	count := make(map[edge]int, n*4)
+	for i, nbrs := range neighbors {
+		for _, nb := range nbrs {
+			a, b := i, nb.ID
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			e := edge{a, b}
+			dist[e] = nb.Dist
+			count[e]++
+		}
+	}
+	entries := make([]sparse.Coord, 0, 2*len(dist))
+	inv := 1 / (2 * sigma * sigma)
+	for e, d := range dist {
+		if mutual && count[e] < 2 {
+			continue
+		}
+		w := math.Exp(-d * d * inv)
+		if w == 0 {
+			// Exceptionally remote pair under this bandwidth; keep a
+			// tiny positive weight so the edge still connects the
+			// graph component structure.
+			w = math.SmallestNonzeroFloat64
+		}
+		entries = append(entries, sparse.Coord{Row: e.a, Col: e.b, Val: w})
+		entries = append(entries, sparse.Coord{Row: e.b, Col: e.a, Val: w})
+	}
+	return entries
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.Adj.Rows }
+
+// Degrees returns C_ii = sum_j A_ij, the diagonal of the paper's
+// matrix C.
+func (g *Graph) Degrees() []float64 { return g.Adj.RowSums() }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.Adj.NNZ() / 2 }
+
+// Neighbors returns the adjacency list of node i: column ids and
+// weights, aliasing graph storage.
+func (g *Graph) Neighbors(i int) ([]int, []float64) { return g.Adj.Row(i) }
+
+// Components labels connected components with breadth-first search and
+// returns (labels, count). Manifold Ranking scores are zero outside
+// the query's component; experiments use this to report connectivity.
+func (g *Graph) Components() ([]int, int) {
+	n := g.Len()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := 0
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			cols, _ := g.Adj.Row(u)
+			for _, v := range cols {
+				if labels[v] == -1 {
+					labels[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return labels, next
+}
+
+// NormalizedAdjacency returns S = C^{-1/2} A C^{-1/2}, the symmetric
+// normalization at the heart of the Manifold Ranking system matrix
+// (Equation 2). Isolated nodes (degree 0) keep zero rows.
+func (g *Graph) NormalizedAdjacency() *sparse.CSR {
+	deg := g.Degrees()
+	invSqrt := make([]float64, len(deg))
+	for i, d := range deg {
+		if d > 0 {
+			invSqrt[i] = 1 / math.Sqrt(d)
+		}
+	}
+	s := g.Adj.Clone()
+	for i := 0; i < s.Rows; i++ {
+		lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			s.Val[k] *= invSqrt[i] * invSqrt[s.Col[k]]
+		}
+	}
+	return s
+}

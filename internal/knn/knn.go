@@ -1,0 +1,204 @@
+// Package knn builds the k-nearest-neighbour graphs that Manifold
+// Ranking runs on (paper Section 3): nodes are images, an undirected
+// edge connects k-nearest neighbours, and edge weights follow the heat
+// kernel A_ij = exp(-d^2(u_i,u_j) / (2 sigma^2)).
+//
+// Two search backends are provided. BruteForce is exact and O(n^2 d)
+// (parallelized across queries). IVF is an inverted-file index with a
+// k-means coarse quantizer, the standard database-side structure for
+// approximate nearest-neighbour search at the paper's INRIA scale; it
+// trades a small recall loss for near-linear construction time.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mogul/internal/kmeans"
+	"mogul/internal/topk"
+	"mogul/internal/vec"
+)
+
+// Neighbor is one nearest-neighbour search result.
+type Neighbor struct {
+	// ID is the index of the neighbouring point.
+	ID int
+	// Dist is the Euclidean distance to the query.
+	Dist float64
+}
+
+// Searcher answers k-nearest-neighbour queries over a fixed point set.
+type Searcher interface {
+	// Search returns the k points nearest to q in ascending distance
+	// order. Fewer than k results are returned only when the indexed
+	// set is smaller than k.
+	Search(q vec.Vector, k int) []Neighbor
+}
+
+// BruteForce is the exact O(n d) per-query searcher.
+type BruteForce struct {
+	points []vec.Vector
+}
+
+// NewBruteForce indexes the given points (no copy is taken).
+func NewBruteForce(points []vec.Vector) *BruteForce {
+	return &BruteForce{points: points}
+}
+
+// Search returns the k exact nearest neighbours of q.
+func (b *BruteForce) Search(q vec.Vector, k int) []Neighbor {
+	return searchSubset(q, k, b.points, nil)
+}
+
+// searchSubset scans either all points (ids == nil) or the listed ids,
+// returning the k nearest in ascending distance order. Scores offered
+// to the collector are negated distances so that "largest score" means
+// "smallest distance".
+func searchSubset(q vec.Vector, k int, points []vec.Vector, ids []int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	c := topk.New(k)
+	if ids == nil {
+		for i, p := range points {
+			c.Offer(i, -vec.SquaredEuclidean(q, p))
+		}
+	} else {
+		for _, i := range ids {
+			c.Offer(i, -vec.SquaredEuclidean(q, points[i]))
+		}
+	}
+	items := c.Results()
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Dist: math.Sqrt(-it.Score)}
+	}
+	return out
+}
+
+// IVF is an inverted-file approximate nearest-neighbour index: points
+// are bucketed by their nearest k-means centroid and queries probe only
+// the NProbe closest buckets.
+type IVF struct {
+	points    []vec.Vector
+	centroids []vec.Vector
+	lists     [][]int
+	// NProbe is the number of closest inverted lists scanned per query.
+	NProbe int
+}
+
+// IVFConfig controls index construction.
+type IVFConfig struct {
+	// NList is the number of inverted lists (k-means cells); when 0 it
+	// defaults to sqrt(n) rounded up, the usual heuristic.
+	NList int
+	// NProbe is the number of lists probed per query (default 8).
+	NProbe int
+	// Seed drives the k-means quantizer.
+	Seed int64
+}
+
+// NewIVF builds an IVF index over the points.
+func NewIVF(points []vec.Vector, cfg IVFConfig) (*IVF, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("knn: cannot index zero points")
+	}
+	nlist := cfg.NList
+	if nlist <= 0 {
+		nlist = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	if nlist > n {
+		nlist = n
+	}
+	nprobe := cfg.NProbe
+	if nprobe <= 0 {
+		nprobe = 8
+	}
+	if nprobe > nlist {
+		nprobe = nlist
+	}
+	km, err := kmeans.Run(points, kmeans.Config{K: nlist, Seed: cfg.Seed, MaxIter: 12})
+	if err != nil {
+		return nil, fmt.Errorf("knn: quantizer training: %w", err)
+	}
+	lists := make([][]int, len(km.Centroids))
+	for i, c := range km.Assign {
+		lists[c] = append(lists[c], i)
+	}
+	return &IVF{points: points, centroids: km.Centroids, lists: lists, NProbe: nprobe}, nil
+}
+
+// Search returns approximately the k nearest neighbours of q, scanning
+// the NProbe inverted lists whose centroids are closest to q.
+func (ix *IVF) Search(q vec.Vector, k int) []Neighbor {
+	type cell struct {
+		id int
+		d  float64
+	}
+	cells := make([]cell, len(ix.centroids))
+	for i, c := range ix.centroids {
+		cells[i] = cell{id: i, d: vec.SquaredEuclidean(q, c)}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].d < cells[j].d })
+	var candidates []int
+	probes := ix.NProbe
+	for p := 0; p < len(cells); p++ {
+		if p >= probes && len(candidates) >= k {
+			break
+		}
+		candidates = append(candidates, ix.lists[cells[p].id]...)
+	}
+	return searchSubset(q, k, ix.points, candidates)
+}
+
+// AllKNN computes the k nearest neighbours of every indexed point
+// (excluding the point itself), in parallel across queries.
+func AllKNN(points []vec.Vector, s Searcher, k int) [][]Neighbor {
+	n := len(points)
+	out := make([][]Neighbor, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				// Ask for k+1 and drop self; a duplicate point may tie
+				// with self, so filter by ID rather than by distance.
+				res := s.Search(points[i], k+1)
+				nbrs := make([]Neighbor, 0, k)
+				for _, nb := range res {
+					if nb.ID == i {
+						continue
+					}
+					nbrs = append(nbrs, nb)
+					if len(nbrs) == k {
+						break
+					}
+				}
+				out[i] = nbrs
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,213 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mogul/internal/vec"
+)
+
+func TestPQTrainErrors(t *testing.T) {
+	if _, err := TrainPQ(nil, PQConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	pts := randomPoints(rand.New(rand.NewSource(1)), 50, 10)
+	if _, err := TrainPQ(pts, PQConfig{M: 3}); err == nil {
+		t.Fatal("dim % M != 0 accepted")
+	}
+	if _, err := TrainPQ(pts, PQConfig{M: 2, KSub: 1000}); err == nil {
+		t.Fatal("KSub > 256 accepted")
+	}
+}
+
+func TestPQEncodeDecodeReducesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(rng, 400, 8)
+	small, err := TrainPQ(pts, PQConfig{M: 2, KSub: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := TrainPQ(pts, PQConfig{M: 2, KSub: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconErr := func(pq *PQ) float64 {
+		var total float64
+		for _, p := range pts {
+			code, err := pq.Encode(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := pq.Decode(code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += vec.SquaredEuclidean(p, rec)
+		}
+		return total / float64(len(pts))
+	}
+	eSmall, eBig := reconErr(small), reconErr(big)
+	if eBig >= eSmall {
+		t.Fatalf("larger codebook did not reduce error: %g vs %g", eBig, eSmall)
+	}
+}
+
+func TestPQEncodeDecodeValidation(t *testing.T) {
+	pts := randomPoints(rand.New(rand.NewSource(3)), 100, 8)
+	pq, err := TrainPQ(pts, PQConfig{M: 2, KSub: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Encode(vec.Vector{1, 2}); err == nil {
+		t.Fatal("wrong dimension accepted by Encode")
+	}
+	if _, err := pq.Decode([]byte{1}); err == nil {
+		t.Fatal("wrong code length accepted by Decode")
+	}
+	if _, err := pq.Decode([]byte{200, 200}); err == nil {
+		t.Fatal("out-of-range code byte accepted")
+	}
+	if _, err := pq.DistanceTable(vec.Vector{1}); err == nil {
+		t.Fatal("wrong dimension accepted by DistanceTable")
+	}
+}
+
+func TestADCMatchesDecodedDistance(t *testing.T) {
+	// ADC(q, code) must equal the exact squared distance between q and
+	// Decode(code) (same centroids, just table lookups).
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 300, 8)
+	pq, err := TrainPQ(pts, PQConfig{M: 4, KSub: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randomPoints(rng, 1, 8)[0]
+		table, err := pq.DistanceTable(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pts[rng.Intn(len(pts))]
+		code, err := pq.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := pq.Decode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := vec.SquaredEuclidean(q, rec)
+		got := ADC(table, code)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("ADC %g, decoded distance %g", got, want)
+		}
+	}
+}
+
+func TestIVFPQRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 3000, 16)
+	ix, err := NewIVFPQ(pts, IVFPQConfig{
+		NProbe: 12, Refine: 8,
+		PQ:   PQConfig{M: 4, KSub: 64, Seed: 2},
+		Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := NewBruteForce(pts)
+	hits, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		exact := bf.Search(q, 10)
+		approx := ix.Search(q, 10)
+		set := map[int]bool{}
+		for _, nb := range approx {
+			set[nb.ID] = true
+		}
+		for _, nb := range exact {
+			total++
+			if set[nb.ID] {
+				hits++
+			}
+		}
+	}
+	if recall := float64(hits) / float64(total); recall < 0.6 {
+		t.Fatalf("IVFPQ recall %.2f below 0.6", recall)
+	}
+	// Returned distances are exact (re-ranked), ascending.
+	res := ix.Search(pts[0], 5)
+	if res[0].ID != 0 || res[0].Dist != 0 {
+		t.Fatalf("self not first: %+v", res[0])
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("distances not ascending")
+		}
+	}
+	if got := ix.Search(pts[0], 0); got != nil {
+		t.Fatal("k=0 returned results")
+	}
+}
+
+func TestIVFPQErrors(t *testing.T) {
+	if _, err := NewIVFPQ(nil, IVFPQConfig{}); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+	pts := randomPoints(rand.New(rand.NewSource(6)), 50, 7)
+	if _, err := NewIVFPQ(pts, IVFPQConfig{PQ: PQConfig{M: 2}}); err == nil {
+		t.Fatal("indivisible dimension accepted")
+	}
+}
+
+func TestBuildGraphIVFPQBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomPoints(rng, 600, 12) // 12 % 8 != 0: exercises the divisor fallback
+	g, err := BuildGraph(pts, GraphConfig{K: 5, Backend: BackendIVFPQ, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 600 || !g.Adj.IsSymmetric(1e-12) {
+		t.Fatal("IVFPQ-backed graph malformed")
+	}
+}
+
+func TestIVFPQAsGraphBackendRecall(t *testing.T) {
+	// Building a k-NN graph from IVFPQ output must produce mostly the
+	// same edges as brute force on clustered data.
+	rng := rand.New(rand.NewSource(7))
+	var pts []vec.Vector
+	for c := 0; c < 10; c++ {
+		center := randomPoints(rng, 1, 16)[0]
+		for i := 0; i < 60; i++ {
+			p := center.Clone()
+			for j := range p {
+				p[j] += rng.NormFloat64() * 0.15
+			}
+			pts = append(pts, p)
+		}
+	}
+	ix, err := NewIVFPQ(pts, IVFPQConfig{NProbe: 10, Refine: 8, PQ: PQConfig{M: 4, KSub: 32, Seed: 1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs := AllKNN(pts, ix, 5)
+	exact := AllKNN(pts, NewBruteForce(pts), 5)
+	hits, total := 0, 0
+	for i := range nbrs {
+		set := map[int]bool{}
+		for _, nb := range nbrs[i] {
+			set[nb.ID] = true
+		}
+		for _, nb := range exact[i] {
+			total++
+			if set[nb.ID] {
+				hits++
+			}
+		}
+	}
+	if recall := float64(hits) / float64(total); recall < 0.7 {
+		t.Fatalf("graph-construction recall %.2f below 0.7", recall)
+	}
+}

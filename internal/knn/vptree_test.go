@@ -1,0 +1,136 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mogul/internal/vec"
+)
+
+func TestVPTreeMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		dim := 1 + rng.Intn(6)
+		pts := randomPoints(rng, n, dim)
+		tree := NewVPTree(pts, seed)
+		bf := NewBruteForce(pts)
+		for trial := 0; trial < 5; trial++ {
+			q := randomPoints(rng, 1, dim)[0]
+			k := 1 + rng.Intn(10)
+			got := tree.Search(q, k)
+			want := bf.Search(q, k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				// Exact index: distances must match to rounding.
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVPTreeAscendingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(rng, 500, 3)
+	tree := NewVPTree(pts, 1)
+	res := tree.Search(pts[42], 20)
+	if len(res) != 20 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].ID != 42 || res[0].Dist != 0 {
+		t.Fatalf("self not first: %+v", res[0])
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist-1e-12 {
+			t.Fatal("results not ascending")
+		}
+	}
+}
+
+func TestVPTreeEdgeCases(t *testing.T) {
+	if got := NewVPTree(nil, 1).Search(vec.Vector{1}, 3); got != nil {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	pts := []vec.Vector{{1, 1}}
+	tree := NewVPTree(pts, 1)
+	if got := tree.Search(vec.Vector{0, 0}, 5); len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("single-point tree: %v", got)
+	}
+	if got := tree.Search(vec.Vector{0, 0}, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	// All-identical points: every answer at distance 0.
+	same := make([]vec.Vector, 40)
+	for i := range same {
+		same[i] = vec.Vector{7, 7}
+	}
+	tree = NewVPTree(same, 3)
+	res := tree.Search(vec.Vector{7, 7}, 10)
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, nb := range res {
+		if nb.Dist != 0 {
+			t.Fatalf("identical points: distance %g", nb.Dist)
+		}
+	}
+}
+
+func TestBuildGraphVPTreeBackendEqualsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 150, 4)
+	bf, err := BuildGraph(pts, GraphConfig{K: 5, Backend: BackendBruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := BuildGraph(pts, GraphConfig{K: 5, Backend: BackendVPTree, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.NumEdges() != vp.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", bf.NumEdges(), vp.NumEdges())
+	}
+	for i := 0; i < bf.Len(); i++ {
+		c1, v1 := bf.Neighbors(i)
+		c2, v2 := vp.Neighbors(i)
+		if len(c1) != len(c2) {
+			t.Fatalf("node %d degree differs", i)
+		}
+		for j := range c1 {
+			if c1[j] != c2[j] || math.Abs(v1[j]-v2[j]) > 1e-12 {
+				t.Fatalf("node %d edge %d differs", i, j)
+			}
+		}
+	}
+	if _, err := BuildGraph(pts, GraphConfig{K: 5, Backend: Backend(99)}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestVPTreeAsGraphBackend(t *testing.T) {
+	// AllKNN over the VP-tree must agree with brute force exactly (it
+	// is an exact index).
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 200, 4)
+	tree := NewVPTree(pts, 9)
+	bf := NewBruteForce(pts)
+	a := AllKNN(pts, tree, 5)
+	b := AllKNN(pts, bf, 5)
+	for i := range a {
+		for j := range a[i] {
+			if math.Abs(a[i][j].Dist-b[i][j].Dist) > 1e-12 {
+				t.Fatalf("node %d neighbour %d: %g vs %g", i, j, a[i][j].Dist, b[i][j].Dist)
+			}
+		}
+	}
+}

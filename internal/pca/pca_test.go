@@ -1,0 +1,152 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mogul/internal/dataset"
+	"mogul/internal/knn"
+	"mogul/internal/vec"
+)
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Points spread along (1,1,0)/sqrt(2) with tiny orthogonal noise:
+	// the first component must align with that axis.
+	rng := rand.New(rand.NewSource(1))
+	var pts []vec.Vector
+	for i := 0; i < 300; i++ {
+		tval := rng.NormFloat64() * 5
+		pts = append(pts, vec.Vector{
+			tval/math.Sqrt2 + rng.NormFloat64()*0.01,
+			tval/math.Sqrt2 + rng.NormFloat64()*0.01,
+			rng.NormFloat64() * 0.01,
+		})
+	}
+	m, err := Fit(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Components[0]
+	if dot := math.Abs(c[0]*1/math.Sqrt2 + c[1]*1/math.Sqrt2); dot < 0.999 {
+		t.Fatalf("first component %v not aligned with dominant axis (|dot| = %g)", c, dot)
+	}
+	if m.ExplainedRatio() < 0.99 {
+		t.Fatalf("explained ratio %g", m.ExplainedRatio())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Fit([]vec.Vector{{1}}, 1); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := Fit([]vec.Vector{{1, 2}, {3}}, 1); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	if _, err := Fit([]vec.Vector{{}, {}}, 1); err == nil {
+		t.Fatal("zero-dim input accepted")
+	}
+}
+
+func TestProjectionPreservesDistancesAtFullRank(t *testing.T) {
+	// Full-rank PCA is an isometry (rotation + translation): pairwise
+	// distances must be preserved.
+	rng := rand.New(rand.NewSource(2))
+	var pts []vec.Vector
+	for i := 0; i < 50; i++ {
+		p := make(vec.Vector, 5)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts = append(pts, p)
+	}
+	m, err := Fit(pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := m.ProjectAll(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		i, j := rng.Intn(50), rng.Intn(50)
+		want := vec.SquaredEuclidean(pts[i], pts[j])
+		got := vec.SquaredEuclidean(proj[i], proj[j])
+		if math.Abs(got-want) > 1e-7*(1+want) {
+			t.Fatalf("distance (%d,%d): %g vs %g", i, j, got, want)
+		}
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	pts := []vec.Vector{{1, 2}, {3, 4}, {5, 6}}
+	m, err := Fit(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Project(vec.Vector{1}); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+	if _, err := m.ProjectAll([]vec.Vector{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+}
+
+func TestTransformKeepsRetrievalSignal(t *testing.T) {
+	// Integration: PCA to 8 dims must keep the mixture retrievable
+	// (the whole point of using it as graph preprocessing).
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 400, Classes: 8, Dim: 64, WithinStd: 0.2, Separation: 2, Seed: 3,
+	})
+	reduced, m, err := Transform(ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Dim() != 8 || reduced.Len() != ds.Len() {
+		t.Fatalf("reduced shape %dx%d", reduced.Len(), reduced.Dim())
+	}
+	if m.ExplainedRatio() < 0.3 {
+		t.Fatalf("explained ratio %g suspiciously low", m.ExplainedRatio())
+	}
+	g, err := knn.BuildGraph(reduced.Points, knn.GraphConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, total := 0, 0
+	for i := 0; i < g.Len(); i++ {
+		cols, _ := g.Neighbors(i)
+		for _, j := range cols {
+			total++
+			if reduced.Labels[i] == reduced.Labels[j] {
+				same++
+			}
+		}
+	}
+	if frac := float64(same) / float64(total); frac < 0.9 {
+		t.Fatalf("within-class edge fraction %.2f after PCA", frac)
+	}
+}
+
+func TestExplainedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var pts []vec.Vector
+	for i := 0; i < 100; i++ {
+		pts = append(pts, vec.Vector{
+			rng.NormFloat64() * 3,
+			rng.NormFloat64() * 2,
+			rng.NormFloat64() * 1,
+		})
+	}
+	m, err := Fit(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Explained); i++ {
+		if m.Explained[i] > m.Explained[i-1]+1e-12 {
+			t.Fatalf("explained variance not descending: %v", m.Explained)
+		}
+	}
+}

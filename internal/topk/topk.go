@@ -1,0 +1,103 @@
+// Package topk implements the bounded top-k collector used by the
+// Mogul search algorithm (Algorithm 2 of the paper) and by k-NN graph
+// construction. It maintains the k largest-scoring items seen so far
+// and exposes the current threshold theta = the k-th best score, which
+// drives the paper's upper-bound pruning.
+package topk
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Item is a scored node.
+type Item struct {
+	// ID is the node identifier.
+	ID int
+	// Score is the ranking score; larger is better.
+	Score float64
+}
+
+// Collector keeps the k items with the largest scores. The zero value
+// is not usable; construct with New.
+type Collector struct {
+	k     int
+	items minHeap
+}
+
+// New returns a collector for the k best items. k must be positive.
+// Mirroring Algorithm 2 lines 2-3 ("append dummy nodes"), the collector
+// behaves as if pre-filled with k dummy items of score 0 represented
+// implicitly: Threshold is 0 until k real items arrive, and items with
+// negative scores still enter so that genuinely negative rankings can
+// be returned when nothing better exists.
+func New(k int) *Collector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Collector{k: k, items: make(minHeap, 0, k)}
+}
+
+// K returns the configured answer count.
+func (c *Collector) K() int { return c.k }
+
+// Len returns the number of real items currently held.
+func (c *Collector) Len() int { return len(c.items) }
+
+// Threshold returns theta, the smallest score among the current top-k
+// (the pruning bound of Algorithm 2 line 14). While fewer than k items
+// have been offered, it returns negative infinity so nothing is
+// wrongly pruned; callers that want the paper's literal "theta = 0"
+// initialization can clamp with math.Max(0, Threshold()).
+func (c *Collector) Threshold() float64 {
+	if len(c.items) < c.k {
+		return math.Inf(-1)
+	}
+	return c.items[0].Score
+}
+
+// Offer considers a scored node and returns true when it entered the
+// current top-k.
+func (c *Collector) Offer(id int, score float64) bool {
+	if len(c.items) < c.k {
+		heap.Push(&c.items, Item{ID: id, Score: score})
+		return true
+	}
+	if score <= c.items[0].Score {
+		return false
+	}
+	c.items[0] = Item{ID: id, Score: score}
+	heap.Fix(&c.items, 0)
+	return true
+}
+
+// Results returns the collected items ordered by descending score,
+// breaking ties by ascending ID for determinism.
+func (c *Collector) Results() []Item {
+	out := make([]Item, len(c.items))
+	copy(out, c.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// minHeap is a min-heap on Score so the root is the weakest member of
+// the current top-k.
+type minHeap []Item
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

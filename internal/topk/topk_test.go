@@ -1,0 +1,127 @@
+package topk
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := New(3)
+	if c.K() != 3 || c.Len() != 0 {
+		t.Fatalf("fresh collector K=%d Len=%d", c.K(), c.Len())
+	}
+	if !math.IsInf(c.Threshold(), -1) {
+		t.Fatalf("empty threshold = %g, want -Inf", c.Threshold())
+	}
+	c.Offer(1, 5)
+	c.Offer(2, 1)
+	c.Offer(3, 3)
+	if c.Threshold() != 1 {
+		t.Fatalf("threshold = %g, want 1", c.Threshold())
+	}
+	if entered := c.Offer(4, 0.5); entered {
+		t.Fatal("weaker item entered a full collector")
+	}
+	if entered := c.Offer(5, 4); !entered {
+		t.Fatal("stronger item rejected")
+	}
+	res := c.Results()
+	wantIDs := []int{1, 5, 3}
+	for i, it := range res {
+		if it.ID != wantIDs[i] {
+			t.Fatalf("Results[%d].ID = %d, want %d (full: %+v)", i, it.ID, wantIDs[i], res)
+		}
+	}
+}
+
+func TestCollectorTieBreaksByID(t *testing.T) {
+	c := New(3)
+	c.Offer(9, 1)
+	c.Offer(2, 1)
+	c.Offer(5, 1)
+	res := c.Results()
+	if res[0].ID != 2 || res[1].ID != 5 || res[2].ID != 9 {
+		t.Fatalf("tie break wrong: %+v", res)
+	}
+}
+
+func TestCollectorPanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestCollectorMatchesSort(t *testing.T) {
+	// Property: the collector finds exactly the k best scores of a
+	// random stream (scores kept distinct to avoid tie ambiguity).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		scores := rng.Perm(n) // distinct
+		c := New(k)
+		for id, s := range scores {
+			c.Offer(id, float64(s))
+		}
+		got := c.Results()
+		want := append([]int(nil), scores...)
+		sort.Sort(sort.Reverse(sort.IntSlice(want)))
+		limit := k
+		if limit > n {
+			limit = n
+		}
+		if len(got) != limit {
+			return false
+		}
+		for i := 0; i < limit; i++ {
+			if int(got[i].Score) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInterfaceCompleteness(t *testing.T) {
+	// Offer never pops, but minHeap implements heap.Interface fully;
+	// exercise Pop directly so the invariant holds for any future use.
+	h := &minHeap{}
+	heap.Push(h, Item{ID: 1, Score: 3})
+	heap.Push(h, Item{ID: 2, Score: 1})
+	heap.Push(h, Item{ID: 3, Score: 2})
+	got := make([]float64, 0, 3)
+	for h.Len() > 0 {
+		got = append(got, heap.Pop(h).(Item).Score)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNegativeScores(t *testing.T) {
+	c := New(2)
+	c.Offer(0, -5)
+	c.Offer(1, -1)
+	c.Offer(2, -3)
+	res := c.Results()
+	if res[0].ID != 1 || res[1].ID != 2 {
+		t.Fatalf("negative scores mishandled: %+v", res)
+	}
+}

@@ -1,0 +1,158 @@
+// Package workload simulates a retrieval service's query stream over a
+// prebuilt Mogul index and measures throughput and latency — the
+// operational view of the paper's system ("image retrieval engines
+// present at most 20 images at one time", Section 5.1, implies an
+// interactive serving context this package makes concrete).
+//
+// A workload mixes in-database queries drawn from a Zipf popularity
+// distribution (real query logs are heavy-tailed) with a configurable
+// fraction of out-of-sample queries (new uploads), fanned out over a
+// fixed number of concurrent clients.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mogul/internal/core"
+	"mogul/internal/eval"
+	"mogul/internal/vec"
+)
+
+// Config describes a synthetic query stream.
+type Config struct {
+	// Queries is the total number of queries to issue.
+	Queries int
+	// K is the answer count per query (the paper's UI argument caps
+	// this at ~20).
+	K int
+	// Concurrency is the number of client goroutines (default 1).
+	Concurrency int
+	// ZipfS is the Zipf exponent for query popularity (must be > 1 for
+	// the stdlib generator; default 1.2, mildly skewed).
+	ZipfS float64
+	// OutOfSampleFraction in [0,1] is the share of queries that are
+	// held-out vectors instead of database items.
+	OutOfSampleFraction float64
+	// HoldOut supplies the out-of-sample query vectors (required when
+	// OutOfSampleFraction > 0).
+	HoldOut []vec.Vector
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// Report summarizes one run.
+type Report struct {
+	// Queries actually issued.
+	Queries int
+	// Wall is the end-to-end wall-clock time.
+	Wall time.Duration
+	// QPS is Queries / Wall.
+	QPS float64
+	// Latency holds per-query latency order statistics.
+	Latency eval.DurationStats
+	// Errors counts failed queries (should be 0).
+	Errors int
+	// OutOfSample counts how many queries took the out-of-sample path.
+	OutOfSample int
+}
+
+// String renders the report as a compact single block.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"queries=%d (oos=%d) wall=%v qps=%.0f p50=%v p90=%v p99=%v max=%v errors=%d",
+		r.Queries, r.OutOfSample, r.Wall.Round(time.Millisecond), r.QPS,
+		r.Latency.Median.Round(time.Microsecond), r.Latency.P90.Round(time.Microsecond),
+		r.Latency.P99.Round(time.Microsecond), r.Latency.Max.Round(time.Microsecond),
+		r.Errors,
+	)
+}
+
+// Run replays the configured stream against the index.
+func Run(ix *core.Index, cfg Config) (*Report, error) {
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("workload: Queries must be positive, got %d", cfg.Queries)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("workload: K must be positive, got %d", cfg.K)
+	}
+	if cfg.OutOfSampleFraction < 0 || cfg.OutOfSampleFraction > 1 {
+		return nil, fmt.Errorf("workload: OutOfSampleFraction must lie in [0,1], got %g", cfg.OutOfSampleFraction)
+	}
+	if cfg.OutOfSampleFraction > 0 && len(cfg.HoldOut) == 0 {
+		return nil, fmt.Errorf("workload: OutOfSampleFraction > 0 requires HoldOut vectors")
+	}
+	concurrency := cfg.Concurrency
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	zipfS := cfg.ZipfS
+	if zipfS <= 1 {
+		zipfS = 1.2
+	}
+	n := ix.Stats().NumNodes
+
+	// Pre-generate the whole stream so the measured section is pure
+	// query work. A query is either an item id (>= 0) or -(holdout+1).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(n-1))
+	// A fixed random relabeling decouples Zipf rank from item id (ids
+	// carry no popularity meaning).
+	relabel := rng.Perm(n)
+	stream := make([]int, cfg.Queries)
+	oosCount := 0
+	for i := range stream {
+		if cfg.OutOfSampleFraction > 0 && rng.Float64() < cfg.OutOfSampleFraction {
+			stream[i] = -(rng.Intn(len(cfg.HoldOut)) + 1)
+			oosCount++
+		} else {
+			stream[i] = relabel[int(zipf.Uint64())]
+		}
+	}
+
+	latencies := make([]time.Duration, cfg.Queries)
+	errs := make([]error, cfg.Queries)
+	var wg sync.WaitGroup
+	next := make(chan int, concurrency)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := stream[i]
+				t0 := time.Now()
+				var err error
+				if q >= 0 {
+					_, err = ix.TopK(q, cfg.K)
+				} else {
+					_, _, err = ix.SearchOutOfSample(cfg.HoldOut[-q-1], core.OOSOptions{K: cfg.K})
+				}
+				latencies[i] = time.Since(t0)
+				errs[i] = err
+			}
+		}()
+	}
+	for i := range stream {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	report := &Report{
+		Queries:     cfg.Queries,
+		Wall:        wall,
+		QPS:         float64(cfg.Queries) / wall.Seconds(),
+		Latency:     eval.SummarizeDurations(latencies),
+		OutOfSample: oosCount,
+	}
+	for _, err := range errs {
+		if err != nil {
+			report.Errors++
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mogul/internal/core"
+	"mogul/internal/dataset"
+	"mogul/internal/knn"
+	"mogul/internal/vec"
+)
+
+func testIndex(t *testing.T) (*core.Index, []vec.Vector) {
+	t.Helper()
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 400, Classes: 8, Dim: 8, WithinStd: 0.2, Separation: 2, Seed: 1,
+	})
+	in, holdout, _, err := dataset.HoldOut(ds, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := knn.BuildGraph(in.Points, knn.GraphConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.NewIndex(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, holdout
+}
+
+func TestRunBasics(t *testing.T) {
+	ix, _ := testIndex(t)
+	rep, err := Run(ix, Config{Queries: 200, K: 5, Concurrency: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 200 || rep.Errors != 0 || rep.OutOfSample != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.QPS <= 0 || rep.Latency.Max <= 0 || rep.Latency.Median > rep.Latency.Max {
+		t.Fatalf("latency stats: %+v", rep.Latency)
+	}
+	if !strings.Contains(rep.String(), "qps=") {
+		t.Fatalf("String(): %s", rep.String())
+	}
+}
+
+func TestRunWithOutOfSample(t *testing.T) {
+	ix, holdout := testIndex(t)
+	rep, err := Run(ix, Config{
+		Queries: 100, K: 5, Concurrency: 2,
+		OutOfSampleFraction: 0.3, HoldOut: holdout, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+	if rep.OutOfSample == 0 || rep.OutOfSample == 100 {
+		t.Fatalf("oos count %d implausible for fraction 0.3", rep.OutOfSample)
+	}
+}
+
+func TestRunDeterministicStream(t *testing.T) {
+	ix, holdout := testIndex(t)
+	a, err := Run(ix, Config{Queries: 50, K: 3, OutOfSampleFraction: 0.2, HoldOut: holdout, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ix, Config{Queries: 50, K: 3, OutOfSampleFraction: 0.2, HoldOut: holdout, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OutOfSample != b.OutOfSample {
+		t.Fatalf("stream not deterministic: %d vs %d oos", a.OutOfSample, b.OutOfSample)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ix, _ := testIndex(t)
+	if _, err := Run(ix, Config{Queries: 0, K: 5}); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+	if _, err := Run(ix, Config{Queries: 10, K: 0}); err == nil {
+		t.Fatal("zero k accepted")
+	}
+	if _, err := Run(ix, Config{Queries: 10, K: 5, OutOfSampleFraction: 2}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := Run(ix, Config{Queries: 10, K: 5, OutOfSampleFraction: 0.5}); err == nil {
+		t.Fatal("missing holdout accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package mogul is a pure-Go implementation of Mogul, the scalable
+// top-k Manifold Ranking search system of Fujiwara, Irie, Kuroyama and
+// Onizuka, "Scaling Manifold Ranking Based Image Retrieval", PVLDB
+// 8(4), 2014.
+//
+// Manifold Ranking scores every item of a database against a query by
+// diffusing relevance over a k-nearest-neighbour graph, which respects
+// the manifold (cluster) structure of the data and therefore retrieves
+// semantically similar items where plain nearest-neighbour search
+// returns merely visually close ones. The exact computation needs an
+// n x n matrix inverse — O(n^3) time, O(n^2) memory. Mogul reduces
+// both to O(n) by permuting the graph with a modularity clustering,
+// factorizing the system matrix with an incomplete Cholesky
+// factorization, and pruning whole clusters during search with
+// provable upper bounds; an exact mode (MogulE) swaps in a complete
+// sparse factorization.
+//
+// Typical use:
+//
+//	idx, err := mogul.Build(points, mogul.Options{GraphK: 5})
+//	...
+//	results, err := idx.TopK(queryID, 10)           // in-database query
+//	results, err = idx.TopKVector(queryVec, 10)     // out-of-sample query
+//
+// The internal packages contain the full experimental apparatus
+// (baselines EMR / FMR / Iterative / Inverse, synthetic datasets,
+// metrics); cmd/mogul-bench regenerates every figure and table of the
+// paper's evaluation.
+package mogul
+
+import (
+	"fmt"
+	"os"
+
+	"mogul/internal/core"
+	"mogul/internal/knn"
+	"mogul/internal/vec"
+)
+
+// Vector is a dense feature vector (an image descriptor, attribute
+// vector, embedding, ...).
+type Vector = vec.Vector
+
+// Dataset is a collection of feature vectors with optional labels.
+type Dataset = vec.Dataset
+
+// Result is one ranked answer: a database item id with its Manifold
+// Ranking score (higher is more relevant).
+type Result = core.Result
+
+// Stats reports what index construction did: cluster structure,
+// factor size, and precomputation timing.
+type Stats = core.Stats
+
+// SearchInfo reports per-query work counters (clusters pruned versus
+// scanned, scores computed).
+type SearchInfo = core.SearchInfo
+
+// Options configures Build. The zero value gives the paper's
+// evaluation settings (k = 5 graph, alpha = 0.99, approximate Mogul
+// mode).
+type Options struct {
+	// GraphK is the k of the k-NN graph; the paper uses 5-20 and
+	// evaluates with 5 (default 5).
+	GraphK int
+	// Alpha is the Manifold Ranking damping parameter in (0,1)
+	// (default 0.99, as in the paper's evaluation).
+	Alpha float64
+	// Exact selects MogulE: exact Manifold Ranking scores via the
+	// complete (Modified) Cholesky factorization, at the cost of a
+	// denser factor.
+	Exact bool
+	// ApproximateGraph builds the k-NN graph with the IVF index
+	// instead of exact brute force once the dataset exceeds a few
+	// thousand points; recommended for n over ~50k.
+	ApproximateGraph bool
+	// MutualGraph keeps only mutual k-NN edges instead of the default
+	// union symmetrization.
+	MutualGraph bool
+	// Sigma pins the heat-kernel bandwidth; 0 derives it from the
+	// observed k-NN distances (the paper's convention).
+	Sigma float64
+	// Seed drives the stochastic pieces (IVF quantizer); results are
+	// deterministic for a fixed seed.
+	Seed int64
+}
+
+// Index is a prebuilt Mogul search structure. Building is
+// query-independent: one index serves any query node, any answer
+// count, and out-of-sample queries. An Index is safe for concurrent
+// searches once built.
+type Index struct {
+	core  *core.Index
+	graph *knn.Graph
+}
+
+// Build constructs an index over the given feature vectors.
+func Build(points []Vector, opts Options) (*Index, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("mogul: need at least 2 points, got %d", len(points))
+	}
+	k := opts.GraphK
+	if k <= 0 {
+		k = 5
+	}
+	g, err := knn.BuildGraph(points, knn.GraphConfig{
+		K:           k,
+		Mutual:      opts.MutualGraph,
+		Sigma:       opts.Sigma,
+		Approximate: opts.ApproximateGraph,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mogul: building k-NN graph: %w", err)
+	}
+	return BuildFromGraphPoints(g, opts)
+}
+
+// BuildFromDataset is Build applied to a Dataset.
+func BuildFromDataset(ds *Dataset, opts Options) (*Index, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return Build(ds.Points, opts)
+}
+
+// BuildFromGraphPoints wraps an already-constructed k-NN graph; for
+// callers that built the graph themselves (custom metrics, external
+// edges).
+func BuildFromGraphPoints(g *knn.Graph, opts Options) (*Index, error) {
+	ci, err := core.NewIndex(g, core.Options{
+		Alpha: opts.Alpha,
+		Exact: opts.Exact,
+		Seed:  opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{core: ci, graph: g}, nil
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int { return ix.graph.Len() }
+
+// TopK returns the k database items with the highest Manifold Ranking
+// scores for an in-database query item, best first. The query item
+// itself is included (it typically ranks first); callers that want
+// "results other than the query" can skip it.
+func (ix *Index) TopK(query, k int) ([]Result, error) {
+	return ix.core.TopK(query, k)
+}
+
+// TopKWithInfo is TopK plus work counters (how many clusters the upper
+// bounds pruned).
+func (ix *Index) TopKWithInfo(query, k int) ([]Result, *SearchInfo, error) {
+	return ix.core.Search(query, core.SearchOptions{K: k})
+}
+
+// TopKVector ranks database items for a query vector that is not in
+// the database (out-of-sample query, Section 4.6.2 of the paper): the
+// query's neighbours inside the nearest cluster act as surrogate query
+// nodes; the index itself is not modified.
+func (ix *Index) TopKVector(q Vector, k int) ([]Result, error) {
+	res, _, err := ix.core.SearchOutOfSample(q, core.OOSOptions{K: k})
+	return res, err
+}
+
+// OOSBreakdown reports the phases of an out-of-sample search — the
+// quantities the paper's Table 2 tabulates.
+type OOSBreakdown = core.OOSBreakdown
+
+// TopKVectorWithInfo is TopKVector plus the phase breakdown
+// (nearest-neighbour lookup time, top-k search time, surrogate
+// neighbours used).
+func (ix *Index) TopKVectorWithInfo(q Vector, k int) ([]Result, *OOSBreakdown, error) {
+	return ix.core.SearchOutOfSample(q, core.OOSOptions{K: k})
+}
+
+// TopKSet ranks database items against a set of seed items with equal
+// weights — "find items like these". Seeds typically rank first; skip
+// them in the output if undesired.
+func (ix *Index) TopKSet(seeds []int, k int) ([]Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("mogul: TopKSet needs at least one seed item")
+	}
+	wq := make([]core.WeightedQuery, len(seeds))
+	for i, s := range seeds {
+		wq[i] = core.WeightedQuery{Node: s, Weight: 1 / float64(len(seeds))}
+	}
+	res, _, err := ix.core.SearchMulti(wq, core.SearchOptions{K: k})
+	return res, err
+}
+
+// Scores returns the full Manifold Ranking score vector for an
+// in-database query (index = item id). O(n) time.
+func (ix *Index) Scores(query int) ([]float64, error) {
+	return ix.core.AllScores(query)
+}
+
+// Neighbors returns the direct k-NN graph neighbours of an item with
+// their edge weights — the paper's "Connected" comparison in the
+// Figure 9 case studies (plain nearest-neighbour retrieval).
+func (ix *Index) Neighbors(item int) (ids []int, weights []float64, err error) {
+	if item < 0 || item >= ix.graph.Len() {
+		return nil, nil, fmt.Errorf("mogul: item %d outside [0,%d)", item, ix.graph.Len())
+	}
+	cols, vals := ix.graph.Neighbors(item)
+	return append([]int(nil), cols...), append([]float64(nil), vals...), nil
+}
+
+// Save writes the fully precomputed index to a file. Because all of
+// Mogul's precomputation is query independent, a saved index is
+// immediately search-ready after Load — build once, serve forever.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ix.core.Serialize(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadIndex reads an index written by Save.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ci, err := core.ReadIndex(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{core: ci, graph: ci.Graph()}, nil
+}
+
+// Stats returns index construction statistics.
+func (ix *Index) Stats() Stats { return ix.core.Stats() }
+
+// Exact reports whether the index returns exact Manifold Ranking
+// scores (MogulE) rather than the incomplete-factorization
+// approximation.
+func (ix *Index) Exact() bool { return ix.core.Exact() }
