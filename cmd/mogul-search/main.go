@@ -5,9 +5,12 @@
 //	mogul-search -data coil.gob -query 17,93 -k 10
 //	mogul-search -data coil.gob -query-vec "0.1,0.2,..." -k 10   # out-of-sample
 //	mogul-search -data coil.gob -exact -query 17                 # MogulE
+//	mogul-search -data coil.gob -save-index coil.mogul           # precompute once
+//	mogul-search -load-index coil.mogul -query 17                # query in O(load)
 //
 // Input is a gob file from mogul-datagen or a CSV file (header row,
-// numeric feature columns, optional trailing "label" column).
+// numeric feature columns, optional trailing "label" column), or a
+// prebuilt index file via -load-index (see docs/FORMAT.md).
 package main
 
 import (
@@ -24,47 +27,87 @@ import (
 
 func main() {
 	var (
-		data     = flag.String("data", "", "dataset file (.gob from mogul-datagen, or .csv)")
-		queryIDs = flag.String("query", "", "comma-separated in-database query ids")
-		queryVec = flag.String("query-vec", "", "comma-separated feature vector for an out-of-sample query")
-		k        = flag.Int("k", 10, "number of answers")
-		graphK   = flag.Int("graph-k", 5, "k of the k-NN graph")
-		alpha    = flag.Float64("alpha", 0.99, "Manifold Ranking damping parameter")
-		exact    = flag.Bool("exact", false, "use MogulE (exact scores, denser factor)")
-		approx   = flag.Bool("approx-graph", false, "build the k-NN graph with the IVF index (for large n)")
-		seed     = flag.Int64("seed", 1, "seed for stochastic components")
+		data      = flag.String("data", "", "dataset file (.gob from mogul-datagen, or .csv)")
+		loadIndex = flag.String("load-index", "", "query a prebuilt index file (from -save-index) instead of building")
+		saveIndex = flag.String("save-index", "", "after building, persist the index here")
+		queryIDs  = flag.String("query", "", "comma-separated in-database query ids")
+		queryVec  = flag.String("query-vec", "", "comma-separated feature vector for an out-of-sample query")
+		k         = flag.Int("k", 10, "number of answers")
+		graphK    = flag.Int("graph-k", 5, "k of the k-NN graph")
+		alpha     = flag.Float64("alpha", 0.99, "Manifold Ranking damping parameter")
+		exact     = flag.Bool("exact", false, "use MogulE (exact scores, denser factor)")
+		approx    = flag.Bool("approx-graph", false, "build the k-NN graph with the IVF index (for large n)")
+		seed      = flag.Int64("seed", 1, "seed for stochastic components")
 	)
 	flag.Parse()
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "mogul-search: -data is required")
+	if *data == "" && *loadIndex == "" {
+		fmt.Fprintln(os.Stderr, "mogul-search: provide -data or -load-index")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *queryIDs == "" && *queryVec == "" {
-		fmt.Fprintln(os.Stderr, "mogul-search: provide -query or -query-vec")
+	if *queryIDs == "" && *queryVec == "" && *saveIndex == "" {
+		fmt.Fprintln(os.Stderr, "mogul-search: provide -query, -query-vec, or -save-index")
 		os.Exit(2)
 	}
 
-	ds, err := loadDataset(*data)
-	if err != nil {
-		fail(err)
+	// Labels are cosmetic (result annotation); load them when a dataset
+	// is at hand, even next to a prebuilt index.
+	var ds *mogul.Dataset
+	if *data != "" {
+		var err error
+		ds, err = loadDataset(*data)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: n=%d dim=%d labels=%v\n", ds.Name, ds.Len(), ds.Dim(), ds.Labels != nil)
 	}
-	fmt.Fprintf(os.Stderr, "loaded %s: n=%d dim=%d labels=%v\n", ds.Name, ds.Len(), ds.Dim(), ds.Labels != nil)
 
-	t0 := time.Now()
-	ix, err := mogul.BuildFromDataset(ds, mogul.Options{
-		GraphK:           *graphK,
-		Alpha:            *alpha,
-		Exact:            *exact,
-		ApproximateGraph: *approx,
-		Seed:             *seed,
-	})
-	if err != nil {
-		fail(err)
+	var ix *mogul.Index
+	if *loadIndex != "" {
+		// Build parameters are baked into the index file; warn when the
+		// user sets one alongside -load-index so a mode mismatch (e.g.
+		// expecting -exact scores from an approximate index) is visible.
+		buildOnly := map[string]bool{"graph-k": true, "alpha": true, "exact": true, "approx-graph": true, "seed": true}
+		flag.Visit(func(f *flag.Flag) {
+			if buildOnly[f.Name] {
+				fmt.Fprintf(os.Stderr, "mogul-search: warning: -%s is ignored with -load-index (the index file fixes it)\n", f.Name)
+			}
+		})
+		t0 := time.Now()
+		var err error
+		ix, err = mogul.LoadFile(*loadIndex)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "index loaded in %v (%d items)\n", time.Since(t0).Round(time.Millisecond), ix.Len())
+		if ds != nil && ds.Len() != ix.Len() {
+			fmt.Fprintf(os.Stderr, "mogul-search: warning: -data has %d items but the index has %d; ignoring its labels\n", ds.Len(), ix.Len())
+			ds = nil
+		}
+	} else {
+		t0 := time.Now()
+		var err error
+		ix, err = mogul.BuildFromDataset(ds, mogul.Options{
+			GraphK:           *graphK,
+			Alpha:            *alpha,
+			Exact:            *exact,
+			ApproximateGraph: *approx,
+			Seed:             *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		st := ix.Stats()
+		fmt.Fprintf(os.Stderr, "index built in %v (clusters=%d, border=%d, nnz(L)=%d)\n",
+			time.Since(t0).Round(time.Millisecond), st.NumClusters, st.BorderSize, st.FactorNNZ)
 	}
-	st := ix.Stats()
-	fmt.Fprintf(os.Stderr, "index built in %v (clusters=%d, border=%d, nnz(L)=%d)\n",
-		time.Since(t0).Round(time.Millisecond), st.NumClusters, st.BorderSize, st.FactorNNZ)
+
+	if *saveIndex != "" {
+		if err := ix.SaveFile(*saveIndex); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "index saved to %s\n", *saveIndex)
+	}
 
 	if *queryIDs != "" {
 		for _, tok := range strings.Split(*queryIDs, ",") {
@@ -122,7 +165,7 @@ func parseVector(s string) (mogul.Vector, error) {
 func printResults(header string, res []mogul.Result, ds *mogul.Dataset, took time.Duration) {
 	fmt.Printf("%s (%v):\n", header, took.Round(time.Microsecond))
 	for rank, r := range res {
-		if ds.Labels != nil {
+		if ds != nil && ds.Labels != nil {
 			fmt.Printf("  %2d. node %-8d score %.6g  label %d\n", rank+1, r.Node, r.Score, ds.Labels[r.Node])
 		} else {
 			fmt.Printf("  %2d. node %-8d score %.6g\n", rank+1, r.Node, r.Score)

@@ -4,12 +4,14 @@
 // queries from the precomputed factor:
 //
 //	mogul-datagen -dataset coil -o coil.gob
-//	mogul-server -data coil.gob -addr :8080
+//	mogul-server -data coil.gob -save-index coil.mogul
+//	mogul-server -load-index coil.mogul -addr :8080
 //	curl 'localhost:8080/search?id=17&k=5'
 //	curl -X POST localhost:8080/search/vector -d '{"vector":[...],"k":5}'
 //
-// With -index the precomputed index file (from -save-index) is loaded
-// instead of rebuilding, so startup is I/O bound only.
+// With -load-index the precomputed index file (from -save-index) is
+// loaded instead of rebuilding, so startup is I/O bound only: no graph
+// construction, no clustering, no factorization.
 package main
 
 import (
@@ -28,7 +30,6 @@ import (
 func main() {
 	var (
 		data      = flag.String("data", "", "dataset file (.gob from mogul-datagen, or .csv)")
-		indexPath = flag.String("index", "", "load a prebuilt index (from -save-index) instead of building")
 		saveIndex = flag.String("save-index", "", "after building, persist the index here and exit")
 		addr      = flag.String("addr", ":8080", "listen address")
 		graphK    = flag.Int("graph-k", 5, "k of the k-NN graph")
@@ -36,6 +37,9 @@ func main() {
 		exact     = flag.Bool("exact", false, "serve exact scores (MogulE)")
 		approx    = flag.Bool("approx-graph", false, "build the k-NN graph with the IVF index")
 	)
+	var indexPath string
+	flag.StringVar(&indexPath, "load-index", "", "serve from a prebuilt index file (from -save-index) instead of building")
+	flag.StringVar(&indexPath, "index", "", "alias for -load-index")
 	flag.Parse()
 
 	var (
@@ -44,9 +48,9 @@ func main() {
 		err    error
 	)
 	switch {
-	case *indexPath != "":
+	case indexPath != "":
 		t0 := time.Now()
-		idx, err = mogul.LoadIndex(*indexPath)
+		idx, err = mogul.LoadFile(indexPath)
 		if err != nil {
 			log.Fatal("mogul-server: ", err)
 		}
@@ -75,11 +79,11 @@ func main() {
 		}
 		log.Printf("built index over %d items in %v", idx.Len(), time.Since(t0).Round(time.Millisecond))
 	default:
-		log.Fatal("mogul-server: provide -data or -index")
+		log.Fatal("mogul-server: provide -data or -load-index")
 	}
 
 	if *saveIndex != "" {
-		if err := idx.Save(*saveIndex); err != nil {
+		if err := idx.SaveFile(*saveIndex); err != nil {
 			log.Fatal("mogul-server: saving index: ", err)
 		}
 		log.Printf("index saved to %s", *saveIndex)

@@ -1,0 +1,3 @@
+module mogul
+
+go 1.24.0

@@ -1,0 +1,126 @@
+package cholesky
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mogul/internal/sparse"
+)
+
+// testFactor factorizes a small SPD matrix so codec tests exercise a
+// real factor rather than a hand-built one.
+func testFactor(t *testing.T, complete bool) *Factor {
+	t.Helper()
+	// Diagonally dominant pentadiagonal matrix, clearly SPD.
+	var entries []sparse.Coord
+	n := 12
+	for i := 0; i < n; i++ {
+		entries = append(entries, sparse.Coord{Row: i, Col: i, Val: 4})
+		if i+1 < n {
+			entries = append(entries, sparse.Coord{Row: i, Col: i + 1, Val: -1}, sparse.Coord{Row: i + 1, Col: i, Val: -1})
+		}
+		if i+3 < n {
+			entries = append(entries, sparse.Coord{Row: i, Col: i + 3, Val: -0.5}, sparse.Coord{Row: i + 3, Col: i, Val: -0.5})
+		}
+	}
+	w, err := sparse.NewFromCoords(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *Factor
+	if complete {
+		f, err = CompleteLDL(w, 0)
+	} else {
+		f, err = IncompleteLDL(w, 0)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFactorCodecRoundTrip(t *testing.T) {
+	for _, complete := range []bool{false, true} {
+		f := testFactor(t, complete)
+		var buf bytes.Buffer
+		n, err := f.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+		got, err := ReadFactor(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("round trip mismatch (complete=%v)", complete)
+		}
+		// The loaded factor must solve identically, bit for bit.
+		q := make([]float64, f.N)
+		q[3] = 1
+		a, b := f.ForwardSolve(q), got.ForwardSolve(q)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("solve differs at %d: %g vs %g", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadFactorRejectsCorruption(t *testing.T) {
+	f := testFactor(t, false)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < buf.Len(); n += 7 {
+		if _, err := ReadFactor(bytes.NewReader(buf.Bytes()[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// An upper-triangular (row <= column) entry must be rejected.
+	bad := testFactor(t, false)
+	if bad.NNZ() == 0 {
+		t.Fatal("test factor unexpectedly diagonal")
+	}
+	bad.RowIdx[0] = 0
+	var b2 bytes.Buffer
+	if _, err := bad.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFactor(&b2); err == nil {
+		t.Fatal("non-lower-triangular entry accepted")
+	}
+}
+
+func TestFactorValidate(t *testing.T) {
+	if err := testFactor(t, true).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*Factor{
+		"short colptr": {N: 2, ColPtr: []int{0, 0}, D: []float64{1, 1}},
+		"short D":      {N: 2, ColPtr: []int{0, 0, 0}, D: []float64{1}},
+		"bad span":     {N: 1, ColPtr: []int{0, 3}, D: []float64{1}},
+		"neg clamped":  {N: 1, ColPtr: []int{0, 0}, D: []float64{1}, Clamped: -1},
+	}
+	for name, f := range cases {
+		if name == "neg clamped" {
+			// Validate does not police Clamped (ReadFactor does); make
+			// sure the reader rejects it instead.
+			var buf bytes.Buffer
+			if _, err := f.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadFactor(&buf); err == nil {
+				t.Fatal("negative clamp count accepted")
+			}
+			continue
+		}
+		if err := f.Validate(); err == nil {
+			t.Fatalf("%s passed validation", name)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestClusteringCodecRoundTrip(t *testing.T) {
+	c := &Clustering{
+		Assign:     []int{0, 0, 1, 2, 1, 2, 2},
+		N:          3,
+		Modularity: 0.4375,
+		Levels:     2,
+	}
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadClustering(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestReadClusteringRejectsCorruption(t *testing.T) {
+	c := &Clustering{Assign: []int{0, 1, 1}, N: 2}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < buf.Len(); n++ {
+		if _, err := ReadClustering(bytes.NewReader(buf.Bytes()[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Assignment outside [0, N).
+	bad := &Clustering{Assign: []int{0, 5}, N: 2}
+	var b2 bytes.Buffer
+	if _, err := bad.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadClustering(&b2); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+}

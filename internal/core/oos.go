@@ -43,6 +43,11 @@ func (b *OOSBreakdown) Overall() time.Duration { return b.NearestNeighbor + b.To
 // trick keeps this O(n) worst case but far cheaper in practice).
 func (ix *Index) ensureOOS() {
 	ix.oosOnce.Do(func() {
+		if ix.oosMeans != nil {
+			// Restored from a serialized index (ReadIndex populates the
+			// tables before any concurrent use).
+			return
+		}
 		layout := ix.layout
 		nc := layout.NumClusters
 		members := make([][]int, nc)

@@ -111,7 +111,7 @@ func TestPropertySerializationPreservesSearch(t *testing.T) {
 			return false
 		}
 		var buf bytes.Buffer
-		if err := approx.Serialize(&buf); err != nil {
+		if _, err := approx.WriteTo(&buf); err != nil {
 			return false
 		}
 		loaded, err := ReadIndex(&buf)

@@ -2,161 +2,484 @@ package core
 
 import (
 	"bufio"
-	"encoding/gob"
+	"bytes"
 	"fmt"
 	"io"
+	"slices"
+	"time"
 
+	"mogul/internal/binio"
 	"mogul/internal/cholesky"
+	"mogul/internal/cluster"
 	"mogul/internal/knn"
 	"mogul/internal/sparse"
 	"mogul/internal/vec"
 )
 
-// indexDisk is the stable on-disk layout of a prebuilt index. Because
-// every part of Mogul's precomputation is query independent (Lemma 2
-// discussion in the paper), serializing it turns the O(n) build into a
-// one-off: a search service can load the factor and answer queries
-// immediately.
-type indexDisk struct {
-	Version int
-	Alpha   float64
-	Exact   bool
+// Index persistence (docs/FORMAT.md). Because every part of Mogul's
+// precomputation is query independent (Lemma 2 discussion in the
+// paper), serializing it turns the O(n) build into a one-off: a search
+// service loads the factor and answers queries immediately.
+//
+// The container is a magic header, a format version, a sequence of
+// length-prefixed tagged sections, and a trailing CRC-32 over the
+// whole stream. Sections hold the leaf records of the internal
+// packages (knn.Graph, sparse.Permutation, cluster.Clustering,
+// cholesky.Factor) plus index metadata, precompute statistics, and the
+// out-of-sample coarse quantizer (per-cluster means with inverted
+// member lists), so a loaded index serves in-database AND
+// out-of-sample queries without recomputing anything. Unknown sections
+// are skipped, allowing forward-compatible additions; corrupt,
+// truncated, or wrong-version files fail with an error, never a
+// panic.
 
-	// Graph.
-	GraphK    int
-	Sigma     float64
-	AdjRowPtr []int
-	AdjCol    []int
-	AdjVal    []float64
-	Points    [][]float64
-	PointDim  int
-	NumPoints int
+// indexMagic identifies a Mogul index file.
+const indexMagic = "MOGULIDX"
 
-	// Layout.
-	NewToOld    []int
-	Start       []int
-	NumClusters int
+// FormatVersion is the on-disk format version this build reads and
+// writes. Version 1 was an unreleased gob-based layout; version 2 is
+// the sectioned binary container.
+const FormatVersion = 2
 
-	// Factor.
-	ColPtr  []int
-	RowIdx  []int
-	Val     []float64
-	D       []float64
-	Clamped int
+// Section tags. Four ASCII bytes each.
+var (
+	tagMeta = [4]byte{'M', 'E', 'T', 'A'}
+	tagGrph = [4]byte{'G', 'R', 'P', 'H'}
+	tagLayt = [4]byte{'L', 'A', 'Y', 'T'}
+	tagFact = [4]byte{'F', 'A', 'C', 'T'}
+	tagStat = [4]byte{'S', 'T', 'A', 'T'}
+	tagOosq = [4]byte{'O', 'O', 'S', 'Q'}
+	tagEnd  = [4]byte{'E', 'N', 'D', 0}
+)
+
+
+// section pairs a container tag with the function that streams its
+// payload.
+type section struct {
+	tag     [4]byte
+	payload func(w io.Writer) error
 }
 
-const indexDiskVersion = 1
+// WriteTo serializes the complete search structure in the versioned
+// binary format. The out-of-sample quantizer is materialized first so
+// a loaded index answers vector queries without touching ensureOOS.
+// Output is buffered internally, so writing straight to an os.File is
+// fine.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	buffered := bufio.NewWriterSize(w, 1<<20)
+	bw := binio.NewWriter(buffered)
+	bw.Raw([]byte(indexMagic))
+	bw.Uint32(FormatVersion)
 
-// Serialize writes the index in gob form. The feature vectors are
-// included so out-of-sample queries keep working after a load.
-func (ix *Index) Serialize(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	d := indexDisk{
-		Version:     indexDiskVersion,
-		Alpha:       ix.alpha,
-		Exact:       ix.exact,
-		GraphK:      ix.graph.K,
-		Sigma:       ix.graph.Sigma,
-		AdjRowPtr:   ix.graph.Adj.RowPtr,
-		AdjCol:      ix.graph.Adj.Col,
-		AdjVal:      ix.graph.Adj.Val,
-		NumPoints:   len(ix.graph.Points),
-		NewToOld:    ix.layout.Perm.NewToOld,
-		Start:       ix.layout.Start,
-		NumClusters: ix.layout.NumClusters,
-		ColPtr:      ix.factor.ColPtr,
-		RowIdx:      ix.factor.RowIdx,
-		Val:         ix.factor.Val,
-		D:           ix.factor.D,
-		Clamped:     ix.factor.Clamped,
+	sections := []section{
+		{tagMeta, ix.writeMeta},
+		{tagGrph, func(w io.Writer) error { _, err := ix.graph.WriteTo(w); return err }},
+		{tagLayt, ix.writeLayout},
+		{tagFact, func(w io.Writer) error { _, err := ix.factor.WriteTo(w); return err }},
+		{tagStat, ix.writeStats},
 	}
+	// The quantizer needs feature vectors; indexes built over a bare
+	// adjacency (no points) cannot serve vector queries anyway, so the
+	// section is simply omitted for them.
 	if len(ix.graph.Points) > 0 {
-		d.PointDim = len(ix.graph.Points[0])
-		d.Points = make([][]float64, len(ix.graph.Points))
-		for i, p := range ix.graph.Points {
-			d.Points[i] = p
+		ix.ensureOOS()
+		sections = append(sections, section{tagOosq, ix.writeOOS})
+	}
+	for _, s := range sections {
+		if err := writeSection(bw, s.tag, s.payload); err != nil {
+			return bw.Count(), fmt.Errorf("core: writing %q section: %w", s.tag[:], err)
 		}
 	}
-	if err := gob.NewEncoder(bw).Encode(&d); err != nil {
-		return fmt.Errorf("core: encoding index: %w", err)
+	bw.Raw(tagEnd[:])
+	bw.Uint64(0)
+	crc := bw.Sum32()
+	bw.Uint32(crc)
+	if err := bw.Err(); err != nil {
+		return bw.Count(), err
 	}
-	return bw.Flush()
+	return bw.Count(), buffered.Flush()
 }
 
-// ReadIndex deserializes an index written by Serialize and reconstructs
+// writeSection frames a payload without buffering it: the payload
+// writers are deterministic pure functions of index state, so a first
+// pass into a counting sink yields the exact byte length and a second
+// pass streams the same bytes out. This keeps Save at O(1) extra
+// memory — buffering the GRPH section would briefly hold a second
+// copy of every feature vector.
+func writeSection(bw *binio.Writer, tag [4]byte, payload func(w io.Writer) error) error {
+	var count countingWriter
+	if err := payload(&count); err != nil {
+		return err
+	}
+	bw.Raw(tag[:])
+	bw.Uint64(uint64(count.n))
+	before := bw.Count()
+	if err := payload(sinkWriter{bw}); err != nil {
+		return err
+	}
+	if got := bw.Count() - before; got != count.n {
+		return fmt.Errorf("core: section produced %d bytes, declared %d", got, count.n)
+	}
+	return bw.Err()
+}
+
+// countingWriter measures a payload's encoded size.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// sinkWriter adapts the container's binio.Writer (which tracks count
+// and CRC) back to io.Writer for the payload functions.
+type sinkWriter struct{ bw *binio.Writer }
+
+func (s sinkWriter) Write(p []byte) (int, error) {
+	s.bw.Raw(p)
+	if err := s.bw.Err(); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (ix *Index) writeMeta(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Float64(ix.alpha)
+	exact := 0
+	if ix.exact {
+		exact = 1
+	}
+	bw.Int(exact)
+	bw.Int(ix.factor.N)
+	return bw.Err()
+}
+
+// writeLayout stores the permutation plus the cluster partition in
+// permuted node order (ClusterOf is non-decreasing because clusters
+// occupy consecutive permuted ranges); Start is rebuilt on load from
+// the run lengths.
+func (ix *Index) writeLayout(w io.Writer) error {
+	if _, err := ix.layout.Perm.WriteTo(w); err != nil {
+		return err
+	}
+	cl := &cluster.Clustering{
+		Assign:     ix.layout.ClusterOf,
+		N:          ix.layout.NumClusters,
+		Modularity: ix.stats.Modularity,
+	}
+	_, err := cl.WriteTo(w)
+	return err
+}
+
+// writeStats persists the precompute wall times (as int64
+// nanoseconds, not narrowed through int, which is 32 bits on some
+// platforms); modularity already travels inside the LAYT partition
+// record.
+func (ix *Index) writeStats(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Uint64(uint64(ix.stats.ClusterTime))
+	bw.Uint64(uint64(ix.stats.PermuteTime))
+	bw.Uint64(uint64(ix.stats.FactorTime))
+	return bw.Err()
+}
+
+// writeOOS stores the out-of-sample coarse quantizer: one mean feature
+// vector per cluster (empty clusters get a zero-length mean) and the
+// inverted member lists in original node ids.
+func (ix *Index) writeOOS(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Int(len(ix.oosMeans))
+	for c := range ix.oosMeans {
+		bw.Floats(ix.oosMeans[c])
+		bw.Ints(ix.oosMembers[c])
+	}
+	return bw.Err()
+}
+
+// ReadIndex deserializes an index written by WriteTo and reconstructs
 // every derived structure (cluster map, bound tables) so the result is
-// search-ready.
+// search-ready. It returns an error — never panics — on truncated,
+// corrupted, or wrong-version input.
 func ReadIndex(r io.Reader) (*Index, error) {
-	var d indexDisk
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&d); err != nil {
-		return nil, fmt.Errorf("core: decoding index: %w", err)
+	br := binio.NewReader(r)
+	var magic [len(indexMagic)]byte
+	br.Raw(magic[:])
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
 	}
-	if d.Version != indexDiskVersion {
-		return nil, fmt.Errorf("core: index format version %d, want %d", d.Version, indexDiskVersion)
+	if string(magic[:]) != indexMagic {
+		return nil, fmt.Errorf("core: not a mogul index file (magic %q)", magic[:])
 	}
-	n := d.NumPoints
-	if len(d.AdjRowPtr) != n+1 {
-		return nil, fmt.Errorf("core: corrupt index: %d row pointers for %d nodes", len(d.AdjRowPtr), n)
+	version := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
 	}
-	adj := &sparse.CSR{RowPtr: d.AdjRowPtr, Col: d.AdjCol, Val: d.AdjVal, Rows: n, Cols: n}
-	points := make([]vec.Vector, len(d.Points))
-	for i, p := range d.Points {
-		if len(p) != d.PointDim {
-			return nil, fmt.Errorf("core: corrupt index: point %d has dim %d, want %d", i, len(p), d.PointDim)
-		}
-		points[i] = p
+	if version != FormatVersion {
+		return nil, fmt.Errorf("core: index format version %d, this build reads version %d", version, FormatVersion)
 	}
-	g := &knn.Graph{Adj: adj, K: d.GraphK, Sigma: d.Sigma, Points: points}
 
-	perm, err := sparse.NewPermutation(d.NewToOld)
+	payloads := map[[4]byte][]byte{}
+	for {
+		var tag [4]byte
+		br.Raw(tag[:])
+		n := br.Uint64()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("core: reading section header: %w", err)
+		}
+		if tag == tagEnd {
+			if n != 0 {
+				return nil, fmt.Errorf("core: end marker carries %d payload bytes", n)
+			}
+			break
+		}
+		if n > binio.MaxCount {
+			return nil, fmt.Errorf("core: section %q claims %d bytes", tag[:], n)
+		}
+		switch tag {
+		case tagMeta, tagGrph, tagLayt, tagFact, tagStat, tagOosq:
+			payload, err := readPayload(br, n)
+			if err != nil {
+				return nil, fmt.Errorf("core: reading %q section: %w", tag[:], err)
+			}
+			// Later duplicates win.
+			payloads[tag] = payload
+		default:
+			// A section from a newer writer: skip it (the skipped
+			// bytes still count toward the checksum), which makes
+			// additive format evolution non-breaking.
+			br.Skip(int64(n))
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("core: skipping %q section: %w", tag[:], err)
+			}
+		}
+	}
+	want := br.Sum32()
+	got := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("core: checksum mismatch (file %08x, computed %08x): index file is corrupt", got, want)
+	}
+
+	for _, required := range [][4]byte{tagMeta, tagGrph, tagLayt, tagFact} {
+		if _, ok := payloads[required]; !ok {
+			return nil, fmt.Errorf("core: index file is missing required section %q", required[:])
+		}
+	}
+	return assembleIndex(payloads)
+}
+
+// readPayload reads exactly n bytes, growing the buffer in bounded
+// steps and reading straight into its tail, so a corrupt length fails
+// with an I/O error instead of a giant allocation.
+func readPayload(br *binio.Reader, n uint64) ([]byte, error) {
+	const chunk = uint64(1 << 20)
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		k := int(min(n-uint64(len(buf)), chunk))
+		off := len(buf)
+		buf = slices.Grow(buf, k)[:off+k]
+		br.Raw(buf[off:])
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// assembleIndex decodes the section payloads, cross-validates them,
+// and rebuilds the derived structures (Start offsets, cluster map,
+// bound tables, statistics). Each payload is released as soon as it
+// is decoded so peak load memory stays near one copy of the large
+// sections (the graph dominates).
+func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
+	// META: alpha, exact flag, node count.
+	mr := binio.NewReader(bytes.NewReader(payloads[tagMeta]))
+	delete(payloads, tagMeta)
+	alpha := mr.Float64()
+	exact := mr.Int()
+	n := mr.Int()
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("core: decoding metadata: %w", err)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("core: corrupt metadata: alpha=%g outside (0,1)", alpha)
+	}
+	if exact != 0 && exact != 1 {
+		return nil, fmt.Errorf("core: corrupt metadata: exact flag %d", exact)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: corrupt metadata: %d nodes", n)
+	}
+
+	// GRPH: the k-NN graph (validated internally).
+	g, err := knn.ReadGraph(bytes.NewReader(payloads[tagGrph]))
+	delete(payloads, tagGrph)
 	if err != nil {
-		return nil, fmt.Errorf("core: corrupt index permutation: %w", err)
+		return nil, err
 	}
-	if d.NumClusters < 1 || len(d.Start) != d.NumClusters+1 || d.Start[0] != 0 || d.Start[d.NumClusters] != n {
-		return nil, fmt.Errorf("core: corrupt index layout")
-	}
-	layout := &Layout{
-		Perm:        perm,
-		Start:       d.Start,
-		ClusterOf:   make([]int, n),
-		NumClusters: d.NumClusters,
-	}
-	for c := 0; c < d.NumClusters; c++ {
-		if d.Start[c] > d.Start[c+1] {
-			return nil, fmt.Errorf("core: corrupt index layout: cluster %d has negative size", c)
-		}
-		for p := d.Start[c]; p < d.Start[c+1]; p++ {
-			layout.ClusterOf[p] = c
-		}
+	if g.Len() != n {
+		return nil, fmt.Errorf("core: graph covers %d nodes, metadata says %d", g.Len(), n)
 	}
 
-	if len(d.ColPtr) != n+1 || len(d.D) != n {
-		return nil, fmt.Errorf("core: corrupt index factor")
+	// LAYT: permutation followed by the partition in permuted order.
+	lr := bytes.NewReader(payloads[tagLayt])
+	delete(payloads, tagLayt)
+	perm, err := sparse.ReadPermutation(lr)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding index permutation: %w", err)
 	}
-	factor := &cholesky.Factor{
-		N:       n,
-		ColPtr:  d.ColPtr,
-		RowIdx:  d.RowIdx,
-		Val:     d.Val,
-		D:       d.D,
-		Clamped: d.Clamped,
+	cl, err := cluster.ReadClustering(lr)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding index partition: %w", err)
+	}
+	layout, err := layoutFromPartition(perm, cl, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// FACT: the LDL^T factor (validated internally).
+	factor, err := cholesky.ReadFactor(bytes.NewReader(payloads[tagFact]))
+	delete(payloads, tagFact)
+	if err != nil {
+		return nil, err
+	}
+	if factor.N != n {
+		return nil, fmt.Errorf("core: factor covers %d nodes, metadata says %d", factor.N, n)
 	}
 
 	ix := &Index{
 		graph:  g,
-		alpha:  d.Alpha,
-		exact:  d.Exact,
+		alpha:  alpha,
+		exact:  exact == 1,
 		layout: layout,
 		factor: factor,
 	}
 	ix.bounds = buildBoundTables(factor, layout)
 	ix.stats = Stats{
 		NumNodes:      n,
-		NumEdges:      adj.NNZ() / 2,
-		NumClusters:   d.NumClusters,
+		NumEdges:      g.NumEdges(),
+		NumClusters:   layout.NumClusters,
 		BorderSize:    layout.Size(layout.Border()),
 		FactorNNZ:     factor.NNZ(),
-		ClampedPivots: d.Clamped,
+		ClampedPivots: factor.Clamped,
+		Modularity:    cl.Modularity,
+	}
+
+	// STAT (optional): precompute wall times from the original build.
+	if p, ok := payloads[tagStat]; ok {
+		sr := binio.NewReader(bytes.NewReader(p))
+		ix.stats.ClusterTime = time.Duration(int64(sr.Uint64()))
+		ix.stats.PermuteTime = time.Duration(int64(sr.Uint64()))
+		ix.stats.FactorTime = time.Duration(int64(sr.Uint64()))
+		if err := sr.Err(); err != nil {
+			return nil, fmt.Errorf("core: decoding statistics: %w", err)
+		}
+	}
+
+	// OOSQ (optional): the out-of-sample coarse quantizer. When absent
+	// it is rebuilt lazily on the first vector query.
+	if p, ok := payloads[tagOosq]; ok {
+		if err := ix.readOOS(p, n); err != nil {
+			return nil, err
+		}
 	}
 	return ix, nil
+}
+
+// layoutFromPartition rebuilds the Layout from a permutation and the
+// partition in permuted node order. Clusters occupy consecutive
+// permuted ranges, so the assignment must be non-decreasing; Start is
+// its run-length prefix sum (empty clusters are legal).
+func layoutFromPartition(perm *sparse.Permutation, cl *cluster.Clustering, n int) (*Layout, error) {
+	if perm.Len() != n {
+		return nil, fmt.Errorf("core: permutation covers %d nodes, metadata says %d", perm.Len(), n)
+	}
+	if len(cl.Assign) != n {
+		return nil, fmt.Errorf("core: partition covers %d nodes, metadata says %d", len(cl.Assign), n)
+	}
+	// At most n clusters can be non-empty plus one (possibly empty)
+	// border cluster; a larger count is corruption, and bounding it
+	// here keeps the Start allocation proportional to the real index.
+	if cl.N < 1 || cl.N > n+1 {
+		return nil, fmt.Errorf("core: corrupt layout: %d clusters for %d nodes", cl.N, n)
+	}
+	start := make([]int, cl.N+1)
+	for pos, c := range cl.Assign {
+		if pos > 0 && c < cl.Assign[pos-1] {
+			return nil, fmt.Errorf("core: corrupt layout: clusters not consecutive at position %d", pos)
+		}
+		start[c+1]++
+	}
+	for c := 0; c < cl.N; c++ {
+		start[c+1] += start[c]
+	}
+	return &Layout{
+		Perm:        perm,
+		Start:       start,
+		ClusterOf:   cl.Assign,
+		NumClusters: cl.N,
+	}, nil
+}
+
+// readOOS decodes the out-of-sample quantizer section and validates
+// that the member lists form a partition of the node ids.
+func (ix *Index) readOOS(payload []byte, n int) error {
+	br := binio.NewReader(bytes.NewReader(payload))
+	nc := br.Int()
+	if err := br.Err(); err != nil {
+		return fmt.Errorf("core: decoding out-of-sample quantizer: %w", err)
+	}
+	if nc != ix.layout.NumClusters {
+		return fmt.Errorf("core: out-of-sample quantizer has %d clusters, layout has %d", nc, ix.layout.NumClusters)
+	}
+	dim := 0
+	if len(ix.graph.Points) > 0 {
+		dim = len(ix.graph.Points[0])
+	}
+	means := make([]vec.Vector, nc)
+	members := make([][]int, nc)
+	seen := make([]bool, n)
+	total := 0
+	for c := 0; c < nc; c++ {
+		m := br.Floats(dim)
+		ids := br.Ints(n)
+		if err := br.Err(); err != nil {
+			return fmt.Errorf("core: decoding out-of-sample quantizer: %w", err)
+		}
+		if len(m) > 0 {
+			if len(m) != dim {
+				return fmt.Errorf("core: cluster %d mean has dim %d, want %d", c, len(m), dim)
+			}
+			means[c] = m
+		}
+		// A mean exists exactly when the cluster has members; a member
+		// list behind a missing mean would be silently unreachable in
+		// out-of-sample search, so reject the inconsistency here.
+		if means[c] == nil && len(ids) > 0 {
+			return fmt.Errorf("core: cluster %d has %d members but no mean", c, len(ids))
+		}
+		if means[c] != nil && len(ids) == 0 {
+			return fmt.Errorf("core: cluster %d has a mean but no members", c)
+		}
+		for _, id := range ids {
+			if id < 0 || id >= n {
+				return fmt.Errorf("core: cluster %d member %d outside [0,%d)", c, id, n)
+			}
+			if seen[id] {
+				return fmt.Errorf("core: node %d appears in two out-of-sample member lists", id)
+			}
+			seen[id] = true
+		}
+		members[c] = ids
+		total += len(ids)
+	}
+	if total != n {
+		return fmt.Errorf("core: out-of-sample member lists cover %d nodes, want %d", total, n)
+	}
+	ix.oosMeans = means
+	ix.oosMembers = members
+	return nil
 }

@@ -2,9 +2,27 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math"
 	"testing"
 )
+
+// crc32OfTest mirrors the container's whole-stream checksum.
+func crc32OfTest(p []byte) uint32 { return crc32.ChecksumIEEE(p) }
+
+func roundTrip(t *testing.T, ix *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
 
 func TestIndexSerializationRoundTrip(t *testing.T) {
 	g := testGraph(t, 300, 6, 21)
@@ -13,20 +31,17 @@ func TestIndexSerializationRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var buf bytes.Buffer
-		if err := orig.Serialize(&buf); err != nil {
-			t.Fatal(err)
-		}
-		loaded, err := ReadIndex(&buf)
-		if err != nil {
-			t.Fatal(err)
-		}
+		loaded := roundTrip(t, orig)
 		if loaded.Exact() != exact || loaded.Alpha() != orig.Alpha() {
 			t.Fatalf("metadata lost: exact=%v alpha=%g", loaded.Exact(), loaded.Alpha())
 		}
 		st := loaded.Stats()
+		ot := orig.Stats()
 		if st.NumNodes != g.Len() || st.FactorNNZ != orig.Factor().NNZ() {
 			t.Fatalf("stats lost: %+v", st)
+		}
+		if st.Modularity != ot.Modularity || st.FactorTime != ot.FactorTime {
+			t.Fatalf("precompute stats lost: %+v vs %+v", st, ot)
 		}
 		// Search results must be identical, including pruning behaviour
 		// (bound tables are rebuilt on load).
@@ -43,7 +58,7 @@ func TestIndexSerializationRoundTrip(t *testing.T) {
 				t.Fatalf("result count differs after load")
 			}
 			for i := range a {
-				if a[i].Node != b[i].Node || math.Abs(a[i].Score-b[i].Score) > 1e-15 {
+				if a[i].Node != b[i].Node || a[i].Score != b[i].Score {
 					t.Fatalf("result %d differs after load: %+v vs %+v", i, a[i], b[i])
 				}
 			}
@@ -51,38 +66,154 @@ func TestIndexSerializationRoundTrip(t *testing.T) {
 				t.Fatalf("pruning differs after load: %d vs %d", ai.ClustersPruned, bi.ClustersPruned)
 			}
 		}
-		// Out-of-sample search works on the loaded index (points kept).
-		if _, _, err := loaded.SearchOutOfSample(g.Points[3], OOSOptions{K: 5}); err != nil {
-			t.Fatalf("out-of-sample on loaded index: %v", err)
+		// Out-of-sample search returns bit-identical answers: the
+		// quantizer travels with the file rather than being rebuilt.
+		if loaded.oosMeans == nil {
+			t.Fatal("out-of-sample quantizer not restored from file")
+		}
+		a, _, err := orig.SearchOutOfSample(g.Points[3], OOSOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := loaded.SearchOutOfSample(g.Points[3], OOSOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("out-of-sample result count differs after load")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("out-of-sample result %d differs after load: %+v vs %+v", i, a[i], b[i])
+			}
 		}
 	}
 }
 
 func TestReadIndexRejectsGarbage(t *testing.T) {
-	if _, err := ReadIndex(bytes.NewReader([]byte("not a gob stream"))); err == nil {
-		t.Fatal("garbage accepted")
-	}
-	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
-		t.Fatal("empty stream accepted")
+	for name, data := range map[string][]byte{
+		"empty":       nil,
+		"short":       []byte("MOG"),
+		"wrong magic": []byte("not a mogul index file at all"),
+		"gob relic":   {0x3a, 0xff, 0x81, 0x03, 0x01, 0x01, 0x09},
+	} {
+		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s input accepted", name)
+		}
 	}
 }
 
-func TestReadIndexRejectsCorruptLayout(t *testing.T) {
+func TestReadIndexRejectsWrongVersion(t *testing.T) {
+	g := testGraph(t, 60, 4, 5)
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint32(data[len(indexMagic):], FormatVersion+1)
+	_, err = ReadIndex(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("future format version accepted")
+	}
+}
+
+func TestReadIndexDetectsCorruption(t *testing.T) {
 	g := testGraph(t, 100, 3, 22)
 	ix, err := NewIndex(g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := ix.Serialize(&buf); err != nil {
+	if _, err := ix.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// Flip a byte in the middle; either decode fails or validation
-	// catches the damage. (gob is positional, so corrupting the stream
-	// reliably breaks one of the two.)
+	// Flip one byte at a spread of positions: every corruption must be
+	// reported as an error (checksum or validation), never a panic or a
+	// silent success.
+	for pos := 0; pos < buf.Len(); pos += 41 {
+		data := append([]byte(nil), buf.Bytes()...)
+		data[pos] ^= 0xFF
+		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+			t.Fatalf("corruption at byte %d not detected", pos)
+		}
+	}
+}
+
+func TestReadIndexRejectsTruncation(t *testing.T) {
+	g := testGraph(t, 100, 3, 23)
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < buf.Len(); n += 37 {
+		if _, err := ReadIndex(bytes.NewReader(buf.Bytes()[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestReadIndexSkipsUnknownSections(t *testing.T) {
+	g := testGraph(t, 80, 4, 24)
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Splice a section with an unknown tag in front of the END marker
+	// and refresh the trailing checksum: a newer writer adding sections
+	// must not break this reader.
 	data := buf.Bytes()
-	data[len(data)/2] ^= 0xFF
-	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
-		t.Log("warning: corruption not detected at this byte position (acceptable but unusual)")
+	end := bytes.LastIndex(data[:len(data)-4], append(tagEnd[:], make([]byte, 8)...))
+	if end < 0 {
+		t.Fatal("end marker not found")
+	}
+	extra := []byte{'X', 'T', 'R', 'A', 5, 0, 0, 0, 0, 0, 0, 0, 'h', 'e', 'l', 'l', 'o'}
+	patched := append(append(append([]byte(nil), data[:end]...), extra...), data[end:len(data)-4]...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32OfTest(patched))
+	patched = append(patched, crc[:]...)
+	loaded, err := ReadIndex(bytes.NewReader(patched))
+	if err != nil {
+		t.Fatalf("unknown section broke the reader: %v", err)
+	}
+	if loaded.Stats().NumNodes != g.Len() {
+		t.Fatal("index mangled by unknown section")
+	}
+}
+
+func TestIndexWithoutPointsRoundTrips(t *testing.T) {
+	g := testGraph(t, 120, 4, 25)
+	g.Points = nil // index built over a bare adjacency
+	ix, err := NewIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, ix)
+	a, err := ix.TopK(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.TopK(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] || math.IsNaN(b[i].Score) {
+			t.Fatalf("result %d differs after load: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if _, _, err := loaded.SearchOutOfSample(make([]float64, 3), OOSOptions{K: 3}); err == nil {
+		t.Fatal("out-of-sample search should fail without feature vectors")
 	}
 }

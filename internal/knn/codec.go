@@ -1,0 +1,90 @@
+package knn
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mogul/internal/binio"
+	"mogul/internal/sparse"
+	"mogul/internal/vec"
+)
+
+// Binary codec for k-NN graphs — a leaf record of the Mogul index file
+// format (docs/FORMAT.md). The feature vectors ride along (flattened,
+// one dim header) because out-of-sample search needs them at query
+// time; a graph saved without points loads back with Points == nil and
+// in-database search still works.
+
+// WriteTo writes the graph as: K (int64), Sigma (float64), point count
+// and dimension (int64), the flattened row-major point matrix, then
+// the adjacency CSR record.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := binio.NewWriter(w)
+	bw.Int(g.K)
+	bw.Float64(g.Sigma)
+	dim := 0
+	if len(g.Points) > 0 {
+		dim = len(g.Points[0])
+	}
+	bw.Int(len(g.Points))
+	bw.Int(dim)
+	for i, p := range g.Points {
+		if len(p) != dim {
+			return bw.Count(), fmt.Errorf("knn: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		bw.Floats(p)
+	}
+	if err := bw.Err(); err != nil {
+		return bw.Count(), err
+	}
+	an, err := g.Adj.WriteTo(w)
+	return bw.Count() + an, err
+}
+
+// ReadGraph reads a graph written by WriteTo, validating that the
+// adjacency matrix is square and consistent with the point set.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	br := binio.NewReader(r)
+	k := br.Int()
+	sigma := br.Float64()
+	np := br.Int()
+	dim := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("knn: reading graph header: %w", err)
+	}
+	if k < 0 || np < 0 || np > binio.MaxCount || dim < 0 || dim > binio.MaxCount {
+		return nil, fmt.Errorf("knn: corrupt graph header (k=%d, points=%d, dim=%d)", k, np, dim)
+	}
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("knn: corrupt graph bandwidth sigma=%g", sigma)
+	}
+	var points []vec.Vector
+	if np > 0 {
+		// Grow incrementally rather than trusting np for the up-front
+		// allocation: a corrupt count then fails on the missing bytes
+		// instead of attempting a giant make.
+		points = make([]vec.Vector, 0, min(np, 1<<17))
+		for i := 0; i < np; i++ {
+			p := br.Floats(dim)
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("knn: reading point %d: %w", i, err)
+			}
+			if len(p) != dim {
+				return nil, fmt.Errorf("knn: point %d has dim %d, want %d", i, len(p), dim)
+			}
+			points = append(points, p)
+		}
+	}
+	adj, err := sparse.ReadCSR(r)
+	if err != nil {
+		return nil, fmt.Errorf("knn: reading adjacency: %w", err)
+	}
+	if adj.Rows != adj.Cols {
+		return nil, fmt.Errorf("knn: adjacency is %dx%d, want square", adj.Rows, adj.Cols)
+	}
+	if np > 0 && adj.Rows != np {
+		return nil, fmt.Errorf("knn: adjacency over %d nodes but %d points", adj.Rows, np)
+	}
+	return &Graph{Adj: adj, K: k, Sigma: sigma, Points: points}, nil
+}

@@ -1,0 +1,91 @@
+package knn
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mogul/internal/vec"
+)
+
+func codecTestGraph(t *testing.T, n int, withPoints bool) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	points := make([]vec.Vector, n)
+	for i := range points {
+		points[i] = vec.Vector{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	g, err := BuildGraph(points, GraphConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !withPoints {
+		g.Points = nil
+	}
+	return g
+}
+
+func TestGraphCodecRoundTrip(t *testing.T) {
+	for _, withPoints := range []bool{true, false} {
+		g := codecTestGraph(t, 50, withPoints)
+		var buf bytes.Buffer
+		n, err := g.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+		got, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.K != g.K || got.Sigma != g.Sigma {
+			t.Fatalf("header lost: k=%d sigma=%g", got.K, got.Sigma)
+		}
+		if !reflect.DeepEqual(got.Adj, g.Adj) {
+			t.Fatal("adjacency differs after round trip")
+		}
+		if withPoints {
+			if !reflect.DeepEqual(got.Points, g.Points) {
+				t.Fatal("points differ after round trip")
+			}
+		} else if got.Points != nil {
+			t.Fatalf("expected nil points, got %d", len(got.Points))
+		}
+	}
+}
+
+func TestReadGraphRejectsCorruption(t *testing.T) {
+	g := codecTestGraph(t, 30, true)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < buf.Len(); n += 11 {
+		if _, err := ReadGraph(bytes.NewReader(buf.Bytes()[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Point count disagreeing with the adjacency dimension.
+	bad := codecTestGraph(t, 30, true)
+	bad.Points = bad.Points[:10]
+	var b2 bytes.Buffer
+	if _, err := bad.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGraph(&b2); err == nil {
+		t.Fatal("point/adjacency size mismatch accepted")
+	}
+	// Non-positive bandwidth.
+	bad2 := codecTestGraph(t, 30, true)
+	bad2.Sigma = 0
+	var b3 bytes.Buffer
+	if _, err := bad2.WriteTo(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGraph(&b3); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}

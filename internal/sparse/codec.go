@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"fmt"
+	"io"
+
+	"mogul/internal/binio"
+)
+
+// Binary codecs for CSR matrices and permutations. These are the
+// leaf records of the Mogul index file format (docs/FORMAT.md); the
+// container in internal/core frames them, so the records themselves
+// carry no magic or checksum — only enough structure to be validated
+// on their own.
+
+// WriteTo writes the matrix in the binary record format:
+// rows, cols (int64), then RowPtr, Col, Val as length-prefixed slices.
+func (m *CSR) WriteTo(w io.Writer) (int64, error) {
+	bw := binio.NewWriter(w)
+	bw.Int(m.Rows)
+	bw.Int(m.Cols)
+	bw.Ints(m.RowPtr)
+	bw.Ints(m.Col)
+	bw.Floats(m.Val)
+	return bw.Count(), bw.Err()
+}
+
+// ReadCSR reads a matrix written by WriteTo and validates its
+// structural invariants (monotone row pointers, in-range and strictly
+// increasing column indices per row).
+func ReadCSR(r io.Reader) (*CSR, error) {
+	br := binio.NewReader(r)
+	m, err := readCSR(br)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// readCSR decodes a CSR record from an existing binio.Reader, so
+// composite codecs (graph, factor) can embed matrices in their own
+// streams.
+func readCSR(br *binio.Reader) (*CSR, error) {
+	rows := br.Int()
+	cols := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("sparse: reading matrix header: %w", err)
+	}
+	if rows < 0 || cols < 0 || rows > binio.MaxCount || cols > binio.MaxCount {
+		return nil, fmt.Errorf("sparse: corrupt matrix dimensions %dx%d", rows, cols)
+	}
+	rowPtr := br.Ints(rows + 1)
+	colIdx := br.Ints(binio.MaxCount)
+	val := br.Floats(binio.MaxCount)
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("sparse: reading matrix body: %w", err)
+	}
+	m := &CSR{RowPtr: rowPtr, Col: colIdx, Val: val, Rows: rows, Cols: cols}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Validate checks the CSR structural invariants: RowPtr has length
+// Rows+1, starts at 0, is non-decreasing and ends at NNZ; Col and Val
+// have equal length; column indices are in range and strictly
+// increasing within each row.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: %d row pointers for %d rows", len(m.RowPtr), m.Rows)
+	}
+	if len(m.Col) != len(m.Val) {
+		return fmt.Errorf("sparse: %d column indices but %d values", len(m.Col), len(m.Val))
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != len(m.Col) {
+		return fmt.Errorf("sparse: row pointers span [%d,%d], want [0,%d]", m.RowPtr[0], m.RowPtr[m.Rows], len(m.Col))
+	}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: row %d has negative extent", i)
+		}
+		prev := -1
+		for k := lo; k < hi; k++ {
+			c := m.Col[k]
+			if c < 0 || c >= m.Cols {
+				return fmt.Errorf("sparse: row %d has column %d outside [0,%d)", i, c, m.Cols)
+			}
+			if c <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing at %d", i, c)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// WriteTo writes the permutation as its NewToOld slice; OldToNew is
+// rebuilt (and the bijection re-validated) on read.
+func (p *Permutation) WriteTo(w io.Writer) (int64, error) {
+	bw := binio.NewWriter(w)
+	bw.Ints(p.NewToOld)
+	return bw.Count(), bw.Err()
+}
+
+// ReadPermutation reads a permutation written by WriteTo.
+func ReadPermutation(r io.Reader) (*Permutation, error) {
+	return readPermutation(binio.NewReader(r))
+}
+
+func readPermutation(br *binio.Reader) (*Permutation, error) {
+	newToOld := br.Ints(binio.MaxCount)
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("sparse: reading permutation: %w", err)
+	}
+	return NewPermutation(newToOld)
+}

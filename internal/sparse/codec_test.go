@@ -1,0 +1,120 @@
+package sparse
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestCSRCodecRoundTrip(t *testing.T) {
+	m, err := NewFromCoords(4, 5, []Coord{
+		{0, 1, 2.5}, {0, 4, -1}, {2, 0, 3}, {3, 3, 0.125},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestCSRCodecEmptyMatrix(t *testing.T) {
+	m, err := NewFromCoords(3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 3 || got.NNZ() != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadCSRRejectsCorruption(t *testing.T) {
+	m := Identity(6)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every byte boundary must error, never panic.
+	for n := 0; n < buf.Len(); n++ {
+		if _, err := ReadCSR(bytes.NewReader(buf.Bytes()[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Out-of-range column index.
+	bad := Identity(2)
+	bad.Col[1] = 7
+	var b2 bytes.Buffer
+	if _, err := bad.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSR(&b2); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+func TestCSRValidate(t *testing.T) {
+	ok := Identity(3)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*CSR{
+		"short rowptr":   {RowPtr: []int{0, 1}, Col: []int{0}, Val: []float64{1}, Rows: 2, Cols: 2},
+		"decreasing ptr": {RowPtr: []int{0, 1, 0}, Col: []int{0}, Val: []float64{1}, Rows: 2, Cols: 2},
+		"len mismatch":   {RowPtr: []int{0, 1, 1}, Col: []int{0}, Val: nil, Rows: 2, Cols: 2},
+		"dup column":     {RowPtr: []int{0, 2}, Col: []int{1, 1}, Val: []float64{1, 2}, Rows: 1, Cols: 2},
+	}
+	for name, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("%s passed validation", name)
+		}
+	}
+}
+
+func TestPermutationCodecRoundTrip(t *testing.T) {
+	p, err := NewPermutation([]int{3, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPermutation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestReadPermutationRejectsNonBijection(t *testing.T) {
+	p := &Permutation{NewToOld: []int{0, 0, 1}}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPermutation(&buf); err == nil {
+		t.Fatal("repeated node accepted")
+	}
+}

@@ -22,6 +22,11 @@
 //	results, err := idx.TopK(queryID, 10)           // in-database query
 //	results, err = idx.TopKVector(queryVec, 10)     // out-of-sample query
 //
+// Because the whole precomputation is query independent, an index can
+// be persisted with Save/SaveFile and restored with Load/LoadFile
+// (versioned binary format, docs/FORMAT.md); a loaded index returns
+// bit-identical results without redoing any precomputation.
+//
 // The internal packages contain the full experimental apparatus
 // (baselines EMR / FMR / Iterative / Inverse, synthetic datasets,
 // metrics); cmd/mogul-bench regenerates every figure and table of the
@@ -30,7 +35,9 @@ package mogul
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"mogul/internal/core"
 	"mogul/internal/knn"
@@ -208,34 +215,88 @@ func (ix *Index) Neighbors(item int) (ids []int, weights []float64, err error) {
 	return append([]int(nil), cols...), append([]float64(nil), vals...), nil
 }
 
-// Save writes the fully precomputed index to a file. Because all of
-// Mogul's precomputation is query independent, a saved index is
-// immediately search-ready after Load — build once, serve forever.
-func (ix *Index) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := ix.core.Serialize(f); err != nil {
-		return err
-	}
-	return f.Sync()
+// Save writes the fully precomputed index to w in the versioned
+// binary format described in docs/FORMAT.md: everything Build
+// computed — the k-NN graph, the cluster permutation, the Cholesky
+// factor, the pruning-bound inputs, and the out-of-sample quantizer —
+// is persisted, so a loaded index is immediately search-ready.
+// Because all of Mogul's precomputation is query independent, this
+// turns the O(n) build into a one-off: build once, serve forever.
+func (ix *Index) Save(w io.Writer) error {
+	_, err := ix.core.WriteTo(w)
+	return err
 }
 
-// LoadIndex reads an index written by Save.
-func LoadIndex(path string) (*Index, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// SaveFile writes the index to a file via Save. The file is written to
+// a temporary sibling and renamed into place, so a crash mid-save
+// never leaves a truncated index at path. The file is created with
+// mode 0644 regardless of umask; callers that need the index private
+// can Save to a file they opened themselves.
+func (ix *Index) SaveFile(path string) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage its temp file in the destination
+		// directory, not os.TempDir(): rename does not cross devices.
+		dir = "."
 	}
-	defer f.Close()
-	ci, err := core.ReadIndex(f)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// CreateTemp makes the file 0600; give the final index the usual
+	// artifact permissions so other users (a service account) can load it.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Load reads an index written by Save. Old-version, truncated, or
+// corrupted input (the format carries a magic header, a version field,
+// and a whole-file checksum) yields an error, never a panic.
+func Load(r io.Reader) (*Index, error) {
+	ci, err := core.ReadIndex(r)
 	if err != nil {
 		return nil, err
 	}
 	return &Index{core: ci, graph: ci.Graph()}, nil
 }
+
+// LoadFile reads an index file written by SaveFile.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// LoadIndex reads an index file written by SaveFile.
+//
+// Deprecated: use LoadFile.
+func LoadIndex(path string) (*Index, error) { return LoadFile(path) }
 
 // Stats returns index construction statistics.
 func (ix *Index) Stats() Stats { return ix.core.Stats() }

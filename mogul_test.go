@@ -261,10 +261,10 @@ func TestTopKSet(t *testing.T) {
 func TestSaveLoadIndex(t *testing.T) {
 	ix, _ := buildTestIndex(t, Options{})
 	path := t.TempDir() + "/index.mogul"
-	if err := ix.Save(path); err != nil {
+	if err := ix.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadIndex(path)
+	loaded, err := LoadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
