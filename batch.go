@@ -15,12 +15,15 @@ type BatchResult struct {
 	Err error
 }
 
-// TopKBatch answers many in-database queries concurrently. The index
-// is read-only during search, so queries parallelize perfectly; this
-// is the bulk-evaluation entry point (e.g. scoring a whole query log).
-// parallelism <= 0 selects GOMAXPROCS. Results are returned in input
-// order; per-query failures are reported in the corresponding
-// BatchResult rather than aborting the batch.
+// TopKBatch answers many in-database queries concurrently. Searches
+// only take the index's read lock, so queries parallelize perfectly;
+// this is the bulk-evaluation entry point (e.g. scoring a whole query
+// log). It is safe to run concurrently with Insert/Delete/Compact:
+// each query observes a consistent index state, with inserted items
+// competing in its results. parallelism <= 0 selects GOMAXPROCS.
+// Results are returned in input order; per-query failures are
+// reported in the corresponding BatchResult rather than aborting the
+// batch.
 func (ix *Index) TopKBatch(queries []int, k, parallelism int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {

@@ -475,3 +475,54 @@ func BenchmarkIndexBuild(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkInsert measures one online insert into the delta layer:
+// a nearest-cluster probe plus surrogate weighting — microseconds,
+// versus the milliseconds-to-seconds a full rebuild would cost (see
+// BenchmarkIndexBuild for the comparison point at n=2000).
+func BenchmarkInsert(b *testing.B) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 4000, Classes: 10, Dim: 16, WithinStd: 0.3, Separation: 2.5, Seed: 9,
+	})
+	ix, err := Build(ds.Points[:2000], Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := ds.Points[2000:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Insert(pool[i%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopKWithDelta measures the search-time cost of an
+// uncompacted delta at 0/1/5/10% of the base size — the quantity that
+// sets a sensible AutoCompactFraction (README "Dynamic updates").
+func BenchmarkTopKWithDelta(b *testing.B) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 2200, Classes: 10, Dim: 16, WithinStd: 0.3, Separation: 2.5, Seed: 10,
+	})
+	const n = 2000
+	for _, pct := range []int{0, 1, 5, 10} {
+		b.Run(fmt.Sprintf("delta=%d%%", pct), func(b *testing.B) {
+			ix, err := Build(ds.Points[:n], Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n*pct/100; i++ {
+				if _, err := ix.Insert(ds.Points[n+i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := benchQueries(n, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.TopK(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

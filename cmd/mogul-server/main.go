@@ -15,12 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mogul"
@@ -91,9 +95,40 @@ func main() {
 	}
 
 	srv := newServer(idx, labels)
-	log.Printf("serving Manifold Ranking search on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal("mogul-server: ", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving Manifold Ranking search on %s", l.Addr())
+	if err := serve(ctx, l, srv, 10*time.Second); err != nil {
+		log.Fatal("mogul-server: ", err)
+	}
+	log.Print("shut down cleanly")
+}
+
+// serve runs an HTTP server on l until ctx is cancelled (SIGTERM or
+// interrupt in production), then shuts down gracefully: the listener
+// closes immediately, in-flight requests get up to grace to finish. A
+// clean shutdown returns nil.
+func serve(ctx context.Context, l net.Listener, h http.Handler, grace time.Duration) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
 	}
 }
 

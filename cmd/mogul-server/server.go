@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,10 +24,25 @@ import (
 //	POST /search/set {"ids":[1,2,3], "k":10}
 //	                               -> multi-seed query
 //	GET  /item/17                  -> item metadata (label, neighbours)
+//	POST /insert {"vector":[...]}  -> online insert, returns the new id
+//	POST /delete {"id":17}         -> online delete (tombstone)
+//	POST /compact                  -> fold the delta into a fresh base
 type server struct {
-	idx    *mogul.Index
-	labels []int
-	mux    *http.ServeMux
+	idx *mogul.Index
+	mux *http.ServeMux
+
+	// mutateMu serializes the mutating handlers (/insert, /delete,
+	// /compact) so that "index mutated" and "label bookkeeping
+	// updated" are atomic with respect to a racing compaction —
+	// otherwise a compact (explicit, or auto-triggered inside Insert)
+	// could renumber ids after a delete whose record it never saw,
+	// leaving labels silently misaligned. Searches never take it.
+	mutateMu sync.Mutex
+	// labelMu guards labels and deleted: labels index items by id, so
+	// they go stale when a compaction renumbers ids after deletions.
+	labelMu sync.RWMutex
+	labels  []int
+	deleted bool
 
 	// Cumulative counters surfaced by /stats (atomics: handlers run
 	// concurrently).
@@ -44,6 +60,9 @@ func newServer(idx *mogul.Index, labels []int) *server {
 	s.mux.HandleFunc("/search/set", s.handleSearchSet)
 	s.mux.HandleFunc("/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("/item/", s.handleItem)
+	s.mux.HandleFunc("/insert", s.handleInsert)
+	s.mux.HandleFunc("/delete", s.handleDelete)
+	s.mux.HandleFunc("/compact", s.handleCompact)
 	return s
 }
 
@@ -90,11 +109,16 @@ type searchResponse struct {
 }
 
 func (s *server) toAnswers(res []mogul.Result) []answer {
+	s.labelMu.RLock()
+	labels := s.labels
+	s.labelMu.RUnlock()
 	out := make([]answer, len(res))
 	for i, r := range res {
 		out[i] = answer{Item: r.Node, Score: r.Score}
-		if s.labels != nil {
-			l := s.labels[r.Node]
+		// Inserted items sit beyond the labelled range; they simply
+		// carry no label.
+		if labels != nil && r.Node < len(labels) {
+			l := labels[r.Node]
 			out[i].Label = &l
 		}
 	}
@@ -103,6 +127,10 @@ func (s *server) toAnswers(res []mogul.Result) []answer {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.idx.Stats()
+	ds := s.idx.Delta()
+	s.labelMu.RLock()
+	hasLabels := s.labels != nil
+	s.labelMu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":       "ok",
 		"items":        s.idx.Len(),
@@ -110,8 +138,119 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"border_size":  st.BorderSize,
 		"factor_nnz":   st.FactorNNZ,
 		"exact":        s.idx.Exact(),
-		"has_labels":   s.labels != nil,
+		"has_labels":   hasLabels,
 		"precompute_s": st.PrecomputeTime().Seconds(),
+		"delta_items":  ds.DeltaItems,
+		"tombstones":   ds.Tombstones,
+	})
+}
+
+// handleInsert adds one point online (POST {"vector":[...]}); the new
+// item competes in every subsequent search.
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		Vector []float64 `json:"vector"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	s.mutateMu.Lock()
+	baseBefore := s.idx.Delta().BaseItems
+	id, err := s.idx.Insert(req.Vector)
+	if err == nil && s.idx.Delta().BaseItems != baseBefore {
+		// The insert auto-compacted (AutoCompactFraction, e.g. restored
+		// from a loaded index's build config). If deletions were folded
+		// in, ids were renumbered and the label table is stale.
+		s.dropLabelsAfterRenumber()
+	}
+	s.mutateMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ds := s.idx.Delta()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id":          id,
+		"items":       s.idx.Len(),
+		"delta_items": ds.DeltaItems,
+	})
+}
+
+// handleDelete tombstones one item (POST {"id":17}).
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		ID *int `json:"id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == nil {
+		writeError(w, http.StatusBadRequest, "body must be {\"id\": <int>}")
+		return
+	}
+	s.mutateMu.Lock()
+	isBase := *req.ID < s.idx.Delta().BaseItems
+	err := s.idx.Delete(*req.ID)
+	if err == nil && isBase {
+		// Only a base delete will shift ids at the next compaction;
+		// deleting a delta item leaves base ids 0..n-1 untouched, so
+		// the label table stays aligned.
+		s.labelMu.Lock()
+		s.deleted = true
+		s.labelMu.Unlock()
+	}
+	s.mutateMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"deleted": *req.ID,
+		"items":   s.idx.Len(),
+	})
+}
+
+// dropLabelsAfterRenumber clears the label table after a compaction
+// that folded base deletions in (those renumber ids); callers hold
+// mutateMu.
+func (s *server) dropLabelsAfterRenumber() {
+	s.labelMu.Lock()
+	if s.deleted {
+		s.labels = nil
+		s.deleted = false
+	}
+	s.labelMu.Unlock()
+}
+
+// handleCompact folds the delta into a fresh base build (POST).
+// Compaction after deletions renumbers ids, which orphans the
+// dataset's label table — labels are dropped in that case rather than
+// served misaligned.
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	t0 := time.Now()
+	s.mutateMu.Lock()
+	err := s.idx.Compact()
+	if err == nil {
+		s.dropLabelsAfterRenumber()
+	}
+	s.mutateMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"items":   s.idx.Len(),
+		"took_us": time.Since(t0).Microseconds(),
 	})
 }
 
@@ -272,9 +411,11 @@ func (s *server) handleItem(w http.ResponseWriter, r *http.Request) {
 		"neighbors":        ids,
 		"neighbor_weights": weights,
 	}
-	if s.labels != nil {
+	s.labelMu.RLock()
+	if s.labels != nil && id < len(s.labels) {
 		resp["label"] = s.labels[id]
 	}
+	s.labelMu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 

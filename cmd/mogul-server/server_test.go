@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"mogul"
 )
@@ -214,6 +219,211 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if int(body["query_errors"].(float64)) != 1 {
 		t.Fatalf("error counter: %v", body)
+	}
+}
+
+func TestInsertEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	before := ds.Len()
+
+	// A valid insert returns the next id and shows up in searches.
+	rec, body := doJSON(t, s, http.MethodPost, "/insert", map[string]interface{}{
+		"vector": ds.Points[3],
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	id := int(body["id"].(float64))
+	if id != before {
+		t.Fatalf("first insert got id %d, want %d", id, before)
+	}
+	if int(body["items"].(float64)) != before+1 {
+		t.Fatalf("items: %v", body["items"])
+	}
+	rec, body = doJSON(t, s, http.MethodGet, fmt.Sprintf("/search?id=%d&k=3", id), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search on inserted id: status %d, %v", rec.Code, body)
+	}
+	// The inserted item carries no label; its duplicate base item does.
+	answers := body["answers"].([]interface{})
+	for _, a := range answers {
+		if int(a.(map[string]interface{})["item"].(float64)) == id {
+			if _, ok := a.(map[string]interface{})["label"]; ok {
+				t.Fatal("inserted item was given a label")
+			}
+		}
+	}
+
+	// Error paths: wrong dimension, bad JSON, wrong method.
+	rec, _ = doJSON(t, s, http.MethodPost, "/insert", map[string]interface{}{
+		"vector": []float64{1, 2},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("wrong-dim insert status %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/insert", bytes.NewReader([]byte("{")))
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", rec2.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/insert", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /insert status %d", rec.Code)
+	}
+}
+
+func TestDeleteEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	rec, body := doJSON(t, s, http.MethodPost, "/delete", map[string]interface{}{"id": 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if int(body["items"].(float64)) != ds.Len()-1 {
+		t.Fatalf("items after delete: %v", body["items"])
+	}
+	// The deleted item is gone from searches and errors as a query.
+	rec, body = doJSON(t, s, http.MethodGet, "/search?id=0&k=300", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status %d", rec.Code)
+	}
+	for _, a := range body["answers"].([]interface{}) {
+		if int(a.(map[string]interface{})["item"].(float64)) == 5 {
+			t.Fatal("deleted item still in results")
+		}
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/search?id=5&k=3", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("search on deleted id status %d", rec.Code)
+	}
+	// Error paths: double delete, unknown id, missing body, method.
+	rec, _ = doJSON(t, s, http.MethodPost, "/delete", map[string]interface{}{"id": 5})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("double delete status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/delete", map[string]interface{}{"id": 999999})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown id status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/delete", map[string]interface{}{})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing id status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/delete", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /delete status %d", rec.Code)
+	}
+}
+
+func TestCompactEndpoint(t *testing.T) {
+	s, ds := testServer(t)
+	doJSON(t, s, http.MethodPost, "/insert", map[string]interface{}{"vector": ds.Points[1]})
+	_, body := doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if int(body["delta_items"].(float64)) != 1 {
+		t.Fatalf("delta_items before compact: %v", body)
+	}
+	rec, body := doJSON(t, s, http.MethodPost, "/compact", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if int(body["items"].(float64)) != ds.Len()+1 {
+		t.Fatalf("items after compact: %v", body["items"])
+	}
+	_, body = doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if int(body["delta_items"].(float64)) != 0 {
+		t.Fatalf("delta_items after compact: %v", body)
+	}
+	// Labels survive an insert-only compaction (ids are stable)...
+	if body["has_labels"] != true {
+		t.Fatal("labels dropped by insert-only compaction")
+	}
+	// ...and survive a delta-only delete (base ids stay aligned)...
+	_, insBody := doJSON(t, s, http.MethodPost, "/insert", map[string]interface{}{"vector": ds.Points[4]})
+	doJSON(t, s, http.MethodPost, "/delete", map[string]interface{}{"id": int(insBody["id"].(float64))})
+	doJSON(t, s, http.MethodPost, "/compact", nil)
+	_, body = doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if body["has_labels"] != true {
+		t.Fatal("labels dropped by delta-only delete compaction")
+	}
+	// ...but are dropped once a delete-compaction renumbers ids.
+	doJSON(t, s, http.MethodPost, "/delete", map[string]interface{}{"id": 2})
+	rec, _ = doJSON(t, s, http.MethodPost, "/compact", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second compact status %d", rec.Code)
+	}
+	_, body = doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if body["has_labels"] != false {
+		t.Fatal("labels served misaligned after delete-compaction")
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/compact", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /compact status %d", rec.Code)
+	}
+}
+
+// TestGracefulShutdown drives the real serve loop: a request completes,
+// the context is cancelled (what SIGTERM does in main), and serve
+// returns cleanly while draining an in-flight request.
+func TestGracefulShutdown(t *testing.T) {
+	s, _ := testServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the real handler so the test can cancel the serve loop while
+	// a request is provably in flight.
+	started := make(chan struct{})
+	var once sync.Once
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search" {
+			once.Do(func() { close(started) })
+			time.Sleep(50 * time.Millisecond)
+		}
+		s.ServeHTTP(w, r)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, slow, 5*time.Second) }()
+
+	url := "http://" + l.Addr().String()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Cancel mid-request: graceful drain means the in-flight search
+	// still gets an answer, not a reset connection.
+	inflight := make(chan error, 1)
+	go func() {
+		r, err := http.Get(url + "/search?id=1&k=5")
+		if err == nil {
+			if r.StatusCode != http.StatusOK {
+				err = fmt.Errorf("in-flight search status %d", r.StatusCode)
+			}
+			r.Body.Close()
+		}
+		inflight <- err
+	}()
+	<-started
+	cancel()
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after cancellation")
+	}
+	// The listener is closed: new connections are refused.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
 	}
 }
 

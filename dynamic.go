@@ -1,0 +1,55 @@
+package mogul
+
+import "mogul/internal/core"
+
+// Dynamic updates: online Insert/Delete without rebuilding, plus
+// Compact to fold accumulated changes into a fresh base build. See
+// README "Dynamic updates" for the accuracy model and
+// internal/core/dynamic.go for the mechanism (an out-of-sample delta
+// layer scored through the Section 4.6.2 machinery).
+
+// DeltaStats describes the dynamic state of an index: the size of the
+// factored base, the live inserted items awaiting compaction, and the
+// tombstones deletions left behind.
+type DeltaStats = core.DeltaStats
+
+// Insert adds a new point to the index without rebuilding and returns
+// its item id. The point becomes immediately searchable: it competes
+// in TopK/TopKVector/TopKBatch results and can itself serve as a
+// query. Internally it is scored through the out-of-sample extension
+// (its nearest in-database neighbours act as surrogates), so accuracy
+// degrades gently as the delta grows — size the delta with
+// Options.AutoCompactFraction or call Compact to fold it in. Safe for
+// concurrent use with searches.
+func (ix *Index) Insert(v Vector) (int, error) {
+	return ix.core.Insert(v)
+}
+
+// Delete removes an item (base or inserted) from every search path.
+// The underlying storage is tombstoned until Compact; deleting an
+// unknown or already-deleted id is an error. Safe for concurrent use
+// with searches.
+func (ix *Index) Delete(id int) error {
+	return ix.core.Delete(id)
+}
+
+// Compact folds the delta layer into the base: live points are
+// rebuilt into a fresh index with the original build options, after
+// which the delta is empty. For insert-only workloads the result — ids
+// included — is bit-identical to a fresh Build over the merged point
+// set (the whole pipeline is deterministic for a fixed seed). After
+// deletions, ids are renumbered compactly with live items keeping
+// their relative order. Searches keep running against the
+// pre-compaction state while the rebuild is in progress; only
+// Insert/Delete block. Indexes built via BuildFromGraphPoints or
+// loaded from a pre-v3 file cannot Compact (no recorded graph
+// recipe) and return an error.
+func (ix *Index) Compact() error {
+	return ix.core.Compact()
+}
+
+// Delta reports the dynamic state of the index (base size, live
+// inserts, tombstones).
+func (ix *Index) Delta() DeltaStats {
+	return ix.core.Delta()
+}

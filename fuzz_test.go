@@ -1,0 +1,87 @@
+package mogul
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the index loader. The contract
+// under fuzz: Load never panics — corrupt, truncated, hostile, or
+// version-skewed input must yield an error — and any input it does
+// accept must produce an index that searches without panicking. Run
+// the stored corpus on every `go test`; explore with
+//
+//	go test -fuzz FuzzLoad -fuzztime 30s .
+
+// fuzzSeedIndex builds one small static and one dynamic index and
+// returns their serialized forms; computed once, shared by seeds and
+// target.
+var fuzzSeedIndex = sync.OnceValues(func() ([]byte, []byte) {
+	ds := NewMixture(MixtureConfig{
+		N: 80, Classes: 4, Dim: 6, WithinStd: 0.3, Separation: 2.5, Seed: 7,
+	})
+	ix, err := Build(ds.Points[:70], Options{})
+	if err != nil {
+		panic(err)
+	}
+	var static bytes.Buffer
+	if err := ix.Save(&static); err != nil {
+		panic(err)
+	}
+	for _, p := range ds.Points[70:] {
+		if _, err := ix.Insert(p); err != nil {
+			panic(err)
+		}
+	}
+	if err := ix.Delete(3); err != nil {
+		panic(err)
+	}
+	if err := ix.Delete(71); err != nil {
+		panic(err)
+	}
+	var dynamic bytes.Buffer
+	if err := ix.Save(&dynamic); err != nil {
+		panic(err)
+	}
+	return static.Bytes(), dynamic.Bytes()
+})
+
+func FuzzLoad(f *testing.F) {
+	static, dynamic := fuzzSeedIndex()
+	f.Add(static)
+	f.Add(dynamic)
+	f.Add(static[:len(static)/2])               // truncation
+	f.Add(dynamic[:len(dynamic)-3])             // clipped checksum
+	f.Add([]byte{})                             // empty
+	f.Add([]byte("MOGULIDX"))                   // header only
+	f.Add([]byte("GOBSTREAMthis was format 1")) // wrong magic
+	mutated := append([]byte(nil), dynamic...)
+	mutated[len(mutated)/3] ^= 0x5A // body corruption
+	f.Add(mutated)
+	versioned := append([]byte(nil), static...)
+	versioned[8] = 0xFF // far-future version
+	f.Add(versioned)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must behave: searches, dynamic ops and a
+		// re-save all run without panicking.
+		if ix.Len() <= 0 {
+			t.Fatalf("loaded index has %d items", ix.Len())
+		}
+		if _, err := ix.TopK(0, 3); err != nil {
+			t.Fatalf("loaded index cannot search: %v", err)
+		}
+		if _, _, err := ix.Neighbors(0); err != nil {
+			t.Fatalf("loaded index cannot serve neighbours: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("loaded index cannot re-save: %v", err)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package binio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader drives the primitive decoder with arbitrary bytes through
+// a fixed read script covering every primitive. The contract: no
+// panic, no giant allocation from corrupt length prefixes, errors are
+// sticky, and truncation surfaces as io.ErrUnexpectedEOF rather than
+// io.EOF.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint32(7)
+	w.Int(-42)
+	w.Float64(3.5)
+	w.Ints([]int{1, 2, 3})
+	w.Floats([]float64{0.5, -0.25})
+	w.Uint64(999)
+	if err := w.Err(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // maximal length prefixes
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		_ = r.Uint32()
+		_ = r.Int()
+		_ = r.Float64()
+		ints := r.Ints(1 << 20)
+		floats := r.Floats(1 << 20)
+		_ = r.Uint64()
+		if err := r.Err(); err != nil {
+			// Sticky error: every later read is a no-op zero value.
+			if got := r.Uint64(); got != 0 {
+				t.Fatalf("read after error returned %d", got)
+			}
+			if err == io.EOF {
+				t.Fatal("truncation reported as io.EOF, want io.ErrUnexpectedEOF")
+			}
+			return
+		}
+		// Successful slice reads never exceed the declared cap.
+		if len(ints) > 1<<20 || len(floats) > 1<<20 {
+			t.Fatalf("slice bounds ignored: %d ints, %d floats", len(ints), len(floats))
+		}
+	})
+}

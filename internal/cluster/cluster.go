@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"mogul/internal/sparse"
 )
@@ -150,8 +151,15 @@ func localMove(adj *sparse.CSR, cfg Config) (assign []int, improved bool) {
 
 	// commTot[c] = sum of degrees of nodes in community c.
 	commTot := append([]float64(nil), degree...)
-	// Scratch: weight from the moving node to each neighbour community.
+	// Scratch: weight from the moving node to each neighbour community,
+	// plus the candidate list in ascending community id. Iterating the
+	// map directly would visit candidates in randomized order, and the
+	// near-tie break below is order sensitive — the clustering (and
+	// with it every downstream structure) must be a pure function of
+	// the input graph, or rebuild-equivalence guarantees (Compact
+	// versus fresh Build) break.
 	neighWeight := make(map[int]float64, 16)
+	candidates := make([]int, 0, 16)
 
 	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
 		moved := 0
@@ -160,23 +168,29 @@ func localMove(adj *sparse.CSR, cfg Config) (assign []int, improved bool) {
 			for k := range neighWeight {
 				delete(neighWeight, k)
 			}
+			candidates = candidates[:0]
 			cols, vals := adj.Row(i)
 			for k, j := range cols {
 				if j == i {
 					continue
 				}
-				neighWeight[assign[j]] += vals[k]
+				c := assign[j]
+				if _, ok := neighWeight[c]; !ok {
+					candidates = append(candidates, c)
+				}
+				neighWeight[c] += vals[k]
 			}
+			sort.Ints(candidates)
 			// Remove i from its community.
 			commTot[ci] -= degree[i]
 			// Gain of joining community c:
 			//   w(i->c) - resolution * degree_i * commTot[c] / 2m
 			best, bestGain := ci, neighWeight[ci]-cfg.Resolution*degree[i]*commTot[ci]/total2m
-			for cand, w := range neighWeight {
+			for _, cand := range candidates {
 				if cand == ci {
 					continue
 				}
-				gain := w - cfg.Resolution*degree[i]*commTot[cand]/total2m
+				gain := neighWeight[cand] - cfg.Resolution*degree[i]*commTot[cand]/total2m
 				if gain > bestGain+cfg.MinGain || (gain > bestGain-cfg.MinGain && cand < best && gain >= bestGain) {
 					best, bestGain = cand, gain
 				}

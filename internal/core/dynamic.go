@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"mogul/internal/knn"
+	"mogul/internal/topk"
+	"mogul/internal/vec"
+)
+
+// Dynamic updates (online Insert/Delete) via an out-of-sample delta
+// layer.
+//
+// Mogul's precomputation (graph -> clustering -> Cholesky) is query
+// independent but data dependent: a changed database invalidates the
+// factor. Rather than rebuilding on every change, new points are
+// appended to a *delta layer* and scored through the out-of-sample
+// extension of Section 4.6.2: each inserted point is represented by
+// its nearest in-database neighbours (surrogates) with heat-kernel
+// weights, exactly as an out-of-sample query would be. Because the
+// Manifold Ranking kernel (I - alpha S)^{-1} is symmetric, the score
+// of delta point d for any query is q_d^T x, where q_d is d's
+// surrogate query vector and x the query's base score vector — so
+// delta items merge into every search path's result heap for the
+// price of reading x at a handful of extra positions. Deletions
+// tombstone base or delta items and filter them from every search
+// path; Compact() folds the delta into a fresh base build.
+//
+// Concurrency: the delta is guarded by an RWMutex (Index.mu).
+// Searches take the read lock — they never contend with each other,
+// and the base structures stay untouched — while Insert/Delete take
+// the write lock briefly and Compact swaps the rebuilt base in under
+// it. A second mutex (Index.compactMu) serializes mutators so a
+// compaction cannot lose concurrent inserts.
+
+// delta is the out-of-sample update layer: points inserted after the
+// base build, their surrogate representations, and tombstones for
+// deleted base and delta items. Delta item i has external id
+// factor.N + i; ids are never reused until Compact renumbers.
+type delta struct {
+	// points holds the inserted feature vectors (cloned on Insert).
+	points []vec.Vector
+	// probes[i] are the base node ids acting as surrogate query nodes
+	// for delta point i; weights[i] are their normalized heat-kernel
+	// weights (sum 1).
+	probes  [][]int
+	weights [][]float64
+	// dead marks tombstoned delta slots; live counts the rest.
+	dead []bool
+	live int
+	// deadBase holds tombstoned base node ids.
+	deadBase map[int]bool
+	// clusters maps a cluster id to the number of live delta points
+	// with a surrogate inside it — the clusters every search must
+	// back-substitute so delta scores can be read off x.
+	clusters map[int]int
+}
+
+// DeltaStats describes the dynamic state of an index.
+type DeltaStats struct {
+	// BaseItems is the size of the factored base, including items
+	// already tombstoned.
+	BaseItems int
+	// DeltaItems is the number of live inserted items awaiting
+	// compaction.
+	DeltaItems int
+	// Tombstones is the number of deleted items (base and delta)
+	// awaiting compaction.
+	Tombstones int
+}
+
+// Delta reports the dynamic state of the index.
+func (ix *Index) Delta() DeltaStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d := &ix.delta
+	return DeltaStats{
+		BaseItems:  ix.factor.N,
+		DeltaItems: d.live,
+		Tombstones: len(d.deadBase) + len(d.dead) - d.live,
+	}
+}
+
+// Len returns the number of live items: base plus delta, minus
+// tombstones.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.liveTotal()
+}
+
+// liveTotal is Len without locking; callers hold mu.
+func (ix *Index) liveTotal() int {
+	return ix.factor.N - len(ix.delta.deadBase) + ix.delta.live
+}
+
+// Insert appends a new point to the index without rebuilding: the
+// point is assigned the next free id (current total item count,
+// counting tombstoned slots) and becomes immediately searchable — it
+// appears in top-k results of every search path and can itself serve
+// as an in-database query. Scores involving delta items are
+// out-of-sample extensions over the fixed base graph, so their
+// accuracy degrades as the delta grows; set AutoCompactFraction (or
+// call Compact) to fold the delta back into the base. The input
+// vector is copied.
+func (ix *Index) Insert(v vec.Vector) (int, error) {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("core: inserted vector has non-finite component %g", x)
+		}
+	}
+	ix.mu.RLock()
+	if len(ix.graph.Points) == 0 {
+		ix.mu.RUnlock()
+		return 0, fmt.Errorf("core: index has no feature vectors; Insert unavailable")
+	}
+	if dim := len(ix.graph.Points[0]); len(v) != dim {
+		ix.mu.RUnlock()
+		return 0, fmt.Errorf("core: inserted vector has dim %d, want %d", len(v), dim)
+	}
+	probes, weights, err := ix.surrogates(v, ix.graph.K)
+	if err != nil {
+		ix.mu.RUnlock()
+		return 0, err
+	}
+	n := ix.factor.N
+	autoFrac := ix.opts.AutoCompactFraction
+	canCompact := ix.graphCfg != nil
+	clusters := ix.probeClusters(probes)
+	ix.mu.RUnlock()
+
+	ix.mu.Lock()
+	d := &ix.delta
+	id := n + len(d.points)
+	d.points = append(d.points, slices.Clone(v))
+	d.probes = append(d.probes, probes)
+	d.weights = append(d.weights, weights)
+	d.dead = append(d.dead, false)
+	d.live++
+	if d.clusters == nil {
+		d.clusters = make(map[int]int)
+	}
+	for _, c := range clusters {
+		d.clusters[c]++
+	}
+	pending := len(d.points) + len(d.deadBase)
+	ix.mu.Unlock()
+
+	// Auto-compaction: once the delta outgrows the configured fraction
+	// of the base, fold it in. The insert above already succeeded and a
+	// compaction failure leaves the index fully consistent (the swap
+	// happens only on success), so a failure — not reachable for a
+	// healthy index — is deferred to an explicit Compact call rather
+	// than falsely failing the insert; the next Insert retries.
+	if autoFrac > 0 && canCompact && float64(pending) > autoFrac*float64(n) {
+		if err := ix.compactLocked(); err == nil {
+			// Compaction renumbers: the just-inserted point is the
+			// youngest live item, so it now carries the last id. For
+			// insert-only workloads this equals the pre-compaction id.
+			ix.mu.RLock()
+			id = ix.liveTotal() - 1
+			ix.mu.RUnlock()
+		}
+	}
+	return id, nil
+}
+
+// probeClusters returns the distinct clusters containing the given
+// base node ids; callers hold at least the read lock.
+func (ix *Index) probeClusters(probes []int) []int {
+	seen := make(map[int]bool, 2)
+	out := make([]int, 0, 2)
+	for _, id := range probes {
+		c := ix.layout.ClusterOf[ix.layout.Perm.OldToNew[id]]
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Delete tombstones an item (base or delta): it disappears from every
+// search path and can no longer serve as a query. The underlying
+// storage — and, for base items, the item's role as a diffusion
+// conduit in the fixed graph — persists until Compact. Deleting an
+// unknown or already-deleted id is an error.
+func (ix *Index) Delete(id int) error {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	n := ix.factor.N
+	d := &ix.delta
+	switch {
+	case id < 0 || id >= n+len(d.points):
+		return fmt.Errorf("core: item %d outside [0,%d)", id, n+len(d.points))
+	case id < n:
+		if d.deadBase[id] {
+			return fmt.Errorf("core: item %d already deleted", id)
+		}
+		if ix.liveTotal() <= 1 {
+			return fmt.Errorf("core: cannot delete the last live item")
+		}
+		if d.deadBase == nil {
+			d.deadBase = make(map[int]bool)
+		}
+		d.deadBase[id] = true
+	default:
+		i := id - n
+		if d.dead[i] {
+			return fmt.Errorf("core: item %d already deleted", id)
+		}
+		if ix.liveTotal() <= 1 {
+			return fmt.Errorf("core: cannot delete the last live item")
+		}
+		d.dead[i] = true
+		d.live--
+		for _, c := range ix.probeClusters(d.probes[i]) {
+			if d.clusters[c]--; d.clusters[c] == 0 {
+				delete(d.clusters, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Compact folds the delta layer into the base: the live points (base
+// items in original order minus tombstones, then live delta items in
+// insertion order) are rebuilt into a fresh index with the exact
+// options of the original build, and the result is swapped in under
+// the write lock. Because the whole pipeline is deterministic for a
+// fixed seed, an index that only ever saw Inserts compacts to the
+// bit-identical index a fresh Build over the merged point set yields
+// — ids included. After deletions, ids are renumbered compactly
+// (live items keep their relative order).
+//
+// Searches proceed concurrently against the pre-compaction state
+// until the swap; only Insert/Delete block for the duration.
+func (ix *Index) Compact() error {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+	return ix.compactLocked()
+}
+
+// compactLocked is Compact with compactMu already held.
+func (ix *Index) compactLocked() error {
+	ix.mu.RLock()
+	if ix.graphCfg == nil {
+		ix.mu.RUnlock()
+		return fmt.Errorf("core: index carries no graph configuration (external graph, or loaded from a pre-v3 file); Compact unavailable")
+	}
+	d := &ix.delta
+	if len(d.points) == 0 && len(d.deadBase) == 0 {
+		ix.mu.RUnlock()
+		return nil
+	}
+	pts := make([]vec.Vector, 0, ix.liveTotal())
+	for i, p := range ix.graph.Points {
+		if !d.deadBase[i] {
+			pts = append(pts, p)
+		}
+	}
+	for i, p := range d.points {
+		if !d.dead[i] {
+			pts = append(pts, p)
+		}
+	}
+	cfg := *ix.graphCfg
+	opts := ix.opts
+	opts.Graph = &cfg
+	ix.mu.RUnlock()
+
+	if len(pts) < 2 {
+		return fmt.Errorf("core: compaction needs at least 2 live items, have %d", len(pts))
+	}
+	g, err := knn.BuildGraph(pts, cfg)
+	if err != nil {
+		return fmt.Errorf("core: compaction graph rebuild: %w", err)
+	}
+	fresh, err := NewIndex(g, opts)
+	if err != nil {
+		return fmt.Errorf("core: compaction: %w", err)
+	}
+
+	ix.mu.Lock()
+	ix.adoptLocked(fresh)
+	ix.mu.Unlock()
+	return nil
+}
+
+// adoptLocked replaces every base structure of ix with src's and
+// resets the delta layer. Callers hold the write lock (and compactMu,
+// so no mutator races). Fields are copied one by one — the mutexes
+// must stay in place.
+func (ix *Index) adoptLocked(src *Index) {
+	ix.graph = src.graph
+	ix.alpha = src.alpha
+	ix.exact = src.exact
+	ix.layout = src.layout
+	ix.factor = src.factor
+	ix.bounds = src.bounds
+	ix.stats = src.stats
+	ix.opts = src.opts
+	ix.graphCfg = src.graphCfg
+	ix.oosOnce = src.oosOnce
+	ix.oosMeans = src.oosMeans
+	ix.oosMembers = src.oosMembers
+	ix.wOnce = src.wOnce
+	ix.w = src.w
+	ix.delta = delta{}
+}
+
+// Neighbors returns an item's graph context: for base items the k-NN
+// adjacency row (tombstoned neighbours filtered out), for delta items
+// the surrogate base nodes and their weights. Deleted and out-of-range
+// ids error.
+func (ix *Index) Neighbors(id int) (ids []int, weights []float64, err error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := ix.factor.N
+	d := &ix.delta
+	switch {
+	case id < 0 || id >= n+len(d.points):
+		return nil, nil, fmt.Errorf("core: item %d outside [0,%d)", id, n+len(d.points))
+	case id < n:
+		if d.deadBase[id] {
+			return nil, nil, fmt.Errorf("core: item %d is deleted", id)
+		}
+		cols, vals := ix.graph.Neighbors(id)
+		ids = make([]int, 0, len(cols))
+		weights = make([]float64, 0, len(vals))
+		for t, j := range cols {
+			if len(d.deadBase) > 0 && d.deadBase[j] {
+				continue
+			}
+			ids = append(ids, j)
+			weights = append(weights, vals[t])
+		}
+		return ids, weights, nil
+	default:
+		i := id - n
+		if d.dead[i] {
+			return nil, nil, fmt.Errorf("core: item %d is deleted", id)
+		}
+		return slices.Clone(d.probes[i]), slices.Clone(d.weights[i]), nil
+	}
+}
+
+// ensureProbeClusters back-substitutes any cluster that holds a live
+// delta point's surrogate and is not computed yet, so delta scores can
+// be read off x. Callers hold the read lock; computed[c] tracks which
+// cluster score ranges of x are valid.
+func (ix *Index) ensureProbeClusters(x, y []float64, computed []bool, info *SearchInfo) {
+	for c := range ix.delta.clusters {
+		if computed[c] {
+			continue
+		}
+		lo, hi := ix.layout.ClusterRange(c)
+		ix.backSubstituteRange(x, y, lo, hi)
+		computed[c] = true
+		info.ScoresComputed += hi - lo
+		info.ClustersScanned++
+	}
+}
+
+// offerDeltas scores every live delta item against the current query
+// — score(d) = q_d^T x by the symmetry of the Manifold Ranking kernel
+// — and offers it to the collector under id n+i. x must be valid at
+// every live probe position (ensureProbeClusters, or a full solve).
+func (ix *Index) offerDeltas(coll *topk.Collector, x []float64) {
+	d := &ix.delta
+	if d.live == 0 {
+		return
+	}
+	n := ix.factor.N
+	oldToNew := ix.layout.Perm.OldToNew
+	for i := range d.points {
+		if d.dead[i] {
+			continue
+		}
+		var s float64
+		for j, nb := range d.probes[i] {
+			s += d.weights[i][j] * x[oldToNew[nb]]
+		}
+		coll.Offer(n+i, s)
+	}
+}
+
+// querySources expands an item id (base or delta) into its permuted
+// query sources, validating liveness. Callers hold the read lock.
+func (ix *Index) querySources(id int, weight float64) ([]source, error) {
+	n := ix.factor.N
+	d := &ix.delta
+	switch {
+	case id < 0 || id >= n+len(d.points):
+		return nil, fmt.Errorf("core: query node %d outside [0,%d)", id, n+len(d.points))
+	case id < n:
+		if d.deadBase[id] {
+			return nil, fmt.Errorf("core: query node %d is deleted", id)
+		}
+		return []source{{pos: ix.layout.Perm.OldToNew[id], weight: (1 - ix.alpha) * weight}}, nil
+	default:
+		i := id - n
+		if d.dead[i] {
+			return nil, fmt.Errorf("core: query node %d is deleted", id)
+		}
+		// A delta query diffuses from its surrogate representation,
+		// the in-database analogue of an out-of-sample vector query.
+		src := make([]source, len(d.probes[i]))
+		for j, nb := range d.probes[i] {
+			src[j] = source{
+				pos:    ix.layout.Perm.OldToNew[nb],
+				weight: (1 - ix.alpha) * weight * d.weights[i][j],
+			}
+		}
+		return src, nil
+	}
+}

@@ -56,6 +56,14 @@ type Options struct {
 	Cluster cluster.Config
 	// Clusterer selects the community detector behind Algorithm 1.
 	Clusterer Clusterer
+	// Graph records how the k-NN graph was built so Compact can rebuild
+	// it over the merged point set; nil disables compaction (Insert and
+	// Delete still work, the delta just never folds in).
+	Graph *knn.GraphConfig
+	// AutoCompactFraction triggers an automatic Compact from Insert
+	// once the pending delta (inserted slots plus base tombstones)
+	// exceeds this fraction of the base size; 0 disables.
+	AutoCompactFraction float64
 }
 
 // Clusterer selects the graph clustering algorithm feeding
@@ -111,8 +119,18 @@ func (s Stats) PrecomputeTime() time.Duration {
 
 // Index is a prebuilt Mogul search structure over one k-NN graph. All
 // precomputation is query-independent (Lemma 2 discussion): the same
-// index serves any query node and any answer count k.
+// index serves any query node and any answer count k. Searches run
+// concurrently (read lock); Insert/Delete/Compact (dynamic.go) mutate
+// the delta layer or swap the base under the write lock.
 type Index struct {
+	// mu guards the delta layer and the base-structure pointers below
+	// (Compact swaps them). Searches hold it in read mode, so they run
+	// concurrently and never lock against each other.
+	mu sync.RWMutex
+	// compactMu serializes mutators (Insert/Delete/Compact) so a
+	// compaction cannot lose a concurrent insert.
+	compactMu sync.Mutex
+
 	graph  *knn.Graph
 	alpha  float64
 	exact  bool
@@ -121,16 +139,24 @@ type Index struct {
 	bounds *boundTables
 	stats  Stats
 
+	// opts and graphCfg remember how this index was built so Compact
+	// can reproduce the build over the merged point set.
+	opts     Options
+	graphCfg *knn.GraphConfig
+
+	// delta is the dynamic-update layer (dynamic.go).
+	delta delta
+
 	// Out-of-sample support (Section 4.6.2), built lazily by
 	// ensureOOS: per-cluster mean features and member lists in
-	// original ids.
-	oosOnce    sync.Once
+	// original ids. The Once is a pointer so Compact can re-arm it.
+	oosOnce    *sync.Once
 	oosMeans   []vec.Vector
 	oosMembers [][]int
 
 	// Lazily cached permuted system matrix for CG-based exact solves
 	// (ExactScoresCG); nil until first use.
-	wOnce sync.Once
+	wOnce *sync.Once
 	w     *sparse.CSR
 }
 
@@ -147,7 +173,15 @@ func NewIndex(g *knn.Graph, opts Options) (*Index, error) {
 		return nil, fmt.Errorf("core: empty graph")
 	}
 
-	idx := &Index{graph: g, alpha: o.Alpha, exact: o.Exact}
+	idx := &Index{
+		graph:    g,
+		alpha:    o.Alpha,
+		exact:    o.Exact,
+		opts:     o,
+		graphCfg: o.Graph,
+		oosOnce:  new(sync.Once),
+		wOnce:    new(sync.Once),
+	}
 	idx.stats.NumNodes = n
 	idx.stats.NumEdges = g.NumEdges()
 
@@ -251,21 +285,49 @@ func BuildSystemMatrix(adj *sparse.CSR, perm *sparse.Permutation, alpha float64)
 	return sparse.NewFromCoords(n, n, entries)
 }
 
-// Graph returns the underlying k-NN graph.
-func (ix *Index) Graph() *knn.Graph { return ix.graph }
+// Graph returns the underlying k-NN graph. After a Compact the
+// returned pointer refers to the pre-compaction graph; call again for
+// the current one.
+func (ix *Index) Graph() *knn.Graph {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.graph
+}
 
 // Alpha returns the Manifold Ranking parameter of this index.
-func (ix *Index) Alpha() float64 { return ix.alpha }
+func (ix *Index) Alpha() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.alpha
+}
 
 // Exact reports whether the index uses the complete factorization
 // (MogulE).
-func (ix *Index) Exact() bool { return ix.exact }
+func (ix *Index) Exact() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.exact
+}
 
-// Layout exposes the permutation and cluster geometry.
-func (ix *Index) Layout() *Layout { return ix.layout }
+// Layout exposes the permutation and cluster geometry of the current
+// base (see Graph for the snapshot semantics under Compact).
+func (ix *Index) Layout() *Layout {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.layout
+}
 
-// Factor exposes the LDL^T factor (read-only use).
-func (ix *Index) Factor() *cholesky.Factor { return ix.factor }
+// Factor exposes the LDL^T factor (read-only use; see Graph for the
+// snapshot semantics under Compact).
+func (ix *Index) Factor() *cholesky.Factor {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.factor
+}
 
-// Stats returns precomputation statistics.
-func (ix *Index) Stats() Stats { return ix.stats }
+// Stats returns precomputation statistics (of the latest base build).
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.stats
+}

@@ -41,6 +41,8 @@ func (b *OOSBreakdown) Overall() time.Duration { return b.NearestNeighbor + b.To
 // member lists (original ids) used to find surrogate query nodes
 // without touching the whole database (the paper's nearest-cluster
 // trick keeps this O(n) worst case but far cheaper in practice).
+// Callers hold at least the read lock; the Once makes the build race
+// free among concurrent readers.
 func (ix *Index) ensureOOS() {
 	ix.oosOnce.Do(func() {
 		if ix.oosMeans != nil {
@@ -71,33 +73,22 @@ func (ix *Index) ensureOOS() {
 	})
 }
 
-// SearchOutOfSample ranks database nodes for a query vector that is
-// not part of the graph. Following Section 4.6.2, the query's
-// neighbours inside the nearest cluster (by mean feature) become the
-// non-zero entries of q, weighted by heat-kernel similarity; the graph
-// itself is never modified, so the precomputed factor is reused as-is.
-func (ix *Index) SearchOutOfSample(q vec.Vector, opts OOSOptions) ([]Result, *OOSBreakdown, error) {
-	if opts.K <= 0 {
-		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
-	}
-	if len(ix.graph.Points) == 0 {
-		return nil, nil, fmt.Errorf("core: graph has no feature vectors; out-of-sample search unavailable")
-	}
-	if len(q) != len(ix.graph.Points[0]) {
-		return nil, nil, fmt.Errorf("core: query dimension %d, want %d", len(q), len(ix.graph.Points[0]))
-	}
-	numNbrs := opts.NumNeighbors
+// surrogates finds the numNbrs nearest live in-database neighbours of
+// q via the nearest-cluster quantizer and returns them with their
+// normalized heat-kernel weights (sum 1) — the surrogate query-node
+// representation of Section 4.6.2, shared by out-of-sample search and
+// by Insert. Callers hold at least the read lock.
+func (ix *Index) surrogates(q vec.Vector, numNbrs int) ([]int, []float64, error) {
 	if numNbrs <= 0 {
 		numNbrs = ix.graph.K
 	}
 	ix.ensureOOS()
+	deadBase := ix.delta.deadBase
 
-	// Phase 1: nearest cluster by mean feature, then k neighbours
-	// inside it. Clusters are probed in ascending mean distance until
-	// enough candidates accumulate, so tiny clusters cannot starve the
-	// query (robustness extension over the paper's single-cluster
-	// description).
-	t0 := time.Now()
+	// Nearest clusters by mean feature, probed in ascending mean
+	// distance until enough live candidates accumulate, so tiny or
+	// heavily-tombstoned clusters cannot starve the query (robustness
+	// extension over the paper's single-cluster description).
 	type clusterDist struct {
 		c int
 		d float64
@@ -112,13 +103,26 @@ func (ix *Index) SearchOutOfSample(q vec.Vector, opts OOSOptions) ([]Result, *OO
 	if len(order) == 0 {
 		return nil, nil, fmt.Errorf("core: no non-empty clusters")
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].d != order[j].d {
+			return order[i].d < order[j].d
+		}
+		return order[i].c < order[j].c
+	})
 	var candidates []int
 	for _, cd := range order {
-		candidates = append(candidates, ix.oosMembers[cd.c]...)
+		for _, id := range ix.oosMembers[cd.c] {
+			if len(deadBase) > 0 && deadBase[id] {
+				continue
+			}
+			candidates = append(candidates, id)
+		}
 		if len(candidates) >= numNbrs {
 			break
 		}
+	}
+	if len(candidates) == 0 {
+		return nil, nil, fmt.Errorf("core: no live candidates for surrogate selection")
 	}
 	type nbr struct {
 		id int
@@ -141,10 +145,12 @@ func (ix *Index) SearchOutOfSample(q vec.Vector, opts OOSOptions) ([]Result, *OO
 	// Heat-kernel weights, normalized to sum 1 so the query vector has
 	// the same mass as an in-database query.
 	sigma := ix.graph.Sigma
+	ids := make([]int, len(nbrs))
 	weights := make([]float64, len(nbrs))
 	var total float64
 	for i, nb := range nbrs {
 		w := math.Exp(-nb.d * nb.d / (2 * sigma * sigma))
+		ids[i] = nb.id
 		weights[i] = w
 		total += w
 	}
@@ -156,12 +162,42 @@ func (ix *Index) SearchOutOfSample(q vec.Vector, opts OOSOptions) ([]Result, *OO
 		}
 		total = float64(len(weights))
 	}
-	sources := make([]source, len(nbrs))
-	breakNbrs := make([]Result, len(nbrs))
-	for i, nb := range nbrs {
-		w := weights[i] / total
-		sources[i] = source{pos: ix.layout.Perm.OldToNew[nb.id], weight: (1 - ix.alpha) * w}
-		breakNbrs[i] = Result{Node: nb.id, Score: w}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return ids, weights, nil
+}
+
+// SearchOutOfSample ranks database nodes for a query vector that is
+// not part of the graph. Following Section 4.6.2, the query's
+// neighbours inside the nearest cluster (by mean feature) become the
+// non-zero entries of q, weighted by heat-kernel similarity; the graph
+// itself is never modified, so the precomputed factor is reused as-is.
+// Live delta items compete in the results like any other item.
+func (ix *Index) SearchOutOfSample(q vec.Vector, opts OOSOptions) ([]Result, *OOSBreakdown, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	if len(ix.graph.Points) == 0 {
+		return nil, nil, fmt.Errorf("core: graph has no feature vectors; out-of-sample search unavailable")
+	}
+	if len(q) != len(ix.graph.Points[0]) {
+		return nil, nil, fmt.Errorf("core: query dimension %d, want %d", len(q), len(ix.graph.Points[0]))
+	}
+
+	// Phase 1: surrogate query nodes and weights.
+	t0 := time.Now()
+	ids, weights, err := ix.surrogates(q, opts.NumNeighbors)
+	if err != nil {
+		return nil, nil, err
+	}
+	sources := make([]source, len(ids))
+	breakNbrs := make([]Result, len(ids))
+	for i, id := range ids {
+		sources[i] = source{pos: ix.layout.Perm.OldToNew[id], weight: (1 - ix.alpha) * weights[i]}
+		breakNbrs[i] = Result{Node: id, Score: weights[i]}
 	}
 	nnTime := time.Since(t0)
 

@@ -59,16 +59,19 @@ func (ix *Index) TopK(query, k int) ([]Result, error) {
 }
 
 // Search runs Algorithm 2 with the given options and returns ranked
-// results plus work counters.
+// results plus work counters. The query may be a base item or a live
+// delta item (an inserted point queries through its out-of-sample
+// surrogate representation).
 func (ix *Index) Search(query int, opts SearchOptions) ([]Result, *SearchInfo, error) {
-	n := ix.factor.N
-	if query < 0 || query >= n {
-		return nil, nil, fmt.Errorf("core: query node %d outside [0,%d)", query, n)
-	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if opts.K <= 0 {
 		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
-	src := []source{{pos: ix.layout.Perm.OldToNew[query], weight: 1 - ix.alpha}}
+	src, err := ix.querySources(query, 1)
+	if err != nil {
+		return nil, nil, err
+	}
 	return ix.searchSources(src, opts)
 }
 
@@ -87,31 +90,35 @@ type WeightedQuery struct {
 // and serves recommendation-style workloads ("more items like these
 // three") that Section 1.1 motivates.
 func (ix *Index) SearchMulti(seeds []WeightedQuery, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if len(seeds) == 0 {
 		return nil, nil, fmt.Errorf("core: SearchMulti needs at least one seed")
 	}
-	n := ix.factor.N
-	sources := make([]source, len(seeds))
-	for i, s := range seeds {
-		if s.Node < 0 || s.Node >= n {
-			return nil, nil, fmt.Errorf("core: seed node %d outside [0,%d)", s.Node, n)
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	var sources []source
+	for _, s := range seeds {
+		src, err := ix.querySources(s.Node, s.Weight)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: seed: %w", err)
 		}
-		sources[i] = source{
-			pos:    ix.layout.Perm.OldToNew[s.Node],
-			weight: (1 - ix.alpha) * s.Weight,
-		}
+		sources = append(sources, src...)
 	}
 	return ix.searchSources(sources, opts)
 }
 
 // searchSources is the shared engine behind in-database and
 // out-of-sample queries: q' is given as a sparse list of permuted
-// positions with weights.
+// positions with weights. Callers hold the read lock; tombstoned
+// items are filtered at offer time and live delta items are merged
+// into the collector (dynamic.go).
 func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, *SearchInfo, error) {
 	n := ix.factor.N
 	k := opts.K
-	if k > n {
-		k = n
+	if total := ix.liveTotal(); k > total {
+		k = total
 	}
 	info := &SearchInfo{}
 
@@ -122,6 +129,17 @@ func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, 
 	layout := ix.layout
 	f := ix.factor
 	border := layout.Border()
+	// computed[c] records that x is valid over cluster c (needed to
+	// read off delta probe scores); offer filters tombstoned items.
+	computed := make([]bool, layout.NumClusters)
+	coll := topk.New(k)
+	deadBase := ix.delta.deadBase
+	offer := func(pos int, score float64) {
+		if len(deadBase) > 0 && deadBase[layout.Perm.NewToOld[pos]] {
+			return
+		}
+		coll.Offer(pos, score)
+	}
 
 	// Active clusters: those holding a source, plus C_N (Lemma 4: the
 	// support of y is C_Q ∪ C_N; with multiple sources it is the union
@@ -167,6 +185,7 @@ func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, 
 	x := make([]float64, n)
 	cN := layout.BorderStart()
 	ix.backSubstituteRange(x, y, cN, n)
+	computed[border] = true
 	info.ScoresComputed += n - cN
 	info.ClustersScanned++
 	for _, c := range activeList {
@@ -175,17 +194,17 @@ func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, 
 		}
 		lo, hi := layout.ClusterRange(c)
 		ix.backSubstituteRange(x, y, lo, hi)
+		computed[c] = true
 		info.ScoresComputed += hi - lo
 		info.ClustersScanned++
 	}
 
 	// Seed the top-k set with the active clusters (Algorithm 2 lines
 	// 8-16).
-	coll := topk.New(k)
 	for _, c := range activeList {
 		lo, hi := layout.ClusterRange(c)
 		for i := lo; i < hi; i++ {
-			coll.Offer(i, x[i])
+			offer(i, x[i])
 		}
 	}
 
@@ -211,11 +230,21 @@ func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, 
 		}
 		lo, hi := layout.ClusterRange(c)
 		ix.backSubstituteRange(x, y, lo, hi)
+		computed[c] = true
 		info.ScoresComputed += hi - lo
 		info.ClustersScanned++
 		for i := lo; i < hi; i++ {
-			coll.Offer(i, x[i])
+			offer(i, x[i])
 		}
+	}
+
+	// Merge the delta layer: make x valid wherever a live delta point
+	// probes it, then offer the delta scores. A cluster scanned here
+	// only feeds probe reads — its base items were already offered or
+	// provably below the pruning threshold.
+	if ix.delta.live > 0 {
+		ix.ensureProbeClusters(x, y, computed, info)
+		ix.offerDeltas(coll, x)
 	}
 
 	return ix.collect(coll), info, nil
@@ -237,7 +266,8 @@ func (ix *Index) backSubstituteRange(x, y []float64, lo, hi int) {
 }
 
 // searchFull is the unstructured ablation: full forward and back
-// substitution over all n nodes, then a linear top-k scan.
+// substitution over all n nodes, then a linear top-k scan. Callers
+// hold the read lock.
 func (ix *Index) searchFull(sources []source, k int, info *SearchInfo) ([]Result, *SearchInfo, error) {
 	n := ix.factor.N
 	q := make([]float64, n)
@@ -248,31 +278,50 @@ func (ix *Index) searchFull(sources []source, k int, info *SearchInfo) ([]Result
 	info.ScoresComputed = n
 	info.ClustersScanned = ix.layout.NumClusters
 	coll := topk.New(k)
+	deadBase := ix.delta.deadBase
 	for i, v := range x {
+		if len(deadBase) > 0 && deadBase[ix.layout.Perm.NewToOld[i]] {
+			continue
+		}
 		coll.Offer(i, v)
 	}
+	// x is fully computed, so delta probes read it directly.
+	ix.offerDeltas(coll, x)
 	return ix.collect(coll), info, nil
 }
 
 // collect converts a collector's content to Results in the original
 // node numbering (Algorithm 2 lines 31-33: permute answers back by P).
+// Collector ids at n and above are delta items, whose external id is
+// the collector id itself (delta item i carries id n+i).
 func (ix *Index) collect(coll *topk.Collector) []Result {
+	n := ix.factor.N
 	items := coll.Results()
 	out := make([]Result, len(items))
 	for i, it := range items {
+		if it.ID >= n {
+			out[i] = Result{Node: it.ID, Score: it.Score}
+			continue
+		}
 		out[i] = Result{Node: ix.layout.Perm.NewToOld[it.ID], Score: it.Score}
 	}
 	return out
 }
 
-// AllScores computes the full score vector for an in-database query in
-// original node order, using unrestricted substitution. This is the
-// O(n) "compute everything" path (Lemma 1); evaluation code uses it as
-// the ranking oracle for P@k.
+// AllScores computes the full score vector for an in-database base
+// query in original node order, using unrestricted substitution. This
+// is the O(n) "compute everything" path (Lemma 1); evaluation code
+// uses it as the ranking oracle for P@k. Delta items are not covered:
+// the vector spans the factored base only.
 func (ix *Index) AllScores(query int) ([]float64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	n := ix.factor.N
 	if query < 0 || query >= n {
 		return nil, fmt.Errorf("core: query node %d outside [0,%d)", query, n)
+	}
+	if ix.delta.deadBase[query] {
+		return nil, fmt.Errorf("core: query node %d is deleted", query)
 	}
 	q := make([]float64, n)
 	q[ix.layout.Perm.OldToNew[query]] = 1 - ix.alpha

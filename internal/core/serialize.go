@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"slices"
+	"sync"
 	"time"
 
 	"mogul/internal/binio"
@@ -36,10 +38,20 @@ import (
 // indexMagic identifies a Mogul index file.
 const indexMagic = "MOGULIDX"
 
-// FormatVersion is the on-disk format version this build reads and
-// writes. Version 1 was an unreleased gob-based layout; version 2 is
-// the sectioned binary container.
-const FormatVersion = 2
+// FormatVersion is the on-disk format version this build writes.
+// Version 1 was an unreleased gob-based layout; version 2 is the
+// sectioned binary container; version 3 adds the dynamic-update
+// sections (BCFG build config, DELT delta layer). The bump to 3 is
+// deliberate even though the container is extensible: a version-2
+// reader would skip the delta sections and silently drop inserted
+// points and resurrect deleted ones — a semantic change, not a mere
+// addition (see docs/FORMAT.md, "Version bump policy").
+const FormatVersion = 3
+
+// minReadVersion is the oldest format this build still reads.
+// Version-2 files load with an empty delta and no build config (so
+// Compact is unavailable until rebuilt).
+const minReadVersion = 2
 
 // Section tags. Four ASCII bytes each.
 var (
@@ -49,6 +61,8 @@ var (
 	tagFact = [4]byte{'F', 'A', 'C', 'T'}
 	tagStat = [4]byte{'S', 'T', 'A', 'T'}
 	tagOosq = [4]byte{'O', 'O', 'S', 'Q'}
+	tagBcfg = [4]byte{'B', 'C', 'F', 'G'}
+	tagDelt = [4]byte{'D', 'E', 'L', 'T'}
 	tagEnd  = [4]byte{'E', 'N', 'D', 0}
 )
 
@@ -66,6 +80,11 @@ type section struct {
 // Output is buffered internally, so writing straight to an os.File is
 // fine.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	// The read lock freezes the delta layer and the base pointers for
+	// the duration: concurrent searches proceed, mutators wait.
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
 	buffered := bufio.NewWriterSize(w, 1<<20)
 	bw := binio.NewWriter(buffered)
 	bw.Raw([]byte(indexMagic))
@@ -84,6 +103,15 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if len(ix.graph.Points) > 0 {
 		ix.ensureOOS()
 		sections = append(sections, section{tagOosq, ix.writeOOS})
+	}
+	// Dynamic-update state: how to rebuild the graph (enables Compact
+	// after a load), and the delta layer when one exists, so a saved
+	// dynamic index round-trips exactly.
+	if ix.graphCfg != nil {
+		sections = append(sections, section{tagBcfg, ix.writeBuildConfig})
+	}
+	if len(ix.delta.points) > 0 || len(ix.delta.deadBase) > 0 {
+		sections = append(sections, section{tagDelt, ix.writeDelta})
 	}
 	for _, s := range sections {
 		if err := writeSection(bw, s.tag, s.payload); err != nil {
@@ -197,6 +225,54 @@ func (ix *Index) writeOOS(w io.Writer) error {
 	return bw.Err()
 }
 
+// writeBuildConfig stores how this index was built: the graph
+// construction config followed by the core option scalars, enough for
+// Compact to reproduce the build bit-for-bit after a load.
+func (ix *Index) writeBuildConfig(w io.Writer) error {
+	if _, err := ix.graphCfg.WriteConfig(w); err != nil {
+		return err
+	}
+	bw := binio.NewWriter(w)
+	bw.Int(int(ix.opts.Ordering))
+	bw.Int(int(ix.opts.Clusterer))
+	// Full 64 bits, not narrowed through int (32 bits on some
+	// platforms).
+	bw.Uint64(uint64(ix.opts.Seed))
+	bw.Float64(ix.opts.MinPivot)
+	bw.Float64(ix.opts.AutoCompactFraction)
+	bw.Int(ix.opts.Cluster.MaxLevels)
+	bw.Int(ix.opts.Cluster.MaxSweeps)
+	bw.Float64(ix.opts.Cluster.MinGain)
+	bw.Float64(ix.opts.Cluster.Resolution)
+	return bw.Err()
+}
+
+// writeDelta stores the dynamic-update layer: every delta slot
+// (vector, surrogate probes, weights, tombstone flag) in insertion
+// order, then the sorted base tombstones.
+func (ix *Index) writeDelta(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	d := &ix.delta
+	bw.Int(len(d.points))
+	for i := range d.points {
+		bw.Floats(d.points[i])
+		bw.Ints(d.probes[i])
+		bw.Floats(d.weights[i])
+		dead := 0
+		if d.dead[i] {
+			dead = 1
+		}
+		bw.Int(dead)
+	}
+	deadIDs := make([]int, 0, len(d.deadBase))
+	for id := range d.deadBase {
+		deadIDs = append(deadIDs, id)
+	}
+	slices.Sort(deadIDs)
+	bw.Ints(deadIDs)
+	return bw.Err()
+}
+
 // ReadIndex deserializes an index written by WriteTo and reconstructs
 // every derived structure (cluster map, bound tables) so the result is
 // search-ready. It returns an error — never panics — on truncated,
@@ -215,8 +291,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("core: reading index header: %w", err)
 	}
-	if version != FormatVersion {
-		return nil, fmt.Errorf("core: index format version %d, this build reads version %d", version, FormatVersion)
+	if version < minReadVersion || version > FormatVersion {
+		return nil, fmt.Errorf("core: index format version %d, this build reads versions %d-%d", version, minReadVersion, FormatVersion)
 	}
 
 	payloads := map[[4]byte][]byte{}
@@ -237,7 +313,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("core: section %q claims %d bytes", tag[:], n)
 		}
 		switch tag {
-		case tagMeta, tagGrph, tagLayt, tagFact, tagStat, tagOosq:
+		case tagMeta, tagGrph, tagLayt, tagFact, tagStat, tagOosq, tagBcfg, tagDelt:
 			payload, err := readPayload(br, n)
 			if err != nil {
 				return nil, fmt.Errorf("core: reading %q section: %w", tag[:], err)
@@ -351,11 +427,14 @@ func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
 	}
 
 	ix := &Index{
-		graph:  g,
-		alpha:  alpha,
-		exact:  exact == 1,
-		layout: layout,
-		factor: factor,
+		graph:   g,
+		alpha:   alpha,
+		exact:   exact == 1,
+		layout:  layout,
+		factor:  factor,
+		opts:    Options{Alpha: alpha, Exact: exact == 1},
+		oosOnce: new(sync.Once),
+		wOnce:   new(sync.Once),
 	}
 	ix.bounds = buildBoundTables(factor, layout)
 	ix.stats = Stats{
@@ -386,7 +465,175 @@ func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
 			return nil, err
 		}
 	}
+
+	// BCFG (optional, v3): the build configuration that enables
+	// Compact after a load.
+	if p, ok := payloads[tagBcfg]; ok {
+		if err := ix.readBuildConfig(p); err != nil {
+			return nil, err
+		}
+	}
+
+	// DELT (optional, v3): the dynamic-update layer.
+	if p, ok := payloads[tagDelt]; ok {
+		if err := ix.readDelta(p, n); err != nil {
+			return nil, err
+		}
+	}
 	return ix, nil
+}
+
+// readBuildConfig decodes the BCFG section and reconstructs the build
+// options so a loaded index compacts exactly like the original.
+func (ix *Index) readBuildConfig(payload []byte) error {
+	pr := bytes.NewReader(payload)
+	cfg, err := knn.ReadConfig(pr)
+	if err != nil {
+		return err
+	}
+	br := binio.NewReader(pr)
+	ordering := br.Int()
+	clusterer := br.Int()
+	seed := int64(br.Uint64())
+	minPivot := br.Float64()
+	autoCompact := br.Float64()
+	maxLevels := br.Int()
+	maxSweeps := br.Int()
+	minGain := br.Float64()
+	resolution := br.Float64()
+	if err := br.Err(); err != nil {
+		return fmt.Errorf("core: decoding build config: %w", err)
+	}
+	if ordering < int(OrderingMogul) || ordering > int(OrderingRCM) {
+		return fmt.Errorf("core: corrupt build config: ordering %d", ordering)
+	}
+	if clusterer < int(ClustererLouvain) || clusterer > int(ClustererLabelProp) {
+		return fmt.Errorf("core: corrupt build config: clusterer %d", clusterer)
+	}
+	for name, v := range map[string]float64{
+		"min pivot": minPivot, "auto-compact fraction": autoCompact,
+		"min gain": minGain, "resolution": resolution,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: corrupt build config: %s %g", name, v)
+		}
+	}
+	if maxLevels < 0 || maxLevels > binio.MaxCount || maxSweeps < 0 || maxSweeps > binio.MaxCount {
+		return fmt.Errorf("core: corrupt build config: levels=%d sweeps=%d", maxLevels, maxSweeps)
+	}
+	ix.graphCfg = cfg
+	ix.opts = Options{
+		Alpha:               ix.alpha,
+		Exact:               ix.exact,
+		Ordering:            Ordering(ordering),
+		Seed:                seed,
+		MinPivot:            minPivot,
+		Cluster:             cluster.Config{MaxLevels: maxLevels, MaxSweeps: maxSweeps, MinGain: minGain, Resolution: resolution},
+		Clusterer:           Clusterer(clusterer),
+		Graph:               cfg,
+		AutoCompactFraction: autoCompact,
+	}
+	return nil
+}
+
+// readDelta decodes the DELT section, validating every record so a
+// corrupt file errors rather than planting an inconsistent delta, and
+// rebuilds the derived counters (live count, probe-cluster refcounts).
+func (ix *Index) readDelta(payload []byte, n int) error {
+	br := binio.NewReader(bytes.NewReader(payload))
+	num := br.Int()
+	if err := br.Err(); err != nil {
+		return fmt.Errorf("core: decoding delta layer: %w", err)
+	}
+	if num < 0 || num > binio.MaxCount {
+		return fmt.Errorf("core: corrupt delta layer: %d entries", num)
+	}
+	dim := 0
+	if len(ix.graph.Points) > 0 {
+		dim = len(ix.graph.Points[0])
+	}
+	if num > 0 && dim == 0 {
+		return fmt.Errorf("core: delta layer present but the graph carries no feature vectors")
+	}
+	d := delta{}
+	if num > 0 {
+		d.clusters = make(map[int]int)
+	}
+	for i := 0; i < num; i++ {
+		v := br.Floats(dim)
+		probes := br.Ints(n)
+		weights := br.Floats(n)
+		dead := br.Int()
+		if err := br.Err(); err != nil {
+			return fmt.Errorf("core: decoding delta entry %d: %w", i, err)
+		}
+		if len(v) != dim {
+			return fmt.Errorf("core: delta entry %d has dim %d, want %d", i, len(v), dim)
+		}
+		if len(probes) == 0 || len(probes) != len(weights) {
+			return fmt.Errorf("core: delta entry %d has %d probes but %d weights", i, len(probes), len(weights))
+		}
+		if dead != 0 && dead != 1 {
+			return fmt.Errorf("core: delta entry %d has tombstone flag %d", i, dead)
+		}
+		seen := make(map[int]bool, len(probes))
+		var wsum float64
+		for j, id := range probes {
+			if id < 0 || id >= n {
+				return fmt.Errorf("core: delta entry %d probe %d outside [0,%d)", i, id, n)
+			}
+			if seen[id] {
+				return fmt.Errorf("core: delta entry %d lists probe %d twice", i, id)
+			}
+			seen[id] = true
+			if w := weights[j]; math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return fmt.Errorf("core: delta entry %d has weight %g", i, w)
+			}
+			wsum += weights[j]
+		}
+		// Weights are written normalized to unit mass; anything else is
+		// corruption that would let this delta item out-score the whole
+		// database.
+		if math.Abs(wsum-1) > 1e-6 {
+			return fmt.Errorf("core: delta entry %d weights sum to %g, want 1", i, wsum)
+		}
+		d.points = append(d.points, v)
+		d.probes = append(d.probes, probes)
+		d.weights = append(d.weights, weights)
+		d.dead = append(d.dead, dead == 1)
+	}
+	deadIDs := br.Ints(n)
+	if err := br.Err(); err != nil {
+		return fmt.Errorf("core: decoding delta tombstones: %w", err)
+	}
+	for i, id := range deadIDs {
+		if id < 0 || id >= n {
+			return fmt.Errorf("core: delta tombstone %d outside [0,%d)", id, n)
+		}
+		if i > 0 && id <= deadIDs[i-1] {
+			return fmt.Errorf("core: delta tombstones not strictly ascending at %d", id)
+		}
+	}
+	if len(deadIDs) > 0 {
+		d.deadBase = make(map[int]bool, len(deadIDs))
+		for _, id := range deadIDs {
+			d.deadBase[id] = true
+		}
+	}
+	ix.delta = d
+	for i := range d.points {
+		if d.dead[i] {
+			continue
+		}
+		ix.delta.live++
+		for _, c := range ix.probeClusters(d.probes[i]) {
+			ix.delta.clusters[c]++
+		}
+	}
+	if ix.liveTotal() < 1 {
+		return fmt.Errorf("core: delta layer tombstones every item")
+	}
+	return nil
 }
 
 // layoutFromPartition rebuilds the Layout from a permutation and the

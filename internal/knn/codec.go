@@ -42,6 +42,70 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return bw.Count() + an, err
 }
 
+// WriteConfig writes a graph-construction configuration as scalar
+// fields — the `BCFG` leaf record that lets a loaded index rebuild its
+// graph during compaction (docs/FORMAT.md).
+func (cfg *GraphConfig) WriteConfig(w io.Writer) (int64, error) {
+	bw := binio.NewWriter(w)
+	bw.Int(cfg.K)
+	bw.Int(boolInt(cfg.Mutual))
+	bw.Float64(cfg.Sigma)
+	bw.Int(int(cfg.Backend))
+	bw.Int(boolInt(cfg.Approximate))
+	bw.Int(cfg.ApproxThreshold)
+	bw.Int(cfg.NProbe)
+	// The seed is written as its full 64 bits, not narrowed through
+	// int, which is 32 bits on some platforms.
+	bw.Uint64(uint64(cfg.Seed))
+	return bw.Count(), bw.Err()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ReadConfig reads a configuration written by WriteConfig, validating
+// every field so corrupt input errors rather than producing a config
+// that later panics a rebuild.
+func ReadConfig(r io.Reader) (*GraphConfig, error) {
+	br := binio.NewReader(r)
+	cfg := &GraphConfig{}
+	cfg.K = br.Int()
+	mutual := br.Int()
+	cfg.Sigma = br.Float64()
+	backend := br.Int()
+	approx := br.Int()
+	cfg.ApproxThreshold = br.Int()
+	cfg.NProbe = br.Int()
+	cfg.Seed = int64(br.Uint64())
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("knn: reading graph config: %w", err)
+	}
+	if cfg.K < 1 || cfg.K > binio.MaxCount {
+		return nil, fmt.Errorf("knn: corrupt graph config: k=%d", cfg.K)
+	}
+	if mutual != 0 && mutual != 1 || approx != 0 && approx != 1 {
+		return nil, fmt.Errorf("knn: corrupt graph config: flags %d/%d", mutual, approx)
+	}
+	if backend < int(BackendAuto) || backend > int(BackendIVFPQ) {
+		return nil, fmt.Errorf("knn: corrupt graph config: backend %d", backend)
+	}
+	if math.IsNaN(cfg.Sigma) || math.IsInf(cfg.Sigma, 0) || cfg.Sigma < 0 {
+		return nil, fmt.Errorf("knn: corrupt graph config: sigma=%g", cfg.Sigma)
+	}
+	if cfg.ApproxThreshold < 0 || cfg.ApproxThreshold > binio.MaxCount ||
+		cfg.NProbe < 0 || cfg.NProbe > binio.MaxCount {
+		return nil, fmt.Errorf("knn: corrupt graph config: threshold=%d nprobe=%d", cfg.ApproxThreshold, cfg.NProbe)
+	}
+	cfg.Mutual = mutual == 1
+	cfg.Backend = Backend(backend)
+	cfg.Approximate = approx == 1
+	return cfg, nil
+}
+
 // ReadGraph reads a graph written by WriteTo, validating that the
 // adjacency matrix is square and consistent with the point set.
 func ReadGraph(r io.Reader) (*Graph, error) {

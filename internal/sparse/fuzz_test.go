@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz harnesses for the sparse-matrix leaf codecs: arbitrary input
+// must produce an error or a structurally valid value — never a panic,
+// never an unvalidated matrix. Seed corpus committed here; explore
+// with `go test -fuzz FuzzReadCSR ./internal/sparse`.
+
+func fuzzCSRBytes(tb testing.TB) []byte {
+	tb.Helper()
+	m, err := NewFromCoords(4, 4, []Coord{
+		{Row: 0, Col: 1, Val: 0.5}, {Row: 1, Col: 0, Val: 0.5},
+		{Row: 2, Col: 3, Val: 1.25}, {Row: 3, Col: 2, Val: 1.25},
+		{Row: 0, Col: 3, Val: 2}, {Row: 3, Col: 0, Val: 2},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadCSR(f *testing.F) {
+	valid := fuzzCSRBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	huge := append([]byte(nil), valid...)
+	huge[0] = 0xFF // giant row count
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadCSR(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever was accepted must satisfy the CSR invariants and
+		// round-trip exactly.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ReadCSR(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d vs %dx%d/%d",
+				m.Rows, m.Cols, m.NNZ(), back.Rows, back.Cols, back.NNZ())
+		}
+	})
+}
+
+func FuzzReadPermutation(f *testing.F) {
+	p, err := NewPermutation([]int{2, 0, 3, 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:3])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPermutation(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// An accepted permutation must be a bijection on [0, n).
+		n := p.Len()
+		seen := make([]bool, n)
+		for pos := 0; pos < n; pos++ {
+			old := p.NewToOld[pos]
+			if old < 0 || old >= n || seen[old] {
+				t.Fatalf("accepted permutation is not a bijection at %d", pos)
+			}
+			seen[old] = true
+			if p.OldToNew[old] != pos {
+				t.Fatalf("inverse mismatch at %d", pos)
+			}
+		}
+	})
+}

@@ -90,15 +90,22 @@ type Options struct {
 	// Seed drives the stochastic pieces (IVF quantizer); results are
 	// deterministic for a fixed seed.
 	Seed int64
+	// AutoCompactFraction makes Insert trigger an automatic Compact
+	// once the pending delta (inserted items plus tombstones) exceeds
+	// this fraction of the base size, bounding the recall drift of the
+	// out-of-sample delta scoring; 0 disables auto-compaction. 0.1 is
+	// a reasonable production setting (see README, "Dynamic updates").
+	AutoCompactFraction float64
 }
 
 // Index is a prebuilt Mogul search structure. Building is
 // query-independent: one index serves any query node, any answer
 // count, and out-of-sample queries. An Index is safe for concurrent
-// searches once built.
+// use: searches run in parallel against the immutable base
+// structures, while Insert/Delete/Compact mutate the delta layer (or
+// swap the base) behind a write lock.
 type Index struct {
-	core  *core.Index
-	graph *knn.Graph
+	core *core.Index
 }
 
 // Build constructs an index over the given feature vectors.
@@ -110,17 +117,28 @@ func Build(points []Vector, opts Options) (*Index, error) {
 	if k <= 0 {
 		k = 5
 	}
-	g, err := knn.BuildGraph(points, knn.GraphConfig{
+	gcfg := knn.GraphConfig{
 		K:           k,
 		Mutual:      opts.MutualGraph,
 		Sigma:       opts.Sigma,
 		Approximate: opts.ApproximateGraph,
 		Seed:        opts.Seed,
-	})
+	}
+	g, err := knn.BuildGraph(points, gcfg)
 	if err != nil {
 		return nil, fmt.Errorf("mogul: building k-NN graph: %w", err)
 	}
-	return BuildFromGraphPoints(g, opts)
+	ci, err := core.NewIndex(g, core.Options{
+		Alpha:               opts.Alpha,
+		Exact:               opts.Exact,
+		Seed:                opts.Seed,
+		Graph:               &gcfg,
+		AutoCompactFraction: opts.AutoCompactFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{core: ci}, nil
 }
 
 // BuildFromDataset is Build applied to a Dataset.
@@ -133,21 +151,24 @@ func BuildFromDataset(ds *Dataset, opts Options) (*Index, error) {
 
 // BuildFromGraphPoints wraps an already-constructed k-NN graph; for
 // callers that built the graph themselves (custom metrics, external
-// edges).
+// edges). Such an index supports Insert and Delete, but not Compact —
+// the library cannot reproduce a graph it did not build.
 func BuildFromGraphPoints(g *knn.Graph, opts Options) (*Index, error) {
 	ci, err := core.NewIndex(g, core.Options{
-		Alpha: opts.Alpha,
-		Exact: opts.Exact,
-		Seed:  opts.Seed,
+		Alpha:               opts.Alpha,
+		Exact:               opts.Exact,
+		Seed:                opts.Seed,
+		AutoCompactFraction: opts.AutoCompactFraction,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{core: ci, graph: g}, nil
+	return &Index{core: ci}, nil
 }
 
-// Len returns the number of indexed items.
-func (ix *Index) Len() int { return ix.graph.Len() }
+// Len returns the number of live indexed items: the built base plus
+// inserted items, minus deletions.
+func (ix *Index) Len() int { return ix.core.Len() }
 
 // TopK returns the k database items with the highest Manifold Ranking
 // scores for an in-database query item, best first. The query item
@@ -206,13 +227,11 @@ func (ix *Index) Scores(query int) ([]float64, error) {
 
 // Neighbors returns the direct k-NN graph neighbours of an item with
 // their edge weights — the paper's "Connected" comparison in the
-// Figure 9 case studies (plain nearest-neighbour retrieval).
+// Figure 9 case studies (plain nearest-neighbour retrieval). For an
+// inserted (delta) item, the surrogate base neighbours and their
+// weights are returned; deleted neighbours are filtered out.
 func (ix *Index) Neighbors(item int) (ids []int, weights []float64, err error) {
-	if item < 0 || item >= ix.graph.Len() {
-		return nil, nil, fmt.Errorf("mogul: item %d outside [0,%d)", item, ix.graph.Len())
-	}
-	cols, vals := ix.graph.Neighbors(item)
-	return append([]int(nil), cols...), append([]float64(nil), vals...), nil
+	return ix.core.Neighbors(item)
 }
 
 // Save writes the fully precomputed index to w in the versioned
@@ -280,7 +299,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{core: ci, graph: ci.Graph()}, nil
+	return &Index{core: ci}, nil
 }
 
 // LoadFile reads an index file written by SaveFile.
