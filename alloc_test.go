@@ -1,0 +1,122 @@
+//go:build !race
+
+package mogul
+
+// Allocation-regression guards for the pooled query engine. The whole
+// point of the engine refactor is that steady-state searches allocate
+// nothing beyond the returned []Result; these tests pin that down with
+// testing.AllocsPerRun so a regression fails CI instead of silently
+// reintroducing O(n) per-query garbage. Excluded under the race
+// detector, whose instrumentation changes allocation counts.
+
+import (
+	"testing"
+
+	"mogul/internal/dataset"
+	"mogul/internal/vec"
+)
+
+func allocFixture(t *testing.T) (*Index, *vec.Dataset) {
+	t.Helper()
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 2100, Classes: 12, Dim: 16, WithinStd: 0.3, Separation: 2.5, Seed: 21,
+	})
+	ix, err := Build(ds.Points[:2000], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ds
+}
+
+// TestTopKAllocs: a steady-state in-database query allocates exactly
+// once — the returned []Result — on both the dedicated-Searcher path
+// and the internal-pool path.
+func TestTopKAllocs(t *testing.T) {
+	ix, _ := allocFixture(t)
+	sr := ix.NewSearcher()
+	if _, err := sr.TopK(11, 10); err != nil { // warm: sizes the scratch
+		t.Fatal(err)
+	}
+	queries := []int{3, 500, 999, 1500}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sr.TopK(queries[i%len(queries)], 10); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 1 {
+		t.Fatalf("Searcher.TopK allocates %.1f objects/op in steady state, want 1 (the returned []Result)", allocs)
+	}
+
+	if _, err := ix.TopK(11, 10); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := ix.TopK(queries[i%len(queries)], 10); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// The pooled path matches the Searcher path except when a GC clears
+	// the pool mid-measurement; allow that rare refill without letting a
+	// real per-query regression through.
+	if allocs > 2 {
+		t.Fatalf("Index.TopK allocates %.1f objects/op in steady state, want 1 (the returned []Result)", allocs)
+	}
+}
+
+// TestTopKVectorAllocs: the out-of-sample fast path — coarse
+// quantizer, surrogate selection, heat-kernel weighting, pruned search
+// — also allocates only the returned []Result.
+func TestTopKVectorAllocs(t *testing.T) {
+	ix, ds := allocFixture(t)
+	sr := ix.NewSearcher()
+	pool := ds.Points[2000:]
+	if _, err := sr.TopKVector(pool[0], 10); err != nil { // warm: scratch + lazy OOS tables
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sr.TopKVector(pool[i%len(pool)], 10); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 1 {
+		t.Fatalf("Searcher.TopKVector allocates %.1f objects/op in steady state, want 1 (the returned []Result)", allocs)
+	}
+}
+
+// TestTopKAllocsWithDeltaAndTombstones: the zero-steady-state-
+// allocation property must survive dynamic state — live delta items
+// merged into every search and tombstones filtered through the dense
+// bitset.
+func TestTopKAllocsWithDeltaAndTombstones(t *testing.T) {
+	ix, ds := allocFixture(t)
+	for _, p := range ds.Points[2000:2050] {
+		if _, err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int{5, 800, 1999, 2001} {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr := ix.NewSearcher()
+	if _, err := sr.TopK(11, 10); err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{3, 500, 999, 2010} // includes a live delta item
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sr.TopK(queries[i%len(queries)], 10); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 1 {
+		t.Fatalf("Searcher.TopK with delta+tombstones allocates %.1f objects/op, want 1", allocs)
+	}
+}

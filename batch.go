@@ -15,6 +15,45 @@ type BatchResult struct {
 	Err error
 }
 
+// runBatch is the shared worker-pool engine behind TopKBatch and
+// TopKVectorBatch: n work items are fanned out to the workers, each of
+// which holds one Searcher (a private query-engine scratch) for its
+// whole run, so a batch of thousands of queries performs thousands of
+// searches on a handful of reusable workspaces. Results land at their
+// item's index; per-item failures are recorded, never fatal.
+// parallelism <= 0 selects GOMAXPROCS.
+func (ix *Index) runBatch(n, parallelism int, run func(sr *Searcher, i int) BatchResult) []BatchResult {
+	out := make([]BatchResult, n)
+	if n == 0 {
+		return out
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sr := ix.NewSearcher()
+			for i := range next {
+				out[i] = run(sr, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
 // TopKBatch answers many in-database queries concurrently. Searches
 // only take the index's read lock, so queries parallelize perfectly;
 // this is the bulk-evaluation entry point (e.g. scoring a whole query
@@ -25,69 +64,19 @@ type BatchResult struct {
 // reported in the corresponding BatchResult rather than aborting the
 // batch.
 func (ix *Index) TopKBatch(queries []int, k, parallelism int) []BatchResult {
-	out := make([]BatchResult, len(queries))
-	if len(queries) == 0 {
-		return out
-	}
-	workers := parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				q := queries[i]
-				res, err := ix.TopK(q, k)
-				out[i] = BatchResult{Query: q, Results: res, Err: err}
-			}
-		}()
-	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+	return ix.runBatch(len(queries), parallelism, func(sr *Searcher, i int) BatchResult {
+		q := queries[i]
+		res, err := sr.TopK(q, k)
+		return BatchResult{Query: q, Results: res, Err: err}
+	})
 }
 
 // TopKVectorBatch answers many out-of-sample queries concurrently,
 // mirroring TopKBatch. The i-th BatchResult's Query field holds i (the
 // position in the input slice).
 func (ix *Index) TopKVectorBatch(queries []Vector, k, parallelism int) []BatchResult {
-	out := make([]BatchResult, len(queries))
-	if len(queries) == 0 {
-		return out
-	}
-	workers := parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				res, err := ix.TopKVector(queries[i], k)
-				out[i] = BatchResult{Query: i, Results: res, Err: err}
-			}
-		}()
-	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+	return ix.runBatch(len(queries), parallelism, func(sr *Searcher, i int) BatchResult {
+		res, err := sr.TopKVector(queries[i], k)
+		return BatchResult{Query: i, Results: res, Err: err}
+	})
 }

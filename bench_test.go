@@ -464,6 +464,78 @@ func BenchmarkFig9CaseStudy(b *testing.B) {
 	})
 }
 
+// bench10k builds the n=10k index shared by the hot-path benchmarks
+// below (lazily, once), mirroring the fixture cache used for the
+// figure benches.
+func hotFixture10k(b *testing.B) *Index {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if ix, ok := fixtures10k["ix"]; ok {
+		return ix
+	}
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 10100, Classes: 25, Dim: 16, WithinStd: 0.3, Separation: 2.5, Seed: 11,
+	})
+	ix, err := Build(ds.Points[:10000], Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixtures10k["ix"] = ix
+	fixtures10kPool = ds.Points[10000:]
+	return ix
+}
+
+var (
+	fixtures10k     = map[string]*Index{}
+	fixtures10kPool []Vector
+)
+
+// BenchmarkTopK is the headline hot-path benchmark of the pooled query
+// engine at n=10k: steady-state in-database searches must report, with
+// -benchmem, exactly one allocation per op — the returned []Result —
+// where the pre-engine path allocated O(n) scratch per query (~190 KB
+// and 24 allocs at this size). The ns/op, B/op and allocs/op triple is
+// exported to BENCH_search.json by the CI bench-smoke job.
+func BenchmarkTopK(b *testing.B) {
+	ix := hotFixture10k(b)
+	queries := benchQueries(10000, 64)
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.TopK(queries[i%len(queries)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("searcher", func(b *testing.B) {
+		sr := ix.NewSearcher()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sr.TopK(queries[i%len(queries)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTopKVector is BenchmarkTopK for the out-of-sample fast
+// path (coarse quantizer + surrogate selection + pruned search), which
+// the engine refactor also brought down to one allocation per query.
+func BenchmarkTopKVector(b *testing.B) {
+	ix := hotFixture10k(b)
+	pool := fixtures10kPool
+	sr := ix.NewSearcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sr.TopKVector(pool[i%len(pool)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkIndexBuild tracks end-to-end public-API build cost (not a
 // paper figure; a regression guard for the library itself).
 func BenchmarkIndexBuild(b *testing.B) {

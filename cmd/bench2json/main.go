@@ -1,0 +1,143 @@
+// Command bench2json converts `go test -bench` output on stdin into a
+// machine-readable JSON report on stdout, so CI can archive the
+// performance trajectory of the hot paths (ns/op, B/op, allocs/op and
+// any custom b.ReportMetric units) run over run instead of letting the
+// numbers scroll away in build logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkTopK' -benchmem . | bench2json > BENCH_search.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path,
+	// with the trailing -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Runs is the measured iteration count (the b.N column).
+	Runs int64 `json:"runs"`
+	// NsPerOp is the standard timing metric. BytesPerOp and
+	// AllocsPerOp appear only under -benchmem; they are pointers so a
+	// measured zero — the engine's goal state — is distinguishable
+	// from "not measured" (null/absent).
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any custom b.ReportMetric units (e.g. "P@5").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads go-test benchmark output and extracts the header
+// metadata plus every benchmark result line.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   200   41289 ns/op   160 B/op   1 allocs/op   0.95 P@5
+//
+// Returns ok=false for lines that merely start with "Benchmark" (e.g.
+// a -v RUN header) but carry no measurements.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix iff numeric (sub-benchmark names
+		// may legitimately contain dashes).
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Runs: runs}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			v := val
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+		seen = true
+	}
+	return b, seen
+}

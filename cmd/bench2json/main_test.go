@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mogul
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTopK/pooled-8         	     200	     41289 ns/op	     160 B/op	       1 allocs/op
+BenchmarkTopK/searcher-8       	     200	     40088 ns/op	    1103 B/op	       1 allocs/op
+BenchmarkTopKVector-8          	     200	     76039 ns/op	    1198 B/op	       1 allocs/op
+BenchmarkInsert-8              	     200	      4180 ns/op	    1648 B/op	       4 allocs/op
+BenchmarkFig234AnchorSweep/Mogul-8 	   10000	     10873 ns/op	         0.9625 P@5	         0.9531 precision
+PASS
+ok  	mogul	1.814s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "mogul" {
+		t.Fatalf("header parsed wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu parsed wrong: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkTopK/pooled" || b.Runs != 200 || b.NsPerOp != 41289 ||
+		b.BytesPerOp == nil || *b.BytesPerOp != 160 || b.AllocsPerOp == nil || *b.AllocsPerOp != 1 {
+		t.Fatalf("first benchmark parsed wrong: %+v", b)
+	}
+	sweep := rep.Benchmarks[4]
+	if sweep.Name != "BenchmarkFig234AnchorSweep/Mogul" {
+		t.Fatalf("sub-benchmark name parsed wrong: %q", sweep.Name)
+	}
+	// No -benchmem columns on the sweep line: must be absent, not 0.
+	if sweep.BytesPerOp != nil || sweep.AllocsPerOp != nil {
+		t.Fatalf("absent B/op-allocs/op not nil: %+v", sweep)
+	}
+	if sweep.Metrics["P@5"] != 0.9625 || sweep.Metrics["precision"] != 0.9531 {
+		t.Fatalf("custom metrics parsed wrong: %+v", sweep.Metrics)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := `BenchmarkFoo
+=== RUN   TestSomething
+Benchmark (not a result)
+BenchmarkBar-4	 100	 12.5 ns/op
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkBar" {
+		t.Fatalf("want only BenchmarkBar, got %+v", rep.Benchmarks)
+	}
+}

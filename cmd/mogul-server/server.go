@@ -49,6 +49,13 @@ type server struct {
 	queriesServed atomic.Int64
 	queryErrors   atomic.Int64
 	totalLatUS    atomic.Int64
+
+	// searchers recycles per-request query engines: each search handler
+	// borrows a mogul.Searcher (which owns the score vectors and top-k
+	// heap for one query) for the duration of the request, so a busy
+	// server runs steady-state searches without per-request allocation
+	// — net/http goroutines come and go, the workspaces stay.
+	searchers sync.Pool
 }
 
 func newServer(idx *mogul.Index, labels []int) *server {
@@ -67,6 +74,17 @@ func newServer(idx *mogul.Index, labels []int) *server {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// searcher borrows a reusable query engine for one request; pair with
+// putSearcher.
+func (s *server) searcher() *mogul.Searcher {
+	if sr, ok := s.searchers.Get().(*mogul.Searcher); ok {
+		return sr
+	}
+	return s.idx.NewSearcher()
+}
+
+func (s *server) putSearcher(sr *mogul.Searcher) { s.searchers.Put(sr) }
 
 // record updates the cumulative counters for one query.
 func (s *server) record(took time.Duration, err error) {
@@ -265,8 +283,10 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := parseK(r.URL.Query().Get("k"))
+	sr := s.searcher()
 	t0 := time.Now()
-	res, info, err := s.idx.TopKWithInfo(id, k)
+	res, info, err := sr.TopKWithInfo(id, k)
+	s.putSearcher(sr)
 	s.record(time.Since(t0), err)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -300,8 +320,10 @@ func (s *server) handleSearchVector(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 10
 	}
+	sr := s.searcher()
 	t0 := time.Now()
-	res, err := s.idx.TopKVector(req.Vector, req.K)
+	res, err := sr.TopKVector(req.Vector, req.K)
+	s.putSearcher(sr)
 	s.record(time.Since(t0), err)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -332,8 +354,10 @@ func (s *server) handleSearchSet(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 10
 	}
+	sr := s.searcher()
 	t0 := time.Now()
-	res, err := s.idx.TopKSet(req.IDs, req.K)
+	res, err := sr.TopKSet(req.IDs, req.K)
+	s.putSearcher(sr)
 	s.record(time.Since(t0), err)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())

@@ -1,0 +1,127 @@
+package mogul
+
+// Stress test for the pooled query engine under concurrent mutation:
+// searchers (both pool-backed Index methods and long-held Searchers)
+// hammer the index while Insert/Delete/Compact churn the base
+// underneath. Run under -race in CI, this proves the epoch-based
+// scratch invalidation: a Scratch sized for a pre-compaction base must
+// never touch post-compaction structures (or vice versa) without being
+// re-acquired.
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mogul/internal/dataset"
+)
+
+func TestScratchPoolVsConcurrentCompact(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 800, Classes: 8, Dim: 12, WithinStd: 0.3, Separation: 2.5, Seed: 33,
+	})
+	const base = 600
+	ix, err := Build(ds.Points[:base], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		searchWorkers = 4
+		queriesEach   = 300
+		compactRounds = 8
+	)
+	var (
+		wg       sync.WaitGroup
+		searched atomic.Int64
+		stop     atomic.Bool
+	)
+
+	// Held-Searcher workers: each keeps ONE scratch across every
+	// query, including across the compactions below — the worst case
+	// for stale-buffer bugs.
+	for w := 0; w < searchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sr := ix.NewSearcher()
+			for i := 0; i < queriesEach; i++ {
+				q := (i*131 + w*17) % base
+				res, err := sr.TopK(q, 10)
+				if err != nil {
+					// The query item may have been deleted by the mutator;
+					// any other failure is a real bug (the live count never
+					// drops below base, so ids in [0, base) stay in range
+					// across every compaction).
+					if !strings.Contains(err.Error(), "is deleted") {
+						t.Errorf("TopK(%d): %v", q, err)
+						return
+					}
+					continue
+				}
+				if len(res) == 0 {
+					t.Error("empty result from live index")
+					return
+				}
+				for _, r := range res {
+					if r.Node < 0 {
+						t.Errorf("negative node id %d", r.Node)
+						return
+					}
+				}
+				searched.Add(1)
+			}
+		}(w)
+	}
+
+	// Pool-path workers: plain Index methods, exercising scratch
+	// hand-off through the internal sync.Pool while the epoch moves.
+	for w := 0; w < searchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				if stop.Load() {
+					return
+				}
+				if _, err := ix.TopKVector(ds.Points[base+(i+w)%(len(ds.Points)-base)], 5); err != nil {
+					t.Errorf("TopKVector: %v", err)
+					return
+				}
+				searched.Add(1)
+			}
+		}(w)
+	}
+
+	// Mutator: insert, delete, compact in a loop. Every Compact bumps
+	// the engine epoch and swaps the base geometry under the searchers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		next := base
+		for round := 0; round < compactRounds; round++ {
+			for j := 0; j < 10; j++ {
+				if _, err := ix.Insert(ds.Points[next%len(ds.Points)]); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				next++
+			}
+			if err := ix.Delete(round * 7 % base); err != nil {
+				// Already deleted in a previous round is fine.
+				continue
+			}
+			if err := ix.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if searched.Load() == 0 {
+		t.Fatal("no searches completed")
+	}
+}

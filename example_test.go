@@ -101,3 +101,26 @@ func ExampleIndex_Save() {
 	// items: 8
 	// identical results: true
 }
+
+func ExampleIndex_NewSearcher() {
+	idx, err := mogul.Build(examplePoints(), mogul.Options{GraphK: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A Searcher pins a reusable query workspace to one worker: every
+	// search it runs allocates nothing beyond the returned results.
+	// Use one per goroutine; the plain Index methods pool workspaces
+	// internally and stay the right default elsewhere.
+	sr := idx.NewSearcher()
+	for _, q := range []int{0, 4, 7} {
+		res, err := sr.TopK(q, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("item %d best matches: %d, %d\n", q, res[0].Node, res[1].Node)
+	}
+	// Output:
+	// item 0 best matches: 3, 1
+	// item 4 best matches: 7, 6
+	// item 7 best matches: 7, 6
+}

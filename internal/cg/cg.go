@@ -75,7 +75,8 @@ func Solve(a *sparse.CSR, b []float64, opts Options) (*Result, error) {
 
 	x := make([]float64, n)
 	r := append([]float64(nil), b...) // r = b - A*0
-	z := applyPreconditioner(opts.Preconditioner, r)
+	z := make([]float64, n)           // reused across iterations
+	applyPreconditionerTo(z, opts.Preconditioner, r)
 	p := append([]float64(nil), z...)
 	rz := dot(r, z)
 	ap := make([]float64, n)
@@ -99,7 +100,7 @@ func Solve(a *sparse.CSR, b []float64, opts Options) (*Result, error) {
 			res.Converged = true
 			break
 		}
-		z = applyPreconditioner(opts.Preconditioner, r)
+		applyPreconditionerTo(z, opts.Preconditioner, r)
 		rzNew := dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
@@ -112,13 +113,14 @@ func Solve(a *sparse.CSR, b []float64, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// applyPreconditioner computes z = M^{-1} r, or copies r when no
-// preconditioner is set.
-func applyPreconditioner(m *cholesky.Factor, r []float64) []float64 {
-	if m == nil {
-		return append([]float64(nil), r...)
+// applyPreconditionerTo computes z = M^{-1} r into the caller's buffer
+// (or copies r when no preconditioner is set), so the per-iteration
+// preconditioner application allocates nothing.
+func applyPreconditionerTo(z []float64, m *cholesky.Factor, r []float64) {
+	copy(z, r)
+	if m != nil {
+		m.SolveInPlace(z)
 	}
-	return m.Solve(r)
 }
 
 func dot(a, b []float64) float64 {

@@ -107,6 +107,38 @@ func (f *Factor) Solve(q []float64) []float64 {
 	return f.BackSolve(f.ForwardSolve(q))
 }
 
+// SolveInPlace is Solve without the allocations: v holds q on entry and
+// x on return. The arithmetic (operation order and rounding) is
+// bit-identical to Solve, which copies into fresh slices and then runs
+// the same in-place substitutions; callers that own a reusable buffer
+// (the query-engine scratch, CG preconditioner applications) use this
+// to keep steady-state solves allocation-free.
+func (f *Factor) SolveInPlace(v []float64) {
+	if len(v) != f.N {
+		panic(fmt.Sprintf("cholesky: SolveInPlace length %d != %d", len(v), f.N))
+	}
+	for j := 0; j < f.N; j++ {
+		v[j] /= f.D[j]
+		vj := v[j]
+		if vj == 0 {
+			continue
+		}
+		rows, vals := f.Col(j)
+		dj := f.D[j]
+		for k, i := range rows {
+			v[i] -= vals[k] * dj * vj
+		}
+	}
+	for i := f.N - 1; i >= 0; i-- {
+		rows, vals := f.Col(i)
+		var s float64
+		for k, j := range rows {
+			s += vals[k] * v[j]
+		}
+		v[i] -= s
+	}
+}
+
 // Reconstruct densifies L D Lᵀ; a test oracle for small matrices.
 func (f *Factor) Reconstruct() [][]float64 {
 	n := f.N

@@ -34,9 +34,17 @@ func (ix *Index) ExactScoresCG(query int, tol float64) ([]float64, int, error) {
 		return nil, 0, fmt.Errorf("core: query node %d is deleted", query)
 	}
 	w := ix.systemMatrix()
-	q := make([]float64, n)
-	q[ix.layout.Perm.OldToNew[query]] = 1 - ix.alpha
+	// The right-hand side has a single non-zero; borrow the scratch's x
+	// buffer for it (cg.Solve never mutates b), so the O(1)-sparse
+	// input costs an O(1) reset instead of an O(n) allocation.
+	s := ix.AcquireScratch()
+	defer ix.ReleaseScratch(s)
+	ix.ready(s)
+	q := s.x
+	pos := ix.layout.Perm.OldToNew[query]
+	q[pos] = 1 - ix.alpha
 	res, err := cg.Solve(w, q, cg.Options{Tol: tol, Preconditioner: ix.factor})
+	q[pos] = 0
 	if err != nil {
 		return nil, 0, err
 	}

@@ -50,8 +50,15 @@ type delta struct {
 	// dead marks tombstoned delta slots; live counts the rest.
 	dead []bool
 	live int
-	// deadBase holds tombstoned base node ids.
+	// deadBase holds tombstoned base node ids. It is the mutation-side
+	// source of truth (Delete validates against it, Compact and the
+	// serializer enumerate it); the hot search loops never touch it.
 	deadBase map[int]bool
+	// deadBits mirrors deadBase as a dense bitset over original base
+	// ids, sized (n+63)/64 words and allocated at the first base
+	// deletion. Search-path liveness checks read this — one shift and
+	// mask per offered item instead of a map probe.
+	deadBits []uint64
 	// clusters maps a cluster id to the number of live delta points
 	// with a surrogate inside it — the clusters every search must
 	// back-substitute so delta scores can be read off x.
@@ -212,6 +219,10 @@ func (ix *Index) Delete(id int) error {
 			d.deadBase = make(map[int]bool)
 		}
 		d.deadBase[id] = true
+		if d.deadBits == nil {
+			d.deadBits = make([]uint64, (n+63)/64)
+		}
+		d.deadBits[id>>6] |= 1 << (uint(id) & 63)
 	default:
 		i := id - n
 		if d.dead[i] {
@@ -298,8 +309,11 @@ func (ix *Index) compactLocked() error {
 // adoptLocked replaces every base structure of ix with src's and
 // resets the delta layer. Callers hold the write lock (and compactMu,
 // so no mutator races). Fields are copied one by one — the mutexes
-// must stay in place.
+// and the scratch pool must stay in place; the epoch bump invalidates
+// every Scratch sized for the old base (pooled or caller-held), which
+// the next search detects and re-acquires.
 func (ix *Index) adoptLocked(src *Index) {
+	ix.epoch++
 	ix.graph = src.graph
 	ix.alpha = src.alpha
 	ix.exact = src.exact
@@ -337,7 +351,7 @@ func (ix *Index) Neighbors(id int) (ids []int, weights []float64, err error) {
 		ids = make([]int, 0, len(cols))
 		weights = make([]float64, 0, len(vals))
 		for t, j := range cols {
-			if len(d.deadBase) > 0 && d.deadBase[j] {
+			if d.baseDead(j) {
 				continue
 			}
 			ids = append(ids, j)
@@ -353,20 +367,28 @@ func (ix *Index) Neighbors(id int) (ids []int, weights []float64, err error) {
 	}
 }
 
+// baseDead reports whether base id (original numbering) is tombstoned,
+// via the dense bitset. Callers hold at least the read lock.
+func (d *delta) baseDead(id int) bool {
+	w := id >> 6
+	return w < len(d.deadBits) && d.deadBits[w]>>(uint(id)&63)&1 != 0
+}
+
 // ensureProbeClusters back-substitutes any cluster that holds a live
 // delta point's surrogate and is not computed yet, so delta scores can
-// be read off x. Callers hold the read lock; computed[c] tracks which
-// cluster score ranges of x are valid.
-func (ix *Index) ensureProbeClusters(x, y []float64, computed []bool, info *SearchInfo) {
+// be read off x. Callers hold the read lock; the scratch's computed[]
+// table tracks which cluster score ranges of x are valid (and feeds
+// the touched-ranges reset).
+func (ix *Index) ensureProbeClusters(s *Scratch) {
 	for c := range ix.delta.clusters {
-		if computed[c] {
+		if s.computed[c] {
 			continue
 		}
 		lo, hi := ix.layout.ClusterRange(c)
-		ix.backSubstituteRange(x, y, lo, hi)
-		computed[c] = true
-		info.ScoresComputed += hi - lo
-		info.ClustersScanned++
+		ix.backSubstituteRange(s.x, s.y, lo, hi)
+		s.markComputed(c)
+		s.info.ScoresComputed += hi - lo
+		s.info.ClustersScanned++
 	}
 }
 
@@ -393,33 +415,34 @@ func (ix *Index) offerDeltas(coll *topk.Collector, x []float64) {
 	}
 }
 
-// querySources expands an item id (base or delta) into its permuted
-// query sources, validating liveness. Callers hold the read lock.
-func (ix *Index) querySources(id int, weight float64) ([]source, error) {
+// appendQuerySources expands an item id (base or delta) into its
+// permuted query sources, appending to dst (typically the scratch's
+// source buffer, so the expansion is allocation-free in steady state)
+// and validating liveness. Callers hold the read lock.
+func (ix *Index) appendQuerySources(dst []source, id int, weight float64) ([]source, error) {
 	n := ix.factor.N
 	d := &ix.delta
 	switch {
 	case id < 0 || id >= n+len(d.points):
-		return nil, fmt.Errorf("core: query node %d outside [0,%d)", id, n+len(d.points))
+		return dst, fmt.Errorf("core: query node %d outside [0,%d)", id, n+len(d.points))
 	case id < n:
 		if d.deadBase[id] {
-			return nil, fmt.Errorf("core: query node %d is deleted", id)
+			return dst, fmt.Errorf("core: query node %d is deleted", id)
 		}
-		return []source{{pos: ix.layout.Perm.OldToNew[id], weight: (1 - ix.alpha) * weight}}, nil
+		return append(dst, source{pos: ix.layout.Perm.OldToNew[id], weight: (1 - ix.alpha) * weight}), nil
 	default:
 		i := id - n
 		if d.dead[i] {
-			return nil, fmt.Errorf("core: query node %d is deleted", id)
+			return dst, fmt.Errorf("core: query node %d is deleted", id)
 		}
 		// A delta query diffuses from its surrogate representation,
 		// the in-database analogue of an out-of-sample vector query.
-		src := make([]source, len(d.probes[i]))
 		for j, nb := range d.probes[i] {
-			src[j] = source{
+			dst = append(dst, source{
 				pos:    ix.layout.Perm.OldToNew[nb],
 				weight: (1 - ix.alpha) * weight * d.weights[i][j],
-			}
+			})
 		}
-		return src, nil
+		return dst, nil
 	}
 }

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"mogul/internal/dataset"
+	"mogul/internal/knn"
+	"mogul/internal/topk"
+	"mogul/internal/vec"
+)
+
+// This file proves the pooled query engine (engine.go) is an exact
+// drop-in for the pre-engine behavior: refSearchSources below is the
+// allocate-per-query implementation the engine replaced, kept verbatim
+// as the property-test oracle. Results must match bit for bit — same
+// nodes, same float64 scores, same work counters — across Mogul,
+// MogulE, delta states (inserts, deletes), out-of-sample queries, and
+// serialization round trips.
+
+// refSearchSources is the pre-refactor search path: fresh O(n)
+// slices, an active-cluster map, a map-based tombstone filter, and a
+// newly allocated collector per query.
+func refSearchSources(ix *Index, sources []source, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	n := ix.factor.N
+	k := opts.K
+	if total := ix.liveTotal(); k > total {
+		k = total
+	}
+	info := &SearchInfo{}
+
+	if opts.FullSubstitution {
+		return refSearchFull(ix, sources, k, info)
+	}
+
+	layout := ix.layout
+	f := ix.factor
+	border := layout.Border()
+	computed := make([]bool, layout.NumClusters)
+	coll := topk.New(k)
+	deadBase := ix.delta.deadBase
+	offer := func(pos int, score float64) {
+		if len(deadBase) > 0 && deadBase[layout.Perm.NewToOld[pos]] {
+			return
+		}
+		coll.Offer(pos, score)
+	}
+
+	active := make(map[int]bool, 4)
+	for _, s := range sources {
+		active[layout.ClusterOf[s.pos]] = true
+	}
+	active[border] = true
+	activeList := make([]int, 0, len(active))
+	for c := 0; c < layout.NumClusters; c++ {
+		if active[c] {
+			activeList = append(activeList, c)
+		}
+	}
+
+	y := make([]float64, n)
+	for _, s := range sources {
+		y[s.pos] += s.weight
+	}
+	for _, c := range activeList {
+		lo, hi := layout.ClusterRange(c)
+		for j := lo; j < hi; j++ {
+			y[j] /= f.D[j]
+			yj := y[j]
+			if yj == 0 {
+				continue
+			}
+			rows, vals := f.Col(j)
+			dj := f.D[j]
+			for t, i := range rows {
+				y[i] -= vals[t] * dj * yj
+			}
+		}
+	}
+
+	x := make([]float64, n)
+	cN := layout.BorderStart()
+	ix.backSubstituteRange(x, y, cN, n)
+	computed[border] = true
+	info.ScoresComputed += n - cN
+	info.ClustersScanned++
+	for _, c := range activeList {
+		if c == border {
+			continue
+		}
+		lo, hi := layout.ClusterRange(c)
+		ix.backSubstituteRange(x, y, lo, hi)
+		computed[c] = true
+		info.ScoresComputed += hi - lo
+		info.ClustersScanned++
+	}
+
+	for _, c := range activeList {
+		lo, hi := layout.ClusterRange(c)
+		for i := lo; i < hi; i++ {
+			offer(i, x[i])
+		}
+	}
+
+	xAbsBorder := make([]float64, n-cN)
+	for i := cN; i < n; i++ {
+		xAbsBorder[i-cN] = math.Abs(x[i])
+	}
+
+	for c := 0; c < layout.NumClusters; c++ {
+		if active[c] {
+			continue
+		}
+		if !opts.DisablePruning {
+			bound := ix.bounds.clusterBound(c, layout, xAbsBorder)
+			if bound < coll.Threshold() {
+				info.ClustersPruned++
+				continue
+			}
+		}
+		lo, hi := layout.ClusterRange(c)
+		ix.backSubstituteRange(x, y, lo, hi)
+		computed[c] = true
+		info.ScoresComputed += hi - lo
+		info.ClustersScanned++
+		for i := lo; i < hi; i++ {
+			offer(i, x[i])
+		}
+	}
+
+	if ix.delta.live > 0 {
+		for c := range ix.delta.clusters {
+			if computed[c] {
+				continue
+			}
+			lo, hi := ix.layout.ClusterRange(c)
+			ix.backSubstituteRange(x, y, lo, hi)
+			computed[c] = true
+			info.ScoresComputed += hi - lo
+			info.ClustersScanned++
+		}
+		ix.offerDeltas(coll, x)
+	}
+
+	return refCollect(ix, coll), info, nil
+}
+
+// refSearchFull is the pre-refactor unstructured ablation path.
+func refSearchFull(ix *Index, sources []source, k int, info *SearchInfo) ([]Result, *SearchInfo, error) {
+	n := ix.factor.N
+	q := make([]float64, n)
+	for _, s := range sources {
+		q[s.pos] += s.weight
+	}
+	x := ix.factor.Solve(q)
+	info.ScoresComputed = n
+	info.ClustersScanned = ix.layout.NumClusters
+	coll := topk.New(k)
+	deadBase := ix.delta.deadBase
+	for i, v := range x {
+		if len(deadBase) > 0 && deadBase[ix.layout.Perm.NewToOld[i]] {
+			continue
+		}
+		coll.Offer(i, v)
+	}
+	ix.offerDeltas(coll, x)
+	return refCollect(ix, coll), info, nil
+}
+
+// refCollect is the pre-refactor collect (copying Results instead of
+// draining in place).
+func refCollect(ix *Index, coll *topk.Collector) []Result {
+	n := ix.factor.N
+	items := coll.Results()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		if it.ID >= n {
+			out[i] = Result{Node: it.ID, Score: it.Score}
+			continue
+		}
+		out[i] = Result{Node: ix.layout.Perm.NewToOld[it.ID], Score: it.Score}
+	}
+	return out
+}
+
+func refSearch(ix *Index, query int, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if opts.K <= 0 {
+		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	src, err := ix.appendQuerySources(nil, query, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return refSearchSources(ix, src, opts)
+}
+
+func refSearchMulti(ix *Index, seeds []WeightedQuery, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var sources []source
+	var err error
+	for _, s := range seeds {
+		sources, err = ix.appendQuerySources(sources, s.Node, s.Weight)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return refSearchSources(ix, sources, opts)
+}
+
+func refSearchOutOfSample(ix *Index, q vec.Vector, opts OOSOptions) ([]Result, *SearchInfo, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids, weights, err := ix.surrogates(q, opts.NumNeighbors)
+	if err != nil {
+		return nil, nil, err
+	}
+	sources := make([]source, len(ids))
+	for i, id := range ids {
+		sources[i] = source{pos: ix.layout.Perm.OldToNew[id], weight: (1 - ix.alpha) * weights[i]}
+	}
+	return refSearchSources(ix, sources, opts.searchOptions())
+}
+
+func (o OOSOptions) searchOptions() SearchOptions {
+	return SearchOptions{K: o.K, DisablePruning: o.DisablePruning, FullSubstitution: o.FullSubstitution}
+}
+
+// engineFixture builds one index plus the point pool used to exercise
+// delta states and out-of-sample queries.
+type engineFixture struct {
+	name string
+	ix   *Index
+	pool []vec.Vector // held-out points: OOS queries and inserts
+}
+
+func engineFixtures(t *testing.T) []engineFixture {
+	t.Helper()
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 440, Classes: 8, Dim: 8, WithinStd: 0.25, Separation: 2.2, Seed: 42,
+	})
+	base, pool := ds.Points[:400], ds.Points[400:]
+	cfg := knn.GraphConfig{K: 5}
+	g, err := knn.BuildGraph(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out []engineFixture
+	for _, exact := range []bool{false, true} {
+		name := "Mogul"
+		if exact {
+			name = "MogulE"
+		}
+		fresh, err := NewIndex(g, Options{Exact: exact, Graph: &cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, engineFixture{name: name, ix: fresh, pool: pool})
+
+		// Delta state: inserts plus base and delta tombstones.
+		dirty, err := NewIndex(g, Options{Exact: exact, Graph: &cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pool[:24] {
+			if _, err := dirty.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range []int{3, 77, 200, 399, 402, 411} {
+			if err := dirty.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out = append(out, engineFixture{name: name + "+delta", ix: dirty, pool: pool[24:]})
+
+		// Serialization round trip of the delta state.
+		var buf bytes.Buffer
+		if _, err := dirty.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, engineFixture{name: name + "+delta+reload", ix: loaded, pool: pool[24:]})
+	}
+	return out
+}
+
+func sameResults(t *testing.T, label string, got []Result, want []Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: engine and reference disagree\n got: %v\nwant: %v", label, got, want)
+	}
+}
+
+// TestEngineMatchesReference is the tentpole property test: for every
+// index state, every query kind, and every option combination, the
+// pooled engine must reproduce the pre-refactor path bit for bit —
+// results (ids AND float64 score bits) and work counters alike.
+func TestEngineMatchesReference(t *testing.T) {
+	optVariants := []struct {
+		name string
+		opts SearchOptions
+	}{
+		{"pruned", SearchOptions{}},
+		{"noPruning", SearchOptions{DisablePruning: true}},
+		{"fullSubstitution", SearchOptions{FullSubstitution: true}},
+	}
+	for _, f := range engineFixtures(t) {
+		t.Run(f.name, func(t *testing.T) {
+			total := f.ix.Len()
+			queries := []int{0, 1, 17, 123, 399}
+			if f.ix.delta.live > 0 {
+				queries = append(queries, 400, 405) // live delta items
+			}
+			for _, v := range optVariants {
+				for _, k := range []int{1, 10, 97, total + 50} {
+					opts := v.opts
+					opts.K = k
+					for _, q := range queries {
+						label := fmt.Sprintf("%s/k=%d/q=%d", v.name, k, q)
+						want, wantInfo, wantErr := refSearch(f.ix, q, opts)
+						got, gotInfo, gotErr := f.ix.Search(q, opts)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("%s: error mismatch: engine %v, reference %v", label, gotErr, wantErr)
+						}
+						if wantErr != nil {
+							continue
+						}
+						sameResults(t, label, got, want)
+						if *gotInfo != *wantInfo {
+							t.Fatalf("%s: info mismatch: engine %+v, reference %+v", label, *gotInfo, *wantInfo)
+						}
+					}
+
+					// Multi-seed queries.
+					seeds := []WeightedQuery{{Node: 1, Weight: 0.5}, {Node: 123, Weight: 0.3}, {Node: 17, Weight: 0.2}}
+					want, wantInfo, wantErr := refSearchMulti(f.ix, seeds, opts)
+					got, gotInfo, gotErr := f.ix.SearchMulti(seeds, opts)
+					if wantErr != nil || gotErr != nil {
+						t.Fatalf("multi/%s: errors engine %v reference %v", v.name, gotErr, wantErr)
+					}
+					sameResults(t, "multi/"+v.name, got, want)
+					if *gotInfo != *wantInfo {
+						t.Fatalf("multi/%s: info mismatch: %+v vs %+v", v.name, *gotInfo, *wantInfo)
+					}
+
+					// Out-of-sample queries.
+					for qi, qv := range f.pool[:4] {
+						oopts := OOSOptions{K: k, DisablePruning: v.opts.DisablePruning, FullSubstitution: v.opts.FullSubstitution}
+						want, _, wantErr := refSearchOutOfSample(f.ix, qv, oopts)
+						got, _, gotErr := f.ix.SearchOutOfSample(qv, oopts)
+						if wantErr != nil || gotErr != nil {
+							t.Fatalf("oos/%s/%d: errors engine %v reference %v", v.name, qi, gotErr, wantErr)
+						}
+						sameResults(t, fmt.Sprintf("oos/%s/%d", v.name, qi), got, want)
+						// The breakdown-free fast path must agree too.
+						fast, err := f.ix.TopKVector(qv, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if oopts.DisablePruning || oopts.FullSubstitution {
+							continue // TopKVector always runs the default pruned path
+						}
+						sameResults(t, fmt.Sprintf("oos-fast/%s/%d", v.name, qi), fast, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScratchResetInvariant drives many queries through one reused
+// scratch and checks, after every single query, the engine's core
+// invariant: x and y all zero, computed all false, touched empty. A
+// violation would silently corrupt the NEXT query, so it is checked
+// directly rather than through output equality alone.
+func TestScratchResetInvariant(t *testing.T) {
+	fixtures := engineFixtures(t)
+	for _, f := range fixtures {
+		t.Run(f.name, func(t *testing.T) {
+			s := new(Scratch)
+			check := func(step string) {
+				t.Helper()
+				for i, v := range s.x {
+					if v != 0 {
+						t.Fatalf("%s: x[%d] = %g after reset", step, i, v)
+					}
+				}
+				for i, v := range s.y {
+					if v != 0 {
+						t.Fatalf("%s: y[%d] = %g after reset", step, i, v)
+					}
+				}
+				for c, v := range s.computed {
+					if v {
+						t.Fatalf("%s: computed[%d] still set after reset", step, c)
+					}
+				}
+				if len(s.touched) != 0 {
+					t.Fatalf("%s: touched not empty after reset: %v", step, s.touched)
+				}
+			}
+			for i, q := range []int{0, 17, 123, 398, 1, 398} {
+				if _, err := f.ix.TopKScratch(s, q, 10); err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("%s topk #%d", f.name, i))
+			}
+			for i, opts := range []SearchOptions{{K: 5, FullSubstitution: true}, {K: 5, DisablePruning: true}} {
+				if _, _, err := f.ix.SearchScratch(s, 42, opts); err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("%s opts #%d", f.name, i))
+			}
+			for i, qv := range f.pool[:3] {
+				if _, err := f.ix.TopKVectorScratch(s, qv, 10); err != nil {
+					t.Fatal(err)
+				}
+				check(fmt.Sprintf("%s vector #%d", f.name, i))
+			}
+		})
+	}
+}
+
+// TestScratchEpochInvalidation holds one Scratch across Compact (which
+// changes n and the cluster geometry) and across a move to a different
+// index; the epoch/owner check must transparently re-size the
+// workspace and results must match a never-pooled baseline.
+func TestScratchEpochInvalidation(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 340, Classes: 6, Dim: 8, WithinStd: 0.25, Separation: 2.2, Seed: 7,
+	})
+	cfg := knn.GraphConfig{K: 5}
+	g, err := knn.BuildGraph(ds.Points[:300], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(g, Options{Graph: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewIndex(g, Options{Exact: true, Graph: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := new(Scratch)
+	if _, err := ix.TopKScratch(s, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	epochBefore := s.epoch
+
+	// Grow the index and fold the delta in: n changes from 300 to 320.
+	for _, p := range ds.Points[300:320] {
+		if _, err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.TopKScratch(s, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.epoch == epochBefore {
+		t.Fatalf("scratch epoch not bumped across Compact (still %d)", s.epoch)
+	}
+	if len(s.x) != 320 {
+		t.Fatalf("scratch not resized across Compact: len(x) = %d, want 320", len(s.x))
+	}
+	want, _, err := refSearch(ix, 3, SearchOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "post-compact", got, want)
+
+	// Moving the scratch to a different index must also revalidate.
+	got, err = other.TopKScratch(s, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err = refSearch(other, 3, SearchOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "cross-index", got, want)
+	if s.owner != other {
+		t.Fatal("scratch owner not updated after cross-index use")
+	}
+}
+
+// TestDeadBitsMirrorsDeadBase checks the dense tombstone bitset stays
+// in lockstep with the authoritative map through Delete, Compact, and
+// serialization.
+func TestDeadBitsMirrorsDeadBase(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 200, Classes: 5, Dim: 8, WithinStd: 0.25, Separation: 2.2, Seed: 9,
+	})
+	cfg := knn.GraphConfig{K: 5}
+	g, err := knn.BuildGraph(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(g, Options{Graph: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify := func(step string, ix *Index) {
+		t.Helper()
+		for id := 0; id < ix.factor.N; id++ {
+			if ix.delta.baseDead(id) != ix.delta.deadBase[id] {
+				t.Fatalf("%s: bitset disagrees with map at id %d", step, id)
+			}
+		}
+	}
+	verify("fresh", ix)
+	for _, id := range []int{0, 63, 64, 65, 127, 128, 199} {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		verify(fmt.Sprintf("after delete %d", id), ix)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify("reloaded", loaded)
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	verify("compacted", ix)
+	if len(ix.delta.deadBits) != 0 {
+		t.Fatal("compaction left a stale tombstone bitset")
+	}
+}

@@ -131,6 +131,17 @@ type Index struct {
 	// compaction cannot lose a concurrent insert.
 	compactMu sync.Mutex
 
+	// epoch identifies the current base geometry for query-engine
+	// scratch revalidation (engine.go): bumped under the write lock
+	// whenever the base structures are swapped (Compact). Starts at 1
+	// so the zero Scratch is always stale. Read under at least the
+	// read lock.
+	epoch uint64
+	// scratchPool recycles query-engine scratches across searches so
+	// the steady-state hot path allocates nothing; stale scratches
+	// (pooled across a Compact) are caught by the epoch check.
+	scratchPool sync.Pool
+
 	graph  *knn.Graph
 	alpha  float64
 	exact  bool
@@ -181,6 +192,7 @@ func NewIndex(g *knn.Graph, opts Options) (*Index, error) {
 		graphCfg: o.Graph,
 		oosOnce:  new(sync.Once),
 		wOnce:    new(sync.Once),
+		epoch:    1,
 	}
 	idx.stats.NumNodes = n
 	idx.stats.NumEdges = g.NumEdges()

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"mogul/internal/vec"
@@ -74,70 +74,87 @@ func (ix *Index) ensureOOS() {
 }
 
 // surrogates finds the numNbrs nearest live in-database neighbours of
-// q via the nearest-cluster quantizer and returns them with their
-// normalized heat-kernel weights (sum 1) — the surrogate query-node
-// representation of Section 4.6.2, shared by out-of-sample search and
-// by Insert. Callers hold at least the read lock.
+// q and returns them with their normalized heat-kernel weights in
+// freshly allocated slices safe to retain (Insert stores them in the
+// delta layer). Callers hold at least the read lock.
 func (ix *Index) surrogates(q vec.Vector, numNbrs int) ([]int, []float64, error) {
+	s := ix.AcquireScratch()
+	defer ix.ReleaseScratch(s)
+	ix.ready(s)
+	if err := ix.findSurrogates(s, q, numNbrs); err != nil {
+		return nil, nil, err
+	}
+	return slices.Clone(s.probeIDs), slices.Clone(s.probeWts), nil
+}
+
+// findSurrogates locates the numNbrs nearest live in-database
+// neighbours of q via the nearest-cluster quantizer and leaves them,
+// with their normalized heat-kernel weights (sum 1), in the scratch's
+// probeIDs/probeWts buffers — the surrogate query-node representation
+// of Section 4.6.2, shared by out-of-sample search and by Insert. The
+// whole selection runs on scratch-owned buffers, so it allocates
+// nothing in steady state. Callers hold at least the read lock and
+// have readied s.
+func (ix *Index) findSurrogates(s *Scratch, q vec.Vector, numNbrs int) error {
 	if numNbrs <= 0 {
 		numNbrs = ix.graph.K
 	}
 	ix.ensureOOS()
-	deadBase := ix.delta.deadBase
+	d := &ix.delta
 
 	// Nearest clusters by mean feature, probed in ascending mean
 	// distance until enough live candidates accumulate, so tiny or
 	// heavily-tombstoned clusters cannot starve the query (robustness
 	// extension over the paper's single-cluster description).
-	type clusterDist struct {
-		c int
-		d float64
-	}
-	order := make([]clusterDist, 0, len(ix.oosMeans))
+	s.ordBuf = s.ordBuf[:0]
 	for c, m := range ix.oosMeans {
 		if m == nil {
 			continue
 		}
-		order = append(order, clusterDist{c: c, d: vec.SquaredEuclidean(q, m)})
+		s.ordBuf = append(s.ordBuf, clusterDist{c: c, d: vec.SquaredEuclidean(q, m)})
 	}
-	if len(order) == 0 {
-		return nil, nil, fmt.Errorf("core: no non-empty clusters")
+	if len(s.ordBuf) == 0 {
+		return fmt.Errorf("core: no non-empty clusters")
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].d != order[j].d {
-			return order[i].d < order[j].d
+	slices.SortFunc(s.ordBuf, func(a, b clusterDist) int {
+		switch {
+		case a.d < b.d:
+			return -1
+		case a.d > b.d:
+			return 1
+		default:
+			return a.c - b.c
 		}
-		return order[i].c < order[j].c
 	})
-	var candidates []int
-	for _, cd := range order {
+	s.nbrBuf = s.nbrBuf[:0]
+	for _, cd := range s.ordBuf {
 		for _, id := range ix.oosMembers[cd.c] {
-			if len(deadBase) > 0 && deadBase[id] {
+			if d.baseDead(id) {
 				continue
 			}
-			candidates = append(candidates, id)
+			s.nbrBuf = append(s.nbrBuf, scoredNbr{id: id})
 		}
-		if len(candidates) >= numNbrs {
+		if len(s.nbrBuf) >= numNbrs {
 			break
 		}
 	}
-	if len(candidates) == 0 {
-		return nil, nil, fmt.Errorf("core: no live candidates for surrogate selection")
+	if len(s.nbrBuf) == 0 {
+		return fmt.Errorf("core: no live candidates for surrogate selection")
 	}
-	type nbr struct {
-		id int
-		d  float64
+	for i := range s.nbrBuf {
+		s.nbrBuf[i].d = math.Sqrt(vec.SquaredEuclidean(q, ix.graph.Points[s.nbrBuf[i].id]))
 	}
-	nbrs := make([]nbr, 0, len(candidates))
-	for _, id := range candidates {
-		nbrs = append(nbrs, nbr{id: id, d: math.Sqrt(vec.SquaredEuclidean(q, ix.graph.Points[id]))})
-	}
-	sort.Slice(nbrs, func(i, j int) bool {
-		if nbrs[i].d != nbrs[j].d {
-			return nbrs[i].d < nbrs[j].d
+	slices.SortFunc(s.nbrBuf, func(a, b scoredNbr) int {
+		switch {
+		case a.d < b.d:
+			return -1
+		case a.d > b.d:
+			return 1
+		default:
+			return a.id - b.id
 		}
-		return nbrs[i].id < nbrs[j].id
 	})
+	nbrs := s.nbrBuf
 	if len(nbrs) > numNbrs {
 		nbrs = nbrs[:numNbrs]
 	}
@@ -145,27 +162,27 @@ func (ix *Index) surrogates(q vec.Vector, numNbrs int) ([]int, []float64, error)
 	// Heat-kernel weights, normalized to sum 1 so the query vector has
 	// the same mass as an in-database query.
 	sigma := ix.graph.Sigma
-	ids := make([]int, len(nbrs))
-	weights := make([]float64, len(nbrs))
+	s.probeIDs = s.probeIDs[:0]
+	s.probeWts = s.probeWts[:0]
 	var total float64
-	for i, nb := range nbrs {
+	for _, nb := range nbrs {
 		w := math.Exp(-nb.d * nb.d / (2 * sigma * sigma))
-		ids[i] = nb.id
-		weights[i] = w
+		s.probeIDs = append(s.probeIDs, nb.id)
+		s.probeWts = append(s.probeWts, w)
 		total += w
 	}
 	if total == 0 {
 		// All neighbours are extremely remote under this bandwidth;
 		// fall back to uniform weights rather than an all-zero query.
-		for i := range weights {
-			weights[i] = 1
+		for i := range s.probeWts {
+			s.probeWts[i] = 1
 		}
-		total = float64(len(weights))
+		total = float64(len(s.probeWts))
 	}
-	for i := range weights {
-		weights[i] /= total
+	for i := range s.probeWts {
+		s.probeWts[i] /= total
 	}
-	return ids, weights, nil
+	return nil
 }
 
 // SearchOutOfSample ranks database nodes for a query vector that is
@@ -175,6 +192,37 @@ func (ix *Index) surrogates(q vec.Vector, numNbrs int) ([]int, []float64, error)
 // itself is never modified, so the precomputed factor is reused as-is.
 // Live delta items compete in the results like any other item.
 func (ix *Index) SearchOutOfSample(q vec.Vector, opts OOSOptions) ([]Result, *OOSBreakdown, error) {
+	s := ix.AcquireScratch()
+	defer ix.ReleaseScratch(s)
+	return ix.SearchOutOfSampleScratch(s, q, opts)
+}
+
+// SearchOutOfSampleScratch is SearchOutOfSample running on a
+// caller-held Scratch.
+func (ix *Index) SearchOutOfSampleScratch(s *Scratch, q vec.Vector, opts OOSOptions) ([]Result, *OOSBreakdown, error) {
+	return ix.searchVector(s, q, opts, true)
+}
+
+// TopKVector is the breakdown-free out-of-sample top-k: the fast path
+// behind the public TopKVector API, allocating only the returned
+// results in steady state.
+func (ix *Index) TopKVector(q vec.Vector, k int) ([]Result, error) {
+	s := ix.AcquireScratch()
+	defer ix.ReleaseScratch(s)
+	return ix.TopKVectorScratch(s, q, k)
+}
+
+// TopKVectorScratch is TopKVector running on a caller-held Scratch.
+func (ix *Index) TopKVectorScratch(s *Scratch, q vec.Vector, k int) ([]Result, error) {
+	res, _, err := ix.searchVector(s, q, OOSOptions{K: k}, false)
+	return res, err
+}
+
+// searchVector runs both phases of an out-of-sample search on the
+// scratch. wantBreakdown gates the OOSBreakdown assembly (phase
+// timings plus the surrogate-neighbour copy), which is the only
+// allocation of the path beyond the returned results.
+func (ix *Index) searchVector(s *Scratch, q vec.Vector, opts OOSOptions, wantBreakdown bool) ([]Result, *OOSBreakdown, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if opts.K <= 0 {
@@ -186,31 +234,39 @@ func (ix *Index) SearchOutOfSample(q vec.Vector, opts OOSOptions) ([]Result, *OO
 	if len(q) != len(ix.graph.Points[0]) {
 		return nil, nil, fmt.Errorf("core: query dimension %d, want %d", len(q), len(ix.graph.Points[0]))
 	}
+	ix.ready(s)
 
 	// Phase 1: surrogate query nodes and weights.
 	t0 := time.Now()
-	ids, weights, err := ix.surrogates(q, opts.NumNeighbors)
-	if err != nil {
+	if err := ix.findSurrogates(s, q, opts.NumNeighbors); err != nil {
 		return nil, nil, err
 	}
-	sources := make([]source, len(ids))
-	breakNbrs := make([]Result, len(ids))
-	for i, id := range ids {
-		sources[i] = source{pos: ix.layout.Perm.OldToNew[id], weight: (1 - ix.alpha) * weights[i]}
-		breakNbrs[i] = Result{Node: id, Score: weights[i]}
+	s.srcBuf = s.srcBuf[:0]
+	var breakNbrs []Result
+	if wantBreakdown {
+		breakNbrs = make([]Result, len(s.probeIDs))
+	}
+	for i, id := range s.probeIDs {
+		s.srcBuf = append(s.srcBuf, source{pos: ix.layout.Perm.OldToNew[id], weight: (1 - ix.alpha) * s.probeWts[i]})
+		if wantBreakdown {
+			breakNbrs[i] = Result{Node: id, Score: s.probeWts[i]}
+		}
 	}
 	nnTime := time.Since(t0)
 
 	// Phase 2: the regular pruned top-k search with the multi-source
 	// query vector.
 	t1 := time.Now()
-	res, _, err := ix.searchSources(sources, SearchOptions{
+	res, err := ix.searchSources(s, SearchOptions{
 		K:                opts.K,
 		DisablePruning:   opts.DisablePruning,
 		FullSubstitution: opts.FullSubstitution,
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if !wantBreakdown {
+		return res, nil, nil
 	}
 	bd := &OOSBreakdown{NearestNeighbor: nnTime, TopK: time.Since(t1), Neighbors: breakNbrs}
 	return res, bd, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"mogul/internal/topk"
 )
@@ -52,10 +53,18 @@ type source struct {
 
 // TopK returns the k nodes with the highest Manifold Ranking scores
 // for the in-database query node (original numbering), using the full
-// Mogul algorithm.
+// Mogul algorithm. The call borrows a Scratch from the index pool, so
+// its steady state allocates nothing beyond the returned slice.
 func (ix *Index) TopK(query, k int) ([]Result, error) {
-	res, _, err := ix.Search(query, SearchOptions{K: k})
-	return res, err
+	s := ix.AcquireScratch()
+	defer ix.ReleaseScratch(s)
+	return ix.TopKScratch(s, query, k)
+}
+
+// TopKScratch is TopK running on a caller-held Scratch (one per
+// worker); see engine.go for the reuse and invalidation rules.
+func (ix *Index) TopKScratch(s *Scratch, query, k int) ([]Result, error) {
+	return ix.searchQuery(s, query, SearchOptions{K: k})
 }
 
 // Search runs Algorithm 2 with the given options and returns ranked
@@ -63,16 +72,36 @@ func (ix *Index) TopK(query, k int) ([]Result, error) {
 // delta item (an inserted point queries through its out-of-sample
 // surrogate representation).
 func (ix *Index) Search(query int, opts SearchOptions) ([]Result, *SearchInfo, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if opts.K <= 0 {
-		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
-	}
-	src, err := ix.querySources(query, 1)
+	s := ix.AcquireScratch()
+	defer ix.ReleaseScratch(s)
+	return ix.SearchScratch(s, query, opts)
+}
+
+// SearchScratch is Search running on a caller-held Scratch.
+func (ix *Index) SearchScratch(s *Scratch, query int, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	res, err := ix.searchQuery(s, query, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return ix.searchSources(src, opts)
+	info := s.info
+	return res, &info, nil
+}
+
+// searchQuery validates, expands the query into permuted sources, and
+// runs the engine, all under one read-lock hold.
+func (ix *Index) searchQuery(s *Scratch, query int, opts SearchOptions) ([]Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	ix.ready(s)
+	var err error
+	s.srcBuf, err = ix.appendQuerySources(s.srcBuf[:0], query, 1)
+	if err != nil {
+		return nil, err
+	}
+	return ix.searchSources(s, opts)
 }
 
 // WeightedQuery is one seed node of a multi-query search.
@@ -90,6 +119,13 @@ type WeightedQuery struct {
 // and serves recommendation-style workloads ("more items like these
 // three") that Section 1.1 motivates.
 func (ix *Index) SearchMulti(seeds []WeightedQuery, opts SearchOptions) ([]Result, *SearchInfo, error) {
+	s := ix.AcquireScratch()
+	defer ix.ReleaseScratch(s)
+	return ix.SearchMultiScratch(s, seeds, opts)
+}
+
+// SearchMultiScratch is SearchMulti running on a caller-held Scratch.
+func (ix *Index) SearchMultiScratch(s *Scratch, seeds []WeightedQuery, opts SearchOptions) ([]Result, *SearchInfo, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(seeds) == 0 {
@@ -98,73 +134,69 @@ func (ix *Index) SearchMulti(seeds []WeightedQuery, opts SearchOptions) ([]Resul
 	if opts.K <= 0 {
 		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
-	var sources []source
-	for _, s := range seeds {
-		src, err := ix.querySources(s.Node, s.Weight)
+	ix.ready(s)
+	s.srcBuf = s.srcBuf[:0]
+	var err error
+	for _, sd := range seeds {
+		s.srcBuf, err = ix.appendQuerySources(s.srcBuf, sd.Node, sd.Weight)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: seed: %w", err)
 		}
-		sources = append(sources, src...)
 	}
-	return ix.searchSources(sources, opts)
+	res, err := ix.searchSources(s, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := s.info
+	return res, &info, nil
 }
 
 // searchSources is the shared engine behind in-database and
 // out-of-sample queries: q' is given as a sparse list of permuted
-// positions with weights. Callers hold the read lock; tombstoned
-// items are filtered at offer time and live delta items are merged
-// into the collector (dynamic.go).
-func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, *SearchInfo, error) {
+// positions with weights in s.srcBuf. Callers hold the read lock and
+// have readied s; tombstoned items are filtered at offer time and live
+// delta items are merged into the collector (dynamic.go). On return
+// the scratch is reset (only the touched cluster ranges are zeroed)
+// and work counters are left in s.info.
+func (ix *Index) searchSources(s *Scratch, opts SearchOptions) ([]Result, error) {
 	n := ix.factor.N
 	k := opts.K
 	if total := ix.liveTotal(); k > total {
 		k = total
 	}
-	info := &SearchInfo{}
+	s.info = SearchInfo{}
+	s.coll.Reset(k)
 
 	if opts.FullSubstitution {
-		return ix.searchFull(sources, k, info)
+		return ix.searchFull(s)
 	}
 
 	layout := ix.layout
 	f := ix.factor
 	border := layout.Border()
-	// computed[c] records that x is valid over cluster c (needed to
-	// read off delta probe scores); offer filters tombstoned items.
-	computed := make([]bool, layout.NumClusters)
-	coll := topk.New(k)
-	deadBase := ix.delta.deadBase
-	offer := func(pos int, score float64) {
-		if len(deadBase) > 0 && deadBase[layout.Perm.NewToOld[pos]] {
-			return
-		}
-		coll.Offer(pos, score)
-	}
 
 	// Active clusters: those holding a source, plus C_N (Lemma 4: the
 	// support of y is C_Q ∪ C_N; with multiple sources it is the union
-	// of their clusters plus C_N).
-	active := make(map[int]bool, 4)
-	for _, s := range sources {
-		active[layout.ClusterOf[s.pos]] = true
+	// of their clusters plus C_N). Kept as a sorted, deduplicated list
+	// — no map, no per-query O(NumClusters) membership scan.
+	s.activeList = s.activeList[:0]
+	for _, src := range s.srcBuf {
+		s.activeList = append(s.activeList, layout.ClusterOf[src.pos])
 	}
-	active[border] = true
-	activeList := make([]int, 0, len(active))
-	for c := 0; c < layout.NumClusters; c++ {
-		if active[c] {
-			activeList = append(activeList, c)
-		}
-	}
+	s.activeList = append(s.activeList, border)
+	slices.Sort(s.activeList)
+	s.activeList = slices.Compact(s.activeList)
 
 	// Forward substitution restricted to active clusters (Equation 4 /
 	// Lemma 4). Column-oriented: finalize y_j, then scatter column j
 	// of L into later rows; Lemma 3 guarantees all touched rows lie in
-	// the same cluster or in C_N, both active.
-	y := make([]float64, n)
-	for _, s := range sources {
-		y[s.pos] += s.weight
+	// the same cluster or in C_N, both active — which is also what
+	// keeps the post-query reset of y confined to the touched ranges.
+	y := s.y
+	for _, src := range s.srcBuf {
+		y[src.pos] += src.weight
 	}
-	for _, c := range activeList {
+	for _, c := range s.activeList {
 		lo, hi := layout.ClusterRange(c)
 		for j := lo; j < hi; j++ {
 			y[j] /= f.D[j]
@@ -182,60 +214,59 @@ func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, 
 
 	// Back substitution for C_N first (its scores feed every other
 	// cluster, Lemma 5), then the remaining active clusters.
-	x := make([]float64, n)
+	x := s.x
 	cN := layout.BorderStart()
 	ix.backSubstituteRange(x, y, cN, n)
-	computed[border] = true
-	info.ScoresComputed += n - cN
-	info.ClustersScanned++
-	for _, c := range activeList {
+	s.markComputed(border)
+	s.info.ScoresComputed += n - cN
+	s.info.ClustersScanned++
+	for _, c := range s.activeList {
 		if c == border {
 			continue
 		}
 		lo, hi := layout.ClusterRange(c)
 		ix.backSubstituteRange(x, y, lo, hi)
-		computed[c] = true
-		info.ScoresComputed += hi - lo
-		info.ClustersScanned++
+		s.markComputed(c)
+		s.info.ScoresComputed += hi - lo
+		s.info.ClustersScanned++
 	}
 
 	// Seed the top-k set with the active clusters (Algorithm 2 lines
 	// 8-16).
-	for _, c := range activeList {
+	for _, c := range s.activeList {
 		lo, hi := layout.ClusterRange(c)
-		for i := lo; i < hi; i++ {
-			offer(i, x[i])
-		}
+		ix.offerLive(s, lo, hi)
 	}
 
 	// Border score magnitudes drive the X_i part of every cluster
 	// bound (Equation 9).
-	xAbsBorder := make([]float64, n-cN)
+	xAbsBorder := s.xAbsBorder
 	for i := cN; i < n; i++ {
 		xAbsBorder[i-cN] = math.Abs(x[i])
 	}
 
 	// Scan the remaining clusters, pruning with the upper bound
-	// (Algorithm 2 lines 17-30).
+	// (Algorithm 2 lines 17-30). activeList is sorted, so a single
+	// cursor replaces the old per-cluster map lookup.
+	next := 0
 	for c := 0; c < layout.NumClusters; c++ {
-		if active[c] {
+		if next < len(s.activeList) && s.activeList[next] == c {
+			next++
 			continue
 		}
 		if !opts.DisablePruning {
 			bound := ix.bounds.clusterBound(c, layout, xAbsBorder)
-			if bound < coll.Threshold() {
-				info.ClustersPruned++
+			if bound < s.coll.Threshold() {
+				s.info.ClustersPruned++
 				continue
 			}
 		}
 		lo, hi := layout.ClusterRange(c)
 		ix.backSubstituteRange(x, y, lo, hi)
-		computed[c] = true
-		info.ScoresComputed += hi - lo
-		info.ClustersScanned++
-		for i := lo; i < hi; i++ {
-			offer(i, x[i])
-		}
+		s.markComputed(c)
+		s.info.ScoresComputed += hi - lo
+		s.info.ClustersScanned++
+		ix.offerLive(s, lo, hi)
 	}
 
 	// Merge the delta layer: make x valid wherever a live delta point
@@ -243,11 +274,35 @@ func (ix *Index) searchSources(sources []source, opts SearchOptions) ([]Result, 
 	// only feeds probe reads — its base items were already offered or
 	// provably below the pruning threshold.
 	if ix.delta.live > 0 {
-		ix.ensureProbeClusters(x, y, computed, info)
-		ix.offerDeltas(coll, x)
+		ix.ensureProbeClusters(s)
+		ix.offerDeltas(&s.coll, x)
 	}
 
-	return ix.collect(coll), info, nil
+	res := ix.collect(&s.coll)
+	s.reset(layout)
+	return res, nil
+}
+
+// offerLive offers the computed scores x[lo:hi) to the collector,
+// filtering tombstoned base items through the dense tombstone bitset
+// (the hot-path mirror of the deadBase map, dynamic.go).
+func (ix *Index) offerLive(s *Scratch, lo, hi int) {
+	x := s.x
+	dead := ix.delta.deadBits
+	if len(dead) == 0 {
+		for i := lo; i < hi; i++ {
+			s.coll.Offer(i, x[i])
+		}
+		return
+	}
+	newToOld := ix.layout.Perm.NewToOld
+	for i := lo; i < hi; i++ {
+		old := newToOld[i]
+		if dead[old>>6]>>(uint(old)&63)&1 != 0 {
+			continue
+		}
+		s.coll.Offer(i, x[i])
+	}
 }
 
 // backSubstituteRange computes x[lo:hi] by back substitution
@@ -267,36 +322,34 @@ func (ix *Index) backSubstituteRange(x, y []float64, lo, hi int) {
 
 // searchFull is the unstructured ablation: full forward and back
 // substitution over all n nodes, then a linear top-k scan. Callers
-// hold the read lock.
-func (ix *Index) searchFull(sources []source, k int, info *SearchInfo) ([]Result, *SearchInfo, error) {
+// hold the read lock; the solve runs in place on the scratch's x
+// buffer (bit-identical arithmetic to Factor.Solve).
+func (ix *Index) searchFull(s *Scratch) ([]Result, error) {
 	n := ix.factor.N
-	q := make([]float64, n)
-	for _, s := range sources {
-		q[s.pos] += s.weight
+	q := s.x
+	for _, src := range s.srcBuf {
+		q[src.pos] += src.weight
 	}
-	x := ix.factor.Solve(q)
-	info.ScoresComputed = n
-	info.ClustersScanned = ix.layout.NumClusters
-	coll := topk.New(k)
-	deadBase := ix.delta.deadBase
-	for i, v := range x {
-		if len(deadBase) > 0 && deadBase[ix.layout.Perm.NewToOld[i]] {
-			continue
-		}
-		coll.Offer(i, v)
-	}
+	ix.factor.SolveInPlace(q)
+	s.info.ScoresComputed = n
+	s.info.ClustersScanned = ix.layout.NumClusters
+	ix.offerLive(s, 0, n)
 	// x is fully computed, so delta probes read it directly.
-	ix.offerDeltas(coll, x)
-	return ix.collect(coll), info, nil
+	ix.offerDeltas(&s.coll, q)
+	res := ix.collect(&s.coll)
+	s.resetFull()
+	return res, nil
 }
 
 // collect converts a collector's content to Results in the original
 // node numbering (Algorithm 2 lines 31-33: permute answers back by P).
 // Collector ids at n and above are delta items, whose external id is
-// the collector id itself (delta item i carries id n+i).
+// the collector id itself (delta item i carries id n+i). The drained
+// items alias the collector's storage; the returned slice is the only
+// per-query allocation of the steady-state hot path.
 func (ix *Index) collect(coll *topk.Collector) []Result {
 	n := ix.factor.N
-	items := coll.Results()
+	items := coll.Drain()
 	out := make([]Result, len(items))
 	for i, it := range items {
 		if it.ID >= n {
@@ -323,8 +376,13 @@ func (ix *Index) AllScores(query int) ([]float64, error) {
 	if ix.delta.deadBase[query] {
 		return nil, fmt.Errorf("core: query node %d is deleted", query)
 	}
-	q := make([]float64, n)
+	s := ix.AcquireScratch()
+	defer ix.ReleaseScratch(s)
+	ix.ready(s)
+	q := s.x
 	q[ix.layout.Perm.OldToNew[query]] = 1 - ix.alpha
-	x := ix.factor.Solve(q)
-	return ix.layout.Perm.ApplyInverse(x), nil
+	ix.factor.SolveInPlace(q)
+	out := ix.layout.Perm.ApplyInverse(q)
+	s.resetFull()
+	return out, nil
 }

@@ -435,6 +435,7 @@ func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
 		opts:    Options{Alpha: alpha, Exact: exact == 1},
 		oosOnce: new(sync.Once),
 		wOnce:   new(sync.Once),
+		epoch:   1,
 	}
 	ix.bounds = buildBoundTables(factor, layout)
 	ix.stats = Stats{
@@ -616,8 +617,10 @@ func (ix *Index) readDelta(payload []byte, n int) error {
 	}
 	if len(deadIDs) > 0 {
 		d.deadBase = make(map[int]bool, len(deadIDs))
+		d.deadBits = make([]uint64, (n+63)/64)
 		for _, id := range deadIDs {
 			d.deadBase[id] = true
+			d.deadBits[id>>6] |= 1 << (uint(id) & 63)
 		}
 	}
 	ix.delta = d

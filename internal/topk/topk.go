@@ -6,8 +6,8 @@
 package topk
 
 import (
-	"container/heap"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -42,6 +42,22 @@ func New(k int) *Collector {
 // K returns the configured answer count.
 func (c *Collector) K() int { return c.k }
 
+// Reset reconfigures the collector for a fresh top-k run, dropping any
+// collected items while keeping the backing storage, so a collector can
+// be reused across queries without allocating. k must be positive. The
+// zero Collector is valid input: Reset turns it into the equivalent of
+// New(k).
+func (c *Collector) Reset(k int) {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	c.k = k
+	if cap(c.items) < k {
+		c.items = make(minHeap, 0, k)
+	}
+	c.items = c.items[:0]
+}
+
 // Len returns the number of real items currently held.
 func (c *Collector) Len() int { return len(c.items) }
 
@@ -61,15 +77,54 @@ func (c *Collector) Threshold() float64 {
 // current top-k.
 func (c *Collector) Offer(id int, score float64) bool {
 	if len(c.items) < c.k {
-		heap.Push(&c.items, Item{ID: id, Score: score})
+		c.items = append(c.items, Item{ID: id, Score: score})
+		c.up(len(c.items) - 1)
 		return true
 	}
 	if score <= c.items[0].Score {
 		return false
 	}
 	c.items[0] = Item{ID: id, Score: score}
-	heap.Fix(&c.items, 0)
+	c.down(0)
 	return true
+}
+
+// up and down are the sift operations of container/heap, inlined on
+// the concrete item type: heap.Push boxes every item into an
+// interface{}, which costs one allocation per offered item — fatal for
+// a collector sitting in the zero-allocation hot path. The comparison
+// and swap order match container/heap exactly, so the heap layout (and
+// therefore behavior under tied scores) is unchanged.
+func (c *Collector) up(j int) {
+	h := c.items
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[j].Score >= h[i].Score {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (c *Collector) down(i int) {
+	h := c.items
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].Score < h[j1].Score {
+			j = j2
+		}
+		if h[j].Score >= h[i].Score {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // Results returns the collected items ordered by descending score,
@@ -86,18 +141,29 @@ func (c *Collector) Results() []Item {
 	return out
 }
 
-// minHeap is a min-heap on Score so the root is the weakest member of
-// the current top-k.
-type minHeap []Item
-
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// Drain sorts the collected items in place (descending score, ties by
+// ascending ID, exactly as Results) and returns a slice aliasing the
+// collector's storage — no allocation. Draining breaks the internal
+// heap invariant: the collector must be Reset before the next Offer,
+// and the returned slice is valid only until that Reset.
+func (c *Collector) Drain() []Item {
+	slices.SortFunc(c.items, func(a, b Item) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return c.items
 }
+
+// minHeap is a min-heap on Score (maintained by the inlined up/down
+// sifts above) so the root is the weakest member of the current top-k.
+type minHeap []Item

@@ -96,22 +96,126 @@ func TestCollectorMatchesSort(t *testing.T) {
 	}
 }
 
-func TestHeapInterfaceCompleteness(t *testing.T) {
-	// Offer never pops, but minHeap implements heap.Interface fully;
-	// exercise Pop directly so the invariant holds for any future use.
-	h := &minHeap{}
-	heap.Push(h, Item{ID: 1, Score: 3})
-	heap.Push(h, Item{ID: 2, Score: 1})
-	heap.Push(h, Item{ID: 3, Score: 2})
-	got := make([]float64, 0, 3)
-	for h.Len() > 0 {
-		got = append(got, heap.Pop(h).(Item).Score)
-	}
-	want := []float64{1, 2, 3}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("heap pop order %v, want %v", got, want)
+// refHeap drives container/heap over the same comparator, so the
+// inlined up/down sifts can be checked against the library they were
+// transcribed from — including the resulting heap LAYOUT, which must
+// match exactly so tied-score eviction behaves as it always did.
+type refHeap []Item
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func TestInlinedSiftsMatchContainerHeap(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		k := 1 + rng.Intn(20)
+		c := New(k)
+		ref := make(refHeap, 0, k)
+		for id := 0; id < n; id++ {
+			score := float64(rng.Intn(25)) // many ties
+			c.Offer(id, score)
+			if len(ref) < k {
+				heap.Push(&ref, Item{ID: id, Score: score})
+			} else if score > ref[0].Score {
+				ref[0] = Item{ID: id, Score: score}
+				heap.Fix(&ref, 0)
+			}
+			// Layouts must be identical element by element, not merely
+			// equivalent heaps.
+			if len(c.items) != len(ref) {
+				return false
+			}
+			for i := range ref {
+				if c.items[i] != ref[i] {
+					return false
+				}
+			}
 		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetReusesStorage(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 10; i++ {
+		c.Offer(i, float64(i))
+	}
+	c.Reset(3)
+	if c.K() != 3 || c.Len() != 0 {
+		t.Fatalf("after Reset(3): K=%d Len=%d", c.K(), c.Len())
+	}
+	if !math.IsInf(c.Threshold(), -1) {
+		t.Fatalf("threshold after Reset = %g, want -Inf", c.Threshold())
+	}
+	c.Offer(1, 5)
+	c.Offer(2, 1)
+	c.Offer(3, 3)
+	c.Offer(4, 2)
+	res := c.Results()
+	if len(res) != 3 || res[0].ID != 1 || res[1].ID != 3 || res[2].ID != 4 {
+		t.Fatalf("post-Reset results wrong: %+v", res)
+	}
+
+	// The zero Collector becomes usable through Reset.
+	var z Collector
+	z.Reset(2)
+	z.Offer(7, 1)
+	z.Offer(8, 2)
+	z.Offer(9, 3)
+	res = z.Results()
+	if len(res) != 2 || res[0].ID != 9 || res[1].ID != 8 {
+		t.Fatalf("zero-value collector after Reset: %+v", res)
+	}
+
+	// Reset must still reject non-positive k.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset(0) did not panic")
+		}
+	}()
+	c.Reset(0)
+}
+
+func TestDrainMatchesResults(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		a, b := New(k), New(k)
+		for id := 0; id < n; id++ {
+			score := float64(rng.Intn(30)) // exercise score ties
+			a.Offer(id, score)
+			b.Offer(id, score)
+		}
+		want := a.Results()
+		got := b.Drain()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// After a Reset the drained collector must behave like new.
+		b.Reset(k)
+		return b.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -189,8 +189,7 @@ func (ix *Index) TopKWithInfo(query, k int) ([]Result, *SearchInfo, error) {
 // query's neighbours inside the nearest cluster act as surrogate query
 // nodes; the index itself is not modified.
 func (ix *Index) TopKVector(q Vector, k int) ([]Result, error) {
-	res, _, err := ix.core.SearchOutOfSample(q, core.OOSOptions{K: k})
-	return res, err
+	return ix.core.TopKVector(q, k)
 }
 
 // OOSBreakdown reports the phases of an out-of-sample search — the
@@ -204,16 +203,26 @@ func (ix *Index) TopKVectorWithInfo(q Vector, k int) ([]Result, *OOSBreakdown, e
 	return ix.core.SearchOutOfSample(q, core.OOSOptions{K: k})
 }
 
-// TopKSet ranks database items against a set of seed items with equal
-// weights — "find items like these". Seeds typically rank first; skip
-// them in the output if undesired.
-func (ix *Index) TopKSet(seeds []int, k int) ([]Result, error) {
+// seedQueries turns a seed-id list into the equal-weight multi-query
+// form shared by Index.TopKSet and Searcher.TopKSet.
+func seedQueries(seeds []int) ([]core.WeightedQuery, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("mogul: TopKSet needs at least one seed item")
 	}
 	wq := make([]core.WeightedQuery, len(seeds))
 	for i, s := range seeds {
 		wq[i] = core.WeightedQuery{Node: s, Weight: 1 / float64(len(seeds))}
+	}
+	return wq, nil
+}
+
+// TopKSet ranks database items against a set of seed items with equal
+// weights — "find items like these". Seeds typically rank first; skip
+// them in the output if undesired.
+func (ix *Index) TopKSet(seeds []int, k int) ([]Result, error) {
+	wq, err := seedQueries(seeds)
+	if err != nil {
+		return nil, err
 	}
 	res, _, err := ix.core.SearchMulti(wq, core.SearchOptions{K: k})
 	return res, err
@@ -316,6 +325,58 @@ func LoadFile(path string) (*Index, error) {
 //
 // Deprecated: use LoadFile.
 func LoadIndex(path string) (*Index, error) { return LoadFile(path) }
+
+// Searcher is a reusable query engine bound to one Index: it owns a
+// private scratch workspace (score vectors, cluster bookkeeping, the
+// top-k heap), so every search it runs allocates nothing beyond the
+// returned results. The plain Index methods already recycle scratches
+// through an internal pool; a Searcher additionally pins one to a
+// single worker — the right shape for a fixed worker loop (see
+// TopKBatch) or any caller that wants per-query overhead at its floor.
+//
+// A Searcher is NOT safe for concurrent use: give each goroutine its
+// own (they are cheap — buffers are sized lazily on first search).
+// It never goes stale: after an Insert, Delete, Compact, or even when
+// moved across indexes, the next search revalidates the workspace
+// against the index's current state and resizes it when needed.
+type Searcher struct {
+	ix *Index
+	s  core.Scratch
+}
+
+// NewSearcher returns a dedicated reusable query engine for the index.
+func (ix *Index) NewSearcher() *Searcher {
+	return &Searcher{ix: ix}
+}
+
+// TopK is Index.TopK on the searcher's private workspace.
+func (sr *Searcher) TopK(query, k int) ([]Result, error) {
+	return sr.ix.core.TopKScratch(&sr.s, query, k)
+}
+
+// TopKWithInfo is Index.TopKWithInfo on the searcher's private
+// workspace.
+func (sr *Searcher) TopKWithInfo(query, k int) ([]Result, *SearchInfo, error) {
+	return sr.ix.core.SearchScratch(&sr.s, query, core.SearchOptions{K: k})
+}
+
+// TopKVector is Index.TopKVector on the searcher's private workspace.
+func (sr *Searcher) TopKVector(q Vector, k int) ([]Result, error) {
+	return sr.ix.core.TopKVectorScratch(&sr.s, q, k)
+}
+
+// TopKSet is Index.TopKSet on the searcher's private workspace. (The
+// seed expansion itself still allocates one small WeightedQuery slice
+// per call; "allocation-free" refers to the search engine's working
+// memory.)
+func (sr *Searcher) TopKSet(seeds []int, k int) ([]Result, error) {
+	wq, err := seedQueries(seeds)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := sr.ix.core.SearchMultiScratch(&sr.s, wq, core.SearchOptions{K: k})
+	return res, err
+}
 
 // Stats returns index construction statistics.
 func (ix *Index) Stats() Stats { return ix.core.Stats() }
