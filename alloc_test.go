@@ -120,3 +120,33 @@ func TestTopKAllocsWithDeltaAndTombstones(t *testing.T) {
 		t.Fatalf("Searcher.TopK with delta+tombstones allocates %.1f objects/op, want 1", allocs)
 	}
 }
+
+// TestTopKShardedAllocs: the fan-out over S shards must stay at S+1
+// steady-state allocations — the S per-shard result slices plus the
+// merged output — proving the fan-out runs entirely on the pinned
+// per-shard Searchers and the reusable merge scratch.
+func TestTopKShardedAllocs(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 2000, Classes: 12, Dim: 16, WithinStd: 0.3, Separation: 2.5, Seed: 21,
+	})
+	const shards = 4
+	six, err := BuildSharded(ds.Points, Options{}, ShardOptions{Shards: shards, Partitioner: PartitionKMeans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := six.NewSearcher()
+	if _, err := ss.TopK(11, 10); err != nil { // warm: sizes every shard's scratch
+		t.Fatal(err)
+	}
+	queries := []int{3, 500, 999, 1500}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ss.TopK(queries[i%len(queries)], 10); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > shards+1 {
+		t.Fatalf("ShardedSearcher.TopK allocates %.1f objects/op in steady state, want <= %d (S per-shard result slices + merged output)", allocs, shards+1)
+	}
+}

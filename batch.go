@@ -15,14 +15,15 @@ type BatchResult struct {
 	Err error
 }
 
-// runBatch is the shared worker-pool engine behind TopKBatch and
-// TopKVectorBatch: n work items are fanned out to the workers, each of
-// which holds one Searcher (a private query-engine scratch) for its
-// whole run, so a batch of thousands of queries performs thousands of
-// searches on a handful of reusable workspaces. Results land at their
-// item's index; per-item failures are recorded, never fatal.
-// parallelism <= 0 selects GOMAXPROCS.
-func (ix *Index) runBatch(n, parallelism int, run func(sr *Searcher, i int) BatchResult) []BatchResult {
+// runBatch is the shared worker-pool engine behind the batch entry
+// points of Index and ShardedIndex: n work items are fanned out to the
+// workers, each of which builds one run closure over a private query
+// engine (a Searcher or ShardedSearcher) for its whole run, so a batch
+// of thousands of queries performs thousands of searches on a handful
+// of reusable workspaces. Results land at their item's index; per-item
+// failures are recorded, never fatal. parallelism <= 0 selects
+// GOMAXPROCS.
+func runBatch(n, parallelism int, worker func() func(i int) BatchResult) []BatchResult {
 	out := make([]BatchResult, n)
 	if n == 0 {
 		return out
@@ -40,9 +41,9 @@ func (ix *Index) runBatch(n, parallelism int, run func(sr *Searcher, i int) Batc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sr := ix.NewSearcher()
+			run := worker()
 			for i := range next {
-				out[i] = run(sr, i)
+				out[i] = run(i)
 			}
 		}()
 	}
@@ -64,10 +65,13 @@ func (ix *Index) runBatch(n, parallelism int, run func(sr *Searcher, i int) Batc
 // reported in the corresponding BatchResult rather than aborting the
 // batch.
 func (ix *Index) TopKBatch(queries []int, k, parallelism int) []BatchResult {
-	return ix.runBatch(len(queries), parallelism, func(sr *Searcher, i int) BatchResult {
-		q := queries[i]
-		res, err := sr.TopK(q, k)
-		return BatchResult{Query: q, Results: res, Err: err}
+	return runBatch(len(queries), parallelism, func() func(int) BatchResult {
+		sr := ix.NewSearcher()
+		return func(i int) BatchResult {
+			q := queries[i]
+			res, err := sr.TopK(q, k)
+			return BatchResult{Query: q, Results: res, Err: err}
+		}
 	})
 }
 
@@ -75,8 +79,11 @@ func (ix *Index) TopKBatch(queries []int, k, parallelism int) []BatchResult {
 // mirroring TopKBatch. The i-th BatchResult's Query field holds i (the
 // position in the input slice).
 func (ix *Index) TopKVectorBatch(queries []Vector, k, parallelism int) []BatchResult {
-	return ix.runBatch(len(queries), parallelism, func(sr *Searcher, i int) BatchResult {
-		res, err := sr.TopKVector(queries[i], k)
-		return BatchResult{Query: i, Results: res, Err: err}
+	return runBatch(len(queries), parallelism, func() func(int) BatchResult {
+		sr := ix.NewSearcher()
+		return func(i int) BatchResult {
+			res, err := sr.TopKVector(queries[i], k)
+			return BatchResult{Query: i, Results: res, Err: err}
+		}
 	})
 }

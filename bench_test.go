@@ -598,3 +598,36 @@ func BenchmarkTopKWithDelta(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTopKSharded measures the fan-out search across shard counts
+// at n=10k: per-query latency of a held ShardedSearcher (S pinned
+// per-shard workspaces, S+1 allocs/op). Exported to BENCH_search.json
+// by the CI bench-smoke job alongside the single-index BenchmarkTopK.
+func BenchmarkTopKSharded(b *testing.B) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 10000, Classes: 25, Dim: 16, WithinStd: 0.3, Separation: 2.5, Seed: 11,
+	})
+	queries := benchQueries(10000, 64)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("S=%d", shards), func(b *testing.B) {
+			six, err := BuildSharded(ds.Points, Options{}, ShardOptions{Shards: shards, Partitioner: PartitionKMeans})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ss := six.NewSearcher()
+			// Warm: size every shard's scratch and build the lazy
+			// out-of-sample tables, so allocs/op reports steady state
+			// even at CI's short -benchtime.
+			if _, err := ss.TopK(queries[0], 10); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ss.TopK(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

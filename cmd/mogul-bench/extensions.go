@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mogul"
 	"mogul/internal/baseline"
 	"mogul/internal/core"
 	"mogul/internal/dataset"
@@ -246,5 +247,74 @@ func expMogulCG(l *lab) {
 		})
 	}
 	fmt.Println("MogulCG extension: exact scores via IC(0)-preconditioned CG vs MogulE")
+	emitTable(rows)
+}
+
+// expSharded reports the sharding trade-off (docs/SHARDING.md): for
+// S = 1, 2, 4, ... up to -shards, the parallel multi-shard build time,
+// the median fan-out search time, and recall@10 of the fan-out ranking
+// against the unsharded index as oracle — the scaling lever past one
+// precomputation, priced in build speedup versus recall.
+func expSharded(l *lab) {
+	const name = "NUS-WIDE"
+	const k = 10
+	ds := l.dataset(name)
+	queries := l.queryNodes(name)
+
+	// Unsharded oracle: one index over the full dataset, built through
+	// the same public path the sharded builds use.
+	t0 := time.Now()
+	oracle, err := mogul.Build(ds.Points, mogul.Options{Seed: l.seed})
+	if err != nil {
+		fatal(err)
+	}
+	oracleBuild := time.Since(t0)
+	ref := make(map[int][]int, len(queries))
+	for _, q := range queries {
+		res, err := oracle.TopK(q, k)
+		if err != nil {
+			fatal(err)
+		}
+		ref[q] = eval.TopKIDs(res)
+	}
+	oracleMed := medianSearchTime(queries, func(q int) {
+		if _, err := oracle.TopK(q, k); err != nil {
+			fatal(err)
+		}
+	})
+
+	rows := [][]string{{"shards", "build [s]", "search [s]", "recall@10"}}
+	rows = append(rows, []string{"1 (plain)", eval.Seconds(oracleBuild), eval.Seconds(oracleMed), "1.000"})
+	for s := 1; s <= l.maxShards; s *= 2 {
+		t1 := time.Now()
+		six, err := mogul.BuildSharded(ds.Points, mogul.Options{Seed: l.seed}, mogul.ShardOptions{
+			Shards: s, Partitioner: mogul.PartitionKMeans,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		build := time.Since(t1)
+		var recall float64
+		for _, q := range queries {
+			res, err := six.TopK(q, k)
+			if err != nil {
+				fatal(err)
+			}
+			recall += eval.PAtK(eval.TopKIDs(res), ref[q])
+		}
+		recall /= float64(len(queries))
+		med := medianSearchTime(queries, func(q int) {
+			if _, err := six.TopK(q, k); err != nil {
+				fatal(err)
+			}
+		})
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s),
+			eval.Seconds(build),
+			eval.Seconds(med),
+			fmt.Sprintf("%.3f", recall),
+		})
+	}
+	fmt.Printf("Sharded fan-out on %s (k-means partitioner, top-%d, oracle = unsharded index)\n", ds.Name, k)
 	emitTable(rows)
 }

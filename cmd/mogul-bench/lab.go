@@ -42,6 +42,8 @@ type lab struct {
 	inverseMaxN int
 	// fmrMaxN caps the FMR baseline (dense per-block eigensolver).
 	fmrMaxN int
+	// maxShards bounds the sharded experiment's S sweep (-shards).
+	maxShards int
 
 	datasets  map[string]*vec.Dataset
 	graphs    map[string]*knn.Graph

@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: all,fig1,fig234,fig5,fig6,fig7,table2,fig8,fig9,nnz,ordering (comma separated)")
+		exp         = flag.String("exp", "all", "experiment: all,fig1,fig234,fig5,fig6,fig7,table2,fig8,fig9,nnz,ordering,sharded,... (comma separated)")
 		scale       = flag.String("scale", "small", "dataset scale: small, medium, large")
 		seed        = flag.Int64("seed", 1, "random seed for datasets and stochastic components")
 		queries     = flag.Int("queries", 10, "query repetitions per timing measurement")
 		inverseMaxN = flag.Int("inverse-max-n", 2000, "skip the O(n^3) Inverse baseline above this many nodes")
 		fmrMaxN     = flag.Int("fmr-max-n", 30000, "skip the FMR baseline above this many nodes")
 		format      = flag.String("format", "table", "result format: table (aligned text) or csv")
+		shards      = flag.Int("shards", 8, "largest shard count of the sharded experiment's S sweep (1,2,4,... up to N)")
 	)
 	flag.Parse()
 	switch *format {
@@ -45,6 +46,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	l.maxShards = *shards
 
 	runners := map[string]func(*lab){
 		"fig1":     expFig1,
@@ -61,8 +63,9 @@ func main() {
 		"quality":  expQuality,
 		"mogulcg":  expMogulCG,
 		"serving":  expServing,
+		"sharded":  expSharded,
 	}
-	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving"}
+	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded"}
 
 	var selected []string
 	if *exp == "all" {

@@ -62,7 +62,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded %s: n=%d dim=%d labels=%v\n", ds.Name, ds.Len(), ds.Dim(), ds.Labels != nil)
 	}
 
-	var ix *mogul.Index
+	// ix is the shared Retriever surface: -load-index may hand back a
+	// plain or a sharded index (mogul.Load dispatches on the magic),
+	// and every query below works the same on either.
+	var ix mogul.Retriever
 	if *loadIndex != "" {
 		// Build parameters are baked into the index file; warn when the
 		// user sets one alongside -load-index so a mode mismatch (e.g.
@@ -86,8 +89,7 @@ func main() {
 		}
 	} else {
 		t0 := time.Now()
-		var err error
-		ix, err = mogul.BuildFromDataset(ds, mogul.Options{
+		idx, err := mogul.BuildFromDataset(ds, mogul.Options{
 			GraphK:           *graphK,
 			Alpha:            *alpha,
 			Exact:            *exact,
@@ -97,6 +99,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		ix = idx
 		st := ix.Stats()
 		fmt.Fprintf(os.Stderr, "index built in %v (clusters=%d, border=%d, nnz(L)=%d)\n",
 			time.Since(t0).Round(time.Millisecond), st.NumClusters, st.BorderSize, st.FactorNNZ)

@@ -40,6 +40,8 @@ func main() {
 		alpha     = flag.Float64("alpha", 0.99, "Manifold Ranking damping parameter")
 		exact     = flag.Bool("exact", false, "serve exact scores (MogulE)")
 		approx    = flag.Bool("approx-graph", false, "build the k-NN graph with the IVF index")
+		shards    = flag.Int("shards", 1, "partition the dataset into N shards (parallel build, fan-out search)")
+		partition = flag.String("partitioner", "contiguous", "shard partitioner: contiguous or kmeans")
 	)
 	var indexPath string
 	flag.StringVar(&indexPath, "load-index", "", "serve from a prebuilt index file (from -save-index) instead of building")
@@ -47,13 +49,15 @@ func main() {
 	flag.Parse()
 
 	var (
-		idx    *mogul.Index
+		idx    mogul.Retriever
 		labels []int
 		err    error
 	)
 	switch {
 	case indexPath != "":
 		t0 := time.Now()
+		// LoadFile sniffs the file's magic header: a plain index and a
+		// sharded manifest both come back behind the Retriever surface.
 		idx, err = mogul.LoadFile(indexPath)
 		if err != nil {
 			log.Fatal("mogul-server: ", err)
@@ -71,17 +75,37 @@ func main() {
 			log.Fatal("mogul-server: ", err)
 		}
 		labels = ds.Labels
-		t0 := time.Now()
-		idx, err = mogul.BuildFromDataset(ds, mogul.Options{
+		opts := mogul.Options{
 			GraphK:           *graphK,
 			Alpha:            *alpha,
 			Exact:            *exact,
 			ApproximateGraph: *approx,
-		})
-		if err != nil {
-			log.Fatal("mogul-server: ", err)
 		}
-		log.Printf("built index over %d items in %v", idx.Len(), time.Since(t0).Round(time.Millisecond))
+		t0 := time.Now()
+		if *shards > 1 {
+			var p mogul.Partitioner
+			switch *partition {
+			case "contiguous":
+				p = mogul.PartitionContiguous
+			case "kmeans":
+				p = mogul.PartitionKMeans
+			default:
+				log.Fatalf("mogul-server: unknown partitioner %q (want contiguous or kmeans)", *partition)
+			}
+			sharded, err := mogul.BuildSharded(ds.Points, opts, mogul.ShardOptions{Shards: *shards, Partitioner: p})
+			if err != nil {
+				log.Fatal("mogul-server: ", err)
+			}
+			idx = sharded
+			log.Printf("built %d shards over %d items in %v (shard sizes %v)",
+				sharded.NumShards(), sharded.Len(), time.Since(t0).Round(time.Millisecond), sharded.ShardLens())
+		} else {
+			idx, err = mogul.BuildFromDataset(ds, opts)
+			if err != nil {
+				log.Fatal("mogul-server: ", err)
+			}
+			log.Printf("built index over %d items in %v", idx.Len(), time.Since(t0).Round(time.Millisecond))
+		}
 	default:
 		log.Fatal("mogul-server: provide -data or -load-index")
 	}

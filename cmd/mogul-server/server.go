@@ -28,7 +28,10 @@ import (
 //	POST /delete {"id":17}         -> online delete (tombstone)
 //	POST /compact                  -> fold the delta into a fresh base
 type server struct {
-	idx *mogul.Index
+	// idx is the shared serving surface: a *mogul.Index or a
+	// *mogul.ShardedIndex (-shards N, or a sharded index file), the
+	// handlers never care which.
+	idx mogul.Retriever
 	mux *http.ServeMux
 
 	// mutateMu serializes the mutating handlers (/insert, /delete,
@@ -58,7 +61,7 @@ type server struct {
 	searchers sync.Pool
 }
 
-func newServer(idx *mogul.Index, labels []int) *server {
+func newServer(idx mogul.Retriever, labels []int) *server {
 	s := &server{idx: idx, labels: labels, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -77,14 +80,14 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // searcher borrows a reusable query engine for one request; pair with
 // putSearcher.
-func (s *server) searcher() *mogul.Searcher {
-	if sr, ok := s.searchers.Get().(*mogul.Searcher); ok {
+func (s *server) searcher() mogul.Querier {
+	if sr, ok := s.searchers.Get().(mogul.Querier); ok {
 		return sr
 	}
-	return s.idx.NewSearcher()
+	return s.idx.NewQuerier()
 }
 
-func (s *server) putSearcher(sr *mogul.Searcher) { s.searchers.Put(sr) }
+func (s *server) putSearcher(sr mogul.Querier) { s.searchers.Put(sr) }
 
 // record updates the cumulative counters for one query.
 func (s *server) record(took time.Duration, err error) {

@@ -440,3 +440,55 @@ func TestServerWithoutLabels(t *testing.T) {
 		t.Fatal("label invented for unlabelled dataset")
 	}
 }
+
+// TestShardedBackend: the same handler stack serves a ShardedIndex
+// (-shards N) through the Retriever surface — search, vector, insert,
+// delete, compact and health all work, with global ids on the wire.
+func TestShardedBackend(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{
+		N: 300, Classes: 6, Dim: 8, WithinStd: 0.2, Separation: 2.5, Seed: 4,
+	})
+	idx, err := mogul.BuildSharded(ds.Points, mogul.Options{}, mogul.ShardOptions{
+		Shards: 3, Partitioner: mogul.PartitionKMeans,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(idx, ds.Labels)
+
+	rec, body := doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK || body["items"].(float64) != 300 {
+		t.Fatalf("healthz: %d %v", rec.Code, body)
+	}
+	rec, body = doJSON(t, s, http.MethodGet, "/search?id=17&k=5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %v", rec.Code, body)
+	}
+	if answers := body["answers"].([]interface{}); len(answers) != 5 {
+		t.Fatalf("search answers: %v", answers)
+	}
+	rec, body = doJSON(t, s, http.MethodPost, "/search/vector", map[string]interface{}{
+		"vector": ds.Points[9], "k": 4,
+	})
+	if rec.Code != http.StatusOK || len(body["answers"].([]interface{})) != 4 {
+		t.Fatalf("vector search: %d %v", rec.Code, body)
+	}
+	rec, body = doJSON(t, s, http.MethodPost, "/insert", map[string]interface{}{
+		"vector": ds.Points[0],
+	})
+	if rec.Code != http.StatusOK || int(body["id"].(float64)) != 300 {
+		t.Fatalf("insert: %d %v", rec.Code, body)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/delete", map[string]int{"id": 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	rec, body = doJSON(t, s, http.MethodPost, "/compact", nil)
+	if rec.Code != http.StatusOK || int(body["items"].(float64)) != 300 {
+		t.Fatalf("compact: %d %v", rec.Code, body)
+	}
+	rec, body = doJSON(t, s, http.MethodGet, "/search?id=300&k=3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search of inserted id after compact: %d %v", rec.Code, body)
+	}
+}

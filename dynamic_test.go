@@ -406,7 +406,9 @@ func TestSaveLoadInsertCommutes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return out
+		// Load dispatches on the magic header; a plain file always
+		// yields the concrete *Index.
+		return out.(*Index)
 	}
 	insertAll := func(ix *Index) {
 		for _, p := range extra {
@@ -422,7 +424,7 @@ func TestSaveLoadInsertCommutes(t *testing.T) {
 		}
 	}
 
-	a := build()     // Save -> Load -> Insert
+	a := build() // Save -> Load -> Insert
 	a = roundTrip(a)
 	insertAll(a)
 

@@ -102,6 +102,37 @@ func ExampleIndex_Save() {
 	// identical results: true
 }
 
+func ExampleBuildSharded() {
+	// Partition the database into 2 shards, built in parallel; queries
+	// fan out to every shard and merge into one global ranking. With
+	// the contiguous partitioner, items 0-3 land on shard 0 and items
+	// 4-7 on shard 1, and ids are preserved verbatim.
+	idx, err := mogul.BuildSharded(examplePoints(), mogul.Options{GraphK: 3}, mogul.ShardOptions{
+		Shards: 2, Partitioner: mogul.PartitionContiguous,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shards:", idx.NumShards())
+	fmt.Println("items:", idx.Len())
+	// An in-database query is answered by its owning shard plus an
+	// affinity-weighted out-of-sample probe of the other shard; the
+	// query's cluster-mates still dominate.
+	results, err := idx.TopK(5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, r := range results {
+		fmt.Printf("%d. item %d\n", rank+1, r.Node)
+	}
+	// Output:
+	// shards: 2
+	// items: 8
+	// 1. item 7
+	// 2. item 6
+	// 3. item 5
+}
+
 func ExampleIndex_NewSearcher() {
 	idx, err := mogul.Build(examplePoints(), mogul.Options{GraphK: 3})
 	if err != nil {

@@ -367,6 +367,61 @@ func (ix *Index) Neighbors(id int) (ids []int, weights []float64, err error) {
 	}
 }
 
+// IDSpace returns the size of the external id space: base slots plus
+// delta slots, including tombstoned ones. Valid item ids lie in
+// [0, IDSpace()); ids of deleted items stay reserved until Compact.
+func (ix *Index) IDSpace() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.factor.N + len(ix.delta.points)
+}
+
+// Alive reports whether id names a live item: in range and not
+// tombstoned. The sharded layer uses the full sweep over [0, IDSpace())
+// to snapshot liveness before a compaction renumbers.
+func (ix *Index) Alive(id int) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := ix.factor.N
+	d := &ix.delta
+	switch {
+	case id < 0 || id >= n+len(d.points):
+		return false
+	case id < n:
+		return !d.deadBase[id]
+	default:
+		return !d.dead[id-n]
+	}
+}
+
+// Point returns the stored feature vector of a live item (base or
+// delta). The returned slice aliases index storage; callers must not
+// modify it. Errors mirror Neighbors: out-of-range and deleted ids,
+// plus indexes built over a bare adjacency (no points).
+func (ix *Index) Point(id int) (vec.Vector, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := ix.factor.N
+	d := &ix.delta
+	switch {
+	case id < 0 || id >= n+len(d.points):
+		return nil, fmt.Errorf("core: item %d outside [0,%d)", id, n+len(d.points))
+	case id < n:
+		if d.deadBase[id] {
+			return nil, fmt.Errorf("core: item %d is deleted", id)
+		}
+		if len(ix.graph.Points) == 0 {
+			return nil, fmt.Errorf("core: index carries no feature vectors")
+		}
+		return ix.graph.Points[id], nil
+	default:
+		if d.dead[id-n] {
+			return nil, fmt.Errorf("core: item %d is deleted", id)
+		}
+		return d.points[id-n], nil
+	}
+}
+
 // baseDead reports whether base id (original numbering) is tombstoned,
 // via the dense bitset. Callers hold at least the read lock.
 func (d *delta) baseDead(id int) bool {

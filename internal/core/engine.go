@@ -72,6 +72,10 @@ type Scratch struct {
 	nbrBuf   []scoredNbr
 	probeIDs []int
 	probeWts []float64
+	// oosRawMass/oosRawCount record the raw (pre-normalization) kernel
+	// mass of the last surrogate selection, feeding OOSAffinity.
+	oosRawMass  float64
+	oosRawCount int
 }
 
 // clusterDist is one (cluster, squared distance to mean) pair of the
@@ -130,6 +134,25 @@ func (ix *Index) ready(s *Scratch) {
 	s.owner = ix
 	s.epoch = ix.epoch
 }
+
+// OOSAffinity returns the mean raw heat-kernel weight of the
+// surrogates selected by the last out-of-sample search on this scratch
+// — in [0, 1], where 1 means the query coincides with its surrogates
+// and ~0 means this database is far from the query. The sharded
+// fan-out scales every cross-shard contribution by it; OOSBreakdown
+// surfaces the same number to public callers.
+func (s *Scratch) OOSAffinity() float64 {
+	if s.oosRawCount == 0 {
+		return 0
+	}
+	return s.oosRawMass / float64(s.oosRawCount)
+}
+
+// Info returns the work counters left behind by the last search that
+// ran on this scratch (every search path fills them, including the
+// out-of-sample one, whose public return type is the phase breakdown
+// instead). The sharded fan-out aggregates these across shards.
+func (s *Scratch) Info() SearchInfo { return s.info }
 
 // markComputed flags cluster c's range of x as valid and remembers it
 // for the post-query reset.

@@ -32,6 +32,12 @@ type OOSBreakdown struct {
 	// Neighbors are the surrogate query nodes (original ids) and their
 	// normalized weights in the query vector q.
 	Neighbors []Result
+	// Affinity is the mean raw heat-kernel weight of the surrogates
+	// (in [0, 1], before normalization): how close the query really is
+	// to this database. The sharded fan-out scales each shard's
+	// out-of-sample scores by it so distant shards cannot out-shout
+	// the query's own region (docs/SHARDING.md).
+	Affinity float64
 }
 
 // Overall returns the total out-of-sample search time.
@@ -171,6 +177,13 @@ func (ix *Index) findSurrogates(s *Scratch, q vec.Vector, numNbrs int) error {
 		s.probeWts = append(s.probeWts, w)
 		total += w
 	}
+	// The raw (pre-normalization) kernel mass measures how close the
+	// query actually is to this database — the normalization below
+	// erases that, which is right for a single index (ranking is scale
+	// free) but exactly the signal a sharded fan-out needs to weigh one
+	// shard's answers against another's (OOSAffinity).
+	s.oosRawMass = total
+	s.oosRawCount = len(s.probeWts)
 	if total == 0 {
 		// All neighbours are extremely remote under this bandwidth;
 		// fall back to uniform weights rather than an all-zero query.
@@ -183,6 +196,27 @@ func (ix *Index) findSurrogates(s *Scratch, q vec.Vector, numNbrs int) error {
 		s.probeWts[i] /= total
 	}
 	return nil
+}
+
+// SurrogateAffinity runs only the surrogate-selection phase of an
+// out-of-sample search for q and returns the mean raw heat-kernel
+// weight of the selected surrogates (OOSAffinity) without searching.
+// The sharded fan-out uses it to price the owning shard's affinity so
+// cross-shard contributions can be scaled relative to it.
+func (ix *Index) SurrogateAffinity(s *Scratch, q vec.Vector) (float64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.graph.Points) == 0 {
+		return 0, fmt.Errorf("core: graph has no feature vectors; out-of-sample affinity unavailable")
+	}
+	if len(q) != len(ix.graph.Points[0]) {
+		return 0, fmt.Errorf("core: query dimension %d, want %d", len(q), len(ix.graph.Points[0]))
+	}
+	ix.ready(s)
+	if err := ix.findSurrogates(s, q, 0); err != nil {
+		return 0, err
+	}
+	return s.OOSAffinity(), nil
 }
 
 // SearchOutOfSample ranks database nodes for a query vector that is
@@ -268,6 +302,6 @@ func (ix *Index) searchVector(s *Scratch, q vec.Vector, opts OOSOptions, wantBre
 	if !wantBreakdown {
 		return res, nil, nil
 	}
-	bd := &OOSBreakdown{NearestNeighbor: nnTime, TopK: time.Since(t1), Neighbors: breakNbrs}
+	bd := &OOSBreakdown{NearestNeighbor: nnTime, TopK: time.Since(t1), Neighbors: breakNbrs, Affinity: s.OOSAffinity()}
 	return res, bd, nil
 }

@@ -66,7 +66,6 @@ var (
 	tagEnd  = [4]byte{'E', 'N', 'D', 0}
 )
 
-
 // section pairs a container tag with the function that streams its
 // payload.
 type section struct {

@@ -167,3 +167,57 @@ func (c *Collector) Drain() []Item {
 // minHeap is a min-heap on Score (maintained by the inlined up/down
 // sifts above) so the root is the weakest member of the current top-k.
 type minHeap []Item
+
+// Better is the ranking order shared by Results, Drain and Merger: a
+// ranks strictly ahead of b on higher score, ties broken by ascending
+// ID for determinism.
+func Better(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// Merger performs k-way merges of ranked item lists — the fan-out
+// reduction of a sharded search: each shard answers with its own
+// ranked top-k list, and the merger folds them into one global
+// ranking. It owns the cursor scratch, so a Merger reused across
+// queries merges without allocating (beyond what the caller-provided
+// destination may grow). A Merger is not safe for concurrent use.
+type Merger struct {
+	pos []int
+}
+
+// Merge folds the given lists — each already sorted by Better (score
+// descending, ties by ascending ID), as Results and Drain emit — into
+// the k best items overall, appended to dst[:0] and returned. Input
+// ids must be globally unique across lists (the caller remaps shard-
+// local ids to global ids first). The shard count is small, so a
+// linear scan over list heads beats heap bookkeeping.
+func (m *Merger) Merge(dst []Item, k int, lists ...[]Item) []Item {
+	if cap(m.pos) < len(lists) {
+		m.pos = make([]int, len(lists))
+	}
+	pos := m.pos[:len(lists)]
+	for i := range pos {
+		pos[i] = 0
+	}
+	dst = dst[:0]
+	for len(dst) < k {
+		best := -1
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if best < 0 || Better(l[pos[i]], lists[best][pos[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dst = append(dst, lists[best][pos[best]])
+		pos[best]++
+	}
+	return dst
+}

@@ -229,3 +229,74 @@ func TestNegativeScores(t *testing.T) {
 		t.Fatalf("negative scores mishandled: %+v", res)
 	}
 }
+
+// TestMergeMatchesSortOracle: merging ranked lists equals sorting the
+// concatenation and taking the k best, for random list shapes, with
+// score ties included.
+func TestMergeMatchesSortOracle(t *testing.T) {
+	var m Merger
+	var dst []Item
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numLists := 1 + rng.Intn(9)
+		k := 1 + rng.Intn(25)
+		lists := make([][]Item, numLists)
+		var all []Item
+		id := 0
+		for i := range lists {
+			n := rng.Intn(30)
+			for j := 0; j < n; j++ {
+				lists[i] = append(lists[i], Item{ID: id, Score: float64(rng.Intn(12))})
+				id++
+			}
+			sort.Slice(lists[i], func(a, b int) bool { return Better(lists[i][a], lists[i][b]) })
+			all = append(all, lists[i]...)
+		}
+		sort.Slice(all, func(a, b int) bool { return Better(all[a], all[b]) })
+		if len(all) > k {
+			all = all[:k]
+		}
+		dst = m.Merge(dst, k, lists...)
+		if len(dst) != len(all) {
+			return false
+		}
+		for i := range all {
+			if dst[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeEdgeCases pins the boundary behaviour: no lists, empty
+// lists, and k larger than the total item count.
+func TestMergeEdgeCases(t *testing.T) {
+	var m Merger
+	if got := m.Merge(nil, 5); len(got) != 0 {
+		t.Fatalf("merge of no lists produced %v", got)
+	}
+	if got := m.Merge(nil, 5, nil, []Item{}); len(got) != 0 {
+		t.Fatalf("merge of empty lists produced %v", got)
+	}
+	a := []Item{{ID: 1, Score: 3}, {ID: 2, Score: 1}}
+	b := []Item{{ID: 3, Score: 2}}
+	got := m.Merge(nil, 10, a, b)
+	want := []Item{{ID: 1, Score: 3}, {ID: 3, Score: 2}, {ID: 2, Score: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Cross-list score tie resolves by ascending id.
+	got = m.Merge(got, 1, []Item{{ID: 9, Score: 7}}, []Item{{ID: 4, Score: 7}})
+	if got[0].ID != 4 {
+		t.Fatalf("tie not broken by id: %v", got)
+	}
+}

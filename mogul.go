@@ -27,6 +27,12 @@
 // (versioned binary format, docs/FORMAT.md); a loaded index returns
 // bit-identical results without redoing any precomputation.
 //
+// Past the reach of one precomputation, BuildSharded partitions the
+// database into independent shards built in parallel and searched by
+// fan-out with a global-ranking merge (docs/SHARDING.md); *Index and
+// *ShardedIndex share the Retriever serving surface, and Load sniffs
+// the file magic to return whichever kind a file holds.
+//
 // The internal packages contain the full experimental apparatus
 // (baselines EMR / FMR / Iterative / Inverse, synthetic datasets,
 // metrics); cmd/mogul-bench regenerates every figure and table of the
@@ -34,10 +40,10 @@
 package mogul
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
 	"mogul/internal/core"
 	"mogul/internal/knn"
@@ -261,58 +267,99 @@ func (ix *Index) Save(w io.Writer) error {
 // mode 0644 regardless of umask; callers that need the index private
 // can Save to a file they opened themselves.
 func (ix *Index) SaveFile(path string) error {
-	dir, base := filepath.Split(path)
-	if dir == "" {
-		// A bare filename must stage its temp file in the destination
-		// directory, not os.TempDir(): rename does not cross devices.
-		dir = "."
-	}
-	f, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	// CreateTemp makes the file 0600; give the final index the usual
-	// artifact permissions so other users (a service account) can load it.
-	if err := f.Chmod(0o644); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := ix.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return saveFileAtomic(path, ix.Save)
 }
 
-// Load reads an index written by Save. Old-version, truncated, or
-// corrupted input (the format carries a magic header, a version field,
-// and a whole-file checksum) yields an error, never a panic.
-func Load(r io.Reader) (*Index, error) {
-	ci, err := core.ReadIndex(r)
+// Querier is the per-worker reusable query engine surface shared by
+// Searcher (one index) and ShardedSearcher (a shard set): it pins the
+// scratch workspaces one worker needs, so every search it runs
+// allocates only the returned results. A Querier is not safe for
+// concurrent use — give each goroutine its own (NewQuerier).
+type Querier interface {
+	// TopK ranks database items against an in-database query item.
+	TopK(query, k int) ([]Result, error)
+	// TopKWithInfo is TopK plus work counters (summed across shards on
+	// a sharded index).
+	TopKWithInfo(query, k int) ([]Result, *SearchInfo, error)
+	// TopKVector ranks database items against an out-of-sample vector.
+	TopKVector(q Vector, k int) ([]Result, error)
+	// TopKSet ranks database items against equally weighted seed items.
+	TopKSet(seeds []int, k int) ([]Result, error)
+}
+
+// Retriever is the serving surface shared by *Index and *ShardedIndex:
+// everything a search service needs — the query paths, dynamic
+// updates, persistence, and introspection. Load returns a Retriever,
+// dispatching on the file's magic header, so callers serve a plain and
+// a sharded index file through identical code.
+type Retriever interface {
+	Len() int
+	Exact() bool
+	Stats() Stats
+	Delta() DeltaStats
+	TopK(query, k int) ([]Result, error)
+	TopKWithInfo(query, k int) ([]Result, *SearchInfo, error)
+	TopKVector(q Vector, k int) ([]Result, error)
+	TopKSet(seeds []int, k int) ([]Result, error)
+	TopKBatch(queries []int, k, parallelism int) []BatchResult
+	TopKVectorBatch(queries []Vector, k, parallelism int) []BatchResult
+	Neighbors(item int) (ids []int, weights []float64, err error)
+	Insert(v Vector) (int, error)
+	Delete(id int) error
+	Compact() error
+	Save(w io.Writer) error
+	SaveFile(path string) error
+	// NewQuerier returns a dedicated reusable query engine (a Searcher
+	// or ShardedSearcher behind the Querier surface); use one per
+	// worker goroutine.
+	NewQuerier() Querier
+}
+
+// Both index kinds implement the full serving surface.
+var (
+	_ Retriever = (*Index)(nil)
+	_ Retriever = (*ShardedIndex)(nil)
+	_ Querier   = (*Searcher)(nil)
+	_ Querier   = (*ShardedSearcher)(nil)
+)
+
+// NewQuerier is NewSearcher behind the interface surface (Retriever).
+func (ix *Index) NewQuerier() Querier { return ix.NewSearcher() }
+
+// NewQuerier is NewSearcher behind the interface surface (Retriever).
+func (six *ShardedIndex) NewQuerier() Querier { return six.NewSearcher() }
+
+// Load reads an index written by (*Index).Save or (*ShardedIndex).Save,
+// sniffing the magic header to dispatch: a plain MOGULIDX stream loads
+// as *Index, a sharded MOGULSHD manifest as *ShardedIndex, both behind
+// the shared Retriever surface (type-assert for the concrete API).
+// Old-version, truncated, or corrupted input (both formats carry a
+// magic header, a version field, and a whole-file checksum) yields an
+// error, never a panic.
+func Load(r io.Reader) (Retriever, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("mogul: reading index header: %w", err)
+	}
+	full := io.MultiReader(bytes.NewReader(magic[:]), r)
+	if string(magic[:]) == shardedMagic {
+		return LoadSharded(full)
+	}
+	// Everything else — including garbage magic — goes to the plain
+	// reader, whose "not a mogul index file" error names the magic.
+	ci, err := core.ReadIndex(full)
 	if err != nil {
 		return nil, err
 	}
 	return &Index{core: ci}, nil
 }
 
-// LoadFile reads an index file written by SaveFile.
-func LoadFile(path string) (*Index, error) {
+// LoadFile reads an index file written by SaveFile (plain or sharded;
+// see Load for the dispatch).
+func LoadFile(path string) (Retriever, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -324,7 +371,7 @@ func LoadFile(path string) (*Index, error) {
 // LoadIndex reads an index file written by SaveFile.
 //
 // Deprecated: use LoadFile.
-func LoadIndex(path string) (*Index, error) { return LoadFile(path) }
+func LoadIndex(path string) (Retriever, error) { return LoadFile(path) }
 
 // Searcher is a reusable query engine bound to one Index: it owns a
 // private scratch workspace (score vectors, cluster bookkeeping, the

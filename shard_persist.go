@@ -1,0 +1,473 @@
+package mogul
+
+// Sharded index persistence: the MOGULSHD manifest (docs/FORMAT.md).
+//
+// A sharded index file is a container of its own — magic "MOGULSHD",
+// its own version counter, the same tag/length/payload section framing
+// as the plain index format, and a trailing CRC-32 — that nests one
+// complete MOGULIDX stream per shard next to the manifest metadata
+// (shard count, partitioner, routing centroids, and the local<->global
+// id maps). A build that predates sharding fails the magic check with
+// a clean "not a mogul index file" error instead of misreading the
+// manifest, which is exactly the loud failure the format policy asks
+// of a semantic extension; mogul.Load sniffs the magic and dispatches
+// to the right reader, so callers never branch on file kind.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"mogul/internal/binio"
+	"mogul/internal/core"
+)
+
+// shardedMagic identifies a sharded Mogul index file.
+const shardedMagic = "MOGULSHD"
+
+// shardedFormatVersion is the sharded-manifest version this build
+// writes; shardedMinReadVersion is the oldest it reads. The manifest
+// versions independently of the nested plain-index format (each SIDX
+// payload carries its own MOGULIDX version field).
+const (
+	shardedFormatVersion  = 1
+	shardedMinReadVersion = 1
+)
+
+// Manifest section tags.
+var (
+	tagSmet = [4]byte{'S', 'M', 'E', 'T'}
+	tagSctr = [4]byte{'S', 'C', 'T', 'R'}
+	tagSmap = [4]byte{'S', 'M', 'A', 'P'}
+	tagSidx = [4]byte{'S', 'I', 'D', 'X'}
+	tagSend = [4]byte{'E', 'N', 'D', 0}
+)
+
+// writeShardSection frames one payload with the two-pass scheme the
+// plain container uses (count first, then stream), which keeps Save at
+// O(1) extra memory even though every SIDX payload is a whole nested
+// index stream. The payload writers are deterministic while the locks
+// held by Save freeze the index, so both passes produce identical
+// bytes.
+func writeShardSection(bw *binio.Writer, tag [4]byte, payload func(w io.Writer) error) error {
+	var count int64
+	counter := writerFunc(func(p []byte) (int, error) {
+		count += int64(len(p))
+		return len(p), nil
+	})
+	if err := payload(counter); err != nil {
+		return err
+	}
+	bw.Raw(tag[:])
+	bw.Uint64(uint64(count))
+	before := bw.Count()
+	sink := writerFunc(func(p []byte) (int, error) {
+		bw.Raw(p)
+		if err := bw.Err(); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	})
+	if err := payload(sink); err != nil {
+		return err
+	}
+	if got := bw.Count() - before; got != count {
+		return fmt.Errorf("mogul: section produced %d bytes, declared %d", got, count)
+	}
+	return bw.Err()
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// maxRetiredIDs bounds how far the global id space may outgrow the
+// mapped shard slots (each delete+Compact retires one id forever).
+// Save enforces it so a file is never written that Load — which uses
+// the same bound to keep its allocation proportional to the data the
+// file actually carries — would reject; an index that hits it must be
+// rebuilt fresh (BuildSharded over the live points re-ids from zero).
+const maxRetiredIDs = 1 << 20
+
+// Save writes the sharded index — manifest plus every shard's complete
+// index stream — in the versioned MOGULSHD format. Mutators block for
+// the duration; searches proceed.
+func (six *ShardedIndex) Save(w io.Writer) error {
+	// mutMu freezes the shard states and id maps against
+	// Insert/Delete/Compact so the two-pass section framing sees
+	// identical bytes; the read lock covers the map reads themselves.
+	six.mutMu.Lock()
+	defer six.mutMu.Unlock()
+	six.mu.RLock()
+	defer six.mu.RUnlock()
+
+	totalSlots := 0
+	for _, sh := range six.shards {
+		totalSlots += sh.core.IDSpace()
+	}
+	if retired := len(six.locOf) - totalSlots; retired > maxRetiredIDs {
+		return fmt.Errorf("mogul: %d retired global ids exceed the format's %d limit; rebuild the index fresh (BuildSharded over the live points) before saving", retired, maxRetiredIDs)
+	}
+
+	buffered := bufio.NewWriterSize(w, 1<<20)
+	bw := binio.NewWriter(buffered)
+	bw.Raw([]byte(shardedMagic))
+	bw.Uint32(shardedFormatVersion)
+
+	if err := writeShardSection(bw, tagSmet, six.writeShardMeta); err != nil {
+		return fmt.Errorf("mogul: writing %q section: %w", tagSmet[:], err)
+	}
+	if len(six.centroids) > 0 {
+		if err := writeShardSection(bw, tagSctr, six.writeCentroids); err != nil {
+			return fmt.Errorf("mogul: writing %q section: %w", tagSctr[:], err)
+		}
+	}
+	if err := writeShardSection(bw, tagSmap, six.writeIDMaps); err != nil {
+		return fmt.Errorf("mogul: writing %q section: %w", tagSmap[:], err)
+	}
+	for s, sh := range six.shards {
+		if err := writeShardSection(bw, tagSidx, sh.Save); err != nil {
+			return fmt.Errorf("mogul: writing shard %d: %w", s, err)
+		}
+	}
+	bw.Raw(tagSend[:])
+	bw.Uint64(0)
+	crc := bw.Sum32()
+	bw.Uint32(crc)
+	if err := bw.Err(); err != nil {
+		return err
+	}
+	return buffered.Flush()
+}
+
+func (six *ShardedIndex) writeShardMeta(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Int(len(six.shards))
+	bw.Int(int(six.part))
+	bw.Int(len(six.locOf))
+	bw.Float64(six.autoCompact)
+	return bw.Err()
+}
+
+func (six *ShardedIndex) writeCentroids(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Int(len(six.centroids))
+	for _, c := range six.centroids {
+		bw.Floats(c)
+	}
+	return bw.Err()
+}
+
+// writeIDMaps stores one dense local->global table per shard; locOf is
+// their inverse and is rebuilt on load (retired global ids are exactly
+// the ones no table mentions).
+func (six *ShardedIndex) writeIDMaps(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	for _, m := range six.l2g {
+		bw.Ints(m)
+	}
+	return bw.Err()
+}
+
+// SaveFile writes the sharded index to a file via Save with the same
+// atomic temp-file-and-rename protocol as Index.SaveFile.
+func (six *ShardedIndex) SaveFile(path string) error {
+	return saveFileAtomic(path, six.Save)
+}
+
+// saveFileAtomic streams save into a temporary sibling of path and
+// renames it into place, so a crash mid-save never leaves a truncated
+// file behind. Shared by Index.SaveFile and ShardedIndex.SaveFile.
+func saveFileAtomic(path string, save func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage its temp file in the destination
+		// directory, not os.TempDir(): rename does not cross devices.
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// CreateTemp makes the file 0600; give the final index the usual
+	// artifact permissions so other users (a service account) can load it.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadSharded reads a sharded index written by ShardedIndex.Save.
+// Malformed input of any kind — wrong magic, unknown version,
+// truncation, checksum mismatch, inconsistent id maps, a corrupt
+// nested shard stream — yields an error, never a panic. Plain callers
+// normally go through Load, which sniffs the magic and dispatches
+// here on its own.
+func LoadSharded(r io.Reader) (*ShardedIndex, error) {
+	br := binio.NewReader(r)
+	var magic [len(shardedMagic)]byte
+	br.Raw(magic[:])
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading sharded index header: %w", err)
+	}
+	if string(magic[:]) != shardedMagic {
+		return nil, fmt.Errorf("mogul: not a sharded mogul index file (magic %q)", magic[:])
+	}
+	version := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading sharded index header: %w", err)
+	}
+	if version < shardedMinReadVersion || version > shardedFormatVersion {
+		return nil, fmt.Errorf("mogul: sharded index format version %d, this build reads versions %d-%d", version, shardedMinReadVersion, shardedFormatVersion)
+	}
+
+	var meta, centroids, idMaps []byte
+	var shardPayloads [][]byte
+	for {
+		var tag [4]byte
+		br.Raw(tag[:])
+		n := br.Uint64()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: reading section header: %w", err)
+		}
+		if tag == tagSend {
+			if n != 0 {
+				return nil, fmt.Errorf("mogul: end marker carries %d payload bytes", n)
+			}
+			break
+		}
+		if n > binio.MaxCount {
+			return nil, fmt.Errorf("mogul: section %q claims %d bytes", tag[:], n)
+		}
+		switch tag {
+		case tagSmet, tagSctr, tagSmap:
+			payload, err := readShardPayload(br, n)
+			if err != nil {
+				return nil, fmt.Errorf("mogul: reading %q section: %w", tag[:], err)
+			}
+			switch tag {
+			case tagSmet:
+				meta = payload
+			case tagSctr:
+				centroids = payload
+			case tagSmap:
+				idMaps = payload
+			}
+		case tagSidx:
+			payload, err := readShardPayload(br, n)
+			if err != nil {
+				return nil, fmt.Errorf("mogul: reading shard %d: %w", len(shardPayloads), err)
+			}
+			shardPayloads = append(shardPayloads, payload)
+		default:
+			// A section from a newer writer: skip (the bytes still count
+			// toward the checksum), keeping additive evolution open.
+			br.Skip(int64(n))
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("mogul: skipping %q section: %w", tag[:], err)
+			}
+		}
+	}
+	want := br.Sum32()
+	got := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("mogul: checksum mismatch (file %08x, computed %08x): sharded index file is corrupt", got, want)
+	}
+	if meta == nil || idMaps == nil {
+		return nil, fmt.Errorf("mogul: sharded index file is missing a required manifest section")
+	}
+	return assembleSharded(meta, centroids, idMaps, shardPayloads)
+}
+
+// readShardPayload reads exactly n bytes, growing the buffer in
+// bounded steps so a corrupt length fails with an I/O error instead of
+// a giant allocation (mirrors the plain container's reader).
+func readShardPayload(br *binio.Reader, n uint64) ([]byte, error) {
+	const chunk = uint64(1 << 20)
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		k := int(min(n-uint64(len(buf)), chunk))
+		off := len(buf)
+		buf = slices.Grow(buf, k)[:off+k]
+		br.Raw(buf[off:])
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// assembleSharded decodes the manifest payloads, loads every nested
+// shard stream, and cross-validates the id maps against the loaded
+// shard states.
+func assembleSharded(meta, centroids, idMaps []byte, shardPayloads [][]byte) (*ShardedIndex, error) {
+	mr := binio.NewReader(bytes.NewReader(meta))
+	numShards := mr.Int()
+	part := mr.Int()
+	globals := mr.Int()
+	autoCompact := mr.Float64()
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding sharded metadata: %w", err)
+	}
+	if numShards < 1 || numShards > binio.MaxCount {
+		return nil, fmt.Errorf("mogul: corrupt sharded metadata: %d shards", numShards)
+	}
+	if part != int(PartitionContiguous) && part != int(PartitionKMeans) {
+		return nil, fmt.Errorf("mogul: corrupt sharded metadata: partitioner %d", part)
+	}
+	if globals < numShards || globals > binio.MaxCount {
+		return nil, fmt.Errorf("mogul: corrupt sharded metadata: %d global ids for %d shards", globals, numShards)
+	}
+	if math.IsNaN(autoCompact) || math.IsInf(autoCompact, 0) || autoCompact < 0 {
+		return nil, fmt.Errorf("mogul: corrupt sharded metadata: auto-compact fraction %g", autoCompact)
+	}
+	if len(shardPayloads) != numShards {
+		return nil, fmt.Errorf("mogul: sharded index file carries %d shard streams, metadata says %d", len(shardPayloads), numShards)
+	}
+
+	shards := make([]*Index, numShards)
+	for s, payload := range shardPayloads {
+		ci, err := core.ReadIndex(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("mogul: loading shard %d: %w", s, err)
+		}
+		shards[s] = &Index{core: ci}
+		shardPayloads[s] = nil // release while the rest decodes
+	}
+
+	dim := 0
+	if p, err := shards[0].core.Point(firstAlive(shards[0])); err == nil {
+		dim = len(p)
+	}
+	var ctr []Vector
+	if part == int(PartitionKMeans) {
+		if centroids == nil {
+			return nil, fmt.Errorf("mogul: k-means sharded index is missing its centroid section")
+		}
+		cr := binio.NewReader(bytes.NewReader(centroids))
+		count := cr.Int()
+		if err := cr.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding centroids: %w", err)
+		}
+		if count != numShards {
+			return nil, fmt.Errorf("mogul: %d routing centroids for %d shards", count, numShards)
+		}
+		ctr = make([]Vector, count)
+		for c := range ctr {
+			v := cr.Floats(binio.MaxCount)
+			if err := cr.Err(); err != nil {
+				return nil, fmt.Errorf("mogul: decoding centroid %d: %w", c, err)
+			}
+			if dim > 0 && len(v) != dim {
+				return nil, fmt.Errorf("mogul: centroid %d has dim %d, want %d", c, len(v), dim)
+			}
+			for _, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return nil, fmt.Errorf("mogul: centroid %d has non-finite component", c)
+				}
+			}
+			ctr[c] = v
+		}
+	}
+
+	// The global id space may exceed the mapped slots (ids of items
+	// deleted and compacted away are retired, never reused), but only
+	// within a bounded headroom: the id maps are what the file actually
+	// carries, and sizing locOf from an unchecked count would let a
+	// crafted manifest demand an allocation unrelated to its own size.
+	totalSlots := 0
+	for _, sh := range shards {
+		totalSlots += sh.core.IDSpace()
+	}
+	if globals > totalSlots+maxRetiredIDs {
+		return nil, fmt.Errorf("mogul: corrupt sharded metadata: %d global ids for %d shard slots", globals, totalSlots)
+	}
+	l2g := make([][]int, numShards)
+	locOf := make([]shardLoc, globals)
+	for g := range locOf {
+		locOf[g] = shardLoc{shard: -1, local: -1}
+	}
+	ir := binio.NewReader(bytes.NewReader(idMaps))
+	for s := range l2g {
+		m := ir.Ints(globals)
+		if err := ir.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding id map of shard %d: %w", s, err)
+		}
+		if space := shards[s].core.IDSpace(); len(m) != space {
+			return nil, fmt.Errorf("mogul: shard %d id map covers %d slots, shard has %d", s, len(m), space)
+		}
+		for local, g := range m {
+			if g < 0 || g >= globals {
+				return nil, fmt.Errorf("mogul: shard %d maps local %d to global %d outside [0,%d)", s, local, g, globals)
+			}
+			if locOf[g].shard >= 0 {
+				return nil, fmt.Errorf("mogul: global id %d mapped by two shards", g)
+			}
+			locOf[g] = shardLoc{shard: s, local: local}
+		}
+		l2g[s] = m
+	}
+
+	return &ShardedIndex{
+		shards:      shards,
+		part:        Partitioner(part),
+		centroids:   ctr,
+		autoCompact: autoCompact,
+		locOf:       locOf,
+		l2g:         l2g,
+	}, nil
+}
+
+// firstAlive returns the lowest live local id of a shard (every loaded
+// shard has at least one — the plain loader rejects all-tombstone
+// files).
+func firstAlive(ix *Index) int {
+	space := ix.core.IDSpace()
+	for i := 0; i < space; i++ {
+		if ix.core.Alive(i) {
+			return i
+		}
+	}
+	return 0
+}
+
+// LoadShardedFile reads a sharded index file written by
+// ShardedIndex.SaveFile.
+func LoadShardedFile(path string) (*ShardedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSharded(f)
+}

@@ -1,0 +1,200 @@
+package mogul
+
+// Stress test for the sharded fan-out under concurrent mutation,
+// mirroring engine_stress_test.go one layer up: fan-out searchers
+// (held ShardedSearchers and the pooled ShardedIndex methods) hammer
+// the index while Insert/Delete/Compact churn the shards underneath.
+// Run under -race in CI, this proves two invariants at once: the
+// per-shard epoch-based scratch invalidation (a held searcher's
+// workspaces survive any shard's base swap), and the sharded id-map
+// consistency (a search can never pair a post-compaction shard state
+// with pre-compaction local<->global maps, or see a shard answer with
+// a local id the maps do not cover).
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mogul/internal/dataset"
+)
+
+func TestShardedSearchVsConcurrentMutation(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 1000, Classes: 8, Dim: 12, WithinStd: 0.3, Separation: 2.5, Seed: 37,
+	})
+	const base = 800
+	six, err := BuildSharded(ds.Points[:base], Options{Seed: 3}, ShardOptions{Shards: 4, Partitioner: PartitionKMeans})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		searchWorkers = 4
+		queriesEach   = 200
+		compactRounds = 6
+	)
+	var (
+		wg       sync.WaitGroup
+		searched atomic.Int64
+		stop     atomic.Bool
+	)
+
+	// Held-ShardedSearcher workers: each keeps one fan-out engine —
+	// and therefore one pinned Searcher per shard — across every
+	// query, including across the compactions below; the worst case
+	// for stale scratches AND stale id maps.
+	for w := 0; w < searchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ss := six.NewSearcher()
+			for i := 0; i < queriesEach; i++ {
+				q := (i*131 + w*17) % base
+				res, err := ss.TopK(q, 10)
+				if err != nil {
+					// The query may have been tombstoned by the mutator;
+					// anything else is a real bug (the live count never
+					// drops below base, and global ids of live items are
+					// stable across every compaction).
+					if !strings.Contains(err.Error(), "deleted") {
+						t.Errorf("TopK(%d): %v", q, err)
+						return
+					}
+					continue
+				}
+				if len(res) == 0 {
+					t.Error("empty result from live sharded index")
+					return
+				}
+				for _, r := range res {
+					if r.Node < 0 {
+						t.Errorf("negative global id %d", r.Node)
+						return
+					}
+				}
+				searched.Add(1)
+			}
+		}(w)
+	}
+
+	// Pool-path workers: plain ShardedIndex methods plus vector
+	// queries, exercising the searcher pool while epochs move.
+	for w := 0; w < searchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				if stop.Load() {
+					return
+				}
+				if _, err := six.TopKVector(ds.Points[base+(i+w)%(len(ds.Points)-base)], 5); err != nil {
+					t.Errorf("TopKVector: %v", err)
+					return
+				}
+				if _, err := six.TopK((i*59+w*7)%base, 5); err != nil && !strings.Contains(err.Error(), "deleted") {
+					t.Errorf("pooled TopK: %v", err)
+					return
+				}
+				searched.Add(1)
+			}
+		}(w)
+	}
+
+	// Mutator: insert, delete, compact in a loop. Every Compact
+	// rebuilds shard bases (bumping their engine epochs) and — when
+	// tombstones fold in — renumbers the id maps under the write lock
+	// while searches stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		next := base
+		for round := 0; round < compactRounds; round++ {
+			for j := 0; j < 10; j++ {
+				if _, err := six.Insert(ds.Points[next%len(ds.Points)]); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				next++
+			}
+			if err := six.Delete(round * 13 % base); err != nil {
+				// Already deleted in a previous round is fine.
+				continue
+			}
+			if err := six.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if searched.Load() == 0 {
+		t.Fatal("no searches completed")
+	}
+	// The index is still coherent after the storm: every live item
+	// queries, the maps agree with the shards.
+	if six.Len() < base {
+		t.Fatalf("live count %d below base %d", six.Len(), base)
+	}
+	if _, err := six.TopK(1, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedSearcherSurvivesCompactMidStream pins the
+// epoch-invalidation path deterministically (the stress test above
+// exercises it probabilistically): a held ShardedSearcher searches,
+// one shard compacts away tombstones (renumbering its locals and
+// swapping its base), and the same searcher must serve the next query
+// against the new state.
+func TestShardedSearcherSurvivesCompactMidStream(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 420, Classes: 8, Dim: 12, WithinStd: 0.3, Separation: 2.5, Seed: 41,
+	})
+	six, err := BuildSharded(ds.Points[:400], Options{Seed: 3}, ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := six.NewSearcher()
+	before, err := ss.TopK(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate one shard's worth of state: inserts land on the least
+	// loaded shard, the delete tombstones a base item, Compact
+	// renumbers.
+	for _, p := range ds.Points[400:] {
+		if _, err := six.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := six.Delete(350); err != nil {
+		t.Fatal(err)
+	}
+	if err := six.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ss.TopK(7, 10)
+	if err != nil {
+		t.Fatalf("held searcher failed after compact: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("result width changed: %d -> %d", len(before), len(after))
+	}
+	if _, err := ss.TopK(350, 3); err == nil || !strings.Contains(err.Error(), "deleted") {
+		t.Fatalf("compacted-away id 350: %v", err)
+	}
+	// A fresh searcher agrees with the held one on the new state.
+	fresh, err := six.NewSearcher().TopK(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if fresh[i] != after[i] {
+			t.Fatalf("held searcher diverges from fresh after compact at rank %d: %+v vs %+v", i, after[i], fresh[i])
+		}
+	}
+}
