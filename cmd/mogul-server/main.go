@@ -1,17 +1,20 @@
 // Command mogul-server serves Manifold Ranking search over HTTP — the
 // image-retrieval-system deployment the paper's introduction
-// motivates. It builds (or loads) a Mogul index once and answers
-// queries from the precomputed factor:
+// motivates. It builds (or loads) a Mogul index once and mounts the
+// serve package's production query service over it (version-keyed
+// result caching, micro-batched execution, backpressure, /metrics):
 //
 //	mogul-datagen -dataset coil -o coil.gob
 //	mogul-server -data coil.gob -save-index coil.mogul
-//	mogul-server -load-index coil.mogul -addr :8080
+//	mogul-server -load-index coil.mogul -addr :8080 -batch-window 200us
 //	curl 'localhost:8080/search?id=17&k=5'
 //	curl -X POST localhost:8080/search/vector -d '{"vector":[...],"k":5}'
+//	curl 'localhost:8080/metrics'
 //
 // With -load-index the precomputed index file (from -save-index) is
 // loaded instead of rebuilding, so startup is I/O bound only: no graph
-// construction, no clustering, no factorization.
+// construction, no clustering, no factorization. All handler logic
+// lives in package serve; this command is flag parsing and wiring.
 package main
 
 import (
@@ -20,7 +23,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +31,7 @@ import (
 
 	"mogul"
 	"mogul/internal/diskio"
+	"mogul/serve"
 )
 
 func main() {
@@ -42,6 +45,12 @@ func main() {
 		approx    = flag.Bool("approx-graph", false, "build the k-NN graph with the IVF index")
 		shards    = flag.Int("shards", 1, "partition the dataset into N shards (parallel build, fan-out search)")
 		partition = flag.String("partitioner", "contiguous", "shard partitioner: contiguous or kmeans")
+
+		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "query-result cache budget in bytes (0 disables)")
+		batchWindow = flag.Duration("batch-window", 0, "micro-batch window for /search/vector (0 disables, try 200us)")
+		maxBatch    = flag.Int("max-batch", 64, "max queries coalesced into one micro-batch")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing searches (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "max searches queued for a slot before shedding 429 (0 = 4x max-inflight)")
 	)
 	var indexPath string
 	flag.StringVar(&indexPath, "load-index", "", "serve from a prebuilt index file (from -save-index) instead of building")
@@ -118,7 +127,15 @@ func main() {
 		return
 	}
 
-	srv := newServer(idx, labels)
+	srv := serve.New(idx, serve.Options{
+		Labels:      labels,
+		CacheBytes:  *cacheBytes,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *maxQueue,
+	})
+	defer srv.Close()
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal("mogul-server: ", err)
@@ -126,34 +143,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("serving Manifold Ranking search on %s", l.Addr())
-	if err := serve(ctx, l, srv, 10*time.Second); err != nil {
+	if err := serve.Run(ctx, l, srv, 10*time.Second); err != nil {
 		log.Fatal("mogul-server: ", err)
 	}
 	log.Print("shut down cleanly")
-}
-
-// serve runs an HTTP server on l until ctx is cancelled (SIGTERM or
-// interrupt in production), then shuts down gracefully: the listener
-// closes immediately, in-flight requests get up to grace to finish. A
-// clean shutdown returns nil.
-func serve(ctx context.Context, l net.Listener, h http.Handler, grace time.Duration) error {
-	srv := &http.Server{Handler: h}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(l) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-		sctx, cancel := context.WithTimeout(context.Background(), grace)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			return err
-		}
-		if err := <-errc; err != nil && err != http.ErrServerClosed {
-			return err
-		}
-		return nil
-	}
 }
 
 func loadDataset(path string) (*mogul.Dataset, error) {

@@ -156,6 +156,9 @@ func (ix *Index) Insert(v vec.Vector) (int, error) {
 		d.clusters[c]++
 	}
 	pending := len(d.points) + len(d.deadBase)
+	// Bump under the write lock: any search that can see the new item
+	// also sees the new version (the stamp result caches invalidate on).
+	ix.version.Add(1)
 	ix.mu.Unlock()
 
 	// Auto-compaction: once the delta outgrows the configured fraction
@@ -239,6 +242,7 @@ func (ix *Index) Delete(id int) error {
 			}
 		}
 	}
+	ix.version.Add(1)
 	return nil
 }
 
@@ -314,6 +318,7 @@ func (ix *Index) compactLocked() error {
 // the next search detects and re-acquires.
 func (ix *Index) adoptLocked(src *Index) {
 	ix.epoch++
+	ix.version.Add(1)
 	ix.graph = src.graph
 	ix.alpha = src.alpha
 	ix.exact = src.exact

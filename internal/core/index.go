@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mogul/internal/cholesky"
@@ -137,6 +138,13 @@ type Index struct {
 	// so the zero Scratch is always stale. Read under at least the
 	// read lock.
 	epoch uint64
+	// version counts every visible mutation — Insert, Delete, and
+	// Compact all bump it (epoch moves only on Compact), always before
+	// the mutation's write lock is released, so a reader that observes
+	// a mutated index also observes the new version. Readers load it
+	// without any lock; it is the cheap "has anything changed?" signal
+	// behind version-stamped result caches (the serve package).
+	version atomic.Uint64
 	// scratchPool recycles query-engine scratches across searches so
 	// the steady-state hot path allocates nothing; stale scratches
 	// (pooled across a Compact) are caught by the epoch check.
@@ -194,6 +202,7 @@ func NewIndex(g *knn.Graph, opts Options) (*Index, error) {
 		wOnce:    new(sync.Once),
 		epoch:    1,
 	}
+	idx.version.Store(1)
 	idx.stats.NumNodes = n
 	idx.stats.NumEdges = g.NumEdges()
 
@@ -336,6 +345,14 @@ func (ix *Index) Factor() *cholesky.Factor {
 	defer ix.mu.RUnlock()
 	return ix.factor
 }
+
+// Version returns the index's monotonic mutation version: it starts
+// at 1 and increases on every Insert, Delete, and Compact (including
+// auto-compactions), never decreasing and never moving while the index
+// is quiescent. Two equal Version readings therefore bracket a window
+// with no visible mutation — the invariant result caches key on. Loads
+// are atomic and lock-free.
+func (ix *Index) Version() uint64 { return ix.version.Load() }
 
 // Stats returns precomputation statistics (of the latest base build).
 func (ix *Index) Stats() Stats {

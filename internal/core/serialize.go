@@ -436,6 +436,7 @@ func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
 		wOnce:   new(sync.Once),
 		epoch:   1,
 	}
+	ix.version.Store(1)
 	ix.bounds = buildBoundTables(factor, layout)
 	ix.stats = Stats{
 		NumNodes:      n,

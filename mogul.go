@@ -176,6 +176,15 @@ func BuildFromGraphPoints(g *knn.Graph, opts Options) (*Index, error) {
 // inserted items, minus deletions.
 func (ix *Index) Len() int { return ix.core.Len() }
 
+// Version returns the index's monotonic mutation version: it starts at
+// 1 and increases on every Insert, Delete, and Compact (the coarser
+// internal epoch moves only on Compact). Reading it is a single atomic
+// load, so callers can stamp derived artifacts — cached query results,
+// exported snapshots — and later detect "the index changed under me"
+// without re-running the query. Two equal readings bracket a window
+// with no visible mutation.
+func (ix *Index) Version() uint64 { return ix.core.Version() }
+
 // TopK returns the k database items with the highest Manifold Ranking
 // scores for an in-database query item, best first. The query item
 // itself is included (it typically ranks first); callers that want
@@ -297,6 +306,10 @@ type Retriever interface {
 	Exact() bool
 	Stats() Stats
 	Delta() DeltaStats
+	// Version is the monotonic mutation counter (see Index.Version):
+	// unchanged Version means unchanged answers, which is what lets a
+	// serving layer cache results and invalidate implicitly.
+	Version() uint64
 	TopK(query, k int) ([]Result, error)
 	TopKWithInfo(query, k int) ([]Result, *SearchInfo, error)
 	TopKVector(q Vector, k int) ([]Result, error)

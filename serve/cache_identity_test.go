@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"mogul"
+)
+
+// The acceptance property of the version-stamped cache: with caching
+// ON, every response is bit-identical to the response with caching
+// OFF, no matter how Insert/Delete/Compact interleave with queries.
+// Both servers share ONE index; mutations flow through the cached
+// server (exercising its invalidation), probes hit both and must
+// agree byte for byte — on the answer payload and on the status code,
+// across the plain and the sharded backend.
+func TestCacheIdentityAcrossMutations(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{
+		N: 160, Classes: 4, Dim: 6, WithinStd: 0.25, Separation: 2.0, Seed: 21,
+	})
+	backends := map[string]func(t *testing.T) mogul.Retriever{
+		"plain": func(t *testing.T) mogul.Retriever {
+			idx, err := mogul.BuildFromDataset(ds, mogul.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return idx
+		},
+		"sharded": func(t *testing.T) mogul.Retriever {
+			six, err := mogul.BuildSharded(ds.Points, mogul.Options{}, mogul.ShardOptions{
+				Shards: 2, Partitioner: mogul.PartitionKMeans,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return six
+		},
+	}
+	for name, build := range backends {
+		t.Run(name, func(t *testing.T) {
+			idx := build(t)
+			cached := New(idx, Options{CacheBytes: 4 << 20})
+			uncached := New(idx, Options{})
+			t.Cleanup(cached.Close)
+			t.Cleanup(uncached.Close)
+
+			rng := rand.New(rand.NewSource(7))
+			probe := func(step int) {
+				t.Helper()
+				// A spread of query shapes: in-database ids (some of
+				// them deleted or out of range — then both sides must
+				// fail identically), vectors, and seed sets.
+				reqs := []struct {
+					method, path string
+					body         interface{}
+				}{
+					{http.MethodGet, fmt.Sprintf("/search?id=%d&k=7", rng.Intn(ds.Len()+8)), nil},
+					{http.MethodGet, fmt.Sprintf("/search?id=%d&k=3", rng.Intn(ds.Len())), nil},
+					{http.MethodPost, "/search/vector", map[string]interface{}{
+						"vector": ds.Points[rng.Intn(ds.Len())], "k": 5,
+					}},
+					{http.MethodPost, "/search/set", map[string]interface{}{
+						"ids": []int{rng.Intn(ds.Len()), rng.Intn(ds.Len())}, "k": 4,
+					}},
+				}
+				for _, rq := range reqs {
+					// Twice against the cached server: the second pass
+					// is the one that must come out of the cache.
+					rec1, body1 := doJSONQuiet(cached, rq.method, rq.path, rq.body)
+					rec2, body2 := doJSONQuiet(cached, rq.method, rq.path, rq.body)
+					rec3, body3 := doJSONQuiet(uncached, rq.method, rq.path, rq.body)
+					if rec1.Code != rec3.Code || rec2.Code != rec3.Code {
+						t.Fatalf("step %d %s %s: status cached %d/%d vs uncached %d",
+							step, rq.method, rq.path, rec1.Code, rec2.Code, rec3.Code)
+					}
+					if rec3.Code != http.StatusOK {
+						continue
+					}
+					a1, _ := json.Marshal(body1["answers"])
+					a2, _ := json.Marshal(body2["answers"])
+					a3, _ := json.Marshal(body3["answers"])
+					if !bytes.Equal(a1, a3) || !bytes.Equal(a2, a3) {
+						t.Fatalf("step %d %s %s: cached answers diverge from uncached\nfirst:  %s\nrepeat: %s\nfresh:  %s",
+							step, rq.method, rq.path, a1, a2, a3)
+					}
+					// The /search work counters ride along in the cache
+					// and must match a fresh computation too.
+					for _, f := range []string{"clusters_pruned", "clusters_scanned", "scores_computed"} {
+						if fmt.Sprint(body2[f]) != fmt.Sprint(body3[f]) {
+							t.Fatalf("step %d %s %s: cached %s %v, fresh %v",
+								step, rq.method, rq.path, f, body2[f], body3[f])
+						}
+					}
+				}
+			}
+
+			probe(0)
+			for step := 1; step <= 30; step++ {
+				// One mutation per step, through the cached server.
+				switch rng.Intn(5) {
+				case 0, 1: // insert a perturbed copy of an existing point
+					v := append([]float64(nil), ds.Points[rng.Intn(ds.Len())]...)
+					v[0] += rng.Float64() * 0.01
+					doJSONQuiet(cached, http.MethodPost, "/insert", map[string]interface{}{"vector": v})
+				case 2, 3: // delete a random id (may 400 — fine, no mutation then)
+					doJSONQuiet(cached, http.MethodPost, "/delete", map[string]interface{}{
+						"id": rng.Intn(ds.Len() + 8),
+					})
+				case 4:
+					doJSONQuiet(cached, http.MethodPost, "/compact", nil)
+				}
+				probe(step)
+			}
+			// The cache genuinely served version-valid hits during all
+			// this — otherwise the property was tested against thin air.
+			if cached.met.cacheHits.Load() == 0 {
+				t.Fatal("identity held but the cache never served a hit")
+			}
+		})
+	}
+}

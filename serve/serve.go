@@ -1,0 +1,601 @@
+// Package serve is Mogul's production HTTP serving layer: it wraps any
+// mogul.Retriever — a plain *mogul.Index, a *mogul.ShardedIndex, or
+// whatever future backend implements the interface — in a JSON query
+// service built for sustained traffic, not demos. On top of the plain
+// handlers it layers:
+//
+//   - a version-keyed result cache (internal/lru): query results are
+//     stamped with the index's mutation Version, so every Insert,
+//     Delete, or Compact invalidates the whole cache implicitly — no
+//     explicit flush, no stale answers;
+//   - micro-batched execution: concurrent out-of-sample queries inside
+//     a small window are coalesced (identical in-flight queries
+//     deduplicated) into one TopKVectorBatch call on a bounded worker
+//     pool, trading a bounded latency floor for much higher throughput
+//     under load;
+//   - backpressure: a semaphore plus a queue-depth limit shed excess
+//     load with 429 and a Retry-After header instead of letting
+//     latency collapse;
+//   - observability: per-endpoint request/error counters and latency
+//     histograms, cache and batching effectiveness, and index state,
+//     exported at /metrics in Prometheus text format with no external
+//     dependencies.
+//
+// Construct with New, mount the returned *Server as an http.Handler,
+// and Close it on shutdown; Run provides the graceful serve loop a
+// production main wants. See docs/SERVING.md for architecture,
+// tuning, and the metrics reference.
+//
+// Endpoints:
+//
+//	GET  /healthz                  -> index stats + liveness
+//	GET  /stats                    -> per-endpoint request counters (JSON)
+//	GET  /metrics                  -> Prometheus text format
+//	GET  /search?id=17&k=10        -> in-database query
+//	POST /search/vector {"vector":[...], "k":10}
+//	                               -> out-of-sample query (micro-batched)
+//	POST /search/set {"ids":[1,2,3], "k":10}
+//	                               -> multi-seed query
+//	POST /search/batch {"ids":[...], "k":10}
+//	                               -> bulk in-database queries
+//	GET  /item/17                  -> item metadata (label, neighbours)
+//	POST /insert {"vector":[...]}  -> online insert, returns the new id
+//	POST /delete {"id":17}         -> online delete (tombstone)
+//	POST /compact                  -> fold the delta into a fresh base
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mogul"
+	"mogul/internal/lru"
+)
+
+// Options configures a Server. The zero value serves correctly with
+// caching and micro-batching disabled and backpressure at GOMAXPROCS
+// concurrent searches.
+type Options struct {
+	// Labels attaches per-item labels (by id) to search answers; nil
+	// serves unlabelled. Labels index base items, so they are dropped
+	// automatically once a compaction after deletions renumbers ids.
+	Labels []int
+
+	// CacheBytes is the result cache budget in bytes; 0 disables
+	// caching. Entries are stamped with the index mutation version, so
+	// any Insert/Delete/Compact invalidates the cache implicitly.
+	CacheBytes int64
+	// CacheShards is the cache's lock-shard count (default 16).
+	CacheShards int
+
+	// BatchWindow enables micro-batching of /search/vector traffic:
+	// the first query of a batch waits up to this long for company
+	// before the batch executes as one TopKVectorBatch call. 0
+	// disables batching (each query runs individually). 100-500µs is a
+	// reasonable production window; see docs/SERVING.md.
+	BatchWindow time.Duration
+	// MaxBatch caps the queries coalesced into one batch (default 64).
+	MaxBatch int
+
+	// MaxInFlight bounds concurrently executing search work — direct
+	// queries and batch executions each hold one slot (default
+	// GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot; arrivals beyond it
+	// are shed with 429 (default 4x MaxInFlight).
+	MaxQueue int
+	// RetryAfter is advertised in the Retry-After header of shed
+	// responses (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (o Options) withDefaults() Options {
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInFlight
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Server is the serving layer around one Retriever. It implements
+// http.Handler; construct with New, release background resources with
+// Close. All handlers are safe for concurrent use.
+type Server struct {
+	idx  mogul.Retriever
+	mux  *http.ServeMux
+	opts Options
+
+	// cache is the version-stamped query-result cache; nil when
+	// disabled.
+	cache *lru.Cache[string, cacheEntry]
+	// lim backpressures search execution (direct queries and batch
+	// executions alike).
+	lim *limiter
+	// bat coalesces /search/vector traffic; nil when disabled.
+	bat *batcher
+	met *metrics
+
+	// baseCtx is cancelled by Close: batch executors and queued
+	// waiters unwind through it.
+	baseCtx   context.Context
+	baseStop  context.CancelFunc
+	closeOnce sync.Once
+
+	// mutateMu serializes the mutating handlers (/insert, /delete,
+	// /compact) so that "index mutated" and "label bookkeeping
+	// updated" are atomic with respect to a racing compaction —
+	// otherwise a compact (explicit, or auto-triggered inside Insert)
+	// could renumber ids after a delete whose record it never saw,
+	// leaving labels silently misaligned. Searches never take it.
+	mutateMu sync.Mutex
+	// labelMu guards labels and deleted: labels index items by id, so
+	// they go stale when a compaction renumbers ids after deletions.
+	labelMu sync.RWMutex
+	labels  []int
+	deleted bool
+
+	// searchers recycles per-request query engines: each search
+	// handler borrows a mogul.Querier (which owns the score vectors
+	// and top-k heap for one query) for the duration of the request,
+	// so a busy server runs steady-state searches without per-request
+	// allocation — net/http goroutines come and go, the workspaces
+	// stay.
+	searchers sync.Pool
+}
+
+// New builds the serving layer over idx. The returned Server is an
+// http.Handler ready to mount; callers should Close it on shutdown to
+// stop the batching goroutines (requests in flight finish first).
+func New(idx mogul.Retriever, opts Options) *Server {
+	o := opts.withDefaults()
+	s := &Server{idx: idx, opts: o, mux: http.NewServeMux(), labels: o.Labels}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	s.met = newMetrics()
+	s.lim = &limiter{
+		sem:      make(chan struct{}, o.MaxInFlight),
+		maxQueue: int64(o.MaxQueue),
+	}
+	if o.CacheBytes > 0 {
+		s.cache = lru.New[string, cacheEntry](o.CacheBytes, o.CacheShards)
+	}
+	if o.BatchWindow > 0 {
+		s.bat = newBatcher(s, o.BatchWindow, o.MaxBatch, o.MaxQueue)
+	}
+	s.mux.HandleFunc("/healthz", s.instrument(epHealthz, s.handleHealth))
+	s.mux.HandleFunc("/stats", s.instrument(epStats, s.handleStats))
+	s.mux.HandleFunc("/metrics", s.instrument(epMetrics, s.handleMetrics))
+	s.mux.HandleFunc("/search", s.instrument(epSearch, s.handleSearch))
+	s.mux.HandleFunc("/search/vector", s.instrument(epSearchVector, s.handleSearchVector))
+	s.mux.HandleFunc("/search/set", s.instrument(epSearchSet, s.handleSearchSet))
+	s.mux.HandleFunc("/search/batch", s.instrument(epSearchBatch, s.handleSearchBatch))
+	s.mux.HandleFunc("/item/", s.instrument(epItem, s.handleItem))
+	s.mux.HandleFunc("/insert", s.instrument(epInsert, s.handleInsert))
+	s.mux.HandleFunc("/delete", s.instrument(epDelete, s.handleDelete))
+	s.mux.HandleFunc("/compact", s.instrument(epCompact, s.handleCompact))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the background batching machinery and unblocks queued
+// waiters. In-flight handler calls finish; subsequent batched queries
+// fail with 503. Close is idempotent and does not close the Retriever.
+func (s *Server) Close() {
+	s.closeOnce.Do(s.baseStop)
+	if s.bat != nil {
+		s.bat.wg.Wait()
+	}
+}
+
+// Run serves h on l until ctx is cancelled (what SIGTERM should do in
+// production), then shuts down gracefully: the listener closes
+// immediately, in-flight requests get up to grace to finish. A clean
+// shutdown returns nil.
+func Run(ctx context.Context, l net.Listener, h http.Handler, grace time.Duration) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+}
+
+// searcher borrows a reusable query engine for one request; pair with
+// putSearcher.
+func (s *Server) searcher() mogul.Querier {
+	if sr, ok := s.searchers.Get().(mogul.Querier); ok {
+		return sr
+	}
+	return s.idx.NewQuerier()
+}
+
+func (s *Server) putSearcher(sr mogul.Querier) { s.searchers.Put(sr) }
+
+// instrument wraps a handler with the per-endpoint observability
+// layer: request count, error count (any 4xx/5xx), and the latency
+// histogram feeding /metrics and /stats.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.met.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		em.observe(sw.status(), time.Since(t0))
+	}
+}
+
+// statusWriter captures the response status for the metrics layer.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// shed writes the backpressure response: 429 with a Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.met.shed.Add(1)
+	secs := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+}
+
+// answer is one result row on the wire.
+type answer struct {
+	Item  int     `json:"item"`
+	Score float64 `json:"score"`
+	Label *int    `json:"label,omitempty"`
+}
+
+type searchResponse struct {
+	Query  interface{} `json:"query"`
+	K      int         `json:"k"`
+	TookUS int64       `json:"took_us"`
+	// Answers carries either freshly built []answer rows or the
+	// pre-rendered json.RawMessage a cache hit returns — the encoder
+	// emits identical bytes for both.
+	Answers  interface{} `json:"answers"`
+	Exact    bool        `json:"exact"`
+	Cached   bool        `json:"cached,omitempty"`
+	Pruned   int         `json:"clusters_pruned,omitempty"`
+	Scanned  int         `json:"clusters_scanned,omitempty"`
+	Computed int         `json:"scores_computed,omitempty"`
+}
+
+func (s *Server) toAnswers(res []mogul.Result) []answer {
+	s.labelMu.RLock()
+	labels := s.labels
+	s.labelMu.RUnlock()
+	out := make([]answer, len(res))
+	for i, r := range res {
+		out[i] = answer{Item: r.Node, Score: r.Score}
+		// Inserted items sit beyond the labelled range; they simply
+		// carry no label.
+		if labels != nil && r.Node < len(labels) {
+			l := labels[r.Node]
+			out[i].Label = &l
+		}
+	}
+	return out
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.idx.Stats()
+	ds := s.idx.Delta()
+	s.labelMu.RLock()
+	hasLabels := s.labels != nil
+	s.labelMu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":       "ok",
+		"items":        s.idx.Len(),
+		"version":      s.idx.Version(),
+		"clusters":     st.NumClusters,
+		"border_size":  st.BorderSize,
+		"factor_nnz":   st.FactorNNZ,
+		"exact":        s.idx.Exact(),
+		"has_labels":   hasLabels,
+		"precompute_s": st.PrecomputeTime().Seconds(),
+		"delta_items":  ds.DeltaItems,
+		"tombstones":   ds.Tombstones,
+	})
+}
+
+// handleStats reports the per-endpoint counters as JSON. The legacy
+// aggregate fields (queries_served, query_errors, mean_latency_us)
+// cover the four search endpoints; the per-endpoint map breaks every
+// endpoint out separately, errors included — a single global error
+// tally cannot tell "the cluster is failing inserts" from "one client
+// sends junk vectors".
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	perEndpoint := make(map[string]interface{}, len(endpointNames))
+	var served, errs, latUS int64
+	for _, name := range endpointNames {
+		em := s.met.endpoint(name)
+		req := em.requests.Load()
+		eerr := em.errors.Load()
+		lat := em.latUS.Load()
+		mean := int64(0)
+		if req > 0 {
+			mean = lat / req
+		}
+		perEndpoint[statName(name)] = map[string]interface{}{
+			"requests":        req,
+			"errors":          eerr,
+			"mean_latency_us": mean,
+		}
+		if isSearchEndpoint(name) {
+			served += req
+			errs += eerr
+			latUS += lat
+		}
+	}
+	mean := int64(0)
+	if served > 0 {
+		mean = latUS / served
+	}
+	out := map[string]interface{}{
+		"queries_served":  served,
+		"query_errors":    errs,
+		"mean_latency_us": mean,
+		"shed":            s.met.shed.Load(),
+		"endpoints":       perEndpoint,
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		out["cache"] = map[string]interface{}{
+			"hits":      s.met.cacheHits.Load(),
+			"misses":    s.met.cacheMisses.Load(),
+			"evictions": cs.Evictions,
+			"entries":   cs.Entries,
+			"bytes":     cs.Bytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statName maps an endpoint path to its /stats (and /metrics label)
+// name: "/search/vector" -> "search_vector", "/item/" -> "item".
+func statName(endpoint string) string {
+	name := strings.Trim(endpoint, "/")
+	return strings.ReplaceAll(name, "/", "_")
+}
+
+// handleInsert adds one point online (POST {"vector":[...]}); the new
+// item competes in every subsequent search.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		Vector []float64 `json:"vector"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	s.mutateMu.Lock()
+	baseBefore := s.idx.Delta().BaseItems
+	id, err := s.idx.Insert(req.Vector)
+	if err == nil && s.idx.Delta().BaseItems != baseBefore {
+		// The insert auto-compacted (AutoCompactFraction, e.g. restored
+		// from a loaded index's build config). If deletions were folded
+		// in, ids were renumbered and the label table is stale.
+		s.dropLabelsAfterRenumber()
+	}
+	s.mutateMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ds := s.idx.Delta()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id":          id,
+		"items":       s.idx.Len(),
+		"version":     s.idx.Version(),
+		"delta_items": ds.DeltaItems,
+	})
+}
+
+// handleDelete tombstones one item (POST {"id":17}).
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		ID *int `json:"id"`
+	}
+	if err := readJSON(r, &req); err != nil || req.ID == nil {
+		writeError(w, http.StatusBadRequest, "body must be {\"id\": <int>}")
+		return
+	}
+	s.mutateMu.Lock()
+	isBase := *req.ID < s.idx.Delta().BaseItems
+	err := s.idx.Delete(*req.ID)
+	if err == nil && isBase {
+		// Only a base delete will shift ids at the next compaction;
+		// deleting a delta item leaves base ids 0..n-1 untouched, so
+		// the label table stays aligned.
+		s.labelMu.Lock()
+		s.deleted = true
+		s.labelMu.Unlock()
+	}
+	s.mutateMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"deleted": *req.ID,
+		"items":   s.idx.Len(),
+		"version": s.idx.Version(),
+	})
+}
+
+// dropLabelsAfterRenumber clears the label table after a compaction
+// that folded base deletions in (those renumber ids); callers hold
+// mutateMu.
+func (s *Server) dropLabelsAfterRenumber() {
+	s.labelMu.Lock()
+	if s.deleted {
+		s.labels = nil
+		s.deleted = false
+	}
+	s.labelMu.Unlock()
+}
+
+// handleCompact folds the delta into a fresh base build (POST).
+// Compaction after deletions renumbers ids, which orphans the
+// dataset's label table — labels are dropped in that case rather than
+// served misaligned.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	t0 := time.Now()
+	s.mutateMu.Lock()
+	err := s.idx.Compact()
+	if err == nil {
+		s.dropLabelsAfterRenumber()
+	}
+	s.mutateMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"items":   s.idx.Len(),
+		"version": s.idx.Version(),
+		"took_us": time.Since(t0).Microseconds(),
+	})
+}
+
+func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/item/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "item id must be an integer")
+		return
+	}
+	ids, weights, err := s.idx.Neighbors(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	resp := map[string]interface{}{
+		"item":             id,
+		"neighbors":        ids,
+		"neighbor_weights": weights,
+	}
+	s.labelMu.RLock()
+	if s.labels != nil && id < len(s.labels) {
+		resp["label"] = s.labels[id]
+	}
+	s.labelMu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseK parses the k query parameter: absent means the default of 10,
+// while an explicit non-integer or non-positive value is rejected — a
+// client that asked for 0 or -3 answers has a bug, and silently
+// clamping it to 10 (the historical behaviour) hides it.
+func parseK(raw string) (int, error) {
+	if raw == "" {
+		return 10, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, fmt.Errorf("k must be a positive integer, got %q", raw)
+	}
+	return k, nil
+}
+
+// normalizeK applies the same rule to the JSON body field: 0 (absent)
+// defaults, negative is rejected.
+func normalizeK(k int) (int, error) {
+	if k == 0 {
+		return 10, nil
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("k must be a positive integer, got %d", k)
+	}
+	return k, nil
+}
+
+// bodyBufs recycles request-body read buffers: decoding with
+// json.Unmarshal over a pooled buffer beats a fresh json.Decoder
+// (which allocates its own 4K read buffer) on every request — on the
+// cache-hit path the decode is most of the remaining work.
+var bodyBufs = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// readJSON decodes a request body into v.
+func readJSON(r *http.Request, v interface{}) error {
+	buf := bodyBufs.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		bodyBufs.Put(buf)
+	}()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is already out; nothing more to do than log.
+		fmt.Println("serve: encoding response:", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

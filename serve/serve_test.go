@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -15,7 +16,9 @@ import (
 	"mogul"
 )
 
-func testServer(t *testing.T) (*server, *mogul.Dataset) {
+// testIndex builds the small labelled fixture the endpoint tests run
+// against.
+func testIndex(t *testing.T) (*mogul.Index, *mogul.Dataset) {
 	t.Helper()
 	ds := mogul.NewMixture(mogul.MixtureConfig{
 		N: 300, Classes: 6, Dim: 8, WithinStd: 0.2, Separation: 2.5, Seed: 4,
@@ -24,10 +27,20 @@ func testServer(t *testing.T) (*server, *mogul.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(idx, ds.Labels), ds
+	return idx, ds
 }
 
-func doJSON(t *testing.T, s *server, method, path string, body interface{}) (*httptest.ResponseRecorder, map[string]interface{}) {
+// testServer mounts the fixture behind a plain Server (no cache, no
+// batching): the endpoint-contract tests run on the direct path.
+func testServer(t *testing.T) (*Server, *mogul.Dataset) {
+	t.Helper()
+	idx, ds := testIndex(t)
+	s := New(idx, Options{Labels: ds.Labels})
+	t.Cleanup(s.Close)
+	return s, ds
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body interface{}) (*httptest.ResponseRecorder, map[string]interface{}) {
 	t.Helper()
 	var reader *bytes.Reader
 	if body != nil {
@@ -41,7 +54,7 @@ func doJSON(t *testing.T, s *server, method, path string, body interface{}) (*ht
 	}
 	req := httptest.NewRequest(method, path, reader)
 	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, req)
+	h.ServeHTTP(rec, req)
 	var decoded map[string]interface{}
 	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
 		t.Fatalf("%s %s: non-JSON response %q", method, path, rec.Body.String())
@@ -64,6 +77,9 @@ func TestHealthz(t *testing.T) {
 	if body["has_labels"] != true {
 		t.Fatal("labels not reported")
 	}
+	if int(body["version"].(float64)) != 1 {
+		t.Fatalf("fresh index version on the wire: %v", body["version"])
+	}
 }
 
 func TestSearchEndpoint(t *testing.T) {
@@ -83,7 +99,7 @@ func TestSearchEndpoint(t *testing.T) {
 	if int(first["label"].(float64)) != ds.Labels[5] {
 		t.Fatalf("label wrong: %v", first)
 	}
-	// Default k when the parameter is absent or junk.
+	// Default k when the parameter is absent.
 	_, body = doJSON(t, s, http.MethodGet, "/search?id=5", nil)
 	if int(body["k"].(float64)) != 10 {
 		t.Fatalf("default k: %v", body["k"])
@@ -100,6 +116,36 @@ func TestSearchEndpoint(t *testing.T) {
 	rec, _ = doJSON(t, s, http.MethodPost, "/search?id=5", nil)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("POST /search status %d", rec.Code)
+	}
+}
+
+// An explicit non-positive k is a client bug and gets a 400 — the old
+// server silently served k=10 instead, hiding it.
+func TestKValidation(t *testing.T) {
+	s, ds := testServer(t)
+	for _, raw := range []string{"0", "-3", "junk"} {
+		rec, _ := doJSON(t, s, http.MethodGet, "/search?id=5&k="+raw, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("k=%s status %d, want 400", raw, rec.Code)
+		}
+	}
+	rec, _ := doJSON(t, s, http.MethodPost, "/search/vector", map[string]interface{}{
+		"vector": ds.Points[0], "k": -1,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("vector k=-1 status %d, want 400", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/search/set", map[string]interface{}{
+		"ids": []int{1}, "k": -2,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("set k=-2 status %d, want 400", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/search/batch", map[string]interface{}{
+		"ids": []int{1}, "k": -2,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("batch k=-2 status %d, want 400", rec.Code)
 	}
 }
 
@@ -212,13 +258,25 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("fresh stats: %v", body)
 	}
 	doJSON(t, s, http.MethodGet, "/search?id=5&k=3", nil)
-	doJSON(t, s, http.MethodGet, "/search?id=999999&k=3", nil) // error
+	doJSON(t, s, http.MethodGet, "/search?id=999999&k=3", nil)                               // error
+	doJSON(t, s, http.MethodPost, "/insert", map[string]interface{}{"vector": []float64{1}}) // error (dim)
 	_, body = doJSON(t, s, http.MethodGet, "/stats", nil)
 	if int(body["queries_served"].(float64)) != 2 {
 		t.Fatalf("served counter: %v", body)
 	}
 	if int(body["query_errors"].(float64)) != 1 {
 		t.Fatalf("error counter: %v", body)
+	}
+	// Per-endpoint breakdown: the insert error must land on "insert",
+	// not in one global tally.
+	eps := body["endpoints"].(map[string]interface{})
+	search := eps["search"].(map[string]interface{})
+	if int(search["requests"].(float64)) != 2 || int(search["errors"].(float64)) != 1 {
+		t.Fatalf("search endpoint stats: %v", search)
+	}
+	insert := eps["insert"].(map[string]interface{})
+	if int(insert["requests"].(float64)) != 1 || int(insert["errors"].(float64)) != 1 {
+		t.Fatalf("insert endpoint stats: %v", insert)
 	}
 }
 
@@ -361,8 +419,8 @@ func TestCompactEndpoint(t *testing.T) {
 	}
 }
 
-// TestGracefulShutdown drives the real serve loop: a request completes,
-// the context is cancelled (what SIGTERM does in main), and serve
+// TestGracefulShutdown drives the real Run loop: a request completes,
+// the context is cancelled (what SIGTERM does in main), and Run
 // returns cleanly while draining an in-flight request.
 func TestGracefulShutdown(t *testing.T) {
 	s, _ := testServer(t)
@@ -383,7 +441,7 @@ func TestGracefulShutdown(t *testing.T) {
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, l, slow, 5*time.Second) }()
+	go func() { done <- Run(ctx, l, slow, 5*time.Second) }()
 
 	url := "http://" + l.Addr().String()
 	resp, err := http.Get(url + "/healthz")
@@ -433,7 +491,8 @@ func TestServerWithoutLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(idx, nil)
+	s := New(idx, Options{})
+	t.Cleanup(s.Close)
 	_, body := doJSON(t, s, http.MethodGet, "/search?id=0&k=2", nil)
 	first := body["answers"].([]interface{})[0].(map[string]interface{})
 	if _, ok := first["label"]; ok {
@@ -454,7 +513,8 @@ func TestShardedBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(idx, ds.Labels)
+	s := New(idx, Options{Labels: ds.Labels})
+	t.Cleanup(s.Close)
 
 	rec, body := doJSON(t, s, http.MethodGet, "/healthz", nil)
 	if rec.Code != http.StatusOK || body["items"].(float64) != 300 {
@@ -491,4 +551,188 @@ func TestShardedBackend(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("search of inserted id after compact: %d %v", rec.Code, body)
 	}
+}
+
+// TestMetricsEndpoint exercises the Prometheus exposition: counters
+// move with traffic, histograms and gauges are present, shed and
+// cache families appear when their features are on.
+func TestMetricsEndpoint(t *testing.T) {
+	idx, ds := testIndex(t)
+	s := New(idx, Options{Labels: ds.Labels, CacheBytes: 1 << 20, BatchWindow: 100 * time.Microsecond})
+	t.Cleanup(s.Close)
+
+	doJSON(t, s, http.MethodGet, "/search?id=5&k=3", nil)
+	doJSON(t, s, http.MethodGet, "/search?id=5&k=3", nil) // cache hit
+	doJSON(t, s, http.MethodPost, "/search/vector", map[string]interface{}{"vector": ds.Points[2], "k": 3})
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`mogul_requests_total{endpoint="search"} 2`,
+		`mogul_request_duration_seconds_bucket{endpoint="search",le="+Inf"} 2`,
+		`mogul_request_duration_seconds_count{endpoint="search"} 2`,
+		`mogul_cache_hits_total 1`,
+		`mogul_cache_misses_total`,
+		`mogul_batches_total 1`,
+		`mogul_batched_queries_total 1`,
+		`mogul_batch_size_bucket{le="1"} 1`,
+		`mogul_shed_total 0`,
+		`mogul_index_version 1`,
+		fmt.Sprintf(`mogul_index_items %d`, ds.Len()),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestCachedSearch: a repeated query is served from cache (flagged,
+// identical answers), and any mutation invalidates implicitly via the
+// version stamp.
+func TestCachedSearch(t *testing.T) {
+	idx, ds := testIndex(t)
+	s := New(idx, Options{Labels: ds.Labels, CacheBytes: 1 << 20})
+	t.Cleanup(s.Close)
+
+	_, first := doJSON(t, s, http.MethodGet, "/search?id=7&k=5", nil)
+	if first["cached"] != nil {
+		t.Fatalf("first request claimed cached: %v", first)
+	}
+	_, second := doJSON(t, s, http.MethodGet, "/search?id=7&k=5", nil)
+	if second["cached"] != true {
+		t.Fatalf("repeat request not cached: %v", second)
+	}
+	a1, _ := json.Marshal(first["answers"])
+	a2, _ := json.Marshal(second["answers"])
+	if !bytes.Equal(a1, a2) {
+		t.Fatalf("cached answers differ:\n%s\n%s", a1, a2)
+	}
+	// Work counters survive the cache so the response shape is stable.
+	if first["clusters_scanned"] != second["clusters_scanned"] {
+		t.Fatalf("cached work counters differ: %v vs %v", first["clusters_scanned"], second["clusters_scanned"])
+	}
+
+	// A mutation bumps the version: the very next identical query must
+	// recompute (and see the new item in a large-k query).
+	doJSON(t, s, http.MethodPost, "/insert", map[string]interface{}{"vector": ds.Points[7]})
+	_, third := doJSON(t, s, http.MethodGet, "/search?id=7&k=5", nil)
+	if third["cached"] == true {
+		t.Fatal("stale cache entry served after insert")
+	}
+	a3, _ := json.Marshal(third["answers"])
+	if bytes.Equal(a1, a3) {
+		// The duplicate of item 7 must now compete into its own top-5.
+		t.Fatal("post-insert answers identical to pre-insert: stale result")
+	}
+
+	// Vector and set paths cache too.
+	for _, req := range []struct {
+		path string
+		body map[string]interface{}
+	}{
+		{"/search/vector", map[string]interface{}{"vector": ds.Points[3], "k": 4}},
+		{"/search/set", map[string]interface{}{"ids": []int{1, 2}, "k": 4}},
+	} {
+		_, r1 := doJSON(t, s, http.MethodPost, req.path, req.body)
+		_, r2 := doJSON(t, s, http.MethodPost, req.path, req.body)
+		if r2["cached"] != true {
+			t.Fatalf("%s repeat not cached: %v", req.path, r2)
+		}
+		b1, _ := json.Marshal(r1["answers"])
+		b2, _ := json.Marshal(r2["answers"])
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s cached answers differ", req.path)
+		}
+	}
+}
+
+// TestBatchedVectorSearch: with a batch window on, concurrent
+// identical queries coalesce into shared executions and still return
+// exactly the direct-path answers.
+func TestBatchedVectorSearch(t *testing.T) {
+	idx, ds := testIndex(t)
+	// Explicit, generous admission bounds: this test is about result
+	// correctness under coalescing, not about shedding (which the race
+	// detector's scheduling would otherwise trip on small machines).
+	batched := New(idx, Options{BatchWindow: 2 * time.Millisecond, MaxBatch: 32, MaxInFlight: 4, MaxQueue: 64})
+	direct := New(idx, Options{})
+	t.Cleanup(batched.Close)
+	t.Cleanup(direct.Close)
+
+	// Reference answers from the direct path.
+	_, want := doJSON(t, direct, http.MethodPost, "/search/vector", map[string]interface{}{
+		"vector": ds.Points[11], "k": 6,
+	})
+	wantAnswers, _ := json.Marshal(want["answers"])
+
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec, body := doJSONQuiet(batched, http.MethodPost, "/search/vector", map[string]interface{}{
+				"vector": ds.Points[11], "k": 6,
+			})
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %v", rec.Code, body)
+				return
+			}
+			got, _ := json.Marshal(body["answers"])
+			if !bytes.Equal(got, wantAnswers) {
+				errs <- fmt.Errorf("batched answers differ: %s vs %s", got, wantAnswers)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The herd coalesced: far fewer engine calls than clients.
+	if got := batched.met.coalesced.Load(); got == 0 {
+		t.Fatal("no coalescing for 24 identical concurrent queries")
+	}
+	// Different k over the same vector shares the computation and gets
+	// a correct prefix.
+	rec, body := doJSON(t, batched, http.MethodPost, "/search/vector", map[string]interface{}{
+		"vector": ds.Points[11], "k": 3,
+	})
+	if rec.Code != http.StatusOK || len(body["answers"].([]interface{})) != 3 {
+		t.Fatalf("k=3 after k=6: %d %v", rec.Code, body)
+	}
+	got, _ := json.Marshal(body["answers"])
+	var wantPrefix []interface{}
+	_ = json.Unmarshal(wantAnswers, &wantPrefix)
+	prefix, _ := json.Marshal(wantPrefix[:3])
+	if !bytes.Equal(got, prefix) {
+		t.Fatalf("k=3 not a prefix of k=6: %s vs %s", got, prefix)
+	}
+}
+
+// doJSONQuiet is doJSON without the testing.T plumbing, for use inside
+// goroutines.
+func doJSONQuiet(h http.Handler, method, path string, body interface{}) (*httptest.ResponseRecorder, map[string]interface{}) {
+	var reader *bytes.Reader
+	if body != nil {
+		data, _ := json.Marshal(body)
+		reader = bytes.NewReader(data)
+	} else {
+		reader = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, reader)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var decoded map[string]interface{}
+	_ = json.Unmarshal(rec.Body.Bytes(), &decoded)
+	return rec, decoded
 }

@@ -40,6 +40,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"mogul/internal/core"
 	"mogul/internal/kmeans"
@@ -113,6 +114,14 @@ type ShardedIndex struct {
 	// searchers recycles ShardedSearchers for the pool-based entry
 	// points (TopK etc.), mirroring the per-Index scratch pool.
 	searchers sync.Pool
+
+	// version counts completed sharded mutations (Insert/Delete/
+	// Compact), bumped only after both the shard state AND the id maps
+	// are final. It deliberately is not the sum of the shard versions:
+	// a shard bumps mid-Insert, before the global id maps cover the new
+	// item, and a result cache stamping that intermediate value could
+	// serve the map-less ranking as current. See Version.
+	version atomic.Uint64
 }
 
 // BuildSharded partitions the dataset into sopts.Shards shards, builds
@@ -206,6 +215,7 @@ func BuildSharded(points []Vector, opts Options, sopts ShardOptions) (*ShardedIn
 			six.locOf[g] = shardLoc{shard: sh, local: local}
 		}
 	}
+	six.version.Store(1)
 	return six, nil
 }
 
@@ -375,6 +385,14 @@ func (six *ShardedIndex) Len() int {
 // Exact reports whether the shards serve exact Manifold Ranking scores
 // (MogulE); every shard is built with the same options.
 func (six *ShardedIndex) Exact() bool { return six.shards[0].Exact() }
+
+// Version returns the sharded index's monotonic mutation version,
+// mirroring Index.Version: it starts at 1 and increases on every
+// completed Insert, Delete, and Compact. The bump lands only once the
+// mutation is fully visible — shard state and global id maps both —
+// so version-stamped caches never capture the transient window where a
+// shard already answers with an item the maps cannot yet name.
+func (six *ShardedIndex) Version() uint64 { return six.version.Load() }
 
 // Stats aggregates construction statistics across shards: counts and
 // times sum, modularity is the node-weighted mean.
@@ -836,9 +854,10 @@ func (six *ShardedIndex) Insert(v Vector) (int, error) {
 			// Mirrors the single-index auto path: the insert has already
 			// succeeded, so a compaction failure is deferred to an
 			// explicit Compact rather than failing the insert.
-			_ = six.compactShardLocked(s)
+			_, _ = six.compactShardLocked(s)
 		}
 	}
+	six.version.Add(1)
 	return g, nil
 }
 
@@ -855,6 +874,7 @@ func (six *ShardedIndex) Delete(id int) error {
 	if err := six.shards[loc.shard].Delete(loc.local); err != nil {
 		return fmt.Errorf("mogul: item %d (shard %d): %w", id, loc.shard, err)
 	}
+	six.version.Add(1)
 	return nil
 }
 
@@ -868,26 +888,36 @@ func (six *ShardedIndex) Compact() error {
 	six.mutMu.Lock()
 	defer six.mutMu.Unlock()
 	for s := range six.shards {
-		if err := six.compactShardLocked(s); err != nil {
+		if _, err := six.compactShardLocked(s); err != nil {
 			return fmt.Errorf("mogul: compacting shard %d: %w", s, err)
 		}
 	}
 	return nil
 }
 
-// compactShardLocked compacts one shard and maintains the id maps.
-// Callers hold mutMu.
-func (six *ShardedIndex) compactShardLocked(s int) error {
+// compactShardLocked compacts one shard and maintains the id maps,
+// reporting whether the shard had anything to fold in. The version
+// bump happens HERE, per shard, the moment that shard's swap is
+// visible — not once at the end of the whole Compact — because each
+// swap changes answers (a folded-in delta item scores through real
+// graph edges instead of surrogates) and a version-stamped cache must
+// never serve pre-swap answers as current while the remaining shards
+// rebuild, nor when a later shard's rebuild fails. Callers hold mutMu.
+func (six *ShardedIndex) compactShardLocked(s int) (bool, error) {
 	sh := six.shards[s]
 	d := sh.Delta()
 	if d.DeltaItems == 0 && d.Tombstones == 0 {
-		return nil
+		return false, nil
 	}
 	if d.Tombstones == 0 {
 		// Insert-only: shard compaction preserves local ids bit for bit
 		// (Compact's determinism guarantee), so the id maps stay valid
 		// and searches keep running throughout the rebuild.
-		return sh.Compact()
+		if err := sh.Compact(); err != nil {
+			return false, err
+		}
+		six.version.Add(1)
+		return true, nil
 	}
 	// Tombstones renumber local ids. Snapshot liveness first (mutators
 	// are serialized, searches cannot change it), then rebuild under
@@ -901,7 +931,7 @@ func (six *ShardedIndex) compactShardLocked(s int) error {
 	six.mu.Lock()
 	defer six.mu.Unlock()
 	if err := sh.Compact(); err != nil {
-		return err
+		return false, err
 	}
 	old := six.l2g[s]
 	j := 0
@@ -917,5 +947,8 @@ func (six *ShardedIndex) compactShardLocked(s int) error {
 		}
 	}
 	six.l2g[s] = old[:j]
-	return nil
+	// Still under the fan-out write lock: searches observe the new
+	// shard state and the new version together.
+	six.version.Add(1)
+	return true, nil
 }

@@ -438,14 +438,16 @@ func assembleSharded(meta, centroids, idMaps []byte, shardPayloads [][]byte) (*S
 		l2g[s] = m
 	}
 
-	return &ShardedIndex{
+	six := &ShardedIndex{
 		shards:      shards,
 		part:        Partitioner(part),
 		centroids:   ctr,
 		autoCompact: autoCompact,
 		locOf:       locOf,
 		l2g:         l2g,
-	}, nil
+	}
+	six.version.Store(1)
+	return six, nil
 }
 
 // firstAlive returns the lowest live local id of a shard (every loaded

@@ -1,0 +1,98 @@
+package mogul
+
+import "testing"
+
+// The mutation version is the contract the serving layer's result
+// cache is built on: it starts at 1, bumps on every visible mutation
+// (Insert, Delete, Compact — including a renumbering one), and holds
+// still while the index is quiescent.
+func TestIndexVersion(t *testing.T) {
+	ds := NewMixture(MixtureConfig{N: 120, Classes: 3, Dim: 6, Seed: 11})
+	idx, err := BuildFromDataset(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := idx.Version()
+	if v != 1 {
+		t.Fatalf("fresh index version %d, want 1", v)
+	}
+	// Queries do not move it.
+	if _, err := idx.TopK(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Version() != v {
+		t.Fatalf("TopK bumped version to %d", idx.Version())
+	}
+	id, err := idx.Insert(ds.Points[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Version() <= v {
+		t.Fatalf("Insert did not bump version (still %d)", idx.Version())
+	}
+	v = idx.Version()
+	if err := idx.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Version() <= v {
+		t.Fatalf("Delete did not bump version (still %d)", idx.Version())
+	}
+	v = idx.Version()
+	if err := idx.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Version() <= v {
+		t.Fatalf("Compact did not bump version (still %d)", idx.Version())
+	}
+	// A no-op Compact (empty delta) leaves the version alone: version
+	// stability must mean "answers unchanged", nothing weaker.
+	v = idx.Version()
+	if err := idx.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Version() != v {
+		t.Fatalf("no-op Compact bumped version %d -> %d", v, idx.Version())
+	}
+}
+
+// The sharded version mirrors the plain one, bumping only once a
+// mutation is fully visible (shard state and global id maps).
+func TestShardedIndexVersion(t *testing.T) {
+	ds := NewMixture(MixtureConfig{N: 160, Classes: 4, Dim: 6, Seed: 12})
+	six, err := BuildSharded(ds.Points, Options{}, ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six.Version() != 1 {
+		t.Fatalf("fresh sharded version %d, want 1", six.Version())
+	}
+	v := six.Version()
+	id, err := six.Insert(ds.Points[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six.Version() <= v {
+		t.Fatal("sharded Insert did not bump version")
+	}
+	v = six.Version()
+	if err := six.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if six.Version() <= v {
+		t.Fatal("sharded Delete did not bump version")
+	}
+	v = six.Version()
+	if err := six.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if six.Version() <= v {
+		t.Fatal("sharded Compact did not bump version")
+	}
+	v = six.Version()
+	if err := six.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if six.Version() != v {
+		t.Fatalf("no-op sharded Compact bumped version %d -> %d", v, six.Version())
+	}
+}
