@@ -1,0 +1,103 @@
+package main
+
+// The "dist" experiment prices the distributed deployment
+// (docs/DISTRIBUTED.md): for S = 2, 4, ... shards it boots a real
+// loopback cluster — one HTTP shard server per shard, the coordinator
+// fanning out over remote clients — and compares coordinated search
+// latency and ranking agreement against the in-process ShardedIndex
+// doing the identical fan-out with function calls instead of sockets.
+// The latency delta IS the network tax (HTTP + JSON + merge); the
+// agreement column should read 1.000 because scores cross the wire as
+// shortest-round-trip float64 and the coordinator mirrors the
+// in-process fan-out math exactly.
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"mogul"
+	"mogul/dist"
+	"mogul/dist/disttest"
+	"mogul/internal/eval"
+)
+
+// labT adapts the bench lab to disttest's testing surface: failures
+// abort the run, cleanups are collected for explicit teardown after
+// each cluster's measurements.
+type labT struct{ cleanups []func() }
+
+func (t *labT) Helper() {}
+func (t *labT) Fatalf(format string, args ...interface{}) {
+	fatal(fmt.Errorf(format, args...))
+}
+func (t *labT) Cleanup(f func()) { t.cleanups = append(t.cleanups, f) }
+func (t *labT) close() {
+	for i := len(t.cleanups) - 1; i >= 0; i-- {
+		t.cleanups[i]()
+	}
+}
+
+func expDist(l *lab) {
+	const name = "NUS-WIDE"
+	const k = 10
+	ds := l.dataset(name)
+	queries := l.queryNodes(name)
+
+	rows := [][]string{{"shards", "in-proc [s]", "distributed [s]", "net tax", "agree@10"}}
+	for s := 2; s <= l.maxShards; s *= 2 {
+		// In-process twin: same shard count, same seed, same fan-out.
+		six, err := mogul.BuildSharded(ds.Points, mogul.Options{Seed: l.seed}, mogul.ShardOptions{Shards: s})
+		if err != nil {
+			fatal(err)
+		}
+		inproc := medianSearchTime(queries, func(q int) {
+			if _, err := six.TopK(q, k); err != nil {
+				fatal(err)
+			}
+		})
+
+		t := &labT{}
+		cl := disttest.NewCluster(t, disttest.ClusterConfig{
+			Shards: s,
+			Points: ds.Points,
+			Build:  mogul.Options{Seed: l.seed},
+			Client: dist.ClientOptions{Timeout: 30 * time.Second},
+		})
+		var agree float64
+		for _, q := range queries {
+			want, err := six.TopK(q, k)
+			if err != nil {
+				fatal(err)
+			}
+			got, err := cl.Coord.TopK(q, k)
+			if err != nil {
+				fatal(err)
+			}
+			if slices.Equal(eval.TopKIDs(got), eval.TopKIDs(want)) {
+				agree++
+			}
+		}
+		agree /= float64(len(queries))
+		med := medianSearchTime(queries, func(q int) {
+			if _, err := cl.Coord.TopK(q, k); err != nil {
+				fatal(err)
+			}
+		})
+		t.close()
+
+		tax := "-"
+		if inproc > 0 {
+			tax = fmt.Sprintf("%.1fx", float64(med)/float64(inproc))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s),
+			eval.Seconds(inproc),
+			eval.Seconds(med),
+			tax,
+			fmt.Sprintf("%.3f", agree),
+		})
+	}
+	fmt.Printf("Distributed coordinator on %s (loopback HTTP cluster, top-%d, twin = in-process ShardedIndex)\n", ds.Name, k)
+	emitTable(rows)
+}

@@ -64,8 +64,9 @@ func main() {
 		"mogulcg":  expMogulCG,
 		"serving":  expServing,
 		"sharded":  expSharded,
+		"dist":     expDist,
 	}
-	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded"}
+	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded", "dist"}
 
 	var selected []string
 	if *exp == "all" {

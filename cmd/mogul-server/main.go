@@ -15,6 +15,19 @@
 // loaded instead of rebuilding, so startup is I/O bound only: no graph
 // construction, no clustering, no factorization. All handler logic
 // lives in package serve; this command is flag parsing and wiring.
+//
+// The same binary also runs the distributed topology (docs/DISTRIBUTED.md):
+//
+//	# one shard server per process (plain index only, -shards must be 1)
+//	mogul-server -mode shard -load-index shard0.mogul -addr :9000
+//	mogul-server -mode shard -load-index shard1.mogul -addr :9001
+//	# coordinator fanning out over them; replicas of one shard join with |
+//	mogul-server -mode coordinator -shard-urls 'http://h0:9000,http://h1:9001|http://h1b:9001' -addr :8080
+//
+// The coordinator derives the contiguous global-id partition from each
+// shard's item count in -shard-urls order, so shard files must come
+// from one dataset split in that same order (mogul-server -mode shard
+// servers built via dist.BuildShardIndexes, or -save-index on slices).
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -30,6 +44,7 @@ import (
 	"time"
 
 	"mogul"
+	"mogul/dist"
 	"mogul/internal/diskio"
 	"mogul/serve"
 )
@@ -51,11 +66,37 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "max queries coalesced into one micro-batch")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing searches (0 = GOMAXPROCS)")
 		maxQueue    = flag.Int("max-queue", 0, "max searches queued for a slot before shedding 429 (0 = 4x max-inflight)")
+
+		mode          = flag.String("mode", "serve", "serve (single node), shard (shard server with /dist/* surface), coordinator (fan out over -shard-urls)")
+		shardURLs     = flag.String("shard-urls", "", "coordinator mode: comma-separated shard base URLs; replicas of one shard joined with |")
+		shardTimeout  = flag.Duration("shard-timeout", 2*time.Second, "coordinator mode: per-shard call deadline (0 = caller's context only)")
+		hedgeDelay    = flag.Duration("hedge-delay", 0, "coordinator mode: hedge to the next replica after this delay (0 = failover only)")
+		clientTimeout = flag.Duration("client-timeout", 5*time.Second, "coordinator mode: per-HTTP-attempt timeout to a shard")
+		clientRetries = flag.Int("client-retries", 2, "coordinator mode: extra attempts for idempotent reads on retryable errors")
 	)
 	var indexPath string
 	flag.StringVar(&indexPath, "load-index", "", "serve from a prebuilt index file (from -save-index) instead of building")
 	flag.StringVar(&indexPath, "index", "", "alias for -load-index")
 	flag.Parse()
+
+	serveOpts := serve.Options{
+		CacheBytes:  *cacheBytes,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *maxQueue,
+	}
+
+	if *mode == "coordinator" {
+		runCoordinator(*addr, *shardURLs, serveOpts, dist.ClientOptions{
+			Timeout: *clientTimeout,
+			Retries: *clientRetries,
+		}, dist.CoordOptions{
+			ShardTimeout: *shardTimeout,
+			HedgeDelay:   *hedgeDelay,
+		})
+		return
+	}
 
 	var (
 		idx    mogul.Retriever
@@ -127,26 +168,103 @@ func main() {
 		return
 	}
 
-	srv := serve.New(idx, serve.Options{
-		Labels:      labels,
-		CacheBytes:  *cacheBytes,
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
-		MaxInFlight: *maxInflight,
-		MaxQueue:    *maxQueue,
-	})
-	defer srv.Close()
-	l, err := net.Listen("tcp", *addr)
+	serveOpts.Labels = labels
+	var handler interface {
+		http.Handler
+		Close()
+	}
+	switch *mode {
+	case "serve":
+		handler = serve.New(idx, serveOpts)
+	case "shard":
+		// A shard server exposes the /dist/* surface (owner/vector/set
+		// search, replication log, snapshot), which needs the plain
+		// single-index mutation and delta-log machinery underneath.
+		plain, ok := idx.(*mogul.Index)
+		if !ok {
+			log.Fatalf("mogul-server: -mode shard needs a plain index (got %T); build with -shards 1 or load a non-sharded file", idx)
+		}
+		handler = dist.NewShardServer(plain, serveOpts)
+		log.Printf("shard server: /dist/* surface enabled over %d items", plain.Len())
+	default:
+		log.Fatalf("mogul-server: unknown -mode %q (want serve, shard, or coordinator)", *mode)
+	}
+	defer handler.Close()
+	serveForever(*addr, handler)
+}
+
+// serveForever listens on addr and serves h until SIGINT/SIGTERM,
+// then drains with a 10s grace period.
+func serveForever(addr string, h http.Handler) {
+	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal("mogul-server: ", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("serving Manifold Ranking search on %s", l.Addr())
-	if err := serve.Run(ctx, l, srv, 10*time.Second); err != nil {
+	if err := serve.Run(ctx, l, h, 10*time.Second); err != nil {
 		log.Fatal("mogul-server: ", err)
 	}
 	log.Print("shut down cleanly")
+}
+
+// runCoordinator assembles the distributed read/write path: one
+// Client per shard URL (replicas of a shard separated by |), the
+// contiguous global-id partition derived from each shard's reported
+// item count, and the full serving layer (cache, batching,
+// backpressure, metrics) mounted over the Coordinator — which is just
+// another mogul.Retriever as far as package serve is concerned.
+func runCoordinator(addr, urls string, serveOpts serve.Options, copts dist.ClientOptions, opts dist.CoordOptions) {
+	if urls == "" {
+		log.Fatal("mogul-server: -mode coordinator needs -shard-urls")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var (
+		shards    []dist.Shard
+		partition [][]int
+		next      int
+	)
+	for _, group := range strings.Split(urls, ",") {
+		var replicas []dist.Backend
+		var primary *dist.Client
+		for _, u := range strings.Split(group, "|") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			c := dist.NewClient(u, copts)
+			if primary == nil {
+				primary = c
+			}
+			replicas = append(replicas, c)
+		}
+		if primary == nil {
+			log.Fatalf("mogul-server: empty shard group in -shard-urls %q", urls)
+		}
+		info, err := primary.InfoCtx(ctx)
+		if err != nil {
+			log.Fatalf("mogul-server: probing shard %d (%s): %v", len(shards), primary.Base(), err)
+		}
+		ids := make([]int, info.Items)
+		for i := range ids {
+			ids[i] = next + i
+		}
+		next += info.Items
+		partition = append(partition, ids)
+		shards = append(shards, dist.Shard{Replicas: replicas})
+		log.Printf("shard %d: %s (%d replicas, %d items, version %d)",
+			len(shards)-1, primary.Base(), len(replicas), info.Items, info.Version)
+	}
+	coord, err := dist.NewCoordinator(shards, partition, opts)
+	if err != nil {
+		log.Fatal("mogul-server: ", err)
+	}
+	srv := serve.New(coord, serveOpts)
+	defer srv.Close()
+	log.Printf("coordinator over %d shards, %d items", len(shards), coord.Len())
+	serveForever(addr, srv)
 }
 
 func loadDataset(path string) (*mogul.Dataset, error) {

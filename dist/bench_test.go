@@ -1,0 +1,86 @@
+package dist_test
+
+// Distributed fan-out benchmarks over a loopback cluster: what one
+// coordinated TopK costs once HTTP, JSON, and the merge are in the
+// path, against the in-process ShardedIndex doing the same fan-out
+// without a network. CI's distributed-smoke job records these as
+// BENCH_distributed.json.
+
+import (
+	"testing"
+	"time"
+
+	"mogul"
+	"mogul/dist"
+	"mogul/dist/disttest"
+)
+
+// benchT adapts testing.B to the harness's testingT.
+type benchT struct{ *testing.B }
+
+func (b benchT) Fatalf(format string, args ...interface{}) { b.B.Fatalf(format, args...) }
+
+func benchCluster(b *testing.B, shards int) (*disttest.Cluster, *mogul.Dataset) {
+	b.Helper()
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 600, Classes: 8, Dim: 12, WithinStd: 0.25, Separation: 3, Seed: 7})
+	cl := disttest.NewCluster(benchT{b}, disttest.ClusterConfig{
+		Shards: shards,
+		Points: ds.Points,
+		Build:  mogul.Options{Seed: 3},
+		Client: dist.ClientOptions{Timeout: 10 * time.Second},
+	})
+	return cl, ds
+}
+
+func BenchmarkDistributedTopK(b *testing.B) {
+	cl, ds := benchCluster(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Coord.TopK(i%ds.Len(), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedTopKVector(b *testing.B) {
+	cl, ds := benchCluster(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Coord.TopKVector(ds.Points[i%ds.Len()], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributedVsInProcess pairs the coordinator with the
+// in-process oracle on identical data, so one bench run shows the
+// network tax directly.
+func BenchmarkDistributedVsInProcess(b *testing.B) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 600, Classes: 8, Dim: 12, WithinStd: 0.25, Separation: 3, Seed: 7})
+	b.Run("coordinator", func(b *testing.B) {
+		cl := disttest.NewCluster(benchT{b}, disttest.ClusterConfig{
+			Shards: 3,
+			Points: ds.Points,
+			Build:  mogul.Options{Seed: 3},
+			Client: dist.ClientOptions{Timeout: 10 * time.Second},
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Coord.TopK(i%ds.Len(), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("in-process", func(b *testing.B) {
+		six, err := mogul.BuildSharded(ds.Points, mogul.Options{Seed: 3}, mogul.ShardOptions{Shards: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := six.TopK(i%ds.Len(), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

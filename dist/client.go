@@ -1,0 +1,588 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mogul"
+)
+
+// ClientOptions tunes one remote-shard client. The zero value is
+// production-sane: 5s per-request timeout, 2 retries on idempotent
+// reads with 50ms exponential backoff, a shared keep-alive transport.
+type ClientOptions struct {
+	// Timeout bounds each HTTP attempt (not the whole retry loop);
+	// default 5s.
+	Timeout time.Duration
+	// Retries is the number of EXTRA attempts for idempotent reads
+	// after the first fails with a retryable error (5xx, 429, timeout,
+	// transport error); default 2. Mutations never retry regardless —
+	// an Insert whose response was lost may have landed, and retrying
+	// would apply it twice.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt;
+	// default 50ms. The wait respects context cancellation.
+	Backoff time.Duration
+	// Transport overrides the HTTP transport (the fault-injection
+	// harness hooks in here); nil uses a dedicated keep-alive
+	// transport per client.
+	Transport http.RoundTripper
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Client speaks to one ShardServer and implements mogul.Retriever —
+// a remote shard drops into any code written against the interface,
+// the Coordinator included — plus the context-taking calls the
+// distributed fan-out needs (OwnerSearch, VectorSearch, SetSearch,
+// LogEntries, Snapshot, AliveMap).
+//
+// Interface methods that cannot return an error (Len, Stats, Delta,
+// Version, Exact) report zero values when the shard is unreachable;
+// Version's zero is unambiguous because live versions start at 1.
+type Client struct {
+	base string
+	hc   *http.Client
+	opts ClientOptions
+}
+
+// NewClient builds a client for the ShardServer at base (e.g.
+// "http://10.0.0.7:7601"). Connections are pooled and reused across
+// requests; call CloseIdleConnections when discarding the client.
+func NewClient(base string, opts ClientOptions) *Client {
+	o := opts.withDefaults()
+	tr := o.Transport
+	if tr == nil {
+		tr = &http.Transport{MaxIdleConnsPerHost: 16}
+	}
+	return &Client{
+		base: base,
+		hc:   &http.Client{Transport: tr},
+		opts: o,
+	}
+}
+
+// Base returns the server URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+// CloseIdleConnections drops pooled keep-alive connections.
+func (c *Client) CloseIdleConnections() { c.hc.CloseIdleConnections() }
+
+// errGone marks a 410 response (log truncated past the cursor).
+var errGone = errors.New("dist: gone")
+
+// httpError is a non-2xx response with the server's decoded message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("dist: server returned %d: %s", e.status, e.msg)
+}
+
+// retryable reports whether an attempt's failure may be transient:
+// transport errors and timeouts (the response never arrived), 5xx
+// (the server failed), and 429 (the server shed load and asked for a
+// retry). 4xx other than 429 is a permanent request defect.
+func retryable(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status >= 500 || he.status == http.StatusTooManyRequests
+	}
+	return !errors.Is(err, errGone)
+}
+
+// do runs one request against the shard, retrying per the policy when
+// idempotent. It returns the response body and headers on 2xx.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool) ([]byte, http.Header, error) {
+	attempts := 1
+	if idempotent {
+		attempts += c.opts.Retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff before each retry, abandoned the
+			// moment the caller's context ends — a cancelled fan-out
+			// must not keep a goroutine sleeping toward a dead shard.
+			delay := c.opts.Backoff << (attempt - 1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+		data, hdr, err := c.attempt(ctx, method, path, body)
+		if err == nil {
+			return data, hdr, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		if !idempotent || !retryable(err) {
+			break
+		}
+	}
+	return nil, nil, lastErr
+}
+
+// attempt is one HTTP round trip under the per-request timeout.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// A mid-body reset: the response is unusable even on 200.
+		return nil, nil, fmt.Errorf("dist: reading response body: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := decodeErrorBody(data)
+		if resp.StatusCode == http.StatusGone {
+			return nil, nil, fmt.Errorf("%w: %s", errGone, msg)
+		}
+		return nil, nil, &httpError{status: resp.StatusCode, msg: msg}
+	}
+	return data, resp.Header, nil
+}
+
+// decodeErrorBody extracts {"error": msg}; raw body as fallback.
+func decodeErrorBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// getJSON runs an idempotent GET and decodes the JSON response.
+func (c *Client) getJSON(ctx context.Context, path string, out interface{}) error {
+	data, _, err := c.do(ctx, http.MethodGet, path, nil, true)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
+}
+
+// postJSON runs a POST carrying a JSON body; idempotent selects the
+// read retry policy (a vector search is a read that happens to POST).
+func (c *Client) postJSON(ctx context.Context, path string, in, out interface{}, idempotent bool) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	data, _, err := c.do(ctx, http.MethodPost, path, body, idempotent)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// --- the /dist fan-out surface (context-taking) ---
+
+// InfoCtx fetches the shard's state snapshot.
+func (c *Client) InfoCtx(ctx context.Context) (Info, error) {
+	var info Info
+	err := c.getJSON(ctx, "/dist/info", &info)
+	return info, err
+}
+
+// OwnerSearch runs the in-database owner-shard half of a distributed
+// TopK: the shard-local ranking plus the query item's vector and the
+// owning shard's affinity to it.
+func (c *Client) OwnerSearch(ctx context.Context, local, k int) ([]mogul.Result, mogul.Vector, float64, error) {
+	var resp ownerResponse
+	path := "/dist/owner?id=" + strconv.Itoa(local) + "&k=" + strconv.Itoa(k)
+	if err := c.getJSON(ctx, path, &resp); err != nil {
+		return nil, nil, 0, err
+	}
+	return fromWire(resp.Answers), resp.Vector, resp.Affinity, nil
+}
+
+// VectorSearch probes the shard out-of-sample, returning the local
+// ranking and the shard's raw kernel affinity to the query.
+func (c *Client) VectorSearch(ctx context.Context, q mogul.Vector, k int) ([]mogul.Result, float64, error) {
+	var resp vectorResponse
+	req := struct {
+		Vector []float64 `json:"vector"`
+		K      int       `json:"k"`
+	}{q, k}
+	if err := c.postJSON(ctx, "/dist/vector", req, &resp, true); err != nil {
+		return nil, 0, err
+	}
+	return fromWire(resp.Answers), resp.Affinity, nil
+}
+
+// SetSearch runs a weighted multi-seed search over shard-local ids.
+func (c *Client) SetSearch(ctx context.Context, locals []int, weight float64, k int) ([]mogul.Result, error) {
+	var resp vectorResponse
+	req := struct {
+		IDs    []int   `json:"ids"`
+		Weight float64 `json:"weight"`
+		K      int     `json:"k"`
+	}{locals, weight, k}
+	if err := c.postJSON(ctx, "/dist/set", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return fromWire(resp.Answers), nil
+}
+
+// NeighborsCtx fetches an item's graph context with cancellation.
+func (c *Client) NeighborsCtx(ctx context.Context, local int) ([]int, []float64, error) {
+	var resp struct {
+		Neighbors []int     `json:"neighbors"`
+		Weights   []float64 `json:"neighbor_weights"`
+	}
+	if err := c.getJSON(ctx, "/item/"+strconv.Itoa(local), &resp); err != nil {
+		return nil, nil, err
+	}
+	return resp.Neighbors, resp.Weights, nil
+}
+
+// InsertCtx routes one insert to the shard; never retried.
+func (c *Client) InsertCtx(ctx context.Context, v mogul.Vector) (int, error) {
+	var resp struct {
+		ID int `json:"id"`
+	}
+	req := struct {
+		Vector []float64 `json:"vector"`
+	}{v}
+	if err := c.postJSON(ctx, "/insert", req, &resp, false); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// DeleteCtx routes one delete to the shard; never retried.
+func (c *Client) DeleteCtx(ctx context.Context, local int) error {
+	req := struct {
+		ID int `json:"id"`
+	}{local}
+	return c.postJSON(ctx, "/delete", req, nil, false)
+}
+
+// CompactCtx folds the shard's delta layer in; never retried.
+func (c *Client) CompactCtx(ctx context.Context) error {
+	return c.postJSON(ctx, "/compact", struct{}{}, nil, false)
+}
+
+// AliveMap snapshots the shard's liveness: the id space size and the
+// dead local ids — what a coordinator needs to renumber its maps
+// around a compaction.
+func (c *Client) AliveMap(ctx context.Context) (space int, dead []int, err error) {
+	var resp struct {
+		IDSpace int   `json:"id_space"`
+		Dead    []int `json:"dead"`
+	}
+	if err := c.getJSON(ctx, "/dist/alive", &resp); err != nil {
+		return 0, nil, err
+	}
+	return resp.IDSpace, resp.Dead, nil
+}
+
+// LogEntries tails the shard's replication log past the cursor. The
+// second return mirrors mogul.Index.EntriesSince: false means the log
+// was truncated past the cursor (the server answered 410) and the
+// follower must bootstrap from Snapshot.
+func (c *Client) LogEntries(ctx context.Context, since uint64) ([]mogul.LogEntry, bool, error) {
+	data, _, err := c.do(ctx, http.MethodGet, "/dist/log?since="+strconv.FormatUint(since, 10), nil, true)
+	if err != nil {
+		if errors.Is(err, errGone) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	entries, err := mogul.ReadLogEntries(bytes.NewReader(data))
+	if err != nil {
+		return nil, false, err
+	}
+	return entries, true, nil
+}
+
+// TruncateLog acknowledges entries through upTo so the shard can drop
+// them.
+func (c *Client) TruncateLog(ctx context.Context, upTo uint64) error {
+	req := struct {
+		UpTo uint64 `json:"up_to"`
+	}{upTo}
+	return c.postJSON(ctx, "/dist/truncate", req, nil, false)
+}
+
+// Snapshot fetches a consistent (index, version) pair: the returned
+// version is exactly the state the stream serializes, so a follower
+// loading it resumes the log at that cursor.
+func (c *Client) Snapshot(ctx context.Context) (*mogul.Index, uint64, error) {
+	data, hdr, err := c.do(ctx, http.MethodGet, "/dist/snapshot", nil, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	ver, err := strconv.ParseUint(hdr.Get(versionHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dist: snapshot missing %s header", versionHeader)
+	}
+	ret, err := mogul.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, err
+	}
+	ix, ok := ret.(*mogul.Index)
+	if !ok {
+		return nil, 0, fmt.Errorf("dist: snapshot is not a plain index (%T)", ret)
+	}
+	return ix, ver, nil
+}
+
+// --- the mogul.Retriever surface ---
+
+var _ mogul.Retriever = (*Client)(nil)
+
+func (c *Client) ctx() context.Context { return context.Background() }
+
+// Len returns the shard's live item count (0 when unreachable).
+func (c *Client) Len() int {
+	info, err := c.InfoCtx(c.ctx())
+	if err != nil {
+		return 0
+	}
+	return info.Items
+}
+
+// Exact reports whether the shard serves exact scores (false when
+// unreachable).
+func (c *Client) Exact() bool {
+	info, err := c.InfoCtx(c.ctx())
+	return err == nil && info.Exact
+}
+
+// Stats returns the shard's construction statistics (zero when
+// unreachable).
+func (c *Client) Stats() mogul.Stats {
+	info, err := c.InfoCtx(c.ctx())
+	if err != nil {
+		return mogul.Stats{}
+	}
+	return info.Stats
+}
+
+// Delta returns the shard's dynamic state (zero when unreachable).
+func (c *Client) Delta() mogul.DeltaStats {
+	info, err := c.InfoCtx(c.ctx())
+	if err != nil {
+		return mogul.DeltaStats{}
+	}
+	return info.Delta
+}
+
+// Version returns the shard's mutation version, or 0 when the shard
+// is unreachable (live versions start at 1).
+func (c *Client) Version() uint64 {
+	info, err := c.InfoCtx(c.ctx())
+	if err != nil {
+		return 0
+	}
+	return info.Version
+}
+
+// searchResponse mirrors the serve layer's response envelope.
+type searchResponse struct {
+	Answers []wireResult `json:"answers"`
+	Pruned  int          `json:"clusters_pruned"`
+	Scanned int          `json:"clusters_scanned"`
+	Scores  int          `json:"scores_computed"`
+}
+
+// TopK runs an in-database query on the remote shard.
+func (c *Client) TopK(query, k int) ([]mogul.Result, error) {
+	res, _, err := c.TopKWithInfo(query, k)
+	return res, err
+}
+
+// TopKWithInfo is TopK plus the shard's work counters.
+func (c *Client) TopKWithInfo(query, k int) ([]mogul.Result, *mogul.SearchInfo, error) {
+	var resp searchResponse
+	path := "/search?id=" + strconv.Itoa(query) + "&k=" + strconv.Itoa(k)
+	if err := c.getJSON(c.ctx(), path, &resp); err != nil {
+		return nil, nil, err
+	}
+	return fromWire(resp.Answers), &mogul.SearchInfo{
+		ClustersPruned:  resp.Pruned,
+		ClustersScanned: resp.Scanned,
+		ScoresComputed:  resp.Scores,
+	}, nil
+}
+
+// TopKVector runs an out-of-sample query on the remote shard.
+func (c *Client) TopKVector(q mogul.Vector, k int) ([]mogul.Result, error) {
+	res, _, err := c.VectorSearch(c.ctx(), q, k)
+	return res, err
+}
+
+// TopKSet runs an equal-weight multi-seed query on the remote shard.
+func (c *Client) TopKSet(seeds []int, k int) ([]mogul.Result, error) {
+	var resp searchResponse
+	req := struct {
+		IDs []int `json:"ids"`
+		K   int   `json:"k"`
+	}{seeds, k}
+	if err := c.postJSON(c.ctx(), "/search/set", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return fromWire(resp.Answers), nil
+}
+
+// TopKBatch answers many in-database queries in one request.
+func (c *Client) TopKBatch(queries []int, k, parallelism int) []mogul.BatchResult {
+	out := make([]mogul.BatchResult, len(queries))
+	var resp struct {
+		Results []struct {
+			Query   int          `json:"query"`
+			Answers []wireResult `json:"answers"`
+			Error   string       `json:"error"`
+		} `json:"results"`
+	}
+	req := struct {
+		IDs []int `json:"ids"`
+		K   int   `json:"k"`
+	}{queries, k}
+	err := c.postJSON(c.ctx(), "/search/batch", req, &resp, true)
+	if err != nil || len(resp.Results) != len(queries) {
+		if err == nil {
+			err = fmt.Errorf("dist: batch answered %d of %d queries", len(resp.Results), len(queries))
+		}
+		for i, q := range queries {
+			out[i] = mogul.BatchResult{Query: q, Err: err}
+		}
+		return out
+	}
+	for i, br := range resp.Results {
+		out[i] = mogul.BatchResult{Query: br.Query}
+		if br.Error != "" {
+			out[i].Err = errors.New(br.Error)
+			continue
+		}
+		out[i].Results = fromWire(br.Answers)
+	}
+	return out
+}
+
+// TopKVectorBatch answers many out-of-sample queries, fanning the
+// individual requests out client-side so the server's micro-batcher
+// can coalesce them.
+func (c *Client) TopKVectorBatch(queries []mogul.Vector, k, parallelism int) []mogul.BatchResult {
+	out := make([]mogul.BatchResult, len(queries))
+	if parallelism <= 0 {
+		parallelism = 8
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	next := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			for i := range next {
+				res, err := c.TopKVector(queries[i], k)
+				out[i] = mogul.BatchResult{Query: i, Results: res, Err: err}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < parallelism; w++ {
+		<-done
+	}
+	return out
+}
+
+// Neighbors fetches an item's graph context from the remote shard.
+func (c *Client) Neighbors(item int) (ids []int, weights []float64, err error) {
+	return c.NeighborsCtx(c.ctx(), item)
+}
+
+// Insert routes one insert to the remote shard (never retried).
+func (c *Client) Insert(v mogul.Vector) (int, error) { return c.InsertCtx(c.ctx(), v) }
+
+// Delete routes one delete to the remote shard (never retried).
+func (c *Client) Delete(id int) error { return c.DeleteCtx(c.ctx(), id) }
+
+// Compact folds the remote shard's delta in (never retried).
+func (c *Client) Compact() error { return c.CompactCtx(c.ctx()) }
+
+// Save streams the remote shard's snapshot to w.
+func (c *Client) Save(w io.Writer) error {
+	data, _, err := c.do(c.ctx(), http.MethodGet, "/dist/snapshot", nil, true)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// SaveFile writes the remote shard's snapshot to a local file.
+func (c *Client) SaveFile(path string) error {
+	return mogul.SaveFileFunc(path, c.Save)
+}
+
+// clientQuerier adapts the client to the Querier surface: the client
+// holds no per-query scratch (the server side pools those), so the
+// querier simply delegates.
+type clientQuerier struct{ c *Client }
+
+func (q clientQuerier) TopK(query, k int) ([]mogul.Result, error) { return q.c.TopK(query, k) }
+func (q clientQuerier) TopKWithInfo(query, k int) ([]mogul.Result, *mogul.SearchInfo, error) {
+	return q.c.TopKWithInfo(query, k)
+}
+func (q clientQuerier) TopKVector(v mogul.Vector, k int) ([]mogul.Result, error) {
+	return q.c.TopKVector(v, k)
+}
+func (q clientQuerier) TopKSet(seeds []int, k int) ([]mogul.Result, error) {
+	return q.c.TopKSet(seeds, k)
+}
+
+// NewQuerier returns a Querier delegating to the client (all scratch
+// pooling happens server-side).
+func (c *Client) NewQuerier() mogul.Querier { return clientQuerier{c} }

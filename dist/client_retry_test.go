@@ -1,0 +1,285 @@
+package dist_test
+
+// Table-driven contract tests for the remote-shard client's retry
+// policy: idempotent reads retry on 5xx, 429, timeouts and transport
+// faults with exponential backoff; mutations NEVER retry (a lost
+// Insert response may have landed — retrying doubles it); permanent
+// request defects (4xx, 410) fail fast; and the backoff wait is
+// abandoned the moment the caller's context ends.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mogul"
+	"mogul/dist"
+)
+
+// scriptedShard is a fake shard server that answers each request per
+// a status script ("500,500,200" = fail twice then succeed) and
+// counts attempts.
+type scriptedShard struct {
+	script   []int
+	attempts atomic.Int32
+	// delay stalls every response (for timeout cases).
+	delay time.Duration
+	// body overrides the success payload (default: minimal valid JSON
+	// for the endpoint under test).
+	body string
+}
+
+func (s *scriptedShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(s.attempts.Add(1)) - 1
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	status := http.StatusOK
+	if n < len(s.script) {
+		status = s.script[n]
+	} else if len(s.script) > 0 {
+		status = s.script[len(s.script)-1]
+	}
+	if status != http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write([]byte(`{"error":"scripted failure"}`))
+		return
+	}
+	body := s.body
+	if body == "" {
+		body = `{"items":1,"version":1,"exact":true}`
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(body))
+}
+
+func TestClientRetryPolicy(t *testing.T) {
+	cases := []struct {
+		name string
+		// script is the per-attempt status sequence (last repeats).
+		script []int
+		delay  time.Duration
+		// body overrides the 200 payload.
+		body string
+		// call runs one client operation and reports its error.
+		call func(c *dist.Client) error
+		// wantAttempts pins how many HTTP attempts must have landed.
+		wantAttempts int32
+		wantErr      bool
+	}{
+		{
+			name:   "read retries 5xx then succeeds",
+			script: []int{500, 500, 200},
+			call: func(c *dist.Client) error {
+				_, err := c.InfoCtx(context.Background())
+				return err
+			},
+			wantAttempts: 3,
+		},
+		{
+			name:   "read retries 429 shed responses",
+			script: []int{429, 200},
+			call: func(c *dist.Client) error {
+				_, err := c.InfoCtx(context.Background())
+				return err
+			},
+			wantAttempts: 2,
+		},
+		{
+			name:   "read exhausts retries on persistent 5xx",
+			script: []int{500},
+			call: func(c *dist.Client) error {
+				_, err := c.InfoCtx(context.Background())
+				return err
+			},
+			wantAttempts: 3, // 1 + Retries(2)
+			wantErr:      true,
+		},
+		{
+			name:   "read does not retry 4xx defects",
+			script: []int{404},
+			call: func(c *dist.Client) error {
+				_, err := c.InfoCtx(context.Background())
+				return err
+			},
+			wantAttempts: 1,
+			wantErr:      true,
+		},
+		{
+			name:   "log tail does not retry 410 truncation",
+			script: []int{410},
+			call: func(c *dist.Client) error {
+				// 410 is a semantic answer (bootstrap needed), not an
+				// error: ok=false, err=nil, after exactly one attempt.
+				entries, ok, err := c.LogEntries(context.Background(), 1)
+				if err != nil {
+					return err
+				}
+				if ok || entries != nil {
+					return errors.New("410 should surface as ok=false")
+				}
+				return nil
+			},
+			wantAttempts: 1,
+		},
+		{
+			name:   "read retries timeouts",
+			script: []int{200},
+			delay:  80 * time.Millisecond, // > client timeout
+			call: func(c *dist.Client) error {
+				_, err := c.InfoCtx(context.Background())
+				return err
+			},
+			wantAttempts: 3,
+			wantErr:      true,
+		},
+		{
+			name:   "vector search POST is an idempotent read",
+			script: []int{500, 200},
+			body:   `{"version":1,"answers":[{"item":0,"score":0.5}],"affinity":0.9}`,
+			call: func(c *dist.Client) error {
+				res, aff, err := c.VectorSearch(context.Background(), mogul.Vector{1, 2}, 5)
+				if err != nil {
+					return err
+				}
+				if len(res) != 1 || aff != 0.9 {
+					return errors.New("decoded answer mismatch")
+				}
+				return nil
+			},
+			wantAttempts: 2,
+		},
+		{
+			name:   "insert never retries on 5xx",
+			script: []int{500},
+			call: func(c *dist.Client) error {
+				_, err := c.InsertCtx(context.Background(), mogul.Vector{1, 2})
+				return err
+			},
+			wantAttempts: 1,
+			wantErr:      true,
+		},
+		{
+			name:   "delete never retries on 5xx",
+			script: []int{500},
+			call: func(c *dist.Client) error {
+				return c.DeleteCtx(context.Background(), 0)
+			},
+			wantAttempts: 1,
+			wantErr:      true,
+		},
+		{
+			name:   "compact never retries on timeout",
+			script: []int{200},
+			delay:  80 * time.Millisecond,
+			call: func(c *dist.Client) error {
+				return c.CompactCtx(context.Background())
+			},
+			wantAttempts: 1,
+			wantErr:      true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			shard := &scriptedShard{script: tc.script, delay: tc.delay, body: tc.body}
+			hs := httptest.NewServer(shard)
+			defer hs.Close()
+			c := dist.NewClient(hs.URL, dist.ClientOptions{
+				Timeout: 30 * time.Millisecond,
+				Retries: 2,
+				Backoff: time.Millisecond,
+			})
+			defer c.CloseIdleConnections()
+			err := tc.call(c)
+			if tc.wantErr && err == nil {
+				t.Fatal("wanted an error, got nil")
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			// Attempts may still be finishing server-side after a client
+			// timeout; wait briefly for the counter to settle.
+			deadline := time.Now().Add(2 * time.Second)
+			for shard.attempts.Load() < tc.wantAttempts && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if got := shard.attempts.Load(); got != tc.wantAttempts {
+				t.Fatalf("server saw %d attempts, want %d", got, tc.wantAttempts)
+			}
+		})
+	}
+}
+
+// TestClientBackoffRespectsContext: with a huge backoff configured, a
+// context cancelled between attempts unblocks the retry loop
+// immediately instead of sleeping the backoff out.
+func TestClientBackoffRespectsContext(t *testing.T) {
+	shard := &scriptedShard{script: []int{500}}
+	hs := httptest.NewServer(shard)
+	defer hs.Close()
+	c := dist.NewClient(hs.URL, dist.ClientOptions{
+		Timeout: 50 * time.Millisecond,
+		Retries: 3,
+		Backoff: 30 * time.Second, // would stall the test if honoured
+	})
+	defer c.CloseIdleConnections()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.InfoCtx(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled read succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v — the backoff sleep ignored the context", elapsed)
+	}
+	if got := shard.attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (cancelled during first backoff)", got)
+	}
+}
+
+// TestClientBackoffGrowth: the delay between retries doubles —
+// attempt gaps measured server-side must be (roughly) Backoff then
+// 2*Backoff.
+func TestClientBackoffGrowth(t *testing.T) {
+	var stamps []time.Time
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		stamps = append(stamps, time.Now())
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"down"}`))
+	}))
+	defer hs.Close()
+	base := 40 * time.Millisecond
+	c := dist.NewClient(hs.URL, dist.ClientOptions{
+		Timeout: time.Second,
+		Retries: 2,
+		Backoff: base,
+	})
+	defer c.CloseIdleConnections()
+	if _, err := c.InfoCtx(context.Background()); err == nil {
+		t.Fatal("persistent 500 should fail")
+	}
+	if len(stamps) != 3 {
+		t.Fatalf("saw %d attempts, want 3", len(stamps))
+	}
+	gap1 := stamps[1].Sub(stamps[0])
+	gap2 := stamps[2].Sub(stamps[1])
+	if gap1 < base {
+		t.Fatalf("first retry after %v, want >= %v", gap1, base)
+	}
+	if gap2 < 2*base {
+		t.Fatalf("second retry after %v, want >= %v (doubled)", gap2, 2*base)
+	}
+}

@@ -1,0 +1,1008 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mogul"
+	"mogul/internal/topk"
+)
+
+// Backend is one shard as the coordinator sees it: the context-taking
+// fan-out surface a *Client serves remotely and a LocalShard serves
+// in-process. All ids are shard-local; the coordinator owns the
+// global id space.
+type Backend interface {
+	// OwnerSearch runs the in-database half of a distributed TopK on
+	// the shard owning the query: the shard-local ranking plus the
+	// query item's stored vector and this shard's affinity to it.
+	OwnerSearch(ctx context.Context, local, k int) ([]mogul.Result, mogul.Vector, float64, error)
+	// VectorSearch probes the shard out-of-sample, returning the local
+	// ranking and the shard's raw kernel affinity to the query.
+	VectorSearch(ctx context.Context, q mogul.Vector, k int) ([]mogul.Result, float64, error)
+	// SetSearch runs a multi-seed search over shard-local seeds, each
+	// carrying the given global query weight.
+	SetSearch(ctx context.Context, locals []int, weight float64, k int) ([]mogul.Result, error)
+	// NeighborsCtx returns a local item's graph context.
+	NeighborsCtx(ctx context.Context, local int) ([]int, []float64, error)
+	// InsertCtx adds a point to the shard and returns its local id.
+	InsertCtx(ctx context.Context, v mogul.Vector) (int, error)
+	// DeleteCtx tombstones a local id.
+	DeleteCtx(ctx context.Context, local int) error
+	// AliveMap snapshots the shard's id space and dead local ids.
+	AliveMap(ctx context.Context) (space int, dead []int, err error)
+	// CompactCtx folds the shard's delta layer into a fresh base.
+	CompactCtx(ctx context.Context) error
+	// InfoCtx reports the shard's state snapshot.
+	InfoCtx(ctx context.Context) (Info, error)
+}
+
+var (
+	_ Backend = (*Client)(nil)
+	_ Backend = LocalShard{}
+)
+
+// LocalShard adapts an in-process *mogul.Index to the Backend
+// surface, so a coordinator can serve mixed local + remote shard
+// sets (e.g. one resident shard plus N remote ones) through one code
+// path. Context cancellation is checked at call entry; the underlying
+// searches are not interruptible mid-flight.
+type LocalShard struct {
+	Ix *mogul.Index
+}
+
+func (l LocalShard) OwnerSearch(ctx context.Context, local, k int) ([]mogul.Result, mogul.Vector, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
+	return l.Ix.TopKWithVector(local, k)
+}
+
+func (l LocalShard) VectorSearch(ctx context.Context, q mogul.Vector, k int) ([]mogul.Result, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return l.Ix.TopKVectorWithAffinity(q, k)
+}
+
+func (l LocalShard) SetSearch(ctx context.Context, locals []int, weight float64, k int) ([]mogul.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Ix.TopKSetWeighted(locals, weight, k)
+}
+
+func (l LocalShard) NeighborsCtx(ctx context.Context, local int) ([]int, []float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return l.Ix.Neighbors(local)
+}
+
+func (l LocalShard) InsertCtx(ctx context.Context, v mogul.Vector) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return l.Ix.Insert(v)
+}
+
+func (l LocalShard) DeleteCtx(ctx context.Context, local int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.Ix.Delete(local)
+}
+
+func (l LocalShard) AliveMap(ctx context.Context) (int, []int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	space := l.Ix.IDSpace()
+	var dead []int
+	for id := 0; id < space; id++ {
+		if !l.Ix.Alive(id) {
+			dead = append(dead, id)
+		}
+	}
+	return space, dead, nil
+}
+
+func (l LocalShard) CompactCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.Ix.Compact()
+}
+
+func (l LocalShard) InfoCtx(ctx context.Context) (Info, error) {
+	if err := ctx.Err(); err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Items:   l.Ix.Len(),
+		Version: l.Ix.Version(),
+		Exact:   l.Ix.Exact(),
+		IDSpace: l.Ix.IDSpace(),
+		LogLen:  l.Ix.LogLen(),
+		Stats:   l.Ix.Stats(),
+		Delta:   l.Ix.Delta(),
+	}, nil
+}
+
+// Shard is one logical shard: a primary plus optional read replicas
+// (followers kept converged by a Replicator). Reads prefer the
+// primary and hedge to replicas (CoordOptions.HedgeDelay) or fail
+// over to them sequentially; mutations only ever go to the primary.
+type Shard struct {
+	Replicas []Backend
+}
+
+// Primary returns the mutation target (Replicas[0]).
+func (sh Shard) Primary() Backend { return sh.Replicas[0] }
+
+// CoordOptions tunes the coordinator's fan-out behaviour.
+type CoordOptions struct {
+	// ShardTimeout bounds each per-shard call; 0 means no per-shard
+	// deadline beyond the caller's context.
+	ShardTimeout time.Duration
+	// HedgeDelay, when a shard has replicas, launches the next replica
+	// this long after the previous one went out without answering —
+	// the classic tail-latency hedge. 0 disables hedging: replicas are
+	// then pure failover targets, tried in order on error.
+	HedgeDelay time.Duration
+}
+
+// shardLoc addresses one item: owning shard + shard-local id;
+// shard < 0 marks a retired global id (deleted and compacted away).
+type shardLoc struct {
+	shard, local int
+}
+
+// Coordinator serves one global id space over a set of shards with
+// the in-process ShardedIndex's exact fan-out/merge semantics: the
+// owner shard answers in-database at scale 1, every other shard is
+// probed out-of-sample and scaled by its kernel affinity relative to
+// the owner's, and the per-shard lists k-way merge under the global
+// order (score desc, id asc). On the same contiguous partition the
+// exact-mode rankings are bit-identical to the oracle.
+//
+// The context-taking search variants (TopKCtx, TopKVectorCtx,
+// TopKSetCtx) tolerate non-essential shard failures under per-shard
+// deadlines and report which shards answered via Degraded; the strict
+// mogul.Retriever surface fails the query instead. Mutations route to
+// the owning shard's primary and are never hedged or retried.
+//
+// The coordinator must be the only mutator of its shards: routing a
+// mutation around it (straight to a shard server) desynchronizes the
+// global id maps. See docs/DISTRIBUTED.md, "Ownership".
+type Coordinator struct {
+	// mu freezes the id maps relative to the shard states for the
+	// duration of a fan-out, exactly like ShardedIndex.mu.
+	mu sync.RWMutex
+	// mutMu serializes mutators.
+	mutMu sync.Mutex
+
+	shards []Shard
+	opts   CoordOptions
+
+	locOf []shardLoc
+	l2g   [][]int
+	// live tracks each shard's live item count (the coordinator is the
+	// sole mutator, so counting locally avoids a network round trip on
+	// every insert routing decision).
+	live []int
+
+	// exact is the shard set's scoring mode, captured at construction.
+	exact bool
+
+	version atomic.Uint64
+}
+
+// NewCoordinator builds a coordinator over shards, where partition
+// lists each shard's global ids in shard-local order (as returned by
+// BuildShardIndexes, or ContiguousPartition for a freshly built
+// contiguous split). The shard states must match the partition — each
+// shard's index holds exactly the listed items, in that local order.
+func NewCoordinator(shards []Shard, partition [][]int, opts CoordOptions) (*Coordinator, error) {
+	if len(shards) == 0 || len(shards) != len(partition) {
+		return nil, fmt.Errorf("dist: %d shards with %d partition groups", len(shards), len(partition))
+	}
+	total := 0
+	for s, members := range partition {
+		if len(shards[s].Replicas) == 0 {
+			return nil, fmt.Errorf("dist: shard %d has no replicas", s)
+		}
+		total += len(members)
+	}
+	c := &Coordinator{
+		shards: shards,
+		opts:   opts,
+		locOf:  make([]shardLoc, total),
+		l2g:    make([][]int, len(partition)),
+		live:   make([]int, len(partition)),
+	}
+	for i := range c.locOf {
+		c.locOf[i] = shardLoc{shard: -1, local: -1}
+	}
+	for s, members := range partition {
+		c.l2g[s] = slices.Clone(members)
+		c.live[s] = len(members)
+		for local, g := range members {
+			if g < 0 || g >= total {
+				return nil, fmt.Errorf("dist: partition id %d outside [0,%d)", g, total)
+			}
+			if c.locOf[g].shard >= 0 {
+				return nil, fmt.Errorf("dist: global id %d assigned to shards %d and %d", g, c.locOf[g].shard, s)
+			}
+			c.locOf[g] = shardLoc{shard: s, local: local}
+		}
+	}
+	for g, loc := range c.locOf {
+		if loc.shard < 0 {
+			return nil, fmt.Errorf("dist: global id %d missing from the partition", g)
+		}
+	}
+	info, err := shards[0].Primary().InfoCtx(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("dist: probing shard 0: %w", err)
+	}
+	c.exact = info.Exact
+	c.version.Store(1)
+	return c, nil
+}
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Degraded reports a fan-out's coverage: which shards contributed to
+// the merged ranking and which failed (timeout, partition, error).
+// A complete fan-out has no failures.
+type Degraded struct {
+	// Answered lists the shards whose candidates entered the merge.
+	Answered []int
+	// Failed maps each non-answering shard to its failure.
+	Failed map[int]error
+}
+
+// Complete reports whether every shard answered.
+func (d *Degraded) Complete() bool { return len(d.Failed) == 0 }
+
+// Err returns nil for a complete fan-out and an error naming the
+// failed shards otherwise — the strict Retriever surface's contract.
+func (d *Degraded) Err() error {
+	if d == nil || len(d.Failed) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(d.Failed))
+	for s := range d.Failed {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	return fmt.Errorf("dist: %d of %d shards failed (first: shard %d: %v)",
+		len(d.Failed), len(d.Failed)+len(d.Answered), ids[0], d.Failed[ids[0]])
+}
+
+// locate resolves a global id; callers hold mu (any mode) or mutMu.
+func (c *Coordinator) locate(id int) (shardLoc, error) {
+	if id < 0 || id >= len(c.locOf) {
+		return shardLoc{}, fmt.Errorf("dist: item %d outside [0,%d)", id, len(c.locOf))
+	}
+	loc := c.locOf[id]
+	if loc.shard < 0 {
+		return shardLoc{}, fmt.Errorf("dist: item %d is deleted", id)
+	}
+	return loc, nil
+}
+
+// shardCtx derives the per-shard deadline context.
+func (c *Coordinator) shardCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.opts.ShardTimeout > 0 {
+		return context.WithTimeout(ctx, c.opts.ShardTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// hedge runs call against a shard's replicas: the primary first, the
+// next replica HedgeDelay later (or immediately once the previous
+// attempt failed), first success wins. With hedging disabled the
+// replicas are sequential failover targets. The per-shard timeout
+// spans the whole attempt sequence — it is the shard's answer
+// deadline, not a per-replica one.
+func hedge[T any](ctx context.Context, replicas []Backend, delay time.Duration, call func(context.Context, Backend) (T, error)) (T, error) {
+	var zero T
+	if len(replicas) == 1 || delay <= 0 {
+		var lastErr error
+		for _, b := range replicas {
+			if err := ctx.Err(); err != nil {
+				if lastErr == nil {
+					lastErr = err
+				}
+				break
+			}
+			v, err := call(ctx, b)
+			if err == nil {
+				return v, nil
+			}
+			lastErr = err
+		}
+		return zero, lastErr
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, len(replicas))
+	launched := 0
+	launch := func() {
+		b := replicas[launched]
+		launched++
+		go func() {
+			v, err := call(hctx, b)
+			ch <- outcome{v, err}
+		}()
+	}
+	launch()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	pending := 1
+	var lastErr error
+	for {
+		select {
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				return o.v, nil
+			}
+			lastErr = o.err
+			switch {
+			case launched < len(replicas):
+				launch()
+				pending++
+			case pending == 0:
+				return zero, lastErr
+			}
+		case <-timer.C:
+			if launched < len(replicas) {
+				launch()
+				pending++
+				timer.Reset(delay)
+			}
+		case <-ctx.Done():
+			// Outstanding attempts unwind through hctx; the buffered
+			// channel absorbs their results, so nothing leaks.
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// shardList is one shard's merged-candidate input: results remapped
+// to global ids, scaled, re-sorted into the global order.
+type shardList struct {
+	shard int
+	items []topk.Item
+}
+
+// remap converts one shard's local ranking into a merge input,
+// mirroring ShardedSearcher.addList: global ids via l2g, scores
+// scaled by the shard's affinity weight, re-sorted into (score desc,
+// global id asc). Local ids past the map (an insert racing the
+// fan-out) are skipped for this query. Callers hold mu in read mode.
+func (c *Coordinator) remap(s int, res []mogul.Result, scale float64) []topk.Item {
+	l2g := c.l2g[s]
+	items := make([]topk.Item, 0, len(res))
+	for _, r := range res {
+		if r.Node >= len(l2g) {
+			continue
+		}
+		items = append(items, topk.Item{ID: l2g[r.Node], Score: scale * r.Score})
+	}
+	sortItems(items)
+	return items
+}
+
+// relativeAffinity prices a non-owning shard's contribution against
+// the owner's own kernel affinity: min(1, aff/own), falling back to
+// the absolute affinity when the owner's underflowed to 0 — the exact
+// formula of the in-process sharded merge.
+func relativeAffinity(aff, own float64) float64 {
+	if own <= 0 {
+		return aff
+	}
+	if aff >= own {
+		return 1
+	}
+	return aff / own
+}
+
+// sortItems sorts candidates by the global ranking order in place.
+func sortItems(items []topk.Item) {
+	slices.SortFunc(items, func(a, b topk.Item) int {
+		switch {
+		case topk.Better(a, b):
+			return -1
+		case topk.Better(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// merge k-way merges per-shard candidate lists into the global top-k.
+func merge(k int, lists []shardList) []mogul.Result {
+	var m topk.Merger
+	in := make([][]topk.Item, len(lists))
+	for i, l := range lists {
+		in[i] = l.items
+	}
+	merged := m.Merge(nil, k, in...)
+	out := make([]mogul.Result, len(merged))
+	for i, it := range merged {
+		out[i] = mogul.Result{Node: it.ID, Score: it.Score}
+	}
+	return out
+}
+
+// TopKCtx fans an in-database query out to all shards and merges: the
+// owner shard answers in-database (its failure fails the query — it
+// alone knows the query's vector and affinity baseline), every other
+// shard is probed out-of-sample under the per-shard deadline, and
+// shards that fail are dropped from the merge and reported in
+// Degraded.
+func (c *Coordinator) TopKCtx(ctx context.Context, query, k int) ([]mogul.Result, *Degraded, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("dist: K must be positive, got %d", k)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, err := c.locate(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	deg := &Degraded{Failed: map[int]error{}}
+
+	type ownerOut struct {
+		res  []mogul.Result
+		qvec mogul.Vector
+		aff  float64
+	}
+	octx, ocancel := c.shardCtx(ctx)
+	own, err := hedge(octx, c.shards[loc.shard].Replicas, c.opts.HedgeDelay,
+		func(ctx context.Context, b Backend) (ownerOut, error) {
+			res, qvec, aff, err := b.OwnerSearch(ctx, loc.local, k)
+			return ownerOut{res, qvec, aff}, err
+		})
+	ocancel()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: owner shard %d: %w", loc.shard, err)
+	}
+	lists := []shardList{{shard: loc.shard, items: c.remap(loc.shard, own.res, 1)}}
+	deg.Answered = append(deg.Answered, loc.shard)
+
+	if len(c.shards) > 1 {
+		others := c.fanOutVector(ctx, own.qvec, k, loc.shard, deg)
+		for _, o := range others {
+			lists = append(lists, shardList{shard: o.shard, items: c.remap(o.shard, o.res, relativeAffinity(o.aff, own.aff))})
+		}
+	}
+	sortLists(lists)
+	return merge(k, lists), deg, nil
+}
+
+// vecOut is one non-owner shard's out-of-sample answer.
+type vecOut struct {
+	shard int
+	res   []mogul.Result
+	aff   float64
+}
+
+// fanOutVector probes every shard but skip out-of-sample in parallel,
+// recording failures in deg and returning the successful answers.
+func (c *Coordinator) fanOutVector(ctx context.Context, q mogul.Vector, k, skip int, deg *Degraded) []vecOut {
+	var (
+		wg   sync.WaitGroup
+		omu  sync.Mutex
+		outs []vecOut
+	)
+	for s := range c.shards {
+		if s == skip {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sctx, cancel := c.shardCtx(ctx)
+			defer cancel()
+			type vOut struct {
+				res []mogul.Result
+				aff float64
+			}
+			v, err := hedge(sctx, c.shards[s].Replicas, c.opts.HedgeDelay,
+				func(ctx context.Context, b Backend) (vOut, error) {
+					res, aff, err := b.VectorSearch(ctx, q, k)
+					return vOut{res, aff}, err
+				})
+			omu.Lock()
+			defer omu.Unlock()
+			if err != nil {
+				deg.Failed[s] = err
+				return
+			}
+			deg.Answered = append(deg.Answered, s)
+			outs = append(outs, vecOut{shard: s, res: v.res, aff: v.aff})
+		}(s)
+	}
+	wg.Wait()
+	return outs
+}
+
+// sortLists orders merge inputs by shard so the merge consumes lists
+// in a deterministic order regardless of arrival (the merge itself is
+// order-independent — this keeps any tie-broken internals stable too).
+func sortLists(lists []shardList) {
+	sort.Slice(lists, func(i, j int) bool { return lists[i].shard < lists[j].shard })
+}
+
+// TopKVectorCtx fans an out-of-sample query to every shard, scales
+// each answer by the shard's affinity relative to the best answering
+// shard's, and merges. Failed shards degrade coverage; a query where
+// no shard answered is an error.
+func (c *Coordinator) TopKVectorCtx(ctx context.Context, q mogul.Vector, k int) ([]mogul.Result, *Degraded, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("dist: K must be positive, got %d", k)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	deg := &Degraded{Failed: map[int]error{}}
+	outs := c.fanOutVector(ctx, q, k, -1, deg)
+	if len(outs) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("dist: no shard answered: %w", deg.Err())
+	}
+	maxAff := 0.0
+	for _, o := range outs {
+		if o.aff > maxAff {
+			maxAff = o.aff
+		}
+	}
+	lists := make([]shardList, 0, len(outs))
+	for _, o := range outs {
+		scale := 1.0
+		if maxAff > 0 {
+			scale = o.aff / maxAff
+		}
+		lists = append(lists, shardList{shard: o.shard, items: c.remap(o.shard, o.res, scale)})
+	}
+	sortLists(lists)
+	return merge(k, lists), deg, nil
+}
+
+// TopKSetCtx fans a multi-seed query out: each shard searches the
+// seeds it owns at the global weight 1/len(seeds). A failed
+// seed-owning shard degrades the result (that part of the query mass
+// is missing — reported, not silently absorbed); if every seed-owning
+// shard failed, the query errors.
+func (c *Coordinator) TopKSetCtx(ctx context.Context, seeds []int, k int) ([]mogul.Result, *Degraded, error) {
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("dist: TopKSet needs at least one seed item")
+	}
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("dist: K must be positive, got %d", k)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	perShard := make(map[int][]int)
+	for _, seed := range seeds {
+		loc, err := c.locate(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		perShard[loc.shard] = append(perShard[loc.shard], loc.local)
+	}
+	w := 1 / float64(len(seeds))
+	deg := &Degraded{Failed: map[int]error{}}
+	var (
+		wg    sync.WaitGroup
+		omu   sync.Mutex
+		lists []shardList
+	)
+	for s, locals := range perShard {
+		wg.Add(1)
+		go func(s int, locals []int) {
+			defer wg.Done()
+			sctx, cancel := c.shardCtx(ctx)
+			defer cancel()
+			res, err := hedge(sctx, c.shards[s].Replicas, c.opts.HedgeDelay,
+				func(ctx context.Context, b Backend) ([]mogul.Result, error) {
+					return b.SetSearch(ctx, locals, w, k)
+				})
+			omu.Lock()
+			defer omu.Unlock()
+			if err != nil {
+				deg.Failed[s] = err
+				return
+			}
+			deg.Answered = append(deg.Answered, s)
+			lists = append(lists, shardList{shard: s, items: c.remap(s, res, 1)})
+		}(s, locals)
+	}
+	wg.Wait()
+	if len(lists) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("dist: no seed-owning shard answered: %w", deg.Err())
+	}
+	sortLists(lists)
+	return merge(k, lists), deg, nil
+}
+
+// --- mutations (primary-only, never hedged or retried) ---
+
+// routeInsert picks the least-loaded shard (lowest id wins ties) —
+// the contiguous-partition routing rule of the in-process
+// ShardedIndex. Callers hold mutMu.
+func (c *Coordinator) routeInsert() int {
+	best := 0
+	for s := 1; s < len(c.shards); s++ {
+		if c.live[s] < c.live[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// InsertCtx routes one insert to the least-loaded shard's primary and
+// returns the new global id.
+func (c *Coordinator) InsertCtx(ctx context.Context, v mogul.Vector) (int, error) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	s := c.routeInsert()
+	sctx, cancel := c.shardCtx(ctx)
+	local, err := c.shards[s].Primary().InsertCtx(sctx, v)
+	cancel()
+	if err != nil {
+		return 0, fmt.Errorf("dist: inserting into shard %d: %w", s, err)
+	}
+	c.mu.Lock()
+	g := len(c.locOf)
+	c.locOf = append(c.locOf, shardLoc{shard: s, local: local})
+	c.l2g[s] = append(c.l2g[s], g)
+	c.live[s]++
+	c.mu.Unlock()
+	c.version.Add(1)
+	return g, nil
+}
+
+// DeleteCtx tombstones one global id on its owning shard's primary.
+func (c *Coordinator) DeleteCtx(ctx context.Context, id int) error {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	loc, err := c.locate(id)
+	if err != nil {
+		return err
+	}
+	sctx, cancel := c.shardCtx(ctx)
+	err = c.shards[loc.shard].Primary().DeleteCtx(sctx, loc.local)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("dist: item %d (shard %d): %w", id, loc.shard, err)
+	}
+	c.live[loc.shard]--
+	c.version.Add(1)
+	return nil
+}
+
+// CompactCtx folds every shard's delta in, preserving global ids:
+// before compacting a shard with tombstones, the coordinator
+// snapshots the shard's liveness map and renumbers its id tables the
+// way the shard's own compaction will — the same discipline the
+// in-process ShardedIndex runs, stretched over the network. The
+// fan-out write lock is held across each tombstoned shard's rebuild
+// so no search pairs new shard state with old maps.
+func (c *Coordinator) CompactCtx(ctx context.Context) error {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+	for s := range c.shards {
+		if err := c.compactShard(ctx, s); err != nil {
+			return fmt.Errorf("dist: compacting shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) compactShard(ctx context.Context, s int) error {
+	primary := c.shards[s].Primary()
+	sctx, cancel := c.shardCtx(ctx)
+	defer cancel()
+	info, err := primary.InfoCtx(sctx)
+	if err != nil {
+		return err
+	}
+	if info.Delta.DeltaItems == 0 && info.Delta.Tombstones == 0 {
+		return nil
+	}
+	if info.Delta.Tombstones == 0 {
+		// Insert-only: local ids survive compaction bit for bit, the
+		// maps stay valid, searches keep running.
+		if err := primary.CompactCtx(ctx); err != nil {
+			return err
+		}
+		c.version.Add(1)
+		return nil
+	}
+	space, deadList, err := primary.AliveMap(sctx)
+	if err != nil {
+		return err
+	}
+	dead := make(map[int]bool, len(deadList))
+	for _, id := range deadList {
+		dead[id] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := primary.CompactCtx(ctx); err != nil {
+		return err
+	}
+	old := c.l2g[s]
+	j := 0
+	for local, g := range old {
+		if local < space && !dead[local] {
+			old[j] = g
+			c.locOf[g] = shardLoc{shard: s, local: j}
+			j++
+		} else {
+			c.locOf[g] = shardLoc{shard: -1, local: -1}
+		}
+	}
+	c.l2g[s] = old[:j]
+	c.live[s] = j
+	c.version.Add(1)
+	return nil
+}
+
+// --- the strict mogul.Retriever surface ---
+
+var _ mogul.Retriever = (*Coordinator)(nil)
+
+// Len returns the live item count across all shards (tracked locally;
+// the coordinator is the sole mutator).
+func (c *Coordinator) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, n := range c.live {
+		total += n
+	}
+	return total
+}
+
+// Exact reports the shard set's scoring mode (captured at
+// construction; every shard is built with the same options).
+func (c *Coordinator) Exact() bool { return c.exact }
+
+// Version returns the coordinator's monotonic mutation version —
+// bumped once per completed coordinator mutation, the stamp a serving
+// layer's result cache keys on. Mutations routed around the
+// coordinator are invisible to it (see the Ownership contract).
+func (c *Coordinator) Version() uint64 { return c.version.Load() }
+
+// Stats aggregates construction statistics across reachable shards,
+// mirroring ShardedIndex.Stats (modularity node-weighted).
+func (c *Coordinator) Stats() mogul.Stats {
+	var out mogul.Stats
+	var wmod float64
+	for _, sh := range c.shards {
+		info, err := sh.Primary().InfoCtx(context.Background())
+		if err != nil {
+			continue
+		}
+		st := info.Stats
+		out.NumNodes += st.NumNodes
+		out.NumEdges += st.NumEdges
+		out.NumClusters += st.NumClusters
+		out.BorderSize += st.BorderSize
+		out.FactorNNZ += st.FactorNNZ
+		out.ClampedPivots += st.ClampedPivots
+		out.ClusterTime += st.ClusterTime
+		out.PermuteTime += st.PermuteTime
+		out.FactorTime += st.FactorTime
+		wmod += st.Modularity * float64(st.NumNodes)
+	}
+	if out.NumNodes > 0 {
+		out.Modularity = wmod / float64(out.NumNodes)
+	}
+	return out
+}
+
+// Delta aggregates the dynamic state across reachable shards.
+func (c *Coordinator) Delta() mogul.DeltaStats {
+	var out mogul.DeltaStats
+	for _, sh := range c.shards {
+		info, err := sh.Primary().InfoCtx(context.Background())
+		if err != nil {
+			continue
+		}
+		out.BaseItems += info.Delta.BaseItems
+		out.DeltaItems += info.Delta.DeltaItems
+		out.Tombstones += info.Delta.Tombstones
+	}
+	return out
+}
+
+// TopK is TopKCtx requiring every shard to answer.
+func (c *Coordinator) TopK(query, k int) ([]mogul.Result, error) {
+	res, deg, err := c.TopKCtx(context.Background(), query, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := deg.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TopKWithInfo is TopK; the distributed fan-out does not aggregate
+// per-shard work counters (the info is always zero).
+func (c *Coordinator) TopKWithInfo(query, k int) ([]mogul.Result, *mogul.SearchInfo, error) {
+	res, err := c.TopK(query, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &mogul.SearchInfo{}, nil
+}
+
+// TopKVector is TopKVectorCtx requiring every shard to answer.
+func (c *Coordinator) TopKVector(q mogul.Vector, k int) ([]mogul.Result, error) {
+	res, deg, err := c.TopKVectorCtx(context.Background(), q, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := deg.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TopKSet is TopKSetCtx requiring every seed-owning shard to answer.
+func (c *Coordinator) TopKSet(seeds []int, k int) ([]mogul.Result, error) {
+	res, deg, err := c.TopKSetCtx(context.Background(), seeds, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := deg.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TopKBatch answers many in-database queries with a bounded worker
+// pool of concurrent fan-outs.
+func (c *Coordinator) TopKBatch(queries []int, k, parallelism int) []mogul.BatchResult {
+	out := make([]mogul.BatchResult, len(queries))
+	c.runBatch(len(queries), parallelism, func(i int) {
+		res, err := c.TopK(queries[i], k)
+		out[i] = mogul.BatchResult{Query: queries[i], Results: res, Err: err}
+	})
+	return out
+}
+
+// TopKVectorBatch answers many out-of-sample queries concurrently.
+func (c *Coordinator) TopKVectorBatch(queries []mogul.Vector, k, parallelism int) []mogul.BatchResult {
+	out := make([]mogul.BatchResult, len(queries))
+	c.runBatch(len(queries), parallelism, func(i int) {
+		res, err := c.TopKVector(queries[i], k)
+		out[i] = mogul.BatchResult{Query: i, Results: res, Err: err}
+	})
+	return out
+}
+
+func (c *Coordinator) runBatch(n, parallelism int, work func(int)) {
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				work(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Neighbors returns an item's graph context inside its owning shard,
+// remapped to global ids.
+func (c *Coordinator) Neighbors(item int) (ids []int, weights []float64, err error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, err := c.locate(item)
+	if err != nil {
+		return nil, nil, err
+	}
+	sctx, cancel := c.shardCtx(context.Background())
+	defer cancel()
+	ids, weights, err = hedge2(sctx, c.shards[loc.shard].Replicas, c.opts.HedgeDelay, loc.local)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: item %d (shard %d): %w", item, loc.shard, err)
+	}
+	l2g := c.l2g[loc.shard]
+	for i, local := range ids {
+		if local < len(l2g) {
+			ids[i] = l2g[local]
+		}
+	}
+	return ids, weights, nil
+}
+
+// hedge2 adapts hedge to Neighbors' two-value result.
+func hedge2(ctx context.Context, replicas []Backend, delay time.Duration, local int) ([]int, []float64, error) {
+	type nOut struct {
+		ids []int
+		wts []float64
+	}
+	v, err := hedge(ctx, replicas, delay, func(ctx context.Context, b Backend) (nOut, error) {
+		ids, wts, err := b.NeighborsCtx(ctx, local)
+		return nOut{ids, wts}, err
+	})
+	return v.ids, v.wts, err
+}
+
+// Insert routes one insert (see InsertCtx).
+func (c *Coordinator) Insert(v mogul.Vector) (int, error) {
+	return c.InsertCtx(context.Background(), v)
+}
+
+// Delete routes one delete (see DeleteCtx).
+func (c *Coordinator) Delete(id int) error { return c.DeleteCtx(context.Background(), id) }
+
+// Compact folds every shard's delta in (see CompactCtx).
+func (c *Coordinator) Compact() error { return c.CompactCtx(context.Background()) }
+
+// Save is unsupported on a coordinator: each shard owns its state —
+// snapshot the shard servers individually (/dist/snapshot).
+func (c *Coordinator) Save(w io.Writer) error {
+	return fmt.Errorf("dist: a coordinator has no single index to save; snapshot each shard server")
+}
+
+// SaveFile is unsupported (see Save).
+func (c *Coordinator) SaveFile(path string) error { return c.Save(nil) }
+
+// coordQuerier delegates to the coordinator: per-query scratch lives
+// shard-side, so there is nothing to pin per worker.
+type coordQuerier struct{ c *Coordinator }
+
+func (q coordQuerier) TopK(query, k int) ([]mogul.Result, error) { return q.c.TopK(query, k) }
+func (q coordQuerier) TopKWithInfo(query, k int) ([]mogul.Result, *mogul.SearchInfo, error) {
+	return q.c.TopKWithInfo(query, k)
+}
+func (q coordQuerier) TopKVector(v mogul.Vector, k int) ([]mogul.Result, error) {
+	return q.c.TopKVector(v, k)
+}
+func (q coordQuerier) TopKSet(seeds []int, k int) ([]mogul.Result, error) {
+	return q.c.TopKSet(seeds, k)
+}
+
+// NewQuerier returns a Querier delegating to the coordinator.
+func (c *Coordinator) NewQuerier() mogul.Querier { return coordQuerier{c} }

@@ -1,0 +1,99 @@
+// Package dist splits a sharded Mogul deployment across processes
+// behind the same mogul.Retriever surface the in-process ShardedIndex
+// serves. Three pieces compose (see docs/DISTRIBUTED.md):
+//
+//   - ShardServer wraps one shard's *mogul.Index in the full serve
+//     HTTP layer (search, mutations, caching, metrics) and adds the
+//     /dist/* endpoints the distributed layer needs: owner search
+//     (answers + query vector + affinity in one round trip), vector
+//     search with affinity, weighted set search, the replication log
+//     (/dist/log), snapshots, and the liveness map a coordinator
+//     compaction consumes.
+//
+//   - Client speaks to one ShardServer and implements mogul.Retriever
+//     plus the context-taking shard calls a Coordinator fans out to.
+//     Connections are reused through one transport, every request
+//     carries a per-request timeout, and idempotent reads retry with
+//     bounded exponential backoff; mutations are never retried.
+//
+//   - Coordinator serves one global id space over a set of shards —
+//     each local (an index in this process) or remote (a Client) —
+//     with the exact affinity-weighted fan-out/merge the in-process
+//     ShardedIndex runs: the owner shard answers in-database at full
+//     weight, every other shard is probed out-of-sample with the
+//     query's vector and scaled by its kernel affinity relative to
+//     the owner's. On the same contiguous partition its exact-mode
+//     rankings are bit-identical to the ShardedIndex oracle
+//     (dist/equivalence_test.go pins this). Context-taking search
+//     variants tolerate shard failures and report degraded coverage;
+//     the strict Retriever surface fails instead.
+//
+// Replication: a follower tails the primary's Insert/Delete/Compact
+// delta log (mogul.LogEntry) keyed by the Version() cursor — see
+// Replicator. Because the whole build pipeline is deterministic,
+// replay converges the follower to a bit-identical index; the
+// convergence property is tested over random mutation interleavings
+// in dist/replication_test.go.
+package dist
+
+import (
+	"fmt"
+
+	"mogul"
+)
+
+// BuildShardIndexes partitions points into s contiguous shards and
+// builds one independent index per shard with exactly the recipe
+// BuildSharded(points, opts, ShardOptions{Shards: s}) uses: shard i
+// holds the points with global ids in [i*n/s, (i+1)*n/s), per-shard
+// auto-compaction is disabled (the coordinator owns compaction, as
+// the sharded layer does), and one heat-kernel bandwidth — estimated
+// over the full dataset — is pinned across all shards. A Coordinator
+// over the returned indexes therefore serves bit-identical exact-mode
+// rankings to the in-process ShardedIndex on the same partition.
+//
+// The returned partition lists each shard's global ids in local-id
+// order; pass it to NewCoordinator.
+func BuildShardIndexes(points []mogul.Vector, opts mogul.Options, s int) ([]*mogul.Index, [][]int, error) {
+	if s <= 0 {
+		s = 1
+	}
+	if len(points) < 2*s {
+		return nil, nil, fmt.Errorf("dist: %d shards need at least %d points, got %d", s, 2*s, len(points))
+	}
+	partition := ContiguousPartition(len(points), s)
+	shardOpts := opts
+	shardOpts.AutoCompactFraction = 0
+	if s > 1 && shardOpts.Sigma == 0 {
+		k := shardOpts.GraphK
+		if k <= 0 {
+			k = 5
+		}
+		shardOpts.Sigma = mogul.EstimateSigma(points, k)
+	}
+	idxs := make([]*mogul.Index, s)
+	for sh, members := range partition {
+		pts := make([]mogul.Vector, len(members))
+		for i, g := range members {
+			pts[i] = points[g]
+		}
+		ix, err := mogul.Build(pts, shardOpts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dist: building shard %d: %w", sh, err)
+		}
+		idxs[sh] = ix
+	}
+	return idxs, partition, nil
+}
+
+// ContiguousPartition returns the contiguous s-way split of n global
+// ids BuildSharded's PartitionContiguous derives: shard i holds ids
+// [i*n/s, (i+1)*n/s) in order.
+func ContiguousPartition(n, s int) [][]int {
+	partition := make([][]int, s)
+	for g := 0; g < n; g++ {
+		sh := g * s / n
+		partition[sh] = append(partition[sh], g)
+	}
+	return partition
+}

@@ -1,0 +1,284 @@
+package dist_test
+
+// Equivalence suite pinning the distributed coordinator to the
+// in-process ShardedIndex oracle. The coordinator reimplements the
+// exact fan-out/merge over HTTP, and JSON float64 round-trips scores
+// bit-exactly, so on the same contiguous partition the merged
+// rankings must be IDENTICAL — ids and scores — in exact mode; the
+// approximate mode is additionally pinned statistically (recall@10
+// >= 0.95) so a regression in either mode is caught by the cheaper
+// check first.
+
+import (
+	"context"
+	"slices"
+	"testing"
+	"time"
+
+	"mogul"
+	"mogul/dist"
+	"mogul/dist/disttest"
+)
+
+// equivCluster boots a cluster plus its in-process oracle: the same
+// points, options and contiguous partition on both sides.
+func equivCluster(t *testing.T, points []mogul.Vector, opts mogul.Options, shards int) (*disttest.Cluster, *mogul.ShardedIndex) {
+	t.Helper()
+	cl := disttest.NewCluster(t, disttest.ClusterConfig{
+		Shards: shards,
+		Points: points,
+		Build:  opts,
+		Client: dist.ClientOptions{Timeout: 10 * time.Second},
+	})
+	oracle, err := mogul.BuildSharded(points, opts, mogul.ShardOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, oracle
+}
+
+func sampleQueries(n, stride int) []int {
+	out := []int{}
+	for q := 0; q < n; q += stride {
+		out = append(out, q)
+	}
+	return out
+}
+
+// recallAt10 is |top10(got) ∩ top10(want)| / 10 averaged over queries.
+func recallAt10(t *testing.T, got, want func(q int) []mogul.Result, queries []int) float64 {
+	t.Helper()
+	total := 0.0
+	for _, q := range queries {
+		w := want(q)
+		g := got(q)
+		wantSet := map[int]bool{}
+		for _, r := range w {
+			wantSet[r.Node] = true
+		}
+		hit := 0
+		for _, r := range g {
+			if wantSet[r.Node] {
+				hit++
+			}
+		}
+		if len(w) > 0 {
+			total += float64(hit) / float64(len(w))
+		} else {
+			total += 1
+		}
+	}
+	return total / float64(len(queries))
+}
+
+// TestCoordinatorBitIdenticalExact: in exact mode every fan-out path —
+// in-database, out-of-sample, multi-seed — returns byte-for-byte what
+// the in-process ShardedIndex returns, across 2 and 3 shards.
+func TestCoordinatorBitIdenticalExact(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 300, Classes: 6, Dim: 8, WithinStd: 0.25, Separation: 3, Seed: 7})
+	for _, shards := range []int{2, 3} {
+		cl, oracle := equivCluster(t, ds.Points, mogul.Options{Seed: 3, Exact: true}, shards)
+		if got, want := cl.Coord.Len(), oracle.Len(); got != want {
+			t.Fatalf("S=%d Len: coordinator %d, oracle %d", shards, got, want)
+		}
+		if !cl.Coord.Exact() {
+			t.Fatalf("S=%d coordinator lost the exact flag", shards)
+		}
+		for _, q := range sampleQueries(ds.Len(), 29) {
+			want, err := oracle.TopK(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Coord.TopK(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("S=%d TopK(%d) differs:\ncoordinator %v\noracle      %v", shards, q, got, want)
+			}
+		}
+		for _, q := range sampleQueries(ds.Len(), 61) {
+			qv := slices.Clone(ds.Points[q])
+			qv[0] += 0.03
+			want, err := oracle.TopKVector(qv, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Coord.TopKVector(qv, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("S=%d TopKVector(%d) differs:\ncoordinator %v\noracle      %v", shards, q, got, want)
+			}
+		}
+		// Seeds straddling shard boundaries exercise the weighted
+		// per-shard set splitting.
+		seedSets := [][]int{{1, 2, 3}, {0, ds.Len() / 2, ds.Len() - 1}, {5}}
+		for _, seeds := range seedSets {
+			want, err := oracle.TopKSet(seeds, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Coord.TopKSet(seeds, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("S=%d TopKSet(%v) differs:\ncoordinator %v\noracle      %v", shards, seeds, got, want)
+			}
+		}
+	}
+}
+
+// TestCoordinatorRecallApproximate: the default approximate mode is
+// pinned at recall@10 >= 0.95 against the oracle (it is in fact
+// bit-identical too — same shard indexes, same merge — but the
+// statistical floor is the contract the ISSUE sets, robust to benign
+// float reassociation).
+func TestCoordinatorRecallApproximate(t *testing.T) {
+	ds := mogul.NewTwoMoons(mogul.TwoMoonsConfig{N: 300, Noise: 0.06, Seed: 5})
+	cl, oracle := equivCluster(t, ds.Points, mogul.Options{Seed: 3}, 3)
+	queries := sampleQueries(ds.Len(), 17)
+	rec := recallAt10(t,
+		func(q int) []mogul.Result {
+			res, err := cl.Coord.TopK(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+		func(q int) []mogul.Result {
+			res, err := oracle.TopK(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+		queries)
+	t.Logf("approximate-mode recall@10 vs ShardedIndex oracle: %.3f", rec)
+	if rec < 0.95 {
+		t.Fatalf("recall@10 %.3f below 0.95", rec)
+	}
+}
+
+// TestCoordinatorDynamicEquivalence drives the same mutation sequence
+// through the coordinator and the oracle — inserts, deletes, a
+// compaction that renumbers shard-local ids — and requires the global
+// id assignment and every subsequent ranking to stay identical.
+func TestCoordinatorDynamicEquivalence(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 240, Classes: 6, Dim: 8, WithinStd: 0.25, Separation: 3, Seed: 9})
+	opts := mogul.Options{Seed: 3, Exact: true}
+	cl, oracle := equivCluster(t, ds.Points, opts, 3)
+
+	extra := mogul.NewMixture(mogul.MixtureConfig{N: 30, Classes: 6, Dim: 8, WithinStd: 0.25, Separation: 3, Seed: 10})
+	for i, v := range extra.Points {
+		gotID, err := cl.Coord.Insert(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantID, err := oracle.Insert(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotID != wantID {
+			t.Fatalf("insert %d routed to global id %d, oracle %d", i, gotID, wantID)
+		}
+	}
+	for _, id := range []int{3, 50, 120, 200, 245} {
+		if err := cl.Coord.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(stage string) {
+		t.Helper()
+		if got, want := cl.Coord.Len(), oracle.Len(); got != want {
+			t.Fatalf("%s: Len %d vs oracle %d", stage, got, want)
+		}
+		for _, q := range []int{0, 7, 100, 150, 239, 250, 262} {
+			want, wantErr := oracle.TopK(q, 10)
+			got, gotErr := cl.Coord.TopK(q, 10)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s: TopK(%d) error mismatch: coordinator %v, oracle %v", stage, q, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("%s: TopK(%d) differs:\ncoordinator %v\noracle      %v", stage, q, got, want)
+			}
+		}
+	}
+	check("after mutations")
+	if err := cl.Coord.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check("after compaction")
+	// Deleted ids must stay errors on both sides after renumbering.
+	if _, err := cl.Coord.TopK(3, 5); err == nil {
+		t.Fatal("deleted id 3 still answers on the coordinator after compaction")
+	}
+}
+
+// TestCoordinatorDegraded: with one shard partitioned away, the
+// ctx search surface still answers from the remaining shards and
+// reports exactly which shard failed; the strict surface refuses.
+func TestCoordinatorDegraded(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 240, Classes: 6, Dim: 8, WithinStd: 0.25, Separation: 3, Seed: 7})
+	cl := disttest.NewCluster(t, disttest.ClusterConfig{
+		Shards: 3,
+		Points: ds.Points,
+		Build:  mogul.Options{Seed: 3, Exact: true},
+		Client: dist.ClientOptions{Timeout: 2 * time.Second, Retries: 1, Backoff: time.Millisecond},
+	})
+	cl.Faults[2].Partition()
+
+	// Query owned by shard 0: owner healthy, shard 2 missing from the
+	// merge.
+	res, deg, err := cl.Coord.TopKCtx(context.Background(), 0, 10)
+	if err != nil {
+		t.Fatalf("degraded TopKCtx failed outright: %v", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("degraded TopKCtx returned no answers")
+	}
+	if deg.Complete() {
+		t.Fatal("Degraded claims complete with shard 2 partitioned")
+	}
+	if len(deg.Failed) != 1 || deg.Failed[2] == nil {
+		t.Fatalf("Degraded.Failed = %v, want exactly shard 2", deg.Failed)
+	}
+	if !disttest.IsInjected(deg.Failed[2]) {
+		t.Fatalf("shard 2 failure lost the injected cause: %v", deg.Failed[2])
+	}
+	if !slices.Contains(deg.Answered, 0) || !slices.Contains(deg.Answered, 1) {
+		t.Fatalf("Degraded.Answered = %v, want shards 0 and 1", deg.Answered)
+	}
+	if err := deg.Err(); err == nil {
+		t.Fatal("Degraded.Err() nil for an incomplete fan-out")
+	}
+
+	// Strict surface refuses the same query.
+	if _, err := cl.Coord.TopK(0, 10); err == nil {
+		t.Fatal("strict TopK answered despite a partitioned shard")
+	}
+
+	// Query owned by the partitioned shard: even the ctx surface must
+	// fail — only the owner knows the query vector.
+	ownerQ := cl.Partition[2][0]
+	if _, _, err := cl.Coord.TopKCtx(context.Background(), ownerQ, 10); err == nil {
+		t.Fatal("TopKCtx answered with the owner shard partitioned")
+	}
+
+	// Heal and the strict surface recovers.
+	cl.Faults[2].Heal()
+	if _, err := cl.Coord.TopK(0, 10); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}

@@ -1,0 +1,286 @@
+package dist_test
+
+// Replication convergence as a property: for ANY interleaving of
+// Insert/Delete/Compact on a primary, a follower tailing the delta
+// log reaches the same Version() and ranks bit-identically. The build
+// pipeline is deterministic end to end, so replay is not "close" —
+// it is equality, and these tests pin it that way. Both transports
+// are exercised: the in-process LogSource and the real HTTP log
+// endpoint (binary codec, 410 truncation contract, snapshot
+// bootstrap).
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"mogul"
+	"mogul/dist"
+	"mogul/dist/disttest"
+)
+
+// buildPair builds a primary and a follower from the same points —
+// bit-identical twins at version 1.
+func buildPair(t *testing.T, points []mogul.Vector, opts mogul.Options) (*mogul.Index, *mogul.Index) {
+	t.Helper()
+	primary, err := mogul.Build(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := mogul.Build(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return primary, follower
+}
+
+// assertConverged checks version parity and bit-identical rankings
+// over every live id.
+func assertConverged(t *testing.T, primary, follower *mogul.Index, stage string) {
+	t.Helper()
+	if p, f := primary.Version(), follower.Version(); p != f {
+		t.Fatalf("%s: version diverged: primary %d, follower %d", stage, p, f)
+	}
+	if p, f := primary.Len(), follower.Len(); p != f {
+		t.Fatalf("%s: Len diverged: primary %d, follower %d", stage, p, f)
+	}
+	for q := 0; q < primary.IDSpace(); q++ {
+		if !primary.Alive(q) {
+			if follower.Alive(q) {
+				t.Fatalf("%s: id %d dead on primary, alive on follower", stage, q)
+			}
+			continue
+		}
+		want, err := primary.TopK(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := follower.TopK(q, 10)
+		if err != nil {
+			t.Fatalf("%s: follower TopK(%d): %v", stage, q, err)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s: TopK(%d) diverged:\nprimary  %v\nfollower %v", stage, q, want, got)
+		}
+	}
+}
+
+// mutateRandomly applies n random mutations (weighted toward inserts)
+// and returns how many were applied.
+func mutateRandomly(t *testing.T, ix *mogul.Index, rng *rand.Rand, dim, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // insert
+			v := make(mogul.Vector, dim)
+			for d := range v {
+				v[d] = rng.NormFloat64()
+			}
+			if _, err := ix.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+		case op < 9: // delete a random live id
+			space := ix.IDSpace()
+			for tries := 0; tries < 32; tries++ {
+				id := rng.Intn(space)
+				if ix.Alive(id) {
+					if err := ix.Delete(id); err != nil {
+						t.Fatal(err)
+					}
+					break
+				}
+			}
+		default:
+			if err := ix.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestReplicationConvergenceProperty: random interleavings over
+// several seeds, applied through the in-process log source.
+func TestReplicationConvergenceProperty(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 120, Classes: 4, Dim: 6, WithinStd: 0.3, Separation: 3, Seed: 3})
+	for seed := int64(1); seed <= 4; seed++ {
+		primary, follower := buildPair(t, ds.Points, mogul.Options{Seed: 5})
+		rep := dist.NewReplicator(dist.IndexSource(primary), follower, primary.Version())
+		rng := rand.New(rand.NewSource(seed))
+		for round := 0; round < 3; round++ {
+			mutateRandomly(t, primary, rng, 6, 15)
+			if _, err := rep.CatchUp(context.Background()); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			assertConverged(t, primary, follower, "in-process")
+		}
+		if rep.Cursor() != primary.Version() {
+			t.Fatalf("seed %d: cursor %d, primary version %d", seed, rep.Cursor(), primary.Version())
+		}
+	}
+}
+
+// TestReplicationAutoCompactInterleaving: a primary whose inserts
+// trigger auto-compaction logs Insert+Compact pairs; replay keeps the
+// follower's counters locked in step through them.
+func TestReplicationAutoCompactInterleaving(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 100, Classes: 4, Dim: 6, WithinStd: 0.3, Separation: 3, Seed: 3})
+	opts := mogul.Options{Seed: 5, AutoCompactFraction: 0.1}
+	primary, follower := buildPair(t, ds.Points, opts)
+	rep := dist.NewReplicator(dist.IndexSource(primary), follower, primary.Version())
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 25; i++ {
+		v := make(mogul.Vector, 6)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rep.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, follower, "auto-compact")
+}
+
+// TestReplicationOverHTTP: the follower tails the primary through a
+// real shard server — binary log codec on the wire, cursor handoff in
+// the query string — and converges identically.
+func TestReplicationOverHTTP(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 120, Classes: 4, Dim: 6, WithinStd: 0.3, Separation: 3, Seed: 3})
+	cl := disttest.NewCluster(t, disttest.ClusterConfig{
+		Shards: 1,
+		Points: ds.Points,
+		Build:  mogul.Options{Seed: 5},
+		Client: dist.ClientOptions{Timeout: 5 * time.Second},
+	})
+	primary := cl.Servers[0].Index()
+	follower, err := mogul.Build(ds.Points, mogul.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := dist.NewReplicator(cl.Clients[0], follower, primary.Version())
+	rng := rand.New(rand.NewSource(2))
+	mutateRandomly(t, primary, rng, 6, 20)
+	if _, err := rep.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, follower, "http")
+
+	// The follower acknowledges its cursor; the primary trims its log.
+	before := primary.LogLen()
+	if err := cl.Clients[0].TruncateLog(context.Background(), rep.Cursor()); err != nil {
+		t.Fatal(err)
+	}
+	if after := primary.LogLen(); after != 0 || before == 0 {
+		t.Fatalf("log trim: %d entries before, %d after", before, after)
+	}
+}
+
+// TestReplicationSnapshotBootstrap: a follower whose cursor fell
+// behind a truncated log gets ErrLogTruncated, bootstraps from the
+// HTTP snapshot (stamped with its exact version), and converges from
+// there — including across the snapshot's version reset.
+func TestReplicationSnapshotBootstrap(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 120, Classes: 4, Dim: 6, WithinStd: 0.3, Separation: 3, Seed: 3})
+	cl := disttest.NewCluster(t, disttest.ClusterConfig{
+		Shards: 1,
+		Points: ds.Points,
+		Build:  mogul.Options{Seed: 5},
+		Client: dist.ClientOptions{Timeout: 5 * time.Second},
+	})
+	primary := cl.Servers[0].Index()
+	client := cl.Clients[0]
+	rng := rand.New(rand.NewSource(4))
+	mutateRandomly(t, primary, rng, 6, 15)
+	primary.TruncateEntries(primary.Version()) // drop the whole log
+
+	// A stale follower cannot catch up incrementally any more.
+	stale, err := mogul.Build(ds.Points, mogul.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleRep := dist.NewReplicator(client, stale, 1)
+	if _, err := staleRep.CatchUp(context.Background()); !errors.Is(err, dist.ErrLogTruncated) {
+		t.Fatalf("stale catch-up: got %v, want ErrLogTruncated", err)
+	}
+
+	// Bootstrap from the snapshot, then keep tailing new mutations.
+	rep, follower, err := dist.Bootstrap(context.Background(), client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A loaded snapshot restarts at version 1 while the primary is far
+	// ahead; the replicator's offset bridges the gap.
+	if follower.Version() != 1 {
+		t.Fatalf("loaded snapshot at version %d, want 1", follower.Version())
+	}
+	mutateRandomly(t, primary, rng, 6, 10)
+	if _, err := rep.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p, f := primary.Len(), follower.Len(); p != f {
+		t.Fatalf("bootstrap: Len diverged: primary %d, follower %d", p, f)
+	}
+	if rep.Cursor() != primary.Version() {
+		t.Fatalf("bootstrap: cursor %d, primary version %d", rep.Cursor(), primary.Version())
+	}
+	for q := 0; q < primary.IDSpace(); q += 7 {
+		if !primary.Alive(q) {
+			continue
+		}
+		want, err := primary.TopK(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := follower.TopK(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("bootstrap: TopK(%d) diverged", q)
+		}
+	}
+}
+
+// TestReplicatorRunLoop: the polling loop keeps a follower of a live
+// shard server converged and stops cleanly on context cancellation.
+func TestReplicatorRunLoop(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{N: 100, Classes: 4, Dim: 6, WithinStd: 0.3, Separation: 3, Seed: 3})
+	cl := disttest.NewCluster(t, disttest.ClusterConfig{
+		Shards: 1,
+		Points: ds.Points,
+		Build:  mogul.Options{Seed: 5},
+		Client: dist.ClientOptions{Timeout: 5 * time.Second},
+	})
+	primary := cl.Servers[0].Index()
+	follower, err := mogul.Build(ds.Points, mogul.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := dist.NewReplicator(cl.Clients[0], follower, primary.Version())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rep.Run(ctx, 5*time.Millisecond) }()
+
+	rng := rand.New(rand.NewSource(6))
+	mutateRandomly(t, primary, rng, 6, 10)
+	target := primary.Version()
+	deadline := time.After(5 * time.Second)
+	for follower.Version() != target {
+		select {
+		case <-deadline:
+			cancel()
+			t.Fatalf("follower stuck at version %d, primary at %d", follower.Version(), target)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	assertConverged(t, primary, follower, "run-loop")
+}

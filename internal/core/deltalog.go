@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mogul/internal/binio"
+	"mogul/internal/vec"
+)
+
+// The mutation delta log: the replication transport of the dist
+// subsystem.
+//
+// Every visible mutation — Insert, Delete, Compact — already bumps the
+// index's monotonic version counter. The delta log records, for each
+// bump, WHAT changed: the inserted vector, the deleted id, or a
+// compaction marker. Because the whole build pipeline is deterministic
+// for a fixed seed (the Compact ≡ Build property, PR 2), a second
+// index that starts from the same state and replays the log entries in
+// order reconstructs a bit-identical index — including the id
+// renumbering a post-deletion compaction performs. That makes the pair
+// (snapshot, EntriesSince(cursor)) a complete replication protocol:
+// followers tail the log keyed by the version cursor, and convergence
+// is "follower.Version() == primary.Version()".
+//
+// Entries are tiny (a Delete is two words, an Insert one vector), so
+// the log's memory cost tracks the mutation rate, not the index size.
+// TruncateEntries lets an owner drop entries its followers have
+// acknowledged; a follower whose cursor predates the retained window
+// must bootstrap from a fresh snapshot (EntriesSince reports this
+// explicitly rather than silently returning a gap).
+
+// LogOp identifies one kind of logged mutation.
+type LogOp uint8
+
+const (
+	// OpInsert records an Insert: ID is the id the insert returned,
+	// Vector the inserted point.
+	OpInsert LogOp = iota + 1
+	// OpDelete records a Delete of item ID.
+	OpDelete
+	// OpCompact records a Compact that folded the delta into a fresh
+	// base (no-op compactions log nothing, exactly as they bump no
+	// version).
+	OpCompact
+)
+
+// String names the op for logs and errors.
+func (op LogOp) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpCompact:
+		return "compact"
+	}
+	return fmt.Sprintf("LogOp(%d)", uint8(op))
+}
+
+// LogEntry is one logged mutation. Version is the index version the
+// mutation produced (the value Version() returned once the mutation
+// was visible), so a follower that has applied entries through version
+// V resumes with EntriesSince(V).
+type LogEntry struct {
+	Version uint64
+	Op      LogOp
+	// ID is the inserted item's assigned id (OpInsert) or the deleted
+	// id (OpDelete); 0 for OpCompact.
+	ID int
+	// Vector is the inserted point (OpInsert only). It aliases index
+	// storage; treat as read-only.
+	Vector vec.Vector
+}
+
+// appendLogLocked records one mutation at the current version. Callers
+// hold the write lock and have already bumped version — the entry is
+// stamped with the post-mutation value so cursor arithmetic is simply
+// "entries with Version > cursor".
+func (ix *Index) appendLogLocked(op LogOp, id int, v vec.Vector) {
+	if ix.logStart == 0 {
+		ix.logStart = ix.version.Load() - 1
+	}
+	ix.log = append(ix.log, LogEntry{Version: ix.version.Load(), Op: op, ID: id, Vector: v})
+}
+
+// logAnchor returns the version the retained log is anchored at:
+// entries cover (anchor, Version()]. Callers hold mu in any mode.
+func (ix *Index) logAnchor() uint64 {
+	if ix.logStart == 0 {
+		// No entry was ever logged and nothing truncated: the log is
+		// anchored at the initial version (1 for a fresh build or load).
+		return ix.version.Load()
+	}
+	return ix.logStart
+}
+
+// EntriesSince returns a copy of the logged mutations with Version >
+// since, oldest first — the tail a replication follower whose cursor
+// is at `since` must apply to catch up. The second return reports
+// whether the log still reaches back to `since`: false means entries
+// past the cursor have been truncated (or the index was loaded from a
+// snapshot taken after them) and the follower must bootstrap from a
+// fresh snapshot instead.
+func (ix *Index) EntriesSince(since uint64) ([]LogEntry, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if since < ix.logAnchor() {
+		return nil, false
+	}
+	// Binary search would do, but the tail a follower asks for is
+	// almost always the whole suffix after its cursor; a reverse scan
+	// finds the cut in O(len(tail)).
+	cut := len(ix.log)
+	for cut > 0 && ix.log[cut-1].Version > since {
+		cut--
+	}
+	if cut == len(ix.log) {
+		return nil, true
+	}
+	out := make([]LogEntry, len(ix.log)-cut)
+	copy(out, ix.log[cut:])
+	return out, true
+}
+
+// TruncateEntries drops logged mutations with Version <= upTo,
+// bounding the log's memory to the un-acknowledged tail. After the
+// call, EntriesSince(v) with v < upTo reports the log as truncated.
+func (ix *Index) TruncateEntries(upTo uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if upTo <= ix.logAnchor() {
+		return
+	}
+	if v := ix.version.Load(); upTo > v {
+		upTo = v
+	}
+	keep := len(ix.log)
+	for keep > 0 && ix.log[keep-1].Version > upTo {
+		keep--
+	}
+	ix.log = append(ix.log[:0:0], ix.log[keep:]...)
+	ix.logStart = upTo
+}
+
+// LogLen returns the number of retained log entries.
+func (ix *Index) LogLen() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.log)
+}
+
+// Wire codec: the framing the dist subsystem ships log tails in. Same
+// idioms as the index container (docs/FORMAT.md): little-endian magic
+// + format version, length-prefixed payload, trailing CRC-32, and
+// errors-never-panics on arbitrary input.
+
+// logMagic brands a serialized log tail.
+const logMagic = "MOGULLOG"
+
+// logFormatVersion is the wire version of the entry stream.
+const logFormatVersion = 1
+
+// maxLogVectorDim bounds a decoded vector length, so a corrupt count
+// fails fast instead of attempting a huge allocation.
+const maxLogVectorDim = 1 << 24
+
+// WriteLogEntries serializes a log tail for the wire.
+func WriteLogEntries(w io.Writer, entries []LogEntry) error {
+	bw := binio.NewWriter(w)
+	bw.Raw([]byte(logMagic))
+	bw.Uint32(logFormatVersion)
+	bw.Uint64(uint64(len(entries)))
+	for _, e := range entries {
+		bw.Uint64(e.Version)
+		bw.Uint32(uint32(e.Op))
+		bw.Int(e.ID)
+		if e.Op == OpInsert {
+			bw.Floats(e.Vector)
+		} else {
+			bw.Floats(nil)
+		}
+	}
+	bw.Uint32(bw.Sum32())
+	return bw.Err()
+}
+
+// ReadLogEntries decodes a log tail written by WriteLogEntries,
+// validating framing, op codes, version monotonicity, and the trailing
+// checksum; malformed input yields an error, never a panic.
+func ReadLogEntries(r io.Reader) ([]LogEntry, error) {
+	br := binio.NewReader(r)
+	var magic [8]byte
+	br.Raw(magic[:])
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading log header: %w", err)
+	}
+	if string(magic[:]) != logMagic {
+		return nil, fmt.Errorf("core: not a mogul delta log (magic %q)", magic[:])
+	}
+	if v := br.Uint32(); v != logFormatVersion {
+		return nil, fmt.Errorf("core: delta log format version %d, this build reads %d", v, logFormatVersion)
+	}
+	num := br.Uint64()
+	if num > binio.MaxCount {
+		return nil, fmt.Errorf("core: corrupt delta log: %d entries", num)
+	}
+	entries := make([]LogEntry, 0, min(num, 1<<16))
+	var prev uint64
+	for i := uint64(0); i < num; i++ {
+		e := LogEntry{
+			Version: br.Uint64(),
+			Op:      LogOp(br.Uint32()),
+			ID:      br.Int(),
+		}
+		vec := br.Floats(maxLogVectorDim)
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("core: decoding log entry %d: %w", i, err)
+		}
+		switch e.Op {
+		case OpInsert:
+			if len(vec) == 0 {
+				return nil, fmt.Errorf("core: log entry %d: insert without a vector", i)
+			}
+			e.Vector = vec
+		case OpDelete, OpCompact:
+			if len(vec) != 0 {
+				return nil, fmt.Errorf("core: log entry %d: %s op carries a vector", i, e.Op)
+			}
+		default:
+			return nil, fmt.Errorf("core: log entry %d: unknown op %d", i, uint8(e.Op))
+		}
+		if e.Version <= prev {
+			return nil, fmt.Errorf("core: log entry %d: version %d not after %d", i, e.Version, prev)
+		}
+		if e.ID < 0 {
+			return nil, fmt.Errorf("core: log entry %d: negative id %d", i, e.ID)
+		}
+		prev = e.Version
+		entries = append(entries, e)
+	}
+	sum := br.Sum32()
+	if crc := br.Uint32(); br.Err() == nil && crc != sum {
+		return nil, fmt.Errorf("core: delta log checksum mismatch: stored %08x, computed %08x", crc, sum)
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading delta log trailer: %w", err)
+	}
+	return entries, nil
+}

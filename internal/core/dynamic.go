@@ -144,7 +144,8 @@ func (ix *Index) Insert(v vec.Vector) (int, error) {
 	ix.mu.Lock()
 	d := &ix.delta
 	id := n + len(d.points)
-	d.points = append(d.points, slices.Clone(v))
+	pt := slices.Clone(v)
+	d.points = append(d.points, pt)
 	d.probes = append(d.probes, probes)
 	d.weights = append(d.weights, weights)
 	d.dead = append(d.dead, false)
@@ -159,6 +160,7 @@ func (ix *Index) Insert(v vec.Vector) (int, error) {
 	// Bump under the write lock: any search that can see the new item
 	// also sees the new version (the stamp result caches invalidate on).
 	ix.version.Add(1)
+	ix.appendLogLocked(OpInsert, id, pt)
 	ix.mu.Unlock()
 
 	// Auto-compaction: once the delta outgrows the configured fraction
@@ -243,6 +245,7 @@ func (ix *Index) Delete(id int) error {
 		}
 	}
 	ix.version.Add(1)
+	ix.appendLogLocked(OpDelete, id, nil)
 	return nil
 }
 
@@ -319,6 +322,7 @@ func (ix *Index) compactLocked() error {
 func (ix *Index) adoptLocked(src *Index) {
 	ix.epoch++
 	ix.version.Add(1)
+	ix.appendLogLocked(OpCompact, 0, nil)
 	ix.graph = src.graph
 	ix.alpha = src.alpha
 	ix.exact = src.exact

@@ -150,6 +150,14 @@ type Index struct {
 	// (pooled across a Compact) are caught by the epoch check.
 	scratchPool sync.Pool
 
+	// log records every logged mutation since logStart (deltalog.go):
+	// the replication feed followers tail via EntriesSince. logStart is
+	// the version the retained log is anchored at (entries cover
+	// (logStart, version]); 0 means "nothing logged or truncated yet",
+	// i.e. anchored at the initial version. Both guarded by mu.
+	log      []LogEntry
+	logStart uint64
+
 	graph  *knn.Graph
 	alpha  float64
 	exact  bool

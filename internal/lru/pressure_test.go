@@ -1,0 +1,122 @@
+package lru
+
+// Byte-pressure races: concurrent writers slamming a small cache with
+// a mix of normal and oversized entries, plus readers and deleters.
+// The invariants that must hold at every quiescent point (and that
+// -race must bless along the way):
+//
+//   - resident bytes never exceed the configured budget,
+//   - an entry larger than its shard's budget is NEVER resident —
+//     including when it arrives as a replacement for a smaller
+//     resident value (the replace path must evict the old value, not
+//     update it in place and blow the budget),
+//   - eviction under pressure converges (no livelock, no negative
+//     byte accounting).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestOversizedReplaceEvicts: replacing a resident small value with
+// an oversized one removes the key entirely instead of growing the
+// shard past its budget.
+func TestOversizedReplaceEvicts(t *testing.T) {
+	c := New[string, string](64, 1) // one shard, 64-byte budget
+	if !c.Set("k", "small", 8) {
+		t.Fatal("small entry rejected")
+	}
+	if c.Set("k", "huge", 65) {
+		t.Fatal("oversized replacement admitted")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("key still resident after oversized replacement")
+	}
+	if got := c.Bytes(); got != 0 {
+		t.Fatalf("bytes %d after oversized replacement, want 0", got)
+	}
+}
+
+// TestByteBudgetUnderConcurrentPressure: writers race normal entries,
+// oversized entries, replacements and deletes against readers on a
+// deliberately tiny budget, then every invariant is checked.
+func TestByteBudgetUnderConcurrentPressure(t *testing.T) {
+	const (
+		shards   = 4
+		budget   = int64(shards * 128) // 128 bytes per shard
+		writers  = 8
+		rounds   = 300
+		keySpace = 32
+	)
+	c := New[string, string](budget, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("k%d", (w*rounds+i)%keySpace)
+				switch i % 5 {
+				case 0, 1: // normal entry
+					c.Set(key, "v", 32)
+				case 2: // oversized: must never become resident
+					if c.Set(key, "huge", 129) {
+						t.Errorf("oversized Set(%s) reported resident", key)
+						return
+					}
+				case 3:
+					c.Get(key)
+				case 4:
+					c.Delete(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Bytes(); got > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", got, budget)
+	}
+	if got := c.Bytes(); got < 0 {
+		t.Fatalf("negative byte accounting: %d", got)
+	}
+	// Whatever survived must be readable and consistently counted.
+	st := c.Stats()
+	if st.Bytes != c.Bytes() || st.Entries != c.Len() {
+		t.Fatalf("stats disagree with accessors: %+v vs bytes=%d len=%d", st, c.Bytes(), c.Len())
+	}
+	// The cache must still work after the storm.
+	if !c.Set("fresh", "v", 16) {
+		t.Fatal("cache wedged after pressure storm")
+	}
+	if v, ok := c.Get("fresh"); !ok || v != "v" {
+		t.Fatal("fresh entry unreadable after pressure storm")
+	}
+}
+
+// TestEvictionConvergesAtExactBudget: entries that exactly fill the
+// budget are admitted and pressure beyond evicts precisely enough —
+// the boundary where an off-by-one in the eviction loop would either
+// livelock or under-evict.
+func TestEvictionConvergesAtExactBudget(t *testing.T) {
+	c := New[string, string](128, 1)
+	if !c.Set("a", "v", 128) {
+		t.Fatal("entry at exactly the budget rejected")
+	}
+	if got := c.Bytes(); got != 128 {
+		t.Fatalf("bytes %d, want 128", got)
+	}
+	// A second full-budget entry must evict the first, not coexist.
+	if !c.Set("b", "v", 128) {
+		t.Fatal("second full-budget entry rejected")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("evicted entry still resident")
+	}
+	if got := c.Bytes(); got != 128 {
+		t.Fatalf("bytes %d after turnover, want 128", got)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("eviction not counted")
+	}
+}

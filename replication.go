@@ -1,0 +1,144 @@
+package mogul
+
+import (
+	"fmt"
+	"io"
+
+	"mogul/internal/core"
+)
+
+// Replication surface: the delta log a distributed follower tails to
+// mirror a primary index, plus the per-shard affinity accessors the
+// dist coordinator needs to reproduce the sharded fan-out weighting
+// across process boundaries. See docs/DISTRIBUTED.md.
+
+// LogOp identifies one kind of logged mutation (insert, delete,
+// compact).
+type LogOp = core.LogOp
+
+// The logged mutation kinds.
+const (
+	OpInsert  = core.OpInsert
+	OpDelete  = core.OpDelete
+	OpCompact = core.OpCompact
+)
+
+// LogEntry is one logged mutation, stamped with the Version() the
+// mutation produced. A follower that has applied entries through
+// version V resumes with EntriesSince(V).
+type LogEntry = core.LogEntry
+
+// EntriesSince returns a copy of the mutations logged after `since`
+// (a Version() reading), oldest first. The second return reports
+// whether the log still reaches back that far: false means entries
+// past the cursor were truncated (TruncateEntries, or a load from a
+// snapshot) and the follower must bootstrap from a fresh snapshot.
+func (ix *Index) EntriesSince(since uint64) ([]LogEntry, bool) {
+	return ix.core.EntriesSince(since)
+}
+
+// TruncateEntries drops logged mutations with Version <= upTo,
+// bounding the log's memory to the un-acknowledged tail.
+func (ix *Index) TruncateEntries(upTo uint64) { ix.core.TruncateEntries(upTo) }
+
+// LogLen returns the number of retained delta-log entries.
+func (ix *Index) LogLen() int { return ix.core.LogLen() }
+
+// WriteLogEntries serializes a log tail in the wire format the dist
+// subsystem ships replication feeds in (docs/FORMAT.md idioms: magic,
+// format version, trailing CRC-32).
+func WriteLogEntries(w io.Writer, entries []LogEntry) error {
+	return core.WriteLogEntries(w, entries)
+}
+
+// ReadLogEntries decodes a log tail written by WriteLogEntries;
+// malformed input yields an error, never a panic.
+func ReadLogEntries(r io.Reader) ([]LogEntry, error) {
+	return core.ReadLogEntries(r)
+}
+
+// SaveFileFunc writes whatever save streams to path with the same
+// atomic temp-file-and-rename discipline SaveFile uses, so external
+// Retriever implementations (a remote-shard client proxying a
+// snapshot) get crash-safe SaveFile semantics for free.
+func SaveFileFunc(path string, save func(io.Writer) error) error {
+	return saveFileAtomic(path, save)
+}
+
+// Point returns the stored feature vector of a live item. The slice
+// aliases index storage; treat as read-only. The dist shard server
+// uses it to hand an in-database query's vector to the coordinator so
+// non-owning shards can be probed out-of-sample.
+func (ix *Index) Point(id int) (Vector, error) { return ix.core.Point(id) }
+
+// SurrogateAffinity runs only the surrogate-selection phase of an
+// out-of-sample search and returns the query's raw kernel affinity to
+// this index (the mean heat-kernel weight of its selected surrogate
+// neighbours) without searching. The sharded fan-out — in-process and
+// distributed alike — prices each shard's contribution by this value.
+func (ix *Index) SurrogateAffinity(q Vector) (float64, error) {
+	s := ix.core.AcquireScratch()
+	defer ix.core.ReleaseScratch(s)
+	return ix.core.SurrogateAffinity(s, q)
+}
+
+// TopKVectorWithAffinity is TopKVector plus the query's raw kernel
+// affinity to this index — the two values a fan-out coordinator needs
+// from a non-owning shard in one round trip.
+func (ix *Index) TopKVectorWithAffinity(q Vector, k int) ([]Result, float64, error) {
+	s := ix.core.AcquireScratch()
+	defer ix.core.ReleaseScratch(s)
+	res, err := ix.core.TopKVectorScratch(s, q, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, s.OOSAffinity(), nil
+}
+
+// TopKSetWeighted ranks database items against seed items that all
+// carry the given query weight — the per-shard half of a distributed
+// set query, where each shard searches the seeds it owns at the
+// global weight 1/len(all seeds) so query mass stays consistent
+// across the fan-out.
+func (ix *Index) TopKSetWeighted(seeds []int, weight float64, k int) ([]Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("mogul: TopKSetWeighted needs at least one seed item")
+	}
+	wq := make([]core.WeightedQuery, len(seeds))
+	for i, s := range seeds {
+		wq[i] = core.WeightedQuery{Node: s, Weight: weight}
+	}
+	res, _, err := ix.core.SearchMulti(wq, core.SearchOptions{K: k})
+	return res, err
+}
+
+// IDSpace returns the total id space (live items plus tombstoned
+// slots): valid item ids lie in [0, IDSpace()).
+func (ix *Index) IDSpace() int { return ix.core.IDSpace() }
+
+// Alive reports whether id addresses a live (non-deleted, in-range)
+// item. Together with IDSpace it lets a distributed coordinator
+// snapshot a shard's liveness before a compaction renumbers ids.
+func (ix *Index) Alive(id int) bool { return ix.core.Alive(id) }
+
+// TopKWithVector is TopK plus the query item's stored vector and the
+// owning index's affinity to it — everything the distributed
+// coordinator needs from the owner shard in one round trip to probe
+// the remaining shards and scale their answers.
+func (ix *Index) TopKWithVector(query, k int) (res []Result, qvec Vector, ownAff float64, err error) {
+	s := ix.core.AcquireScratch()
+	defer ix.core.ReleaseScratch(s)
+	res, err = ix.core.TopKScratch(s, query, k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	qvec, err = ix.core.Point(query)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	ownAff, err = ix.core.SurrogateAffinity(s, qvec)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res, qvec, ownAff, nil
+}

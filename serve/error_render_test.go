@@ -1,0 +1,172 @@
+package serve
+
+// Regression tests for the unified error rendering contract: every
+// error response — including 429 shed responses, which carry a
+// Retry-After header — must also carry Content-Type:
+// application/json and a {"error": msg} body. The shed path builds
+// its response in two steps (header, then body via the shared
+// renderer), so a refactor could plausibly drop one half; this pins
+// both. Plus parseK edge cases: k > n is legal (the engine clamps to
+// the live set), k = MaxInt must not overflow anything on the way
+// down.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// checkErrorShape asserts the canonical error response: JSON
+// Content-Type and an {"error": non-empty} body.
+func checkErrorShape(t *testing.T, rec *httptest.ResponseRecorder, wantStatus int) string {
+	t.Helper()
+	if rec.Code != wantStatus {
+		t.Fatalf("status %d, want %d", rec.Code, wantStatus)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if body.Error == "" {
+		t.Fatalf("body %q lacks an error message", rec.Body.String())
+	}
+	return body.Error
+}
+
+// TestShedResponseShape: the 429 shed response carries BOTH the
+// Retry-After header and the canonical JSON error body.
+func TestShedResponseShape(t *testing.T) {
+	idx, _ := testIndex(t)
+	s := New(idx, Options{RetryAfter: 3 * time.Second})
+	defer s.Close()
+	rec := httptest.NewRecorder()
+	s.shed(rec)
+	checkErrorShape(t, rec, http.StatusTooManyRequests)
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", ra)
+	}
+	// Sub-second hints round UP to a whole second, never to 0.
+	s2 := New(idx, Options{RetryAfter: 300 * time.Millisecond})
+	defer s2.Close()
+	rec2 := httptest.NewRecorder()
+	s2.shed(rec2)
+	if ra := rec2.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("sub-second Retry-After %q, want \"1\"", ra)
+	}
+}
+
+// TestErrorShapeAcrossEndpoints: a sample of error paths on every
+// endpoint family renders the same shape.
+func TestErrorShapeAcrossEndpoints(t *testing.T) {
+	idx, _ := testIndex(t)
+	s := New(idx, Options{})
+	defer s.Close()
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"search bad method", http.MethodPost, "/search?id=1", "", http.StatusMethodNotAllowed},
+		{"search bad id", http.MethodGet, "/search?id=x", "", http.StatusBadRequest},
+		{"search bad k", http.MethodGet, "/search?id=1&k=0", "", http.StatusBadRequest},
+		{"search negative k", http.MethodGet, "/search?id=1&k=-5", "", http.StatusBadRequest},
+		{"vector bad json", http.MethodPost, "/search/vector", "{", http.StatusBadRequest},
+		{"set empty ids", http.MethodPost, "/search/set", `{"ids":[],"k":5}`, http.StatusBadRequest},
+		{"batch bad json", http.MethodPost, "/search/batch", "{", http.StatusBadRequest},
+		{"insert bad json", http.MethodPost, "/insert", "{", http.StatusBadRequest},
+		{"delete bad body", http.MethodPost, "/delete", `{"id":"x"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := newBodyRequest(tc.method, tc.path, tc.body)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			checkErrorShape(t, rec, tc.wantStatus)
+		})
+	}
+}
+
+func newBodyRequest(method, path, body string) *http.Request {
+	if body == "" {
+		return httptest.NewRequest(method, path, nil)
+	}
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	return req
+}
+
+// TestParseKEdges pins parseK/normalizeK at the edges: absent
+// defaults to 10, zero and negatives reject, and values far past any
+// index size — up to MaxInt — pass through for the engine to clamp.
+func TestParseKEdges(t *testing.T) {
+	cases := []struct {
+		raw    string
+		want   int
+		wantOK bool
+	}{
+		{"", 10, true},
+		{"1", 1, true},
+		{"0", 0, false},
+		{"-3", 0, false},
+		{"x", 0, false},
+		{"2.5", 0, false},
+		{strconv.Itoa(math.MaxInt), math.MaxInt, true},
+		// Overflow past MaxInt must reject, not wrap negative.
+		{strconv.Itoa(math.MaxInt) + "0", 0, false},
+	}
+	for _, tc := range cases {
+		k, err := parseK(tc.raw)
+		if tc.wantOK != (err == nil) {
+			t.Fatalf("parseK(%q): err=%v, wantOK=%v", tc.raw, err, tc.wantOK)
+		}
+		if tc.wantOK && k != tc.want {
+			t.Fatalf("parseK(%q) = %d, want %d", tc.raw, k, tc.want)
+		}
+	}
+	if k, err := normalizeK(0); err != nil || k != 10 {
+		t.Fatalf("normalizeK(0) = %d, %v; want 10, nil", k, err)
+	}
+	if _, err := normalizeK(-1); err == nil {
+		t.Fatal("normalizeK(-1) accepted")
+	}
+	if k, err := normalizeK(math.MaxInt); err != nil || k != math.MaxInt {
+		t.Fatalf("normalizeK(MaxInt) = %d, %v", k, err)
+	}
+}
+
+// TestSearchHugeK: k far beyond the index size — including MaxInt —
+// answers 200 with every live item, proving the clamp happens in the
+// engine and nothing between the HTTP layer and it chokes on the
+// magnitude (no allocation sized by k anywhere on the path).
+func TestSearchHugeK(t *testing.T) {
+	idx, ds := testIndex(t)
+	n := ds.Len()
+	s := New(idx, Options{})
+	defer s.Close()
+	for _, k := range []int{n, n + 1, 10 * n, math.MaxInt} {
+		req := httptest.NewRequest(http.MethodGet, "/search?id=0&k="+strconv.Itoa(k), nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("k=%d: status %d: %s", k, rec.Code, rec.Body.String())
+		}
+		var resp struct {
+			Answers []answer `json:"answers"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Answers) != n {
+			t.Fatalf("k=%d returned %d answers, want all %d live items", k, len(resp.Answers), n)
+		}
+	}
+}

@@ -596,6 +596,17 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
+// WriteError renders the canonical error body — application/json,
+// {"error": msg} — every endpoint of this server uses. Layers that
+// extend the server with their own endpoints (e.g. the dist shard
+// server) should render errors through it too, so clients parse one
+// format across the whole surface and the Content-Type can never
+// drift per path.
+func WriteError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeError is the package-internal spelling of WriteError.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	WriteError(w, status, msg)
 }
