@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"mogul"
@@ -317,4 +318,96 @@ func expSharded(l *lab) {
 	}
 	fmt.Printf("Sharded fan-out on %s (k-means partitioner, top-%d, oracle = unsharded index)\n", ds.Name, k)
 	emitTable(rows)
+}
+
+// expEMR maps the anchor-graph engine's recall/latency frontier
+// (docs/EMR.md): a fine-grained retrieval mixture (micro-clusters of
+// ~10 near-duplicates, low intrinsic dimension — the regime the
+// EMR engine targets), the exact engine as oracle, and BuildEMR at a
+// sweep of anchor counts. Search times are median per out-of-sample
+// query; recall@10 counts overlap with the oracle's top-10.
+func expEMR(l *lab) {
+	const k = 10
+	n := l.scale.nus
+	ds := mogul.NewMixture(mogul.MixtureConfig{
+		N: n, Classes: n / 10, Dim: 8, WithinStd: 0.25, Separation: 3.0, Seed: l.seed,
+	})
+	queries := emrQueryVectors(ds.Points, 32, l.seed)
+
+	t0 := time.Now()
+	exact, err := mogul.Build(ds.Points, mogul.Options{Exact: true, ApproximateGraph: true, Seed: l.seed})
+	if err != nil {
+		fatal(err)
+	}
+	exactBuild := time.Since(t0)
+	ref := make([][]int, len(queries))
+	for i, q := range queries {
+		res, err := exact.TopKVector(q, k)
+		if err != nil {
+			fatal(err)
+		}
+		ref[i] = eval.TopKIDs(res)
+	}
+	exactTimes := make([]time.Duration, 0, len(queries))
+	for _, q := range queries {
+		t1 := time.Now()
+		if _, err := exact.TopKVector(q, k); err != nil {
+			fatal(err)
+		}
+		exactTimes = append(exactTimes, time.Since(t1))
+	}
+
+	rows := [][]string{{"engine", "anchors", "build [s]", "search [s]", "recall@10"}}
+	rows = append(rows, []string{
+		"MogulE (oracle)", "-", eval.Seconds(exactBuild),
+		eval.Seconds(medianDuration(exactTimes)), "1.000",
+	})
+	for _, p := range []int{256, 512, 1024, 2048, 2560} {
+		if p > n/4 {
+			continue
+		}
+		t1 := time.Now()
+		engine, err := mogul.BuildEMR(ds.Points, mogul.Options{Seed: l.seed}, mogul.EMROptions{
+			NumAnchors: p, NumNearestAnchors: 24,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		build := time.Since(t1)
+		var recall float64
+		times := make([]time.Duration, 0, len(queries))
+		for i, q := range queries {
+			t2 := time.Now()
+			res, err := engine.TopKVector(q, k)
+			if err != nil {
+				fatal(err)
+			}
+			times = append(times, time.Since(t2))
+			recall += eval.PAtK(eval.TopKIDs(res), ref[i])
+		}
+		recall /= float64(len(queries))
+		rows = append(rows, []string{
+			"EMR", fmt.Sprintf("%d", p), eval.Seconds(build),
+			eval.Seconds(medianDuration(times)), fmt.Sprintf("%.3f", recall),
+		})
+	}
+	fmt.Printf("EMR anchor-graph engine on %s (top-%d, oracle = exact MogulE, out-of-sample queries)\n", ds.Name, k)
+	emitTable(rows)
+}
+
+// emrQueryVectors derives out-of-sample queries by perturbing stored
+// points — the near-duplicate lookup workload the frontier is
+// measured on.
+func emrQueryVectors(pts []mogul.Vector, count int, seed int64) []mogul.Vector {
+	rng := rand.New(rand.NewSource(seed ^ 0x5f5e))
+	out := make([]mogul.Vector, count)
+	for i := range out {
+		base := pts[rng.Intn(len(pts))]
+		q := make(mogul.Vector, len(base))
+		for j := range q {
+			q[j] = base[j] + 0.05*rng.NormFloat64()
+		}
+		out[i] = q
+	}
+	return out
 }

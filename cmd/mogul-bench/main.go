@@ -65,8 +65,9 @@ func main() {
 		"serving":  expServing,
 		"sharded":  expSharded,
 		"dist":     expDist,
+		"emr":      expEMR,
 	}
-	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded", "dist"}
+	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded", "dist", "emr"}
 
 	var selected []string
 	if *exp == "all" {

@@ -48,13 +48,35 @@ var (
 	_ Backend = LocalShard{}
 )
 
-// LocalShard adapts an in-process *mogul.Index to the Backend
-// surface, so a coordinator can serve mixed local + remote shard
-// sets (e.g. one resident shard plus N remote ones) through one code
-// path. Context cancellation is checked at call entry; the underlying
-// searches are not interruptible mid-flight.
+// ShardIndex is the in-process engine surface a LocalShard adapts:
+// the mogul.Retriever contract plus the vector/affinity/weighted-set
+// entry points the fan-out protocol needs and the id-space metadata
+// the coordinator tracks. Both *mogul.Index and *mogul.EMRIndex
+// satisfy it, so a coordinator can hold flat-graph and anchor-graph
+// shards behind one field.
+type ShardIndex interface {
+	mogul.Retriever
+	TopKWithVector(query, k int) ([]mogul.Result, mogul.Vector, float64, error)
+	TopKVectorWithAffinity(q mogul.Vector, k int) ([]mogul.Result, float64, error)
+	TopKSetWeighted(seeds []int, weight float64, k int) ([]mogul.Result, error)
+	IDSpace() int
+	Alive(id int) bool
+	LogLen() int
+}
+
+var (
+	_ ShardIndex = (*mogul.Index)(nil)
+	_ ShardIndex = (*mogul.EMRIndex)(nil)
+)
+
+// LocalShard adapts an in-process engine (flat *mogul.Index or
+// anchor-graph *mogul.EMRIndex) to the Backend surface, so a
+// coordinator can serve mixed local + remote shard sets (e.g. one
+// resident shard plus N remote ones) through one code path. Context
+// cancellation is checked at call entry; the underlying searches are
+// not interruptible mid-flight.
 type LocalShard struct {
-	Ix *mogul.Index
+	Ix ShardIndex
 }
 
 func (l LocalShard) OwnerSearch(ctx context.Context, local, k int) ([]mogul.Result, mogul.Vector, float64, error) {

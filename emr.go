@@ -1,0 +1,834 @@
+package mogul
+
+// The EMR engine: Efficient Manifold Ranking (Xu et al., SIGIR'11)
+// promoted from comparison baseline (internal/baseline/emr.go) to a
+// first-class serving backend.
+//
+// The exact engine's precompute cost caps n per shard; EMR removes the
+// cap by ranking over an anchor graph instead of the k-NN graph:
+// p ≪ n anchors are chosen with k-means, every point is written as a
+// Nadaraya-Watson weighted combination of its s nearest anchors
+// (sparse Z, p x n), and the normalized graph factors as S = H^T H
+// with H = Lambda^{1/2} Z D^{-1/2}. The Woodbury identity turns the
+// n x n manifold-ranking solve into a p x p one,
+//
+//	x = (1-alpha) (q + alpha H^T (I_p - alpha H H^T)^{-1} H q),
+//
+// whose factorization is query independent. BuildEMR factorizes it
+// exactly once (the baseline's lazily cached factorization raced under
+// concurrent queries; prefactoring removes the race by construction),
+// so a query is a dense p-vector solve plus one streaming pass over
+// the H columns: O(p^2 + n s) with tiny constants, flat in n for the
+// p^2 term and memory-bandwidth bound for the scan. Insert appends an
+// H column against the frozen anchor set (O(p) — no refactorization),
+// Delete tombstones, and Compact re-runs k-means over the live points.
+//
+// *EMRIndex implements the full Retriever surface, so it serves
+// through the serve package, the dist coordinator, and mogul-server
+// interchangeably with the exact and sharded engines. Scores are
+// approximations of exact Manifold Ranking (the anchor graph replaces
+// the k-NN graph); docs/EMR.md maps the recall/latency frontier
+// against the exact engine and says when to choose which.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mogul/internal/baseline"
+	"mogul/internal/dense"
+	"mogul/internal/kmeans"
+	"mogul/internal/topk"
+)
+
+// EMROptions configures the anchor graph of BuildEMR. The zero value
+// gives serving defaults (128 anchors, 5 nearest anchors per point);
+// the shared Options value supplies Alpha, Seed, and
+// AutoCompactFraction (graph-construction fields such as GraphK are
+// ignored — EMR's anchor graph replaces the k-NN graph).
+type EMROptions struct {
+	// NumAnchors is p, the anchor count (k-means centers). More
+	// anchors buy recall at O(p^2) per-query solve cost: the default
+	// 128 suits coarse class-level retrieval; fine-grained workloads
+	// (near-duplicate lookup over micro-clusters) want 2560 with
+	// NumNearestAnchors 24, which holds recall@10 >= 0.9 against the
+	// exact engine at n = 10^5 on the evaluation mixture (docs/EMR.md
+	// maps the frontier).
+	NumAnchors int
+	// NumNearestAnchors is s, the anchors each point attaches to
+	// (default 5, clamped to NumAnchors).
+	NumNearestAnchors int
+}
+
+func (o EMROptions) withDefaults() EMROptions {
+	if o.NumAnchors <= 0 {
+		o.NumAnchors = 128
+	}
+	if o.NumNearestAnchors <= 0 {
+		o.NumNearestAnchors = 5
+	}
+	return o
+}
+
+// emrState is everything a query touches, grouped so Compact can build
+// a replacement off-line and swap it in atomically under the write
+// lock. Within a state, anchors/lambda/colSum/gram are frozen at build
+// time; points/hAnchor/hVal/dead grow or flip under the write lock.
+type emrState struct {
+	dim  int
+	p, s int
+	// anchors are the k-means centers; colSum[k] = sum_i Z_ki over the
+	// base build and lambda[k] = 1/colSum[k] (frozen — delta columns
+	// are attached against the base graph's normalization).
+	anchors        []Vector
+	colSum, lambda []float64
+	// points holds every item ever inserted, by id; dead tombstones.
+	points []Vector
+	dead   []bool
+	// hAnchor/hVal store the H columns flat with stride s (item i owns
+	// [i*s, (i+1)*s)): one cache-friendly streaming array instead of n
+	// little slices, which is what keeps the per-query scan
+	// memory-bandwidth bound.
+	hAnchor []int32
+	hVal    []float64
+	// deadCount counts tombstones; baseN is how many columns the gram
+	// factorization covers (items inserted later are scored but do not
+	// contribute to the factor until Compact folds them in).
+	deadCount int
+	baseN     int
+	// gram is the prefactored p x p system I_p - alpha H H^T.
+	gram  *dense.LU
+	stats Stats
+}
+
+// EMRIndex is the anchor-graph (Efficient Manifold Ranking) serving
+// engine built by BuildEMR. It implements Retriever: searches run
+// concurrently against the immutable base structures (read lock) on
+// pooled per-searcher scratch, while Insert/Delete/Compact mutate the
+// delta state (or swap the whole anchor graph) behind the write lock.
+type EMRIndex struct {
+	alpha float64
+	// seed/autoCompact/eopts are the recorded recipe Compact rebuilds
+	// with, so Insert...Compact converges to exactly what a fresh
+	// BuildEMR over the live points would produce.
+	seed        int64
+	autoCompact float64
+	eopts       EMROptions
+
+	// mu guards st; mutMu serializes mutators so Compact's off-line
+	// rebuild never races another Insert/Delete/Compact while searches
+	// proceed against the old state.
+	mu    sync.RWMutex
+	mutMu sync.Mutex
+	st    *emrState
+
+	version   atomic.Uint64
+	searchers sync.Pool
+}
+
+// Both the engine and its searcher implement the shared serving
+// surfaces.
+var (
+	_ Retriever = (*EMRIndex)(nil)
+	_ Querier   = (*EMRSearcher)(nil)
+)
+
+// BuildEMR constructs the anchor-graph engine over the given feature
+// vectors. opts supplies Alpha, Seed, and AutoCompactFraction (its
+// graph fields are ignored); eopts sizes the anchor graph. The build
+// is deterministic for a fixed seed and query independent: one engine
+// serves any query item, any vector, any k.
+func BuildEMR(points []Vector, opts Options, eopts EMROptions) (*EMRIndex, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("mogul: BuildEMR needs at least one point")
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = 0.99
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("mogul: alpha must lie in (0,1), got %g", alpha)
+	}
+	if opts.AutoCompactFraction < 0 || math.IsNaN(opts.AutoCompactFraction) || math.IsInf(opts.AutoCompactFraction, 0) {
+		return nil, fmt.Errorf("mogul: auto-compact fraction must be finite and non-negative, got %g", opts.AutoCompactFraction)
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("mogul: BuildEMR needs non-empty feature vectors")
+	}
+	for i, pt := range points {
+		if len(pt) != dim {
+			return nil, fmt.Errorf("mogul: point %d has dim %d, want %d", i, len(pt), dim)
+		}
+		for _, x := range pt {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("mogul: point %d has non-finite component %g", i, x)
+			}
+		}
+	}
+	eopts = eopts.withDefaults()
+	st, err := buildEMRState(points, alpha, opts.Seed, eopts)
+	if err != nil {
+		return nil, err
+	}
+	e := &EMRIndex{
+		alpha:       alpha,
+		seed:        opts.Seed,
+		autoCompact: opts.AutoCompactFraction,
+		eopts:       eopts,
+		st:          st,
+	}
+	e.version.Store(1)
+	return e, nil
+}
+
+// buildEMRState runs the offline half of EMR: k-means anchors, the
+// shared anchor attachment (baseline.BuildAnchorGraph — the engine and
+// the baseline produce bit-identical graphs from the same inputs), and
+// the prefactored gram system.
+func buildEMRState(points []Vector, alpha float64, seed int64, eopts EMROptions) (*emrState, error) {
+	n := len(points)
+	p := eopts.NumAnchors
+	if p > n {
+		p = n
+	}
+	s := eopts.NumNearestAnchors
+	if s > p {
+		s = p
+	}
+	t0 := time.Now()
+	km, err := kmeans.Run(points, kmeans.Config{K: p, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("mogul: EMR anchors: %w", err)
+	}
+	clusterTime := time.Since(t0)
+	p = len(km.Centroids)
+	if s > p {
+		s = p
+	}
+	ag := baseline.BuildAnchorGraph(points, km.Centroids, s)
+
+	st := &emrState{
+		dim:     len(points[0]),
+		p:       p,
+		s:       ag.S,
+		anchors: ag.Anchors,
+		colSum:  ag.ColSum,
+		lambda:  ag.Lambda,
+		points:  points,
+		dead:    make([]bool, n),
+		hAnchor: make([]int32, n*ag.S),
+		hVal:    make([]float64, n*ag.S),
+		baseN:   n,
+	}
+	for i := range ag.HIdx {
+		off := i * st.s
+		for t, a := range ag.HIdx[i] {
+			st.hAnchor[off+t] = int32(a)
+			st.hVal[off+t] = ag.HVal[i][t]
+		}
+	}
+
+	// Gram system G = I_p - alpha H H^T, accumulated column by column
+	// in the identical order as the baseline's factorGram so the
+	// factorization — and every score downstream of it — is
+	// bit-identical to baseline.EMR over the same graph.
+	t1 := time.Now()
+	g := dense.Identity(p)
+	for i := 0; i < n; i++ {
+		off := i * st.s
+		idx := st.hAnchor[off : off+st.s]
+		val := st.hVal[off : off+st.s]
+		for a := range idx {
+			for b := range idx {
+				g.Add(int(idx[a]), int(idx[b]), -alpha*val[a]*val[b])
+			}
+		}
+	}
+	lu, err := dense.Factorize(g)
+	if err != nil {
+		return nil, fmt.Errorf("mogul: EMR gram factorization: %w", err)
+	}
+	st.gram = lu
+	st.stats = Stats{
+		NumNodes:    n,
+		NumClusters: p,
+		FactorNNZ:   p * p,
+		ClusterTime: clusterTime,
+		FactorTime:  time.Since(t1),
+	}
+	return st, nil
+}
+
+// attachColumn computes the stored H column of a point that arrives
+// after the base build, against the frozen base normalization: the
+// Nadaraya-Watson weights of its s nearest anchors (shared helper —
+// same code path as the base build and out-of-sample queries), scaled
+// by Lambda^{1/2} and the point's own degree under the base column
+// sums. idx/val are scratch; the results land in dstIdx/dstVal
+// (exactly st.s entries each).
+func (st *emrState) attachColumn(v Vector, sc *baseline.AnchorScratch, idx []int, val []float64, dstIdx []int32, dstVal []float64) {
+	idx, val, _ = baseline.NearestAnchorWeights(v, st.anchors, st.s, sc, idx, val)
+	var deg float64
+	for t, a := range idx {
+		deg += val[t] * st.lambda[a] * st.colSum[a]
+	}
+	invSqrtD := 0.0
+	if deg > 0 {
+		invSqrtD = 1 / math.Sqrt(deg)
+	}
+	for t, a := range idx {
+		dstIdx[t] = int32(a)
+		dstVal[t] = math.Sqrt(st.lambda[a]) * val[t] * invSqrtD
+	}
+}
+
+// Len returns the number of live (searchable) items.
+func (e *EMRIndex) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.st.points) - e.st.deadCount
+}
+
+// Exact reports false: EMR scores approximate exact Manifold Ranking
+// through the anchor graph.
+func (e *EMRIndex) Exact() bool { return false }
+
+// Stats reports what the latest base build did, mapped onto the shared
+// Stats shape: NumClusters is the anchor count p, FactorNNZ the dense
+// p x p gram factor, ClusterTime the k-means run, FactorTime the gram
+// assembly + factorization.
+func (e *EMRIndex) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.st.stats
+}
+
+// Delta reports the dynamic state: items inserted since the base build
+// and tombstones awaiting compaction.
+func (e *EMRIndex) Delta() DeltaStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := e.st
+	deltaDead := 0
+	for i := st.baseN; i < len(st.dead); i++ {
+		if st.dead[i] {
+			deltaDead++
+		}
+	}
+	return DeltaStats{
+		BaseItems:  st.baseN,
+		DeltaItems: len(st.points) - st.baseN - deltaDead,
+		Tombstones: st.deadCount,
+	}
+}
+
+// Version is the monotonic mutation counter (same contract as
+// Index.Version): unchanged Version means unchanged answers, which is
+// what lets the serve layer cache results and invalidate implicitly.
+func (e *EMRIndex) Version() uint64 { return e.version.Load() }
+
+// NumAnchors returns p, the current anchor count.
+func (e *EMRIndex) NumAnchors() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.st.p
+}
+
+// Neighbors is unavailable: the anchor graph stores point-to-anchor
+// attachments, not item-to-item edges.
+func (e *EMRIndex) Neighbors(item int) ([]int, []float64, error) {
+	return nil, nil, fmt.Errorf("mogul: the EMR engine has no item-level neighbour graph (anchor attachments only)")
+}
+
+// EMRSearcher is a dedicated reusable query engine over an EMRIndex:
+// it owns the dense rhs/solution vectors of the p x p solve, the
+// top-k collector, and the anchor-attachment scratch, so a steady
+// query load runs allocation-free. Use one searcher per worker
+// goroutine (the EMRIndex query methods draw from an internal pool).
+type EMRSearcher struct {
+	e      *EMRIndex
+	rhs, z []float64
+	col    topk.Collector
+	sc     baseline.AnchorScratch
+	wIdx   []int
+	wVal   []float64
+	seeds  []seedWeight
+	// aff is the raw kernel affinity of the last out-of-sample
+	// attachment (the unnormalized Epanechnikov mass), the same
+	// density proxy the sharded fan-out scales merges with.
+	aff float64
+	// scanned counts items scored by the last query (for SearchInfo).
+	scanned int
+}
+
+type seedWeight struct {
+	id int
+	w  float64
+}
+
+// NewSearcher returns a fresh dedicated searcher.
+func (e *EMRIndex) NewSearcher() *EMRSearcher { return &EMRSearcher{e: e} }
+
+// NewQuerier is NewSearcher behind the interface surface (Retriever).
+func (e *EMRIndex) NewQuerier() Querier { return e.NewSearcher() }
+
+func (e *EMRIndex) acquire() *EMRSearcher {
+	if v := e.searchers.Get(); v != nil {
+		return v.(*EMRSearcher)
+	}
+	return e.NewSearcher()
+}
+
+func (e *EMRIndex) release(sr *EMRSearcher) { e.searchers.Put(sr) }
+
+// ensure sizes the dense solve buffers for the current anchor count
+// (Compact may change p). Callers hold e.mu.
+func (sr *EMRSearcher) ensure(p int) {
+	if cap(sr.rhs) < p {
+		sr.rhs = make([]float64, p)
+		sr.z = make([]float64, p)
+	}
+	sr.rhs = sr.rhs[:p]
+	sr.z = sr.z[:p]
+	for i := range sr.rhs {
+		sr.rhs[i] = 0
+	}
+}
+
+// collect runs the online half of EMR with e.mu held: solve the
+// prefactored p x p system against sr.rhs, then stream every live H
+// column through the collector. seeds carries the query-vector entries
+// q_i (sorted by ascending id, unique); the score expression matches
+// the baseline term for term, so over an unmutated engine the results
+// are bit-identical to baseline.EMR.
+func (sr *EMRSearcher) collect(k int, seeds []seedWeight) []Result {
+	e := sr.e
+	st := e.st
+	z := st.gram.SolveInto(sr.z, sr.rhs)
+	live := len(st.points) - st.deadCount
+	if k > live {
+		k = live
+	}
+	sr.col.Reset(k)
+	si := 0
+	s := st.s
+	for i := 0; i < len(st.points); i++ {
+		if st.dead[i] {
+			continue
+		}
+		// h_i^T z in the same fixed four-lane summation order as
+		// baseline.AnchorDot (see there for why): the scan is the only
+		// O(n) term of a query, and the four independent accumulators
+		// keep it throughput-bound instead of FP-add-latency-bound
+		// while preserving bit-identity with the baseline's scores.
+		off := i * s
+		ha := st.hAnchor[off : off+s : off+s]
+		hv := st.hVal[off : off+s : off+s]
+		var s0, s1, s2, s3 float64
+		t := 0
+		for ; t+4 <= len(ha); t += 4 {
+			s0 += hv[t] * z[ha[t]]
+			s1 += hv[t+1] * z[ha[t+1]]
+			s2 += hv[t+2] * z[ha[t+2]]
+			s3 += hv[t+3] * z[ha[t+3]]
+		}
+		for ; t < len(ha); t++ {
+			s0 += hv[t] * z[ha[t]]
+		}
+		sum := (s0 + s1) + (s2 + s3)
+		sum *= e.alpha
+		if si < len(seeds) && seeds[si].id == i {
+			sum += seeds[si].w
+			si++
+		}
+		sr.col.Offer(i, (1-e.alpha)*sum)
+	}
+	sr.scanned = live
+	items := sr.col.Drain()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Node: it.ID, Score: it.Score}
+	}
+	return out
+}
+
+// checkItem validates an item id against the current state. Callers
+// hold e.mu.
+func (st *emrState) checkItem(id int) error {
+	if id < 0 || id >= len(st.points) {
+		return fmt.Errorf("mogul: item %d outside [0,%d)", id, len(st.points))
+	}
+	if st.dead[id] {
+		return fmt.Errorf("mogul: item %d deleted", id)
+	}
+	return nil
+}
+
+// TopK ranks database items against an in-database query item, best
+// first. The query item itself is included (it typically ranks first).
+func (sr *EMRSearcher) TopK(query, k int) ([]Result, error) {
+	e := sr.e
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if k <= 0 {
+		return nil, fmt.Errorf("mogul: K must be positive, got %d", k)
+	}
+	st := e.st
+	if err := st.checkItem(query); err != nil {
+		return nil, err
+	}
+	sr.ensure(st.p)
+	off := query * st.s
+	for t := 0; t < st.s; t++ {
+		sr.rhs[st.hAnchor[off+t]] = st.hVal[off+t]
+	}
+	sr.seeds = append(sr.seeds[:0], seedWeight{id: query, w: 1})
+	sr.aff = 0
+	return sr.collect(k, sr.seeds), nil
+}
+
+// TopKWithInfo is TopK plus work counters: the EMR engine has no
+// pruning, so every anchor is "scanned" and every live item scored.
+func (sr *EMRSearcher) TopKWithInfo(query, k int) ([]Result, *SearchInfo, error) {
+	res, err := sr.TopK(query, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := sr.e
+	e.mu.RLock()
+	p := e.st.p
+	e.mu.RUnlock()
+	return res, &SearchInfo{ClustersScanned: p, ScoresComputed: sr.scanned}, nil
+}
+
+// TopKVector ranks database items against an out-of-sample query
+// vector: the query's anchor weights are computed on the fly (EMR's
+// native out-of-sample mechanism — no surrogate neighbours needed) and
+// the anchor graph is queried with them.
+func (sr *EMRSearcher) TopKVector(q Vector, k int) ([]Result, error) {
+	e := sr.e
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if k <= 0 {
+		return nil, fmt.Errorf("mogul: K must be positive, got %d", k)
+	}
+	st := e.st
+	if len(q) != st.dim {
+		return nil, fmt.Errorf("mogul: query dimension %d, want %d", len(q), st.dim)
+	}
+	sr.ensure(st.p)
+	var mass float64
+	sr.wIdx, sr.wVal, mass = baseline.NearestAnchorWeights(q, st.anchors, st.s, &sr.sc, sr.wIdx[:0], sr.wVal[:0])
+	for t, a := range sr.wIdx {
+		sr.rhs[a] = sr.wVal[t]
+	}
+	sr.aff = mass
+	return sr.collect(k, nil), nil
+}
+
+// TopKSet ranks database items against a set of seed items with equal
+// weights 1/len(seeds), so query mass matches a single-item query.
+func (sr *EMRSearcher) TopKSet(seeds []int, k int) ([]Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("mogul: TopKSet needs at least one seed item")
+	}
+	return sr.topKSetWeighted(seeds, 1/float64(len(seeds)), k)
+}
+
+// topKSetWeighted seeds the query vector with q[seed] = weight for
+// every seed (duplicates accumulate).
+func (sr *EMRSearcher) topKSetWeighted(seeds []int, weight float64, k int) ([]Result, error) {
+	e := sr.e
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if k <= 0 {
+		return nil, fmt.Errorf("mogul: K must be positive, got %d", k)
+	}
+	st := e.st
+	sr.seeds = sr.seeds[:0]
+	for _, id := range seeds {
+		if err := st.checkItem(id); err != nil {
+			return nil, err
+		}
+		sr.seeds = append(sr.seeds, seedWeight{id: id, w: weight})
+	}
+	sort.Slice(sr.seeds, func(i, j int) bool { return sr.seeds[i].id < sr.seeds[j].id })
+	// Merge duplicate seeds so the scan's cursor sees unique ascending ids.
+	uniq := sr.seeds[:0]
+	for _, sw := range sr.seeds {
+		if len(uniq) > 0 && uniq[len(uniq)-1].id == sw.id {
+			uniq[len(uniq)-1].w += sw.w
+			continue
+		}
+		uniq = append(uniq, sw)
+	}
+	sr.seeds = uniq
+	sr.ensure(st.p)
+	for _, sw := range sr.seeds {
+		off := sw.id * st.s
+		for t := 0; t < st.s; t++ {
+			sr.rhs[st.hAnchor[off+t]] += sw.w * st.hVal[off+t]
+		}
+	}
+	sr.aff = 0
+	return sr.collect(k, sr.seeds), nil
+}
+
+// TopK is EMRSearcher.TopK on a pooled searcher.
+func (e *EMRIndex) TopK(query, k int) ([]Result, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.TopK(query, k)
+}
+
+// TopKWithInfo is EMRSearcher.TopKWithInfo on a pooled searcher.
+func (e *EMRIndex) TopKWithInfo(query, k int) ([]Result, *SearchInfo, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.TopKWithInfo(query, k)
+}
+
+// TopKVector is EMRSearcher.TopKVector on a pooled searcher.
+func (e *EMRIndex) TopKVector(q Vector, k int) ([]Result, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.TopKVector(q, k)
+}
+
+// TopKSet is EMRSearcher.TopKSet on a pooled searcher.
+func (e *EMRIndex) TopKSet(seeds []int, k int) ([]Result, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.TopKSet(seeds, k)
+}
+
+// TopKBatch answers many in-database queries on a bounded worker pool
+// (parallelism <= 0 selects GOMAXPROCS); results land at their query's
+// index and per-query failures are recorded, never fatal.
+func (e *EMRIndex) TopKBatch(queries []int, k, parallelism int) []BatchResult {
+	return runBatch(len(queries), parallelism, func() func(i int) BatchResult {
+		sr := e.NewSearcher()
+		return func(i int) BatchResult {
+			res, err := sr.TopK(queries[i], k)
+			return BatchResult{Query: queries[i], Results: res, Err: err}
+		}
+	})
+}
+
+// TopKVectorBatch answers many out-of-sample queries on a bounded
+// worker pool; see TopKBatch.
+func (e *EMRIndex) TopKVectorBatch(queries []Vector, k, parallelism int) []BatchResult {
+	return runBatch(len(queries), parallelism, func() func(i int) BatchResult {
+		sr := e.NewSearcher()
+		return func(i int) BatchResult {
+			res, err := sr.TopKVector(queries[i], k)
+			return BatchResult{Query: i, Results: res, Err: err}
+		}
+	})
+}
+
+// Insert adds a new point without rebuilding and returns its item id.
+// The point becomes immediately searchable: its H column is attached
+// against the frozen anchor set in O(p·dim), no refactorization. It is
+// scored by every query but does not contribute to the gram system
+// until Compact folds it in, so accuracy degrades gently as the delta
+// grows — size the delta with Options.AutoCompactFraction or call
+// Compact. Safe for concurrent use with searches.
+func (e *EMRIndex) Insert(v Vector) (int, error) {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("mogul: inserted vector has non-finite component %g", x)
+		}
+	}
+	e.mu.Lock()
+	st := e.st
+	if len(v) != st.dim {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("mogul: inserted vector has dim %d, want %d", len(v), st.dim)
+	}
+	id := len(st.points)
+	stored := append(Vector(nil), v...)
+	var sc baseline.AnchorScratch
+	dstIdx := make([]int32, st.s)
+	dstVal := make([]float64, st.s)
+	st.attachColumn(stored, &sc, make([]int, 0, st.s), make([]float64, 0, st.s), dstIdx, dstVal)
+	st.points = append(st.points, stored)
+	st.dead = append(st.dead, false)
+	st.hAnchor = append(st.hAnchor, dstIdx...)
+	st.hVal = append(st.hVal, dstVal...)
+	needCompact := e.needsCompactLocked()
+	e.version.Add(1)
+	e.mu.Unlock()
+
+	if needCompact {
+		if err := e.compactLocked(); err != nil {
+			return id, fmt.Errorf("mogul: auto-compact after insert: %w", err)
+		}
+	}
+	return id, nil
+}
+
+// Delete tombstones an item: it stops appearing in results and stops
+// being a valid query, its id is never reused, and Compact reclaims
+// the storage. Deleting the last live item is refused.
+func (e *EMRIndex) Delete(id int) error {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+
+	e.mu.Lock()
+	st := e.st
+	if id < 0 || id >= len(st.points) {
+		e.mu.Unlock()
+		return fmt.Errorf("mogul: item %d outside [0,%d)", id, len(st.points))
+	}
+	if st.dead[id] {
+		e.mu.Unlock()
+		return fmt.Errorf("mogul: item %d already deleted", id)
+	}
+	if len(st.points)-st.deadCount <= 1 {
+		e.mu.Unlock()
+		return fmt.Errorf("mogul: cannot delete the last live item")
+	}
+	st.dead[id] = true
+	st.deadCount++
+	needCompact := e.needsCompactLocked()
+	e.version.Add(1)
+	e.mu.Unlock()
+
+	if needCompact {
+		if err := e.compactLocked(); err != nil {
+			return fmt.Errorf("mogul: auto-compact after delete: %w", err)
+		}
+	}
+	return nil
+}
+
+// needsCompactLocked applies the AutoCompactFraction policy; callers
+// hold e.mu (any mode) and e.mutMu.
+func (e *EMRIndex) needsCompactLocked() bool {
+	if e.autoCompact <= 0 {
+		return false
+	}
+	st := e.st
+	pending := (len(st.points) - st.baseN) + st.deadCount
+	return float64(pending) > e.autoCompact*float64(st.baseN)
+}
+
+// Compact folds the delta into a fresh base: k-means anchors, anchor
+// attachment, and gram factorization re-run over the live points in id
+// order (renumbering ids contiguously from zero, exactly as a fresh
+// BuildEMR over those points — the rebuild is deterministic for the
+// recorded seed). Searches proceed against the old state until the
+// swap; mutators queue behind it.
+func (e *EMRIndex) Compact() error {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	return e.compactLocked()
+}
+
+// compactLocked is Compact with mutMu already held.
+func (e *EMRIndex) compactLocked() error {
+	e.mu.RLock()
+	st := e.st
+	if len(st.points) == st.baseN && st.deadCount == 0 {
+		e.mu.RUnlock()
+		return nil
+	}
+	live := make([]Vector, 0, len(st.points)-st.deadCount)
+	for i, pt := range st.points {
+		if !st.dead[i] {
+			live = append(live, pt)
+		}
+	}
+	e.mu.RUnlock()
+
+	// The heavy rebuild runs outside every lock; mutMu keeps the live
+	// snapshot authoritative (no mutator can run until the swap).
+	fresh, err := buildEMRState(live, e.alpha, e.seed, e.eopts)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.st = fresh
+	e.version.Add(1)
+	e.mu.Unlock()
+	return nil
+}
+
+// --- The extended surface the distributed layer fans out over ---
+
+// IDSpace returns the upper bound of the id space, tombstones
+// included (ids of deleted items are retired until Compact renumbers).
+func (e *EMRIndex) IDSpace() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.st.points)
+}
+
+// Alive reports whether id addresses a live (non-deleted, in-range)
+// item.
+func (e *EMRIndex) Alive(id int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return id >= 0 && id < len(e.st.points) && !e.st.dead[id]
+}
+
+// LogLen reports 0: the EMR engine keeps no replayable delta log, so
+// followers replicate it by snapshot only.
+func (e *EMRIndex) LogLen() int { return 0 }
+
+// TopKWithVector is TopK plus the query item's stored vector and the
+// engine's raw kernel affinity to it — what the distributed
+// coordinator needs from the owner shard in one round trip to probe
+// the remaining shards and scale their answers.
+func (e *EMRIndex) TopKWithVector(query, k int) ([]Result, Vector, float64, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	res, err := sr.TopK(query, k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	e.mu.RLock()
+	st := e.st
+	if err := st.checkItem(query); err != nil {
+		e.mu.RUnlock()
+		return nil, nil, 0, err
+	}
+	qvec := append(Vector(nil), st.points[query]...)
+	_, _, aff := baseline.NearestAnchorWeights(qvec, st.anchors, st.s, &sr.sc, sr.wIdx[:0], sr.wVal[:0])
+	e.mu.RUnlock()
+	return res, qvec, aff, nil
+}
+
+// TopKVectorWithAffinity is TopKVector plus the engine's raw kernel
+// affinity to the query (the unnormalized Epanechnikov mass of the
+// anchor attachment), the same density proxy the sharded fan-out
+// scales cross-shard merges with.
+func (e *EMRIndex) TopKVectorWithAffinity(q Vector, k int) ([]Result, float64, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	res, err := sr.TopKVector(q, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, sr.aff, nil
+}
+
+// TopKSetWeighted ranks items against seed items all carrying the
+// given weight (the coordinator's cross-shard set query, where the
+// global 1/len(seeds) is applied before the fan-out).
+func (e *EMRIndex) TopKSetWeighted(seeds []int, weight float64, k int) ([]Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("mogul: TopKSetWeighted needs at least one seed item")
+	}
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.topKSetWeighted(seeds, weight, k)
+}

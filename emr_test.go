@@ -1,0 +1,414 @@
+package mogul
+
+// Tests for the EMR anchor-graph engine (emr.go). The headline
+// property: over an unmutated engine, every query path is bit-identical
+// to the internal/baseline EMR implementation — the engine is the
+// baseline's math on serving-grade data structures, and any float-level
+// divergence is a bug. Plus: dynamic-update equivalence (Insert →
+// Compact converges to a fresh build), the Retriever surface contract,
+// and a -race concurrent query/mutation suite.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mogul/internal/baseline"
+)
+
+// buildEMRPair builds the engine and the baseline over the same points
+// with the same recipe, so results can be compared bit for bit.
+func buildEMRPair(t *testing.T, n, dim, p, s int, seed int64) (*EMRIndex, *baseline.EMR, []Vector) {
+	t.Helper()
+	ds := NewMixture(MixtureConfig{N: n, Classes: 6, Dim: dim, WithinStd: 0.4, Separation: 2.5, Seed: seed})
+	e, err := BuildEMR(ds.Points, Options{Alpha: 0.99, Seed: seed}, EMROptions{NumAnchors: p, NumNearestAnchors: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := baseline.NewEMR(ds.Points, 0.99, baseline.EMRConfig{NumAnchors: p, NumNearestAnchors: s, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.PrefactorGram = true
+	return e, ref, ds.Points
+}
+
+// TestEMRMatchesBaseline pins the engine bit-identical to baseline.EMR
+// on in-sample and out-of-sample queries, across seeds and anchor
+// shapes (including s == p, the bandwidth edge case both now share
+// through the deduped helper).
+func TestEMRMatchesBaseline(t *testing.T) {
+	for _, tc := range []struct {
+		n, dim, p, s int
+		seed         int64
+	}{
+		{n: 200, dim: 8, p: 24, s: 4, seed: 1},
+		{n: 300, dim: 6, p: 32, s: 5, seed: 2},
+		{n: 150, dim: 10, p: 12, s: 12, seed: 3}, // s == p: every anchor in support
+		{n: 120, dim: 4, p: 8, s: 3, seed: 4},
+	} {
+		e, ref, points := buildEMRPair(t, tc.n, tc.dim, tc.p, tc.s, tc.seed)
+		rng := rand.New(rand.NewSource(tc.seed))
+		for trial := 0; trial < 20; trial++ {
+			q := rng.Intn(tc.n)
+			k := 1 + rng.Intn(15)
+			got, err := e.TopK(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.TopK(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, "TopK", got, want)
+		}
+		for trial := 0; trial < 20; trial++ {
+			qv := append(Vector(nil), points[rng.Intn(tc.n)]...)
+			for i := range qv {
+				qv[i] += 0.1 * rng.NormFloat64()
+			}
+			k := 1 + rng.Intn(15)
+			got, err := e.TopKVector(qv, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.TopKOutOfSample(qv, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, "TopKVector", got, want)
+		}
+	}
+}
+
+// TestEMRSearcherMatchesPooledPath: a dedicated searcher and the
+// engine-level pooled methods answer identically, and a searcher
+// reused across many queries does not leak state between them.
+func TestEMRSearcherMatchesPooledPath(t *testing.T) {
+	e, _, points := buildEMRPair(t, 150, 6, 16, 4, 5)
+	sr := e.NewSearcher()
+	for q := 0; q < 30; q++ {
+		a, err := sr.TopK(q, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.TopK(q, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d: searcher and pooled results differ at %d", q, i)
+			}
+		}
+		av, err := sr.TopKVector(points[q], 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := e.TopKVector(points[q], 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("query %d: vector results differ at %d", q, i)
+			}
+		}
+	}
+}
+
+// TestEMRTopKSetSingleSeed: a one-element set query carries weight 1
+// and must equal the plain TopK of that seed.
+func TestEMRTopKSetSingleSeed(t *testing.T) {
+	e, _, _ := buildEMRPair(t, 120, 6, 16, 4, 6)
+	for _, q := range []int{0, 17, 119} {
+		a, err := e.TopK(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.TopKSet([]int{q}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "TopKSet single seed", a, b)
+	}
+	// Duplicate seeds accumulate weight instead of corrupting the scan
+	// cursor.
+	if _, err := e.TopKSet([]int{3, 3, 7}, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEMRInsertCompactEqualsFresh: the dynamic arc converges — after
+// any mix of inserts and deletes, Compact produces an engine
+// bit-identical to a fresh BuildEMR over the live points in id order.
+func TestEMRInsertCompactEqualsFresh(t *testing.T) {
+	ds := NewMixture(MixtureConfig{N: 260, Classes: 6, Dim: 8, WithinStd: 0.4, Separation: 2.5, Seed: 11})
+	opts := Options{Alpha: 0.99, Seed: 11}
+	eopts := EMROptions{NumAnchors: 24, NumNearestAnchors: 4}
+	e, err := BuildEMR(ds.Points[:200], opts, eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := e.Version()
+	for _, pt := range ds.Points[200:] {
+		if _, err := e.Insert(pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int{3, 77, 199, 205} {
+		if err := e.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Version() == v0 {
+		t.Fatal("mutations did not advance the version")
+	}
+	d := e.Delta()
+	if d.BaseItems != 200 || d.DeltaItems != 60-1 || d.Tombstones != 4 {
+		t.Fatalf("delta = %+v", d)
+	}
+
+	// The live points in id order are exactly what Compact snapshots.
+	var live []Vector
+	for id := 0; id < 260; id++ {
+		if e.Alive(id) {
+			live = append(live, ds.Points[id])
+		}
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := BuildEMR(live, opts, eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != fresh.Len() || e.IDSpace() != len(live) {
+		t.Fatalf("compacted len=%d idspace=%d, fresh len=%d", e.Len(), e.IDSpace(), fresh.Len())
+	}
+	for q := 0; q < e.Len(); q += 7 {
+		a, err := e.TopK(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.TopK(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "compacted vs fresh TopK", a, b)
+	}
+	qv := append(Vector(nil), live[5]...)
+	qv[0] += 0.05
+	a, _ := e.TopKVector(qv, 10)
+	b, _ := fresh.TopKVector(qv, 10)
+	sameResults(t, "compacted vs fresh TopKVector", a, b)
+
+	// Compacting an already-clean engine is a no-op and does not
+	// invalidate caches (version unchanged).
+	vBefore := e.Version()
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Version() != vBefore {
+		t.Fatal("no-op Compact bumped the version")
+	}
+}
+
+// TestEMRDynamicBasics: tombstones leave results and queries, deleted
+// ids stay retired, inserted items are immediately searchable, and the
+// auto-compact policy folds the delta in.
+func TestEMRDynamicBasics(t *testing.T) {
+	ds := NewMixture(MixtureConfig{N: 140, Classes: 4, Dim: 6, WithinStd: 0.4, Separation: 2.5, Seed: 13})
+	e, err := BuildEMR(ds.Points[:120], Options{Alpha: 0.99, Seed: 13}, EMROptions{NumAnchors: 16, NumNearestAnchors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.Insert(ds.Points[120])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 120 {
+		t.Fatalf("first insert got id %d", id)
+	}
+	res, err := e.TopK(id, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Node != id {
+		t.Fatalf("inserted item does not rank first for itself: %+v", res[0])
+	}
+	if err := e.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TopK(7, 5); err == nil {
+		t.Fatal("deleted item served as query")
+	}
+	if err := e.Delete(7); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	res, err = e.TopK(0, e.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Node == 7 {
+			t.Fatal("tombstoned item appeared in results")
+		}
+	}
+	// Errors: bad k, bad ids, dimension mismatch.
+	if _, err := e.TopK(0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := e.TopK(-1, 5); err == nil {
+		t.Fatal("negative query accepted")
+	}
+	if _, err := e.TopKVector(Vector{1, 2}, 5); err == nil {
+		t.Fatal("wrong-dimension vector accepted")
+	}
+	if _, err := e.TopKSet(nil, 5); err == nil {
+		t.Fatal("empty seed set accepted")
+	}
+	if _, _, err := e.Neighbors(0); err == nil {
+		t.Fatal("Neighbors should be unavailable on the anchor graph")
+	}
+
+	// Auto-compaction: with a tight fraction, inserts fold the delta in.
+	ac, err := BuildEMR(ds.Points[:100], Options{Alpha: 0.99, Seed: 13, AutoCompactFraction: 0.05}, EMROptions{NumAnchors: 16, NumNearestAnchors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 110; i++ {
+		if _, err := ac.Insert(ds.Points[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := ac.Delta(); d.DeltaItems > 5 {
+		t.Fatalf("auto-compact never ran: %+v", d)
+	}
+}
+
+// TestEMRBatch: the batch entry points answer per-item, record
+// per-item failures without failing the batch, and agree with the
+// sequential paths.
+func TestEMRBatch(t *testing.T) {
+	e, _, points := buildEMRPair(t, 90, 6, 12, 4, 17)
+	queries := []int{0, 5, -3, 88, 9000}
+	out := e.TopKBatch(queries, 6, 4)
+	if len(out) != len(queries) {
+		t.Fatalf("%d batch results", len(out))
+	}
+	for i, q := range queries {
+		if out[i].Query != q {
+			t.Fatalf("result %d carries query %d, want %d", i, out[i].Query, q)
+		}
+		if q < 0 || q >= 90 {
+			if out[i].Err == nil {
+				t.Fatalf("bad query %d accepted", q)
+			}
+			continue
+		}
+		if out[i].Err != nil {
+			t.Fatal(out[i].Err)
+		}
+		want, _ := e.TopK(q, 6)
+		sameResults(t, "batch vs sequential", out[i].Results, want)
+	}
+	vout := e.TopKVectorBatch([]Vector{points[0], points[1], {1}}, 6, 2)
+	if vout[2].Err == nil {
+		t.Fatal("wrong-dimension vector accepted in batch")
+	}
+	want, _ := e.TopKVector(points[0], 6)
+	sameResults(t, "vector batch vs sequential", vout[0].Results, want)
+}
+
+// TestEMRRetrieverSurface: the introspection half of the Retriever
+// contract, plus the interface satisfaction itself (compile-time
+// asserted in emr.go, behaviorally spot-checked here).
+func TestEMRRetrieverSurface(t *testing.T) {
+	var r Retriever
+	e, _, _ := buildEMRPair(t, 100, 6, 16, 4, 19)
+	r = e
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Exact() {
+		t.Fatal("EMR claims exact scores")
+	}
+	st := r.Stats()
+	if st.NumNodes != 100 || st.NumClusters != 16 || st.FactorNNZ != 16*16 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ClusterTime <= 0 || st.FactorTime <= 0 {
+		t.Fatalf("build timings missing: %+v", st)
+	}
+	if r.Version() == 0 {
+		t.Fatal("version must start at 1")
+	}
+	q := r.NewQuerier()
+	if _, err := q.TopK(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := r.TopKWithInfo(0, 5); err != nil || info.ScoresComputed != 100 || info.ClustersScanned != 16 {
+		t.Fatalf("info = %+v, err = %v", nil, err)
+	}
+}
+
+// TestEMRConcurrentQueries hammers one engine from many goroutines —
+// searches on pooled scratch racing Insert/Delete/Compact — and checks
+// nothing tears: run under -race (the CI race job does), this is the
+// regression test for the cachedGram class of bug at the engine level.
+func TestEMRConcurrentQueries(t *testing.T) {
+	ds := NewMixture(MixtureConfig{N: 400, Classes: 6, Dim: 8, WithinStd: 0.4, Separation: 2.5, Seed: 23})
+	e, err := BuildEMR(ds.Points[:300], Options{Alpha: 0.99, Seed: 23}, EMROptions{NumAnchors: 24, NumNearestAnchors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch rng.Intn(4) {
+				case 0:
+					// Ids may be tombstoned or (after Compact)
+					// renumbered away concurrently; errors are fine,
+					// panics and races are not.
+					_, _ = e.TopK(rng.Intn(280), 10)
+				case 1:
+					_, _ = e.TopKVector(ds.Points[300+rng.Intn(100)], 10)
+				case 2:
+					_, _ = e.TopKSet([]int{rng.Intn(100), rng.Intn(100)}, 10)
+				case 3:
+					_, _, _ = e.TopKWithInfo(rng.Intn(280), 10)
+				}
+			}
+		}(w)
+	}
+	// Mutations race the searches.
+	for i := 0; i < 30; i++ {
+		if _, err := e.Insert(ds.Points[300+i%100]); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			_ = e.Delete(i) // may legitimately fail after renumbering
+		}
+		if i%11 == 0 {
+			if err := e.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := e.TopK(0, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -68,6 +68,11 @@ func FuzzLoad(f *testing.F) {
 		if err != nil {
 			return
 		}
+		if _, ok := ix.(*EMRIndex); ok {
+			// EMR engines have no neighbour graph and their own fuzz
+			// target (FuzzLoadEMR) with the matching contract.
+			return
+		}
 		// Accepted input must behave: searches, dynamic ops and a
 		// re-save all run without panicking.
 		if ix.Len() <= 0 {

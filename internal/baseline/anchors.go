@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"math"
+	"slices"
+
+	"mogul/internal/vec"
+)
+
+// Nadaraya-Watson anchor weighting, shared by the EMR baseline
+// (NewEMR's per-point attachment and TopKOutOfSample's query
+// attachment) and by the first-class anchor-graph engine in the root
+// package (mogul.BuildEMR). Keeping the weighting in exactly one place
+// is what lets the engine pin itself bit-identical to the baseline.
+
+// AnchorDist pairs an anchor id with its distance to a point.
+type AnchorDist struct {
+	ID int
+	D  float64
+}
+
+// AnchorScratch holds the per-worker buffers NearestAnchorWeights
+// needs, so a query loop attaches points to anchors without
+// allocating. The zero value is ready to use; not safe for concurrent
+// use.
+type AnchorScratch struct {
+	ad []AnchorDist
+}
+
+// FarthestBandwidthScale stretches the adaptive bandwidth when every
+// anchor is in support (s == number of anchors): there is no (s+1)-th
+// distance to act as the kernel's vanishing point, and using the s-th
+// — the farthest support distance itself — makes the Epanechnikov
+// kernel vanish exactly on the farthest anchor, collapsing its weight
+// to the 1e-12 tie clamp. Scaling the farthest distance by 3/2 places
+// the vanishing point beyond the support, so the farthest anchor keeps
+// a genuine weight (u = 2/3, w ≈ 0.417) and the weight profile stays
+// smooth in the data.
+const FarthestBandwidthScale = 1.5
+
+// NearestAnchorWeights attaches a point to its s nearest anchors with
+// Nadaraya-Watson weights under the Epanechnikov quadratic kernel
+// K(t) = 3/4 (1 - t^2) for |t| <= 1. The adaptive bandwidth is the
+// distance to the (s+1)-th nearest anchor so every attached anchor
+// gets a positive weight (the kernel vanishes exactly at the
+// bandwidth); when s equals the anchor count the farthest support
+// distance scaled by FarthestBandwidthScale is used instead (see that
+// constant). s is clamped to the anchor count.
+//
+// Anchor ids are appended to idx[:0] and normalized weights (summing
+// to 1) to val[:0]; the returned mass is the unnormalized kernel
+// total, a density-at-point proxy the sharded fan-out can use as an
+// affinity scale. Ties on distance break by ascending anchor id, and
+// weights that would vanish under distance ties are clamped to 1e-12
+// so the point keeps s supports.
+func NearestAnchorWeights(p vec.Vector, anchors []vec.Vector, s int, sc *AnchorScratch, idx []int, val []float64) (outIdx []int, outVal []float64, mass float64) {
+	d := len(anchors)
+	if s > d {
+		s = d
+	}
+	if cap(sc.ad) < d {
+		sc.ad = make([]AnchorDist, d)
+	}
+	ad := sc.ad[:d]
+	for a, c := range anchors {
+		ad[a] = AnchorDist{ID: a, D: math.Sqrt(vec.SquaredEuclidean(p, c))}
+	}
+	slices.SortFunc(ad, func(x, y AnchorDist) int {
+		switch {
+		case x.D < y.D:
+			return -1
+		case x.D > y.D:
+			return 1
+		default:
+			return x.ID - y.ID
+		}
+	})
+	var bandwidth float64
+	if s < d {
+		bandwidth = ad[s].D
+	} else {
+		bandwidth = ad[s-1].D * FarthestBandwidthScale
+	}
+	if bandwidth == 0 {
+		bandwidth = 1 // point coincides with >= s anchors; weights stay uniform
+	}
+	idx, val = idx[:0], val[:0]
+	var total float64
+	for t := 0; t < s; t++ {
+		u := ad[t].D / bandwidth
+		w := 0.75 * (1 - u*u)
+		if w <= 0 {
+			w = 1e-12 // keep s supports even under distance ties
+		}
+		idx = append(idx, ad[t].ID)
+		val = append(val, w)
+		total += w
+	}
+	for t := range val {
+		val[t] /= total
+	}
+	return idx, val, total
+}

@@ -3,7 +3,7 @@ package baseline
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"mogul/internal/core"
 	"mogul/internal/dense"
@@ -45,9 +45,13 @@ type EMR struct {
 	sigma float64
 
 	// PrefactorGram, when true, computes and caches the d x d Gram
-	// factorization once instead of per query.
+	// factorization once instead of per query. The cache is filled
+	// under a sync.Once so a prefactored EMR is safe to query from
+	// many goroutines.
 	PrefactorGram bool
+	gramOnce      sync.Once
 	cachedGram    *dense.LU
+	cachedGramErr error
 }
 
 // EMRConfig controls EMR construction.
@@ -60,6 +64,81 @@ type EMRConfig struct {
 	NumNearestAnchors int
 	// Seed drives k-means.
 	Seed int64
+}
+
+// AnchorGraph is the offline half of EMR: the anchor set and the
+// normalized-graph factor H = Lambda^{1/2} Z D^{-1/2} stored
+// column-wise (HIdx[i]/HVal[i] is h_i, exactly S entries per point),
+// plus the column sums and Lambda diagonal needed to attach points
+// that arrive after construction. It is shared between the baseline
+// and the first-class engine in the root package so both produce
+// bit-identical graphs from the same inputs.
+type AnchorGraph struct {
+	Anchors []vec.Vector
+	S       int
+	HIdx    [][]int
+	HVal    [][]float64
+	// ColSum[k] = sum_i Z_ki over the construction set; Lambda[k] is
+	// 1/ColSum[k] (0 for empty columns).
+	ColSum []float64
+	Lambda []float64
+}
+
+// BuildAnchorGraph attaches every point to its s nearest anchors (see
+// NearestAnchorWeights) and assembles the normalized factor H. s is
+// clamped to the anchor count.
+func BuildAnchorGraph(points, anchors []vec.Vector, s int) *AnchorGraph {
+	n := len(points)
+	d := len(anchors)
+	if s > d {
+		s = d
+	}
+	zIdx := make([][]int, n)
+	zVal := make([][]float64, n)
+	colSum := make([]float64, d)
+	var sc AnchorScratch
+	for i, p := range points {
+		idx, val, _ := NearestAnchorWeights(p, anchors, s, &sc, make([]int, 0, s), make([]float64, 0, s))
+		for t := range val {
+			colSum[idx[t]] += val[t]
+		}
+		zIdx[i] = idx
+		zVal[i] = val
+	}
+
+	// Lambda_kk = 1/colSum[k]; degree D_ii = z_i^T Lambda (Z 1) where
+	// (Z 1)_k = colSum[k], hence D_ii = sum_t z_it * Lambda_tt * colSum[t]
+	// = sum_t z_it = 1 after normalization. Computed explicitly anyway
+	// to stay faithful when weights are clamped.
+	lambda := make([]float64, d)
+	for k, cs := range colSum {
+		if cs > 0 {
+			lambda[k] = 1 / cs
+		}
+	}
+	deg := make([]float64, n)
+	for i := range zIdx {
+		var di float64
+		for t, a := range zIdx[i] {
+			di += zVal[i][t] * lambda[a] * colSum[a]
+		}
+		deg[i] = di
+	}
+
+	// H columns: h_i = Lambda^{1/2} z_i * D_ii^{-1/2}.
+	hVal := make([][]float64, n)
+	for i := range zIdx {
+		hv := make([]float64, len(zVal[i]))
+		invSqrtD := 0.0
+		if deg[i] > 0 {
+			invSqrtD = 1 / math.Sqrt(deg[i])
+		}
+		for t, a := range zIdx[i] {
+			hv[t] = math.Sqrt(lambda[a]) * zVal[i][t] * invSqrtD
+		}
+		hVal[i] = hv
+	}
+	return &AnchorGraph{Anchors: anchors, S: s, HIdx: zIdx, HVal: hVal, ColSum: colSum, Lambda: lambda}
 }
 
 // NewEMR builds the EMR baseline over raw feature vectors. EMR does
@@ -91,89 +170,16 @@ func NewEMR(points []vec.Vector, alpha float64, cfg EMRConfig) (*EMR, error) {
 	if err != nil {
 		return nil, fmt.Errorf("baseline: EMR anchors: %w", err)
 	}
-	e := &EMR{alpha: alpha, n: n, d: len(km.Centroids), s: s, anchors: km.Centroids}
-
-	// Nadaraya-Watson weights with the Epanechnikov kernel
-	// K(t) = 3/4 (1 - t^2) for |t| <= 1; the adaptive bandwidth is the
-	// distance to the (s+1)-th nearest anchor, so every point gets s
-	// positive weights (the kernel vanishes exactly at the bandwidth).
-	zIdx := make([][]int, n)
-	zVal := make([][]float64, n)
-	colSum := make([]float64, e.d) // sum_i Z_ki per anchor k
-	type anchorDist struct {
-		id int
-		d  float64
-	}
-	for i, p := range points {
-		ad := make([]anchorDist, e.d)
-		for a, c := range e.anchors {
-			ad[a] = anchorDist{id: a, d: math.Sqrt(vec.SquaredEuclidean(p, c))}
-		}
-		sort.Slice(ad, func(x, y int) bool {
-			if ad[x].d != ad[y].d {
-				return ad[x].d < ad[y].d
-			}
-			return ad[x].id < ad[y].id
-		})
-		bandwidth := ad[min(s, e.d-1)].d
-		if bandwidth == 0 {
-			bandwidth = 1 // point coincides with >= s anchors; weights below stay uniform
-		}
-		var total float64
-		idx := make([]int, 0, s)
-		val := make([]float64, 0, s)
-		for t := 0; t < s; t++ {
-			u := ad[t].d / bandwidth
-			w := 0.75 * (1 - u*u)
-			if w <= 0 {
-				w = 1e-12 // keep s supports even under distance ties
-			}
-			idx = append(idx, ad[t].id)
-			val = append(val, w)
-			total += w
-		}
-		for t := range val {
-			val[t] /= total
-			colSum[idx[t]] += val[t]
-		}
-		zIdx[i] = idx
-		zVal[i] = val
-	}
-
-	// Lambda_kk = 1/colSum[k]; degree D_ii = z_i^T Lambda (Z 1) where
-	// (Z 1)_k = colSum[k], hence D_ii = sum_t z_it * Lambda_tt * colSum[t]
-	// = sum_t z_it = 1 after normalization. Computed explicitly anyway
-	// to stay faithful when weights are clamped.
-	lambda := make([]float64, e.d)
-	for k, cs := range colSum {
-		if cs > 0 {
-			lambda[k] = 1 / cs
-		}
-	}
-	deg := make([]float64, n)
-	for i := range zIdx {
-		var di float64
-		for t, a := range zIdx[i] {
-			di += zVal[i][t] * lambda[a] * colSum[a]
-		}
-		deg[i] = di
-	}
-
-	// H columns: h_i = Lambda^{1/2} z_i * D_ii^{-1/2}.
-	e.hIdx = zIdx
-	e.hVal = make([][]float64, n)
-	for i := range zIdx {
-		hv := make([]float64, len(zVal[i]))
-		invSqrtD := 0.0
-		if deg[i] > 0 {
-			invSqrtD = 1 / math.Sqrt(deg[i])
-		}
-		for t, a := range zIdx[i] {
-			hv[t] = math.Sqrt(lambda[a]) * zVal[i][t] * invSqrtD
-		}
-		e.hVal[i] = hv
-	}
-	return e, nil
+	ag := BuildAnchorGraph(points, km.Centroids, s)
+	return &EMR{
+		alpha:   alpha,
+		n:       n,
+		d:       len(km.Centroids),
+		s:       ag.S,
+		anchors: ag.Anchors,
+		hIdx:    ag.HIdx,
+		hVal:    ag.HVal,
+	}, nil
 }
 
 // Name implements Ranker.
@@ -182,11 +188,9 @@ func (e *EMR) Name() string { return "EMR" }
 // NumAnchors returns d.
 func (e *EMR) NumAnchors() int { return e.d }
 
-// gram builds and factorizes G = I_d - alpha H H^T. Cost O(n s^2 + d^3).
-func (e *EMR) gram() (*dense.LU, error) {
-	if e.PrefactorGram && e.cachedGram != nil {
-		return e.cachedGram, nil
-	}
+// factorGram builds and factorizes G = I_d - alpha H H^T.
+// Cost O(n s^2 + d^3).
+func (e *EMR) factorGram() (*dense.LU, error) {
 	g := dense.Identity(e.d)
 	for i := 0; i < e.n; i++ {
 		idx, val := e.hIdx[i], e.hVal[i]
@@ -200,10 +204,20 @@ func (e *EMR) gram() (*dense.LU, error) {
 	if err != nil {
 		return nil, fmt.Errorf("baseline: EMR gram factorization: %w", err)
 	}
-	if e.PrefactorGram {
-		e.cachedGram = lu
-	}
 	return lu, nil
+}
+
+// gram returns the factorized Gram matrix, cached across queries when
+// PrefactorGram is set (filled once, so concurrent queries never race
+// on the cache).
+func (e *EMR) gram() (*dense.LU, error) {
+	if !e.PrefactorGram {
+		return e.factorGram()
+	}
+	e.gramOnce.Do(func() {
+		e.cachedGram, e.cachedGramErr = e.factorGram()
+	})
+	return e.cachedGram, e.cachedGramErr
 }
 
 // scoresForH computes the EMR score vector for a query whose H-column
@@ -223,11 +237,7 @@ func (e *EMR) scoresForH(hqIdx []int, hqVal []float64, selfIdx int) ([]float64, 
 	// x_i = (1-alpha)(q_i + alpha h_i^T z)
 	scores := make([]float64, e.n)
 	for i := 0; i < e.n; i++ {
-		idx, val := e.hIdx[i], e.hVal[i]
-		var s float64
-		for t, a := range idx {
-			s += val[t] * z[a]
-		}
+		s := AnchorDot(e.hVal[i], e.hIdx[i], z)
 		s *= e.alpha
 		if i == selfIdx {
 			s += 1
@@ -235,6 +245,31 @@ func (e *EMR) scoresForH(hqIdx []int, hqVal []float64, selfIdx int) ([]float64, 
 		scores[i] = (1 - e.alpha) * s
 	}
 	return scores, nil
+}
+
+// AnchorDot computes the sparse dot product h^T z over a stored H
+// column with a FIXED four-lane summation order: lane l accumulates
+// the entries at positions ≡ l (mod 4), the tail folds into lane 0,
+// and the lanes combine as (s0+s1)+(s2+s3). The order is part of the
+// scoring contract — the root-package engine reproduces it exactly
+// (over int32 anchor ids) so engine and baseline scores stay
+// bit-identical — and it exists because the naive sequential loop is
+// a latency-bound dependent add chain: four independent accumulators
+// let the CPU overlap the FP adds, which is worth ~2x on the O(n*s)
+// per-query scan that dominates EMR latency growth in n.
+func AnchorDot(val []float64, idx []int, z []float64) float64 {
+	var s0, s1, s2, s3 float64
+	t := 0
+	for ; t+4 <= len(idx); t += 4 {
+		s0 += val[t] * z[idx[t]]
+		s1 += val[t+1] * z[idx[t+1]]
+		s2 += val[t+2] * z[idx[t+2]]
+		s3 += val[t+3] * z[idx[t+3]]
+	}
+	for ; t < len(idx); t++ {
+		s0 += val[t] * z[idx[t]]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // AllScores implements Ranker.
@@ -262,44 +297,8 @@ func (e *EMR) TopKOutOfSample(q vec.Vector, k int) ([]core.Result, error) {
 	if len(q) != len(e.anchors[0]) {
 		return nil, fmt.Errorf("baseline: query dimension %d, want %d", len(q), len(e.anchors[0]))
 	}
-	type anchorDist struct {
-		id int
-		d  float64
-	}
-	ad := make([]anchorDist, e.d)
-	for a, c := range e.anchors {
-		ad[a] = anchorDist{id: a, d: math.Sqrt(vec.SquaredEuclidean(q, c))}
-	}
-	sort.Slice(ad, func(x, y int) bool {
-		if ad[x].d != ad[y].d {
-			return ad[x].d < ad[y].d
-		}
-		return ad[x].id < ad[y].id
-	})
-	s := e.s
-	if s > e.d {
-		s = e.d
-	}
-	bandwidth := ad[min(s, e.d-1)].d
-	if bandwidth == 0 {
-		bandwidth = 1
-	}
-	idx := make([]int, 0, s)
-	val := make([]float64, 0, s)
-	var total float64
-	for t := 0; t < s; t++ {
-		u := ad[t].d / bandwidth
-		w := 0.75 * (1 - u*u)
-		if w <= 0 {
-			w = 1e-12
-		}
-		idx = append(idx, ad[t].id)
-		val = append(val, w)
-		total += w
-	}
-	for t := range val {
-		val[t] /= total
-	}
+	var sc AnchorScratch
+	idx, val, _ := NearestAnchorWeights(q, e.anchors, e.s, &sc, make([]int, 0, e.s), make([]float64, 0, e.s))
 	scores, err := e.scoresForH(idx, val, -1)
 	if err != nil {
 		return nil, err

@@ -180,11 +180,20 @@ func Factorize(a *Matrix) (*LU, error) {
 
 // Solve solves A x = b for x using the factorization.
 func (f *LU) Solve(b []float64) []float64 {
+	return f.SolveInto(make([]float64, len(b)), b)
+}
+
+// SolveInto solves A x = b into dst, which must have the same length
+// as b and may not alias it. It performs no allocation, so pooled
+// query paths can reuse one solution buffer per worker. Solve
+// delegates here; both run the identical arithmetic.
+func (f *LU) SolveInto(dst, b []float64) []float64 {
 	n := f.lu.Rows
-	if len(b) != n {
-		panic(fmt.Sprintf("dense: LU.Solve length mismatch %d != %d", len(b), n))
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("dense: LU.SolveInto length mismatch dst=%d b=%d n=%d", len(dst), len(b), n))
 	}
-	x := append([]float64(nil), b...)
+	x := dst
+	copy(x, b)
 	// Apply row swaps.
 	for k := 0; k < n; k++ {
 		if p := f.pivot[k]; p != k {
@@ -231,6 +240,60 @@ func (f *LU) Inverse() *Matrix {
 	}
 	return inv
 }
+
+// Components exposes the raw factorization — the packed LU matrix
+// (unit-lower L below the diagonal, U on and above), the pivot rows,
+// and the row-swap parity — for serialization. The returned matrix and
+// slice alias the factorization's storage; callers must not mutate
+// them.
+func (f *LU) Components() (lu *Matrix, pivot []int, signDet float64) {
+	return f.lu, f.pivot, f.signDet
+}
+
+// NewLUFromComponents reassembles a factorization previously taken
+// apart by Components, validating the invariants Factorize guarantees:
+// a square matrix, pivot[k] in [k, n), a +/-1 swap parity consistent
+// with the pivots, finite entries, and nonzero U diagonal. Corrupt
+// serialized factors fail here instead of producing NaN scores (or
+// dividing by zero) at query time.
+func NewLUFromComponents(lu *Matrix, pivot []int, signDet float64) (*LU, error) {
+	n := lu.Rows
+	if lu.Cols != n {
+		return nil, fmt.Errorf("dense: LU components: non-square %dx%d matrix", lu.Rows, lu.Cols)
+	}
+	if len(lu.Data) != n*n {
+		return nil, fmt.Errorf("dense: LU components: %d elements for %dx%d matrix", len(lu.Data), n, n)
+	}
+	if len(pivot) != n {
+		return nil, fmt.Errorf("dense: LU components: %d pivots for order %d", len(pivot), n)
+	}
+	sign := 1.0
+	for k, p := range pivot {
+		if p < k || p >= n {
+			return nil, fmt.Errorf("dense: LU components: pivot[%d] = %d outside [%d,%d)", k, p, k, n)
+		}
+		if p != k {
+			sign = -sign
+		}
+	}
+	if signDet != sign {
+		return nil, fmt.Errorf("dense: LU components: signDet %g inconsistent with pivots (want %g)", signDet, sign)
+	}
+	for i, v := range lu.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dense: LU components: non-finite element at %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if lu.At(i, i) == 0 {
+			return nil, fmt.Errorf("dense: LU components: zero U diagonal at %d", i)
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, signDet: signDet}, nil
+}
+
+// Order returns n, the dimension of the factorized matrix.
+func (f *LU) Order() int { return f.lu.Rows }
 
 // Det returns the determinant of the factorized matrix.
 func (f *LU) Det() float64 {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"mogul/internal/vec"
 )
@@ -66,21 +68,13 @@ func Run(points []vec.Vector, cfg Config) (*Result, error) {
 
 	centroids := seedPlusPlus(points, k, rng)
 	assign := make([]int, n)
+	bestD := make([]float64, n)
 	prevInertia := math.Inf(1)
 	iters := 0
 	for ; iters < maxIter; iters++ {
-		// Assignment step.
-		inertia := 0.0
-		for i, p := range points {
-			best, bestD := 0, vec.SquaredEuclidean(p, centroids[0])
-			for c := 1; c < k; c++ {
-				if d := vec.SquaredEuclidean(p, centroids[c]); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
-			inertia += bestD
-		}
+		// Assignment step (parallel; see assignAll for why the result
+		// is bit-identical to the sequential loop).
+		inertia := assignAll(points, centroids, assign, bestD)
 		// Update step.
 		counts := make([]int, k)
 		sums := make([]vec.Vector, k)
@@ -110,18 +104,65 @@ func Run(points []vec.Vector, cfg Config) (*Result, error) {
 		prevInertia = inertia
 	}
 	// Final assignment against the last centroid update.
-	inertia := 0.0
-	for i, p := range points {
-		best, bestD := 0, vec.SquaredEuclidean(p, centroids[0])
-		for c := 1; c < k; c++ {
-			if d := vec.SquaredEuclidean(p, centroids[c]); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		assign[i] = best
-		inertia += bestD
-	}
+	inertia := assignAll(points, centroids, assign, bestD)
 	return &Result{Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iters}, nil
+}
+
+// assignAll assigns every point to its nearest centroid, writing the
+// winner into assign[i] and the squared distance into bestD[i], and
+// returns the inertia. The per-point scans run on all CPUs — each
+// point's nearest-centroid search is independent, touches only its own
+// slots, and performs the identical comparisons in the identical order
+// as the sequential loop — while the inertia sum is reduced
+// sequentially in point order afterwards, so the result (assignments
+// AND the floating-point inertia) is bit-identical to the sequential
+// version at any worker count. That determinism is what keeps k-means
+// (and everything seeded from it: EMR anchors, IVF coarse quantizers,
+// Compact rebuilds) reproducible across machines.
+func assignAll(points, centroids []vec.Vector, assign []int, bestD []float64) float64 {
+	n := len(points)
+	k := len(centroids)
+	scan := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := points[i]
+			best, bd := 0, vec.SquaredEuclidean(p, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := vec.SquaredEuclidean(p, centroids[c]); d < bd {
+					best, bd = c, d
+				}
+			}
+			assign[i] = best
+			bestD[i] = bd
+		}
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	// Below ~4k points the chunk fan-out costs more than it saves.
+	if workers > 1 && n >= 4096 {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scan(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		scan(0, n)
+	}
+	inertia := 0.0
+	for _, d := range bestD {
+		inertia += d
+	}
+	return inertia
 }
 
 // seedPlusPlus picks k initial centers with the k-means++ rule:

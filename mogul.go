@@ -342,10 +342,11 @@ func (ix *Index) NewQuerier() Querier { return ix.NewSearcher() }
 // NewQuerier is NewSearcher behind the interface surface (Retriever).
 func (six *ShardedIndex) NewQuerier() Querier { return six.NewSearcher() }
 
-// Load reads an index written by (*Index).Save or (*ShardedIndex).Save,
-// sniffing the magic header to dispatch: a plain MOGULIDX stream loads
-// as *Index, a sharded MOGULSHD manifest as *ShardedIndex, both behind
-// the shared Retriever surface (type-assert for the concrete API).
+// Load reads an index written by (*Index).Save, (*ShardedIndex).Save,
+// or (*EMRIndex).Save, sniffing the magic header to dispatch: a plain
+// MOGULIDX stream loads as *Index, a sharded MOGULSHD manifest as
+// *ShardedIndex, a MOGULEMR stream as *EMRIndex, all behind the shared
+// Retriever surface (type-assert for the concrete API).
 // Old-version, truncated, or corrupted input (both formats carry a
 // magic header, a version field, and a whole-file checksum) yields an
 // error, never a panic.
@@ -358,8 +359,11 @@ func Load(r io.Reader) (Retriever, error) {
 		return nil, fmt.Errorf("mogul: reading index header: %w", err)
 	}
 	full := io.MultiReader(bytes.NewReader(magic[:]), r)
-	if string(magic[:]) == shardedMagic {
+	switch string(magic[:]) {
+	case shardedMagic:
 		return LoadSharded(full)
+	case emrMagic:
+		return LoadEMR(full)
 	}
 	// Everything else — including garbage magic — goes to the plain
 	// reader, whose "not a mogul index file" error names the magic.

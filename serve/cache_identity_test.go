@@ -17,7 +17,7 @@ import (
 // Both servers share ONE index; mutations flow through the cached
 // server (exercising its invalidation), probes hit both and must
 // agree byte for byte — on the answer payload and on the status code,
-// across the plain and the sharded backend.
+// across the plain, sharded, and EMR anchor-graph backends.
 func TestCacheIdentityAcrossMutations(t *testing.T) {
 	ds := mogul.NewMixture(mogul.MixtureConfig{
 		N: 160, Classes: 4, Dim: 6, WithinStd: 0.25, Separation: 2.0, Seed: 21,
@@ -38,6 +38,15 @@ func TestCacheIdentityAcrossMutations(t *testing.T) {
 				t.Fatal(err)
 			}
 			return six
+		},
+		"emr": func(t *testing.T) mogul.Retriever {
+			e, err := mogul.BuildEMR(ds.Points, mogul.Options{}, mogul.EMROptions{
+				NumAnchors: 16, NumNearestAnchors: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
 		},
 	}
 	for name, build := range backends {
