@@ -41,7 +41,9 @@ import (
 	"mogul/internal/baseline"
 	"mogul/internal/dense"
 	"mogul/internal/kmeans"
+	"mogul/internal/par"
 	"mogul/internal/topk"
+	"mogul/internal/vec"
 )
 
 // EMROptions configures the anchor graph of BuildEMR. The zero value
@@ -232,21 +234,42 @@ func buildEMRState(points []Vector, alpha float64, seed int64, eopts EMROptions)
 		}
 	}
 
-	// Gram system G = I_p - alpha H H^T, accumulated column by column
-	// in the identical order as the baseline's factorGram so the
-	// factorization — and every score downstream of it — is
-	// bit-identical to baseline.EMR over the same graph.
+	// Gram system G = I_p - alpha H H^T. The baseline's factorGram
+	// accumulates it serially over points; here the rows are
+	// partitioned by anchor, with an inverted anchor -> flat-position
+	// list (built in ascending point order) driving each row. A given
+	// cell (r, c) then receives the exact contributions of the serial
+	// loop in the exact same order — ascending point, then ascending
+	// support position — and ((-alpha)*val[a])*val[b] reproduces the
+	// serial expression bit-for-bit (negation is exact), so the
+	// factorization — and every score downstream of it — stays
+	// bit-identical to baseline.EMR over the same graph, at any
+	// GOMAXPROCS.
 	t1 := time.Now()
 	g := dense.Identity(p)
-	for i := 0; i < n; i++ {
-		off := i * st.s
-		idx := st.hAnchor[off : off+st.s]
-		val := st.hVal[off : off+st.s]
-		for a := range idx {
-			for b := range idx {
-				g.Add(int(idx[a]), int(idx[b]), -alpha*val[a]*val[b])
+	if st.s > 0 {
+		rowPos := make([][]int32, p)
+		for i := 0; i < n; i++ {
+			off := i * st.s
+			for t := 0; t < st.s; t++ {
+				a := st.hAnchor[off+t]
+				rowPos[a] = append(rowPos[a], int32(off+t))
 			}
 		}
+		par.For(p, 1, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				row := g.Row(r)
+				for _, fp := range rowPos[r] {
+					off := int(fp) / st.s * st.s
+					va := -alpha * st.hVal[fp]
+					idx := st.hAnchor[off : off+st.s]
+					val := st.hVal[off : off+st.s]
+					for b := range idx {
+						row[idx[b]] += va * val[b]
+					}
+				}
+			}
+		})
 	}
 	lu, err := dense.Factorize(g)
 	if err != nil {
@@ -421,25 +444,13 @@ func (sr *EMRSearcher) collect(k int, seeds []seedWeight) []Result {
 			continue
 		}
 		// h_i^T z in the same fixed four-lane summation order as
-		// baseline.AnchorDot (see there for why): the scan is the only
-		// O(n) term of a query, and the four independent accumulators
-		// keep it throughput-bound instead of FP-add-latency-bound
-		// while preserving bit-identity with the baseline's scores.
+		// baseline.AnchorDot (see vec.DotGather for why): the scan is
+		// the only O(n) term of a query, and the four independent
+		// accumulators keep it throughput-bound instead of
+		// FP-add-latency-bound while preserving bit-identity with the
+		// baseline's scores.
 		off := i * s
-		ha := st.hAnchor[off : off+s : off+s]
-		hv := st.hVal[off : off+s : off+s]
-		var s0, s1, s2, s3 float64
-		t := 0
-		for ; t+4 <= len(ha); t += 4 {
-			s0 += hv[t] * z[ha[t]]
-			s1 += hv[t+1] * z[ha[t+1]]
-			s2 += hv[t+2] * z[ha[t+2]]
-			s3 += hv[t+3] * z[ha[t+3]]
-		}
-		for ; t < len(ha); t++ {
-			s0 += hv[t] * z[ha[t]]
-		}
-		sum := (s0 + s1) + (s2 + s3)
+		sum := vec.DotGather32(st.hVal[off:off+s], st.hAnchor[off:off+s], z)
 		sum *= e.alpha
 		if si < len(seeds) && seeds[si].id == i {
 			sum += seeds[si].w

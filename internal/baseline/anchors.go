@@ -2,7 +2,6 @@ package baseline
 
 import (
 	"math"
-	"slices"
 
 	"mogul/internal/vec"
 )
@@ -24,7 +23,8 @@ type AnchorDist struct {
 // allocating. The zero value is ready to use; not safe for concurrent
 // use.
 type AnchorScratch struct {
-	ad []AnchorDist
+	ad   []AnchorDist
+	dist []float64
 }
 
 // FarthestBandwidthScale stretches the adaptive bandwidth when every
@@ -58,28 +58,51 @@ func NearestAnchorWeights(p vec.Vector, anchors []vec.Vector, s int, sc *AnchorS
 	if s > d {
 		s = d
 	}
-	if cap(sc.ad) < d {
-		sc.ad = make([]AnchorDist, d)
+	// Only the m = min(s+1, d) nearest anchors matter: the s supports
+	// plus the bandwidth anchor. A batched squared-distance sweep
+	// followed by bounded insertion selection replaces the full
+	// O(d log d) sort — (distance, id) is a strict total order (ids are
+	// unique), so the selected prefix is exactly the sort's prefix —
+	// and the square root is taken only for the m survivors.
+	m := s + 1
+	if m > d {
+		m = d
 	}
-	ad := sc.ad[:d]
-	for a, c := range anchors {
-		ad[a] = AnchorDist{ID: a, D: math.Sqrt(vec.SquaredEuclidean(p, c))}
+	if cap(sc.dist) < d {
+		sc.dist = make([]float64, d)
 	}
-	slices.SortFunc(ad, func(x, y AnchorDist) int {
-		switch {
-		case x.D < y.D:
-			return -1
-		case x.D > y.D:
-			return 1
-		default:
-			return x.ID - y.ID
+	dist := sc.dist[:d]
+	vec.SquaredEuclideanBatch(p, anchors, dist)
+	if cap(sc.ad) < m {
+		sc.ad = make([]AnchorDist, 0, m)
+	}
+	sel := sc.ad[:0]
+	for a, d2 := range dist {
+		if len(sel) == m {
+			if d2 >= sel[m-1].D {
+				// Anchor ids ascend during the scan, so an equal
+				// distance also loses the id tiebreak to every stored
+				// entry.
+				continue
+			}
+			sel = sel[:m-1]
 		}
-	})
+		pos := len(sel)
+		sel = append(sel, AnchorDist{})
+		for pos > 0 && sel[pos-1].D > d2 {
+			sel[pos] = sel[pos-1]
+			pos--
+		}
+		sel[pos] = AnchorDist{ID: a, D: d2}
+	}
+	for t := range sel {
+		sel[t].D = math.Sqrt(sel[t].D)
+	}
 	var bandwidth float64
 	if s < d {
-		bandwidth = ad[s].D
+		bandwidth = sel[s].D
 	} else {
-		bandwidth = ad[s-1].D * FarthestBandwidthScale
+		bandwidth = sel[s-1].D * FarthestBandwidthScale
 	}
 	if bandwidth == 0 {
 		bandwidth = 1 // point coincides with >= s anchors; weights stay uniform
@@ -87,12 +110,12 @@ func NearestAnchorWeights(p vec.Vector, anchors []vec.Vector, s int, sc *AnchorS
 	idx, val = idx[:0], val[:0]
 	var total float64
 	for t := 0; t < s; t++ {
-		u := ad[t].D / bandwidth
+		u := sel[t].D / bandwidth
 		w := 0.75 * (1 - u*u)
 		if w <= 0 {
 			w = 1e-12 // keep s supports even under distance ties
 		}
-		idx = append(idx, ad[t].ID)
+		idx = append(idx, sel[t].ID)
 		val = append(val, w)
 		total += w
 	}

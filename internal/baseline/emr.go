@@ -8,6 +8,7 @@ import (
 	"mogul/internal/core"
 	"mogul/internal/dense"
 	"mogul/internal/kmeans"
+	"mogul/internal/par"
 	"mogul/internal/vec"
 )
 
@@ -96,15 +97,22 @@ func BuildAnchorGraph(points, anchors []vec.Vector, s int) *AnchorGraph {
 	zIdx := make([][]int, n)
 	zVal := make([][]float64, n)
 	colSum := make([]float64, d)
-	var sc AnchorScratch
-	for i, p := range points {
-		idx, val, _ := NearestAnchorWeights(p, anchors, s, &sc, make([]int, 0, s), make([]float64, 0, s))
-		for t := range val {
-			colSum[idx[t]] += val[t]
+	// Attachment is the dominant O(n*d) stage; it runs on the par pool
+	// with per-block scratch. Each point's weights are a pure function
+	// of (p, anchors, s), and colSum accumulates through the fixed-shape
+	// blocked reduction, so the graph is bit-identical at any
+	// GOMAXPROCS.
+	par.ReduceVec(colSum, n, 16, func(lo, hi int, acc []float64) {
+		var sc AnchorScratch
+		for i := lo; i < hi; i++ {
+			idx, val, _ := NearestAnchorWeights(points[i], anchors, s, &sc, make([]int, 0, s), make([]float64, 0, s))
+			for t := range val {
+				acc[idx[t]] += val[t]
+			}
+			zIdx[i] = idx
+			zVal[i] = val
 		}
-		zIdx[i] = idx
-		zVal[i] = val
-	}
+	})
 
 	// Lambda_kk = 1/colSum[k]; degree D_ii = z_i^T Lambda (Z 1) where
 	// (Z 1)_k = colSum[k], hence D_ii = sum_t z_it * Lambda_tt * colSum[t]
@@ -117,27 +125,31 @@ func BuildAnchorGraph(points, anchors []vec.Vector, s int) *AnchorGraph {
 		}
 	}
 	deg := make([]float64, n)
-	for i := range zIdx {
-		var di float64
-		for t, a := range zIdx[i] {
-			di += zVal[i][t] * lambda[a] * colSum[a]
+	par.For(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var di float64
+			for t, a := range zIdx[i] {
+				di += zVal[i][t] * lambda[a] * colSum[a]
+			}
+			deg[i] = di
 		}
-		deg[i] = di
-	}
+	})
 
 	// H columns: h_i = Lambda^{1/2} z_i * D_ii^{-1/2}.
 	hVal := make([][]float64, n)
-	for i := range zIdx {
-		hv := make([]float64, len(zVal[i]))
-		invSqrtD := 0.0
-		if deg[i] > 0 {
-			invSqrtD = 1 / math.Sqrt(deg[i])
+	par.For(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hv := make([]float64, len(zVal[i]))
+			invSqrtD := 0.0
+			if deg[i] > 0 {
+				invSqrtD = 1 / math.Sqrt(deg[i])
+			}
+			for t, a := range zIdx[i] {
+				hv[t] = math.Sqrt(lambda[a]) * zVal[i][t] * invSqrtD
+			}
+			hVal[i] = hv
 		}
-		for t, a := range zIdx[i] {
-			hv[t] = math.Sqrt(lambda[a]) * zVal[i][t] * invSqrtD
-		}
-		hVal[i] = hv
-	}
+	})
 	return &AnchorGraph{Anchors: anchors, S: s, HIdx: zIdx, HVal: hVal, ColSum: colSum, Lambda: lambda}
 }
 
@@ -258,18 +270,7 @@ func (e *EMR) scoresForH(hqIdx []int, hqVal []float64, selfIdx int) ([]float64, 
 // let the CPU overlap the FP adds, which is worth ~2x on the O(n*s)
 // per-query scan that dominates EMR latency growth in n.
 func AnchorDot(val []float64, idx []int, z []float64) float64 {
-	var s0, s1, s2, s3 float64
-	t := 0
-	for ; t+4 <= len(idx); t += 4 {
-		s0 += val[t] * z[idx[t]]
-		s1 += val[t+1] * z[idx[t+1]]
-		s2 += val[t+2] * z[idx[t+2]]
-		s3 += val[t+3] * z[idx[t+3]]
-	}
-	for ; t < len(idx); t++ {
-		s0 += val[t] * z[idx[t]]
-	}
-	return (s0 + s1) + (s2 + s3)
+	return vec.DotGather(val[:len(idx)], idx, z)
 }
 
 // AllScores implements Ranker.

@@ -18,6 +18,7 @@ import (
 
 	"mogul/internal/cholesky"
 	"mogul/internal/sparse"
+	"mogul/internal/vec"
 )
 
 // Options controls a CG solve.
@@ -91,10 +92,8 @@ func Solve(a *sparse.CSR, b []float64, opts Options) (*Result, error) {
 			break
 		}
 		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
+		vec.Axpy(x, alpha, p)
+		vec.Axpy(r, -alpha, ap)
 		res.Iterations = iter + 1
 		if norm2(r)/normB < tol {
 			res.Converged = true
@@ -124,11 +123,7 @@ func applyPreconditionerTo(z []float64, m *cholesky.Factor, r []float64) {
 }
 
 func dot(a, b []float64) float64 {
-	var s float64
-	for i, x := range a {
-		s += x * b[i]
-	}
-	return s
+	return vec.Dot(a, b)
 }
 
 func norm2(a []float64) float64 {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"mogul/internal/sparse"
+	"mogul/internal/vec"
 )
 
 // DefaultMinPivot is the diagonal clamp applied when a computed pivot
@@ -61,6 +62,34 @@ func (f *Factor) Col(j int) (rows []int, vals []float64) {
 	return f.RowIdx[lo:hi], f.Val[lo:hi]
 }
 
+// forwardInPlace solves (L D) y = q in place: the column-oriented
+// forward substitution of Equation 4. Every forward-substitution entry
+// point (ForwardSolve, Solve, SolveInPlace) shares this body, so their
+// arithmetic stays bit-identical by construction.
+func (f *Factor) forwardInPlace(v []float64) {
+	for j := 0; j < f.N; j++ {
+		v[j] /= f.D[j]
+		vj := v[j]
+		if vj == 0 {
+			continue
+		}
+		rows, vals := f.Col(j)
+		vec.ScatterAxpy(v, rows, vals, -f.D[j]*vj)
+	}
+}
+
+// backwardInPlace solves Lᵀ x = y in place: the back substitution of
+// Equation 5 (U = Lᵀ has unit diagonal), with each column's gather-dot
+// accumulated under the vec four-lane contract. Shared by BackSolve,
+// Solve, and SolveInPlace for the same bit-identity reason as
+// forwardInPlace.
+func (f *Factor) backwardInPlace(v []float64) {
+	for i := f.N - 1; i >= 0; i-- {
+		rows, vals := f.Col(i)
+		v[i] -= vec.DotGather(vals, rows, v)
+	}
+}
+
 // ForwardSolve solves (L D) y = q by column-oriented forward
 // substitution (Equation 4 of the paper). A fresh slice is returned.
 func (f *Factor) ForwardSolve(q []float64) []float64 {
@@ -68,18 +97,7 @@ func (f *Factor) ForwardSolve(q []float64) []float64 {
 		panic(fmt.Sprintf("cholesky: ForwardSolve length %d != %d", len(q), f.N))
 	}
 	y := append([]float64(nil), q...)
-	for j := 0; j < f.N; j++ {
-		y[j] /= f.D[j]
-		yj := y[j]
-		if yj == 0 {
-			continue
-		}
-		rows, vals := f.Col(j)
-		dj := f.D[j]
-		for k, i := range rows {
-			y[i] -= vals[k] * dj * yj
-		}
-	}
+	f.forwardInPlace(y)
 	return y
 }
 
@@ -90,14 +108,7 @@ func (f *Factor) BackSolve(y []float64) []float64 {
 		panic(fmt.Sprintf("cholesky: BackSolve length %d != %d", len(y), f.N))
 	}
 	x := append([]float64(nil), y...)
-	for i := f.N - 1; i >= 0; i-- {
-		rows, vals := f.Col(i)
-		var s float64
-		for k, j := range rows {
-			s += vals[k] * x[j]
-		}
-		x[i] -= s
-	}
+	f.backwardInPlace(x)
 	return x
 }
 
@@ -109,34 +120,16 @@ func (f *Factor) Solve(q []float64) []float64 {
 
 // SolveInPlace is Solve without the allocations: v holds q on entry and
 // x on return. The arithmetic (operation order and rounding) is
-// bit-identical to Solve, which copies into fresh slices and then runs
-// the same in-place substitutions; callers that own a reusable buffer
-// (the query-engine scratch, CG preconditioner applications) use this
-// to keep steady-state solves allocation-free.
+// bit-identical to Solve because both run the same shared in-place
+// substitutions; callers that own a reusable buffer (the query-engine
+// scratch, CG preconditioner applications) use this to keep
+// steady-state solves allocation-free.
 func (f *Factor) SolveInPlace(v []float64) {
 	if len(v) != f.N {
 		panic(fmt.Sprintf("cholesky: SolveInPlace length %d != %d", len(v), f.N))
 	}
-	for j := 0; j < f.N; j++ {
-		v[j] /= f.D[j]
-		vj := v[j]
-		if vj == 0 {
-			continue
-		}
-		rows, vals := f.Col(j)
-		dj := f.D[j]
-		for k, i := range rows {
-			v[i] -= vals[k] * dj * vj
-		}
-	}
-	for i := f.N - 1; i >= 0; i-- {
-		rows, vals := f.Col(i)
-		var s float64
-		for k, j := range rows {
-			s += vals[k] * v[j]
-		}
-		v[i] -= s
-	}
+	f.forwardInPlace(v)
+	f.backwardInPlace(v)
 }
 
 // Reconstruct densifies L D Lᵀ; a test oracle for small matrices.

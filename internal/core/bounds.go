@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"mogul/internal/cholesky"
+	"mogul/internal/par"
 )
 
 // boundTables holds the precomputed quantities of the paper's upper
@@ -44,74 +45,77 @@ func buildBoundTables(f *cholesky.Factor, layout *Layout) *boundTables {
 	cN := layout.BorderStart()
 	border := layout.Border()
 
-	// Scratch: per cluster, map border row -> running max. Because
-	// columns are processed cluster by cluster (clusters are
-	// contiguous in permuted order), a per-cluster map is built and
-	// flushed when the column range leaves the cluster.
-	acc := make(map[int]float64)
-	flush := func(c int) {
-		if len(acc) == 0 {
-			return
-		}
-		cols := make([]int32, 0, len(acc))
-		for j := range acc {
-			cols = append(cols, int32(j))
-		}
-		// Insertion sort is fine: lists are short relative to n and
-		// this runs once per cluster.
-		for i := 1; i < len(cols); i++ {
-			for t := i; t > 0 && cols[t] < cols[t-1]; t-- {
-				cols[t], cols[t-1] = cols[t-1], cols[t]
-			}
-		}
-		vals := make([]float64, len(cols))
-		for i, j := range cols {
-			vals[i] = acc[int(j)]
-		}
-		bt.borderCols[c] = cols
-		bt.borderMax[c] = vals
-		for k := range acc {
-			delete(acc, k)
-		}
+	// Clusters are contiguous in permuted column order; record each
+	// cluster's column range serially, then process clusters on the par
+	// pool. Every output slot is owned by exactly one cluster and the
+	// running-max reductions are order-independent, so the tables are
+	// identical at any GOMAXPROCS.
+	colLo := make([]int, nc)
+	colHi := make([]int, nc)
+	for c := range colLo {
+		colLo[c] = -1
 	}
-
-	current := -1
 	for col := 0; col < f.N; col++ {
 		c := layout.ClusterOf[col]
-		if c != current {
-			if current >= 0 {
-				flush(current)
+		if colLo[c] < 0 {
+			colLo[c] = col
+		}
+		colHi[c] = col + 1
+	}
+	par.For(nc, 1, func(lo, hi int) {
+		// Scratch: per cluster, map border row -> running max, reused
+		// across the clusters of this range.
+		acc := make(map[int]float64)
+		for c := lo; c < hi; c++ {
+			if c == border || colLo[c] < 0 {
+				// Ū and X are only needed for prunable clusters; border
+				// columns contribute to nothing here, and the zero
+				// logOnePlusUBar already equals log1p(0).
+				continue
 			}
-			current = c
-		}
-		if c == border {
-			// Ū and X are only needed for prunable clusters; border
-			// columns contribute to nothing here.
-			continue
-		}
-		rows, vals := f.Col(col)
-		for t, r := range rows {
-			a := math.Abs(vals[t])
-			if r < cN {
-				// Within-cluster entry (Lemma 3 guarantees the row is
-				// in the same cluster as the column when both are
-				// below c_N).
-				if a > bt.uBar[c] {
-					bt.uBar[c] = a
-				}
-			} else {
-				if a > acc[r] {
-					acc[r] = a
+			for col := colLo[c]; col < colHi[c]; col++ {
+				rows, vals := f.Col(col)
+				for t, r := range rows {
+					a := math.Abs(vals[t])
+					if r < cN {
+						// Within-cluster entry (Lemma 3 guarantees the
+						// row is in the same cluster as the column when
+						// both are below c_N).
+						if a > bt.uBar[c] {
+							bt.uBar[c] = a
+						}
+					} else {
+						if a > acc[r] {
+							acc[r] = a
+						}
+					}
 				}
 			}
+			if len(acc) > 0 {
+				cols := make([]int32, 0, len(acc))
+				for j := range acc {
+					cols = append(cols, int32(j))
+				}
+				// Insertion sort is fine: lists are short relative to n
+				// and this runs once per cluster.
+				for i := 1; i < len(cols); i++ {
+					for t := i; t > 0 && cols[t] < cols[t-1]; t-- {
+						cols[t], cols[t-1] = cols[t-1], cols[t]
+					}
+				}
+				vals := make([]float64, len(cols))
+				for i, j := range cols {
+					vals[i] = acc[int(j)]
+				}
+				bt.borderCols[c] = cols
+				bt.borderMax[c] = vals
+				for k := range acc {
+					delete(acc, k)
+				}
+			}
+			bt.logOnePlusUBar[c] = math.Log1p(bt.uBar[c])
 		}
-	}
-	if current >= 0 {
-		flush(current)
-	}
-	for c := range bt.logOnePlusUBar {
-		bt.logOnePlusUBar[c] = math.Log1p(bt.uBar[c])
-	}
+	})
 	return bt
 }
 

@@ -368,3 +368,17 @@ func (ix *Index) Stats() Stats {
 	defer ix.mu.RUnlock()
 	return ix.stats
 }
+
+// ClearTimings zeroes the wall-clock fields of the build statistics.
+// Everything else an index serializes is a deterministic function of
+// (points, options) at any GOMAXPROCS; the timings are the one
+// diagnostic that is not. Clearing them makes Save output byte-stable,
+// which reproducible-snapshot pipelines and the build-determinism
+// tests rely on.
+func (ix *Index) ClearTimings() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.stats.ClusterTime = 0
+	ix.stats.PermuteTime = 0
+	ix.stats.FactorTime = 0
+}

@@ -11,9 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"mogul/internal/par"
 	"mogul/internal/vec"
 )
 
@@ -122,42 +121,24 @@ func Run(points []vec.Vector, cfg Config) (*Result, error) {
 func assignAll(points, centroids []vec.Vector, assign []int, bestD []float64) float64 {
 	n := len(points)
 	k := len(centroids)
-	scan := func(lo, hi int) {
+	par.For(n, 64, func(lo, hi int) {
+		// One batched distance sweep per point: the same
+		// vec.SquaredEuclidean values the fused loop would compute,
+		// followed by the same ascending strict-< argmin, so winner and
+		// distance are bit-identical to the sequential scan.
+		dist := make([]float64, k)
 		for i := lo; i < hi; i++ {
-			p := points[i]
-			best, bd := 0, vec.SquaredEuclidean(p, centroids[0])
+			vec.SquaredEuclideanBatch(points[i], centroids, dist)
+			best, bd := 0, dist[0]
 			for c := 1; c < k; c++ {
-				if d := vec.SquaredEuclidean(p, centroids[c]); d < bd {
-					best, bd = c, d
+				if dist[c] < bd {
+					best, bd = c, dist[c]
 				}
 			}
 			assign[i] = best
 			bestD[i] = bd
 		}
-	}
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	// Below ~4k points the chunk fan-out costs more than it saves.
-	if workers > 1 && n >= 4096 {
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for lo := 0; lo < n; lo += chunk {
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				scan(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
-	} else {
-		scan(0, n)
-	}
+	})
 	inertia := 0.0
 	for _, d := range bestD {
 		inertia += d
@@ -168,20 +149,48 @@ func assignAll(points, centroids []vec.Vector, assign []int, bestD []float64) fl
 // seedPlusPlus picks k initial centers with the k-means++ rule:
 // the first uniformly, each next with probability proportional to the
 // squared distance from the nearest chosen center.
+//
+// The O(n) distance sweep per center runs on the par pool: each sweep
+// folds the chosen center into d2 and records per-block partial sums
+// over the fixed block partition, and the weighted pick walks blocks
+// (then elements within the chosen block) against those partials. The
+// rng call sequence and every float it consumes depend only on the
+// fixed block shape, so seeding is bit-identical at any GOMAXPROCS.
 func seedPlusPlus(points []vec.Vector, k int, rng *rand.Rand) []vec.Vector {
 	n := len(points)
 	centroids := make([]vec.Vector, 0, k)
 	centroids = append(centroids, points[rng.Intn(n)].Clone())
 	d2 := make([]float64, n)
-	for i, p := range points {
-		d2[i] = vec.SquaredEuclidean(p, centroids[0])
+	size, count := par.Blocks(n, 0)
+	partials := make([]float64, count)
+	// sweep folds center c into d2 (or fills d2 when c is the first
+	// center) and refreshes the per-block partial sums.
+	sweep := func(c vec.Vector, first bool) {
+		par.ForBlocks(n, 0, func(b, lo, hi int) {
+			var s float64
+			if first {
+				for i := lo; i < hi; i++ {
+					d2[i] = vec.SquaredEuclidean(points[i], c)
+					s += d2[i]
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					if d := vec.SquaredEuclidean(points[i], c); d < d2[i] {
+						d2[i] = d
+					}
+					s += d2[i]
+				}
+			}
+			partials[b] = s
+		})
 	}
+	sweep(centroids[0], true)
 	for len(centroids) < k {
 		var total float64
-		for _, d := range d2 {
-			total += d
+		for _, p := range partials {
+			total += p
 		}
-		var next int
+		next := -1
 		if total <= 0 {
 			// All points coincide with chosen centers; fall back to
 			// uniform choice so we still return k centers.
@@ -189,22 +198,36 @@ func seedPlusPlus(points []vec.Vector, k int, rng *rand.Rand) []vec.Vector {
 		} else {
 			r := rng.Float64() * total
 			acc := 0.0
-			next = n - 1
-			for i, d := range d2 {
-				acc += d
-				if acc >= r {
-					next = i
-					break
+			for b := 0; b < count && next < 0; b++ {
+				if b < count-1 && acc+partials[b] < r {
+					acc += partials[b]
+					continue
 				}
+				lo, hi := b*size, b*size+size
+				if hi > n {
+					hi = n
+				}
+				inner := acc
+				for i := lo; i < hi; i++ {
+					inner += d2[i]
+					if inner >= r {
+						next = i
+						break
+					}
+				}
+				if next < 0 {
+					// The elementwise sum of this block rounded below its
+					// partial; carry the partial forward and keep walking.
+					acc += partials[b]
+				}
+			}
+			if next < 0 {
+				next = n - 1
 			}
 		}
 		c := points[next].Clone()
 		centroids = append(centroids, c)
-		for i, p := range points {
-			if d := vec.SquaredEuclidean(p, c); d < d2[i] {
-				d2[i] = d
-			}
-		}
+		sweep(c, false)
 	}
 	return centroids
 }

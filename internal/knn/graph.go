@@ -3,7 +3,9 @@ package knn
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"mogul/internal/par"
 	"mogul/internal/sparse"
 	"mogul/internal/vec"
 )
@@ -170,43 +172,87 @@ func BuildGraph(points []vec.Vector, cfg GraphConfig) (*Graph, error) {
 // buildEdges symmetrizes the directed k-NN lists and applies the heat
 // kernel. With union symmetrization an edge (i, j) exists when either
 // endpoint lists the other; with mutual, only when both do.
+//
+// The stage runs as a three-step pipeline: parallel emission of
+// normalized (min, max, dist) records into block-owned buffers, a
+// serial sort + run-length dedup over the concatenated records (the
+// one genuinely order-dependent step), and parallel heat-kernel
+// weighting of the unique edges. Record distances are bit-equal in
+// both directions (the distance kernel is symmetric term by term), so
+// dedup order cannot change a weight, and the output is identical at
+// any GOMAXPROCS.
 func buildEdges(neighbors [][]Neighbor, sigma float64, mutual bool) []sparse.Coord {
 	n := len(neighbors)
-	type edge struct{ a, b int }
-	// dist holds one distance per undirected pair; count tracks how
-	// many directions listed the pair.
-	dist := make(map[edge]float64, n*4)
-	count := make(map[edge]int, n*4)
-	for i, nbrs := range neighbors {
-		for _, nb := range nbrs {
-			a, b := i, nb.ID
-			if a == b {
-				continue
-			}
-			if a > b {
-				a, b = b, a
-			}
-			e := edge{a, b}
-			dist[e] = nb.Dist
-			count[e]++
-		}
+	type record struct {
+		a, b int32
+		d    float64
 	}
-	entries := make([]sparse.Coord, 0, 2*len(dist))
-	inv := 1 / (2 * sigma * sigma)
-	for e, d := range dist {
-		if mutual && count[e] < 2 {
+	_, count := par.Blocks(n, 0)
+	blocks := make([][]record, count)
+	par.ForBlocks(n, 0, func(b, lo, hi int) {
+		var out []record
+		for i := lo; i < hi; i++ {
+			for _, nb := range neighbors[i] {
+				a, c := i, nb.ID
+				if a == c {
+					continue
+				}
+				if a > c {
+					a, c = c, a
+				}
+				out = append(out, record{a: int32(a), b: int32(c), d: nb.Dist})
+			}
+		}
+		blocks[b] = out
+	})
+	total := 0
+	for _, bl := range blocks {
+		total += len(bl)
+	}
+	records := make([]record, 0, total)
+	for _, bl := range blocks {
+		records = append(records, bl...)
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].a != records[j].a {
+			return records[i].a < records[j].a
+		}
+		return records[i].b < records[j].b
+	})
+	// Run-length dedup in place: a pair listed by both directions
+	// appears as two adjacent equal records.
+	w := 0
+	for r := 0; r < len(records); {
+		e := records[r]
+		dirs := 1
+		r++
+		for r < len(records) && records[r].a == e.a && records[r].b == e.b {
+			dirs++
+			r++
+		}
+		if mutual && dirs < 2 {
 			continue
 		}
-		w := math.Exp(-d * d * inv)
-		if w == 0 {
-			// Exceptionally remote pair under this bandwidth; keep a
-			// tiny positive weight so the edge still connects the
-			// graph component structure.
-			w = math.SmallestNonzeroFloat64
-		}
-		entries = append(entries, sparse.Coord{Row: e.a, Col: e.b, Val: w})
-		entries = append(entries, sparse.Coord{Row: e.b, Col: e.a, Val: w})
+		records[w] = e
+		w++
 	}
+	uniq := records[:w]
+	entries := make([]sparse.Coord, 2*len(uniq))
+	inv := 1 / (2 * sigma * sigma)
+	par.For(len(uniq), 0, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			e := uniq[t]
+			wt := math.Exp(-e.d * e.d * inv)
+			if wt == 0 {
+				// Exceptionally remote pair under this bandwidth; keep a
+				// tiny positive weight so the edge still connects the
+				// graph component structure.
+				wt = math.SmallestNonzeroFloat64
+			}
+			entries[2*t] = sparse.Coord{Row: int(e.a), Col: int(e.b), Val: wt}
+			entries[2*t+1] = sparse.Coord{Row: int(e.b), Col: int(e.a), Val: wt}
+		}
+	})
 	return entries
 }
 

@@ -13,12 +13,9 @@ package knn
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sort"
-	"sync"
 
 	"mogul/internal/kmeans"
-	"mogul/internal/topk"
+	"mogul/internal/par"
 	"mogul/internal/vec"
 )
 
@@ -53,30 +50,19 @@ func (b *BruteForce) Search(q vec.Vector, k int) []Neighbor {
 	return searchSubset(q, k, b.points, nil)
 }
 
+// SearchInto is Search against caller-owned scratch; the result
+// aliases sc and is valid until its next use.
+func (b *BruteForce) SearchInto(sc *Scratch, q vec.Vector, k int) []Neighbor {
+	return searchSubsetInto(sc, q, k, b.points, nil)
+}
+
 // searchSubset scans either all points (ids == nil) or the listed ids,
 // returning the k nearest in ascending distance order. Scores offered
 // to the collector are negated distances so that "largest score" means
 // "smallest distance".
 func searchSubset(q vec.Vector, k int, points []vec.Vector, ids []int) []Neighbor {
-	if k <= 0 {
-		return nil
-	}
-	c := topk.New(k)
-	if ids == nil {
-		for i, p := range points {
-			c.Offer(i, -vec.SquaredEuclidean(q, p))
-		}
-	} else {
-		for _, i := range ids {
-			c.Offer(i, -vec.SquaredEuclidean(q, points[i]))
-		}
-	}
-	items := c.Results()
-	out := make([]Neighbor, len(items))
-	for i, it := range items {
-		out[i] = Neighbor{ID: it.ID, Dist: math.Sqrt(-it.Score)}
-	}
-	return out
+	var sc Scratch
+	return searchSubsetInto(&sc, q, k, points, ids)
 }
 
 // IVF is an inverted-file approximate nearest-neighbour index: points
@@ -135,70 +121,63 @@ func NewIVF(points []vec.Vector, cfg IVFConfig) (*IVF, error) {
 // Search returns approximately the k nearest neighbours of q, scanning
 // the NProbe inverted lists whose centroids are closest to q.
 func (ix *IVF) Search(q vec.Vector, k int) []Neighbor {
-	type cell struct {
-		id int
-		d  float64
+	var sc Scratch
+	return ix.SearchInto(&sc, q, k)
+}
+
+// SearchInto is Search against caller-owned scratch; the result
+// aliases sc and is valid until its next use.
+func (ix *IVF) SearchInto(sc *Scratch, q vec.Vector, k int) []Neighbor {
+	if k <= 0 {
+		return nil
 	}
-	cells := make([]cell, len(ix.centroids))
-	for i, c := range ix.centroids {
-		cells[i] = cell{id: i, d: vec.SquaredEuclidean(q, c)}
-	}
-	sort.Slice(cells, func(i, j int) bool { return cells[i].d < cells[j].d })
-	var candidates []int
+	sc.fillCellDistances(q, ix.centroids)
+	sc.sortCells()
+	cand := sc.cand[:0]
 	probes := ix.NProbe
-	for p := 0; p < len(cells); p++ {
-		if p >= probes && len(candidates) >= k {
+	for p := 0; p < len(sc.cellID); p++ {
+		if p >= probes && len(cand) >= k {
 			break
 		}
-		candidates = append(candidates, ix.lists[cells[p].id]...)
+		cand = append(cand, ix.lists[sc.cellID[p]]...)
 	}
-	return searchSubset(q, k, ix.points, candidates)
+	sc.cand = cand
+	return searchSubsetInto(sc, q, k, ix.points, cand)
 }
 
 // AllKNN computes the k nearest neighbours of every indexed point
-// (excluding the point itself), in parallel across queries.
+// (excluding the point itself), in parallel across queries. Each
+// point's neighbour list is a pure function of (points, s, k), so the
+// output is identical at every GOMAXPROCS. Searchers that implement
+// IntoSearcher (all in-package ones do) run with per-block scratch, so
+// the n queries of a build do not allocate n collectors.
 func AllKNN(points []vec.Vector, s Searcher, k int) [][]Neighbor {
 	n := len(points)
 	out := make([][]Neighbor, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				// Ask for k+1 and drop self; a duplicate point may tie
-				// with self, so filter by ID rather than by distance.
-				res := s.Search(points[i], k+1)
-				nbrs := make([]Neighbor, 0, k)
-				for _, nb := range res {
-					if nb.ID == i {
-						continue
-					}
-					nbrs = append(nbrs, nb)
-					if len(nbrs) == k {
-						break
-					}
-				}
-				out[i] = nbrs
+	into, reuse := s.(IntoSearcher)
+	par.For(n, 16, func(lo, hi int) {
+		var sc Scratch
+		for i := lo; i < hi; i++ {
+			// Ask for k+1 and drop self; a duplicate point may tie
+			// with self, so filter by ID rather than by distance.
+			var res []Neighbor
+			if reuse {
+				res = into.SearchInto(&sc, points[i], k+1)
+			} else {
+				res = s.Search(points[i], k+1)
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			nbrs := make([]Neighbor, 0, k)
+			for _, nb := range res {
+				if nb.ID == i {
+					continue
+				}
+				nbrs = append(nbrs, nb)
+				if len(nbrs) == k {
+					break
+				}
+			}
+			out[i] = nbrs
+		}
+	})
 	return out
 }

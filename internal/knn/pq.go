@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"mogul/internal/kmeans"
-	"mogul/internal/topk"
 	"mogul/internal/vec"
 )
 
@@ -227,52 +226,48 @@ func NewIVFPQ(points []vec.Vector, cfg IVFPQConfig) (*IVFPQ, error) {
 // Search returns approximately the k nearest neighbours of q: ADC scan
 // over the probed lists, exact re-rank of the Refine*k best codes.
 func (ix *IVFPQ) Search(q vec.Vector, k int) []Neighbor {
+	var sc Scratch
+	return ix.SearchInto(&sc, q, k)
+}
+
+// SearchInto is Search against caller-owned scratch; the result
+// aliases sc and is valid until its next use.
+func (ix *IVFPQ) SearchInto(sc *Scratch, q vec.Vector, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	type cell struct {
-		id int
-		d  float64
-	}
-	cells := make([]cell, len(ix.centroids))
-	for i, c := range ix.centroids {
-		cells[i] = cell{id: i, d: vec.SquaredEuclidean(q, c)}
-	}
+	sc.fillCellDistances(q, ix.centroids)
 	// Partial selection of the NProbe closest cells (insertion into a
 	// small prefix; NProbe is tiny relative to the cell count).
 	probes := ix.NProbe
-	if probes > len(cells) {
-		probes = len(cells)
+	if probes > len(sc.cellID) {
+		probes = len(sc.cellID)
 	}
 	for i := 0; i < probes; i++ {
 		best := i
-		for j := i + 1; j < len(cells); j++ {
-			if cells[j].d < cells[best].d {
+		for j := i + 1; j < len(sc.cellD); j++ {
+			if sc.cellD[j] < sc.cellD[best] {
 				best = j
 			}
 		}
-		cells[i], cells[best] = cells[best], cells[i]
+		sc.sorter.id, sc.sorter.d = sc.cellID, sc.cellD
+		sc.sorter.Swap(i, best)
 	}
 
 	table, err := ix.pq.DistanceTable(q)
 	if err != nil {
 		return nil
 	}
-	pool := topk.New(ix.Refine * k)
+	sc.pool.Reset(ix.Refine * k)
 	for p := 0; p < probes; p++ {
-		for _, id := range ix.lists[cells[p].id] {
-			pool.Offer(id, -ADC(table, ix.codes[id]))
+		for _, id := range ix.lists[sc.cellID[p]] {
+			sc.pool.Offer(id, -ADC(table, ix.codes[id]))
 		}
 	}
 	// Exact re-ranking of the candidate pool.
-	final := topk.New(k)
-	for _, it := range pool.Results() {
-		final.Offer(it.ID, -vec.SquaredEuclidean(q, ix.points[it.ID]))
+	sc.col.Reset(k)
+	for _, it := range sc.pool.Drain() {
+		sc.col.Offer(it.ID, -vec.SquaredEuclidean(q, ix.points[it.ID]))
 	}
-	items := final.Results()
-	out := make([]Neighbor, len(items))
-	for i, it := range items {
-		out[i] = Neighbor{ID: it.ID, Dist: math.Sqrt(-it.Score)}
-	}
-	return out
+	return neighborsFromItems(sc, sc.col.Drain())
 }

@@ -1,0 +1,78 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mogul/internal/vec"
+)
+
+func scratchTestPoints(n, dim int, seed int64) []vec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		p := make(vec.Vector, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestSearchIntoMatchesSearch pins the delegation contract: for every
+// backend, SearchInto with reused scratch returns exactly what Search
+// returns, query after query.
+func TestSearchIntoMatchesSearch(t *testing.T) {
+	pts := scratchTestPoints(400, 6, 3)
+	ivf, err := NewIVF(pts, IVFConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivfpq, err := NewIVFPQ(pts, IVFPQConfig{Seed: 5, PQ: PQConfig{M: 3, KSub: 16, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := map[string]IntoSearcher{
+		"brute":  NewBruteForce(pts),
+		"vptree": NewVPTree(pts, 5),
+		"ivf":    ivf,
+		"ivfpq":  ivfpq,
+	}
+	for name, s := range backends {
+		var sc Scratch
+		for qi := 0; qi < 25; qi++ {
+			q := pts[qi*7%len(pts)]
+			want := s.Search(q, 10)
+			got := s.SearchInto(&sc, q, 10)
+			if len(got) != len(want) {
+				t.Fatalf("%s query %d: %d results, want %d", name, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s query %d result %d: %+v != %+v", name, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSearchIntoDoesNotAllocate is the satellite guarantee: a warmed
+// scratch makes brute-force and VP-tree queries allocation-free, so
+// the n queries of a graph build no longer create n collectors.
+func TestSearchIntoDoesNotAllocate(t *testing.T) {
+	pts := scratchTestPoints(500, 6, 4)
+	for name, s := range map[string]IntoSearcher{
+		"brute":  NewBruteForce(pts),
+		"vptree": NewVPTree(pts, 7),
+	} {
+		var sc Scratch
+		s.SearchInto(&sc, pts[0], 12) // warm the scratch
+		allocs := testing.AllocsPerRun(20, func() {
+			s.SearchInto(&sc, pts[3], 12)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per SearchInto, want 0", name, allocs)
+		}
+	}
+}

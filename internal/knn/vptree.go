@@ -100,19 +100,21 @@ func (t *VPTree) build(ids []int32, rng *rand.Rand) int32 {
 // Search returns the k exact nearest neighbours of q in ascending
 // distance order.
 func (t *VPTree) Search(q vec.Vector, k int) []Neighbor {
+	var sc Scratch
+	return t.SearchInto(&sc, q, k)
+}
+
+// SearchInto is Search against caller-owned scratch; the result
+// aliases sc and is valid until its next use.
+func (t *VPTree) SearchInto(sc *Scratch, q vec.Vector, k int) []Neighbor {
 	if k <= 0 || len(t.points) == 0 {
 		return nil
 	}
-	coll := topk.New(k)
+	sc.col.Reset(k)
 	// tau is the current k-th best distance; pruning uses it through
 	// the collector threshold (scores are negated distances).
-	t.search(t.root, q, coll)
-	items := coll.Results()
-	out := make([]Neighbor, len(items))
-	for i, it := range items {
-		out[i] = Neighbor{ID: int(it.ID), Dist: math.Sqrt(-it.Score)}
-	}
-	return out
+	t.search(t.root, q, &sc.col)
+	return neighborsFromItems(sc, sc.col.Drain())
 }
 
 func (t *VPTree) search(nodeIdx int32, q vec.Vector, coll *topk.Collector) {

@@ -1,0 +1,169 @@
+// Package par is the deterministic parallel-for substrate of the build
+// pipeline: a bounded worker pool over fixed-shape index blocks plus
+// blocked reductions that fold partial results in a fixed order.
+//
+// Determinism is the whole point. Every helper partitions [0, n) into
+// blocks whose count and boundaries depend ONLY on n and minBlock —
+// never on GOMAXPROCS, never on scheduling — and reductions combine
+// per-block partials in ascending block order. A computation whose
+// per-block work writes only block-owned state (or reduces through
+// SumBlocks / ReduceVec) therefore produces bit-identical results at
+// any worker count, including 1. That contract is what lets the
+// parallel build stages (k-NN edge weighting, k-means++ seeding
+// sweeps, EMR anchor attachment, gram accumulation, bound tables)
+// promise byte-identical Save output across GOMAXPROCS settings, with
+// tests holding them to it.
+//
+// Workers are plain goroutines pulling block ids off an atomic cursor:
+// the pool is bounded by GOMAXPROCS(0) (so -cpu / GOMAXPROCS control
+// build parallelism the same way they control the query path), blocks
+// are coarse enough that cursor contention is noise, and uneven block
+// costs self-balance because fast workers simply pull more blocks.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultMinBlock is the block-size floor when callers pass
+// minBlock <= 0: small enough to engage extra cores on mid-sized
+// inputs, large enough that goroutine fan-out never dominates the
+// per-element work of the cheapest kernels.
+const defaultMinBlock = 512
+
+// targetBlocks caps the block count: enough blocks that the pool
+// load-balances on any realistic core count, few enough that per-block
+// overhead (and per-block reduction storage) stays bounded. It is a
+// fixed constant — NOT derived from the machine — because the block
+// shape is part of the determinism contract.
+const targetBlocks = 64
+
+// Blocks returns the fixed block partition of [0, n): the block size
+// and block count. Both depend only on n and minBlock, so the shape is
+// identical on every machine and at every GOMAXPROCS — the property
+// every determinism guarantee in this package rests on. count is 0 for
+// n <= 0.
+func Blocks(n, minBlock int) (size, count int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	if minBlock <= 0 {
+		minBlock = defaultMinBlock
+	}
+	size = (n + targetBlocks - 1) / targetBlocks
+	if size < minBlock {
+		size = minBlock
+	}
+	count = (n + size - 1) / size
+	return size, count
+}
+
+// ForBlocks runs fn(b, lo, hi) for every block b of the fixed
+// partition of [0, n), on up to GOMAXPROCS(0) workers. fn must confine
+// its writes to state owned by block b (or by the index range
+// [lo, hi)); under that rule the result is bit-identical at any worker
+// count. fn is called at most once per block; blocks execute in
+// arbitrary order and concurrently.
+func ForBlocks(n, minBlock int, fn func(b, lo, hi int)) {
+	size, count := Blocks(n, minBlock)
+	if count == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for b := 0; b < count; b++ {
+			lo := b * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			fn(b, lo, hi)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(cursor.Add(1)) - 1
+				if b >= count {
+					return
+				}
+				lo := b * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				fn(b, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// For is ForBlocks without the block id: fn(lo, hi) over the fixed
+// partition of [0, n). The workhorse for per-index-independent work
+// (each iteration writes only slot i of output slices).
+func For(n, minBlock int, fn func(lo, hi int)) {
+	ForBlocks(n, minBlock, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// SumBlocks computes a scalar sum as a fixed-shape blocked reduction:
+// partial(lo, hi) produces each block's partial (summed internally in
+// ascending index order by the caller), and the partials fold in
+// ascending block order. The result is bit-identical at any worker
+// count — but differs in rounding from a straight sequential sum over
+// [0, n), which is why callers that switch to SumBlocks must move
+// every implementation that is pinned bit-identical to them in
+// lockstep.
+func SumBlocks(n, minBlock int, partial func(lo, hi int) float64) float64 {
+	_, count := Blocks(n, minBlock)
+	if count == 0 {
+		return 0
+	}
+	partials := make([]float64, count)
+	ForBlocks(n, minBlock, func(b, lo, hi int) {
+		partials[b] = partial(lo, hi)
+	})
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// ReduceVec accumulates a dense vector as a fixed-shape blocked
+// reduction: block(lo, hi, acc) scatters the contribution of index
+// range [lo, hi) into a zeroed per-block accumulator of len(dst), and
+// the accumulators fold into dst (added componentwise) in ascending
+// block order. dst is typically zeroed by the caller; existing content
+// is kept and added to. Bit-identical at any worker count; the same
+// lockstep caveat as SumBlocks applies versus a sequential scatter.
+//
+// Per-block storage is count * len(dst) floats; Blocks caps count at
+// 64, so the footprint stays bounded regardless of n.
+func ReduceVec(dst []float64, n, minBlock int, block func(lo, hi int, acc []float64)) {
+	_, count := Blocks(n, minBlock)
+	if count == 0 {
+		return
+	}
+	parts := make([][]float64, count)
+	ForBlocks(n, minBlock, func(b, lo, hi int) {
+		acc := make([]float64, len(dst))
+		block(lo, hi, acc)
+		parts[b] = acc
+	})
+	for _, acc := range parts {
+		for j, v := range acc {
+			dst[j] += v
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withGOMAXPROCS runs fn at the given worker count and restores the
+// previous setting.
+func withGOMAXPROCS(t *testing.T, procs int, fn func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+func TestBlocksShapeIsFixed(t *testing.T) {
+	cases := []struct{ n, minBlock int }{
+		{0, 0}, {1, 0}, {511, 0}, {512, 0}, {513, 0},
+		{10_000, 0}, {100_000, 0}, {100_000, 1}, {7, 1}, {64, 1},
+		{1_000_000, 2048},
+	}
+	for _, c := range cases {
+		size, count := Blocks(c.n, c.minBlock)
+		if c.n <= 0 {
+			if count != 0 {
+				t.Fatalf("Blocks(%d,%d): count %d, want 0", c.n, c.minBlock, count)
+			}
+			continue
+		}
+		if count > targetBlocks {
+			t.Fatalf("Blocks(%d,%d): count %d exceeds cap %d", c.n, c.minBlock, count, targetBlocks)
+		}
+		if size*count < c.n || size*(count-1) >= c.n {
+			t.Fatalf("Blocks(%d,%d): size %d count %d does not tile [0,n)", c.n, c.minBlock, size, count)
+		}
+		// The shape must not depend on GOMAXPROCS.
+		withGOMAXPROCS(t, 1, func() {
+			s1, c1 := Blocks(c.n, c.minBlock)
+			if s1 != size || c1 != count {
+				t.Fatalf("Blocks(%d,%d) changed under GOMAXPROCS=1", c.n, c.minBlock)
+			}
+		})
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 512, 513, 10_000} {
+		visits := make([]int32, n)
+		For(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForBlocksCallsEachBlockOnce(t *testing.T) {
+	n := 10_000
+	_, count := Blocks(n, 1)
+	calls := make([]int32, count)
+	ForBlocks(n, 1, func(b, lo, hi int) {
+		atomic.AddInt32(&calls[b], 1)
+	})
+	for b, c := range calls {
+		if c != 1 {
+			t.Fatalf("block %d called %d times", b, c)
+		}
+	}
+}
+
+// TestSumBlocksDeterministicAcrossWorkerCounts is the contract the
+// build pipeline rests on: the blocked reduction produces the same
+// bits at GOMAXPROCS 1, 2, and 8.
+func TestSumBlocksDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 100_003
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sum := func() float64 {
+		return SumBlocks(n, 0, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		})
+	}
+	var ref float64
+	withGOMAXPROCS(t, 1, func() { ref = sum() })
+	for _, procs := range []int{2, 8} {
+		withGOMAXPROCS(t, procs, func() {
+			if got := sum(); got != ref {
+				t.Fatalf("GOMAXPROCS=%d: sum %v != serial %v", procs, got, ref)
+			}
+		})
+	}
+}
+
+func TestReduceVecDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, d := 50_001, 37
+	idx := make([]int, n)
+	val := make([]float64, n)
+	for i := range idx {
+		idx[i] = rng.Intn(d)
+		val[i] = rng.NormFloat64()
+	}
+	reduce := func() []float64 {
+		dst := make([]float64, d)
+		ReduceVec(dst, n, 0, func(lo, hi int, acc []float64) {
+			for i := lo; i < hi; i++ {
+				acc[idx[i]] += val[i]
+			}
+		})
+		return dst
+	}
+	var ref []float64
+	withGOMAXPROCS(t, 1, func() { ref = reduce() })
+	for _, procs := range []int{2, 8} {
+		withGOMAXPROCS(t, procs, func() {
+			got := reduce()
+			for j := range got {
+				if got[j] != ref[j] {
+					t.Fatalf("GOMAXPROCS=%d: dst[%d] %v != serial %v", procs, j, got[j], ref[j])
+				}
+			}
+		})
+	}
+}
+
+// TestPoolUnderRace hammers the pool from many concurrent callers so
+// `go test -race` exercises the cursor/WaitGroup protocol and
+// overlapping For invocations.
+func TestPoolUnderRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			n := 4096 + int(seed)*17
+			out := make([]int, n)
+			For(n, 1, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = i * i
+				}
+			})
+			for i, v := range out {
+				if v != i*i {
+					t.Errorf("seed %d: out[%d] = %d", seed, i, v)
+					return
+				}
+			}
+			s := SumBlocks(n, 1, func(lo, hi int) float64 {
+				var acc float64
+				for i := lo; i < hi; i++ {
+					acc++
+				}
+				return acc
+			})
+			if s != float64(n) {
+				t.Errorf("seed %d: count %v != %d", seed, s, n)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mogul/internal/vec"
 )
 
 // Coord is a single (row, col, value) entry used while assembling a
@@ -150,11 +152,7 @@ func (m *CSR) MulVecTo(y, x []float64) {
 	}
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		var s float64
-		for k := lo; k < hi; k++ {
-			s += m.Val[k] * x[m.Col[k]]
-		}
-		y[i] = s
+		y[i] = vec.DotGather(m.Val[lo:hi], m.Col[lo:hi], x)
 	}
 }
 
@@ -214,9 +212,7 @@ func (m *CSR) RowSums() []float64 {
 	s := make([]float64, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			s[i] += m.Val[k]
-		}
+		s[i] = vec.Sum(m.Val[lo:hi])
 	}
 	return s
 }

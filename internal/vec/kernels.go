@@ -1,0 +1,191 @@
+package vec
+
+import (
+	"fmt"
+)
+
+// The accumulation kernels below all share one summation contract: a
+// FIXED four-lane unroll where lane l accumulates the entries at
+// positions ≡ l (mod 4), the tail folds into lane 0, and the lanes
+// combine as (s0+s1)+(s2+s3). The order is part of the numerical
+// contract of everything built on top — the EMR engine pins itself
+// bit-identical to the in-tree baseline through it, and the
+// determinism suites pin parallel builds byte-identical to serial ones
+// — so any reimplementation (including a future SIMD one) must
+// reproduce it exactly. It exists because the naive sequential loop is
+// a latency-bound dependent add chain: four independent accumulators
+// let the CPU overlap the FP adds, which is worth ~2-3x on the
+// distance scans and gather-dots that dominate build and query time.
+//
+// Every kernel hoists its bounds checks by reslicing to a common
+// length before the loop, so the unrolled bodies compile without
+// per-element checks (BCE-friendly). NaN and Inf flow through
+// untouched — the kernels are pure arithmetic, no filtering — which
+// the property tests assert.
+
+// squaredEuclideanTo is the shared unrolled body of SquaredEuclidean
+// and SquaredEuclideanBatch; callers have validated len(a) == len(b).
+func squaredEuclideanTo(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SquaredEuclideanBatch writes the squared L2 distance from q to every
+// point into out[i] — the one-query-versus-many-points form of the
+// distance kernel. Brute-force k-NN scans, k-means assignment and
+// seeding sweeps, and anchor attachment all reduce to this shape; one
+// call amortizes the per-pair function-call overhead across the whole
+// point set. len(out) must equal len(points) and every point must
+// match dim(q).
+func SquaredEuclideanBatch(q Vector, points []Vector, out []float64) {
+	if len(out) != len(points) {
+		panic(fmt.Sprintf("vec: batch output length %d for %d points", len(out), len(points)))
+	}
+	for i, p := range points {
+		if len(p) != len(q) {
+			panic(fmt.Sprintf("vec: distance dimension mismatch %d != %d", len(q), len(p)))
+		}
+		out[i] = squaredEuclideanTo(q, p)
+	}
+}
+
+// Axpy computes y += a*x elementwise (the BLAS axpy). Lengths must
+// match. Elementwise updates have no accumulation order, so the
+// 4-wide unroll changes no rounding versus the plain loop.
+func Axpy(y []float64, a float64, x []float64) {
+	if len(y) != len(x) {
+		panic(fmt.Sprintf("vec: Axpy dimension mismatch %d != %d", len(y), len(x)))
+	}
+	x = x[:len(y)]
+	i := 0
+	for ; i+4 <= len(y); i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < len(y); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot returns the inner product of two equal-length slices under the
+// shared four-lane contract. Vector.Dot and the CG iteration route
+// through it.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot dimension mismatch %d != %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Sum returns the sum of the values under the shared four-lane
+// contract (sparse row sums, degree vectors).
+func Sum(a []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i]
+		s1 += a[i+1]
+		s2 += a[i+2]
+		s3 += a[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// DotGather computes sum_k val[k] * z[idx[k]] — the sparse gather-dot
+// of CSR row products, CSC back substitution, and the baseline's
+// AnchorDot — under the shared four-lane contract. idx entries must be
+// valid indices into z.
+func DotGather(val []float64, idx []int, z []float64) float64 {
+	if len(val) != len(idx) {
+		panic(fmt.Sprintf("vec: DotGather lengths %d != %d", len(val), len(idx)))
+	}
+	idx = idx[:len(val)]
+	var s0, s1, s2, s3 float64
+	t := 0
+	for ; t+4 <= len(val); t += 4 {
+		s0 += val[t] * z[idx[t]]
+		s1 += val[t+1] * z[idx[t+1]]
+		s2 += val[t+2] * z[idx[t+2]]
+		s3 += val[t+3] * z[idx[t+3]]
+	}
+	for ; t < len(val); t++ {
+		s0 += val[t] * z[idx[t]]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// DotGather32 is DotGather over int32 indices — the flat H-column
+// layout of the EMR engine stores anchor ids as int32, and converting
+// per entry would cost more than the dot itself.
+func DotGather32(val []float64, idx []int32, z []float64) float64 {
+	if len(val) != len(idx) {
+		panic(fmt.Sprintf("vec: DotGather32 lengths %d != %d", len(val), len(idx)))
+	}
+	idx = idx[:len(val)]
+	var s0, s1, s2, s3 float64
+	t := 0
+	for ; t+4 <= len(val); t += 4 {
+		s0 += val[t] * z[idx[t]]
+		s1 += val[t+1] * z[idx[t+1]]
+		s2 += val[t+2] * z[idx[t+2]]
+		s3 += val[t+3] * z[idx[t+3]]
+	}
+	for ; t < len(val); t++ {
+		s0 += val[t] * z[idx[t]]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// ScatterAxpy computes y[idx[k]] += a * val[k] for every k — the
+// column-scatter of CSC forward substitution. Each update touches its
+// own slot in program order, so the unroll changes no rounding versus
+// the plain loop (even with duplicate indices).
+func ScatterAxpy(y []float64, idx []int, val []float64, a float64) {
+	if len(val) != len(idx) {
+		panic(fmt.Sprintf("vec: ScatterAxpy lengths %d != %d", len(idx), len(val)))
+	}
+	idx = idx[:len(val)]
+	t := 0
+	for ; t+4 <= len(val); t += 4 {
+		y[idx[t]] += a * val[t]
+		y[idx[t+1]] += a * val[t+1]
+		y[idx[t+2]] += a * val[t+2]
+		y[idx[t+3]] += a * val[t+3]
+	}
+	for ; t < len(val); t++ {
+		y[idx[t]] += a * val[t]
+	}
+}

@@ -27,8 +27,16 @@ func (v Vector) Add(w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("vec: Add dimension mismatch %d != %d", len(v), len(w)))
 	}
-	for i, x := range w {
-		v[i] += x
+	w = w[:len(v)]
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] += w[i]
+		v[i+1] += w[i+1]
+		v[i+2] += w[i+2]
+		v[i+3] += w[i+3]
+	}
+	for ; i < len(v); i++ {
+		v[i] += w[i]
 	}
 }
 
@@ -37,28 +45,37 @@ func (v Vector) Sub(w Vector) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("vec: Sub dimension mismatch %d != %d", len(v), len(w)))
 	}
-	for i, x := range w {
-		v[i] -= x
+	w = w[:len(v)]
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] -= w[i]
+		v[i+1] -= w[i+1]
+		v[i+2] -= w[i+2]
+		v[i+3] -= w[i+3]
+	}
+	for ; i < len(v); i++ {
+		v[i] -= w[i]
 	}
 }
 
 // Scale multiplies every element of v by s in place.
 func (v Vector) Scale(s float64) {
-	for i := range v {
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] *= s
+		v[i+1] *= s
+		v[i+2] *= s
+		v[i+3] *= s
+	}
+	for ; i < len(v); i++ {
 		v[i] *= s
 	}
 }
 
-// Dot returns the inner product of v and w. It panics if lengths differ.
+// Dot returns the inner product of v and w under the four-lane
+// summation contract (see kernels.go). It panics if lengths differ.
 func (v Vector) Dot(w Vector) float64 {
-	if len(v) != len(w) {
-		panic(fmt.Sprintf("vec: Dot dimension mismatch %d != %d", len(v), len(w)))
-	}
-	var s float64
-	for i, x := range v {
-		s += x * w[i]
-	}
-	return s
+	return Dot(v, w)
 }
 
 // Norm returns the Euclidean (L2) norm of v.
@@ -142,17 +159,13 @@ func (Euclidean) Distance(a, b Vector) float64 {
 
 // SquaredEuclidean returns the squared L2 distance between a and b
 // without the final square root; useful in inner loops where only the
-// ordering of distances matters.
+// ordering of distances matters. It accumulates under the four-lane
+// summation contract (see kernels.go).
 func SquaredEuclidean(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: distance dimension mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i, x := range a {
-		d := x - b[i]
-		s += d * d
-	}
-	return s
+	return squaredEuclideanTo(a, b)
 }
 
 // Manhattan is the L1 metric, provided for completeness with the
