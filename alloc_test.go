@@ -121,6 +121,75 @@ func TestTopKAllocsWithDeltaAndTombstones(t *testing.T) {
 	}
 }
 
+// TestSpectralTopKAllocs: the spectral engine's streaming scan plus
+// the epoch-stamped hop expansion must also run allocation-free in
+// steady state, on both the dedicated-Searcher path and the pooled
+// path, including with live delta items and tombstones in play.
+func TestSpectralTopKAllocs(t *testing.T) {
+	ds := dataset.Mixture(dataset.MixtureConfig{
+		N: 2100, Classes: 100, Dim: 16, WithinStd: 0.3, Separation: 2.5, Seed: 21,
+	})
+	e, err := BuildSpectral(ds.Points[:2000], Options{}, SpectralOptions{Rank: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Points[2000:2050] {
+		if _, err := e.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int{5, 800, 1999, 2001} {
+		if err := e.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sr := e.NewSearcher()
+	if _, err := sr.TopK(11, 10); err != nil { // warm: sizes the scratch
+		t.Fatal(err)
+	}
+	queries := []int{3, 500, 999, 2010} // includes a live delta item
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sr.TopK(queries[i%len(queries)], 10); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 1 {
+		t.Fatalf("SpectralSearcher.TopK allocates %.1f objects/op in steady state, want 1 (the returned []Result)", allocs)
+	}
+
+	pool := ds.Points[2050:]
+	if _, err := sr.TopKVector(pool[0], 10); err != nil { // warm the attachment scratch
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := sr.TopKVector(pool[i%len(pool)], 10); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 1 {
+		t.Fatalf("SpectralSearcher.TopKVector allocates %.1f objects/op in steady state, want 1 (the returned []Result)", allocs)
+	}
+
+	if _, err := e.TopK(11, 10); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := e.TopK(queries[i%len(queries)], 10); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// As with Index.TopK: a GC clearing the pool mid-measurement may
+	// force one refill; a real per-query regression still fails.
+	if allocs > 2 {
+		t.Fatalf("SpectralIndex.TopK allocates %.1f objects/op in steady state, want 1 (the returned []Result)", allocs)
+	}
+}
+
 // TestTopKShardedAllocs: the fan-out over S shards must stay at S+1
 // steady-state allocations — the S per-shard result slices plus the
 // merged output — proving the fan-out runs entirely on the pinned

@@ -1,0 +1,84 @@
+package mogul
+
+// Committed bench-baseline guard. CI's bench-smoke job and the docs
+// reference BENCH_*.json artifacts as the repo's performance
+// trajectory; the committed copies at the repo root are the baselines
+// those runs are read against. A baseline that silently disappears
+// from the tree (as BENCH_search.json, BENCH_emr.json, and
+// BENCH_distributed.json once did) leaves the trajectory empty with
+// no failing signal — so this test scans every doc and workflow for
+// BENCH_*.json references and fails loudly when a referenced baseline
+// is absent or unreadable.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// benchBaselineRefs collects the set of BENCH_*.json names referenced
+// by CI and the user-facing docs (historical notes in CHANGES.md and
+// the per-PR ISSUE.md do not pin baselines).
+func benchBaselineRefs(t *testing.T) []string {
+	t.Helper()
+	sources := []string{".github/workflows/ci.yml", "README.md", "ROADMAP.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources = append(sources, docs...)
+
+	re := regexp.MustCompile(`BENCH_\w+\.json`)
+	seen := map[string]bool{}
+	for _, src := range sources {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatalf("reading %s: %v", src, err)
+		}
+		for _, m := range re.FindAllString(string(data), -1) {
+			seen[m] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no BENCH_*.json references found in CI or docs — the scan is broken")
+	}
+	return names
+}
+
+func TestCommittedBenchBaselinesPresent(t *testing.T) {
+	for _, name := range benchBaselineRefs(t) {
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("baseline %s is referenced by CI/docs but missing from the tree: %v", name, err)
+			}
+			// The committed baseline must be a real bench2json report, not
+			// an empty or truncated artifact.
+			var rep struct {
+				Benchmarks []struct {
+					Name    string  `json:"name"`
+					NsPerOp float64 `json:"ns_per_op"`
+				} `json:"benchmarks"`
+			}
+			if err := json.Unmarshal(data, &rep); err != nil {
+				t.Fatalf("baseline %s is not valid bench2json output: %v", name, err)
+			}
+			if len(rep.Benchmarks) == 0 {
+				t.Fatalf("baseline %s carries no benchmark entries", name)
+			}
+			for _, b := range rep.Benchmarks {
+				if b.Name == "" || b.NsPerOp <= 0 {
+					t.Fatalf("baseline %s has a benchmark entry without a name or timing: %+v", name, b)
+				}
+			}
+		})
+	}
+}

@@ -6,7 +6,8 @@ package mogul
 // GOMAXPROCS, because block shapes and reduction orders are fixed
 // functions of the input size, never of the worker count. These tests
 // pin that contract for both the exact engine (Build) and the
-// anchor-graph engine (BuildEMR) at 1, 2, and 8 workers.
+// anchor-graph engine (BuildEMR), and the truncated-eigenbasis engine
+// (BuildSpectral) at 1, 2, and 8 workers.
 
 import (
 	"bytes"
@@ -88,6 +89,42 @@ func TestBuildDeterministicAcrossGOMAXPROCS(t *testing.T) {
 				t.Fatalf("GOMAXPROCS=%d: Save: %v", procs, err)
 			}
 			sig := topKSignature(t, ix, n)
+			if refBytes == nil {
+				refBytes, refSig = buf.Bytes(), sig
+				return
+			}
+			if !bytes.Equal(refBytes, buf.Bytes()) {
+				t.Fatalf("GOMAXPROCS=%d: Save output differs from GOMAXPROCS=%d (%d vs %d bytes)",
+					procs, determinismProcs[0], buf.Len(), len(refBytes))
+			}
+			compareSignatures(t, procs, refSig, sig)
+		})
+	}
+}
+
+func TestBuildSpectralDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const n = 2000
+	pts := determinismPoints(n)
+	opts := Options{Seed: 3}
+	sopts := SpectralOptions{Rank: 48}
+
+	var refBytes []byte
+	var refSig [][]Result
+	for _, procs := range determinismProcs {
+		withProcs(t, procs, func() {
+			e, err := BuildSpectral(pts, opts, sopts)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d: BuildSpectral: %v", procs, err)
+			}
+			// Build wall-times are the one nondeterministic diagnostic in
+			// the container; everything else must be byte-stable.
+			e.st.stats.ClusterTime = 0
+			e.st.stats.FactorTime = 0
+			var buf bytes.Buffer
+			if err := e.Save(&buf); err != nil {
+				t.Fatalf("GOMAXPROCS=%d: Save: %v", procs, err)
+			}
+			sig := topKSignature(t, e, n)
 			if refBytes == nil {
 				refBytes, refSig = buf.Bytes(), sig
 				return

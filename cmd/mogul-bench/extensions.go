@@ -411,3 +411,82 @@ func emrQueryVectors(pts []mogul.Vector, count int, seed int64) []mogul.Vector {
 	}
 	return out
 }
+
+// expSpectral maps the truncated-eigenbasis engine's rank-vs-recall
+// frontier: for each retained rank r, build time, median per-query
+// latency, and recall@10 against the exact oracle on the same
+// out-of-sample near-duplicate workload the EMR experiment uses, so
+// the two engines' frontiers are directly comparable. The hybrid
+// estimator's adaptive hop expansion carries the component-local part
+// of the resolvent exactly, so on this clustered workload recall
+// stays high even at ranks far below the cluster count; the sweep
+// shows what (little) extra rank buys once the hops saturate
+// (docs/SPECTRAL.md).
+func expSpectral(l *lab) {
+	const k = 10
+	n := l.scale.nus
+	ds := mogul.NewMixture(mogul.MixtureConfig{
+		N: n, Classes: n / 10, Dim: 8, WithinStd: 0.25, Separation: 3.0, Seed: l.seed,
+	})
+	queries := emrQueryVectors(ds.Points, 32, l.seed)
+
+	t0 := time.Now()
+	exact, err := mogul.Build(ds.Points, mogul.Options{Exact: true, ApproximateGraph: true, Seed: l.seed})
+	if err != nil {
+		fatal(err)
+	}
+	exactBuild := time.Since(t0)
+	ref := make([][]int, len(queries))
+	for i, q := range queries {
+		res, err := exact.TopKVector(q, k)
+		if err != nil {
+			fatal(err)
+		}
+		ref[i] = eval.TopKIDs(res)
+	}
+	exactTimes := make([]time.Duration, 0, len(queries))
+	for _, q := range queries {
+		t1 := time.Now()
+		if _, err := exact.TopKVector(q, k); err != nil {
+			fatal(err)
+		}
+		exactTimes = append(exactTimes, time.Since(t1))
+	}
+
+	rows := [][]string{{"engine", "rank", "build [s]", "search [s]", "recall@10"}}
+	rows = append(rows, []string{
+		"MogulE (oracle)", "-", eval.Seconds(exactBuild),
+		eval.Seconds(medianDuration(exactTimes)), "1.000",
+	})
+	for _, r := range []int{16, 32, 64, 128, 256} {
+		if r > n/4 {
+			continue
+		}
+		t1 := time.Now()
+		engine, err := mogul.BuildSpectral(ds.Points,
+			mogul.Options{Seed: l.seed, ApproximateGraph: true},
+			mogul.SpectralOptions{Rank: r})
+		if err != nil {
+			fatal(err)
+		}
+		build := time.Since(t1)
+		var recall float64
+		times := make([]time.Duration, 0, len(queries))
+		for i, q := range queries {
+			t2 := time.Now()
+			res, err := engine.TopKVector(q, k)
+			if err != nil {
+				fatal(err)
+			}
+			times = append(times, time.Since(t2))
+			recall += eval.PAtK(eval.TopKIDs(res), ref[i])
+		}
+		recall /= float64(len(queries))
+		rows = append(rows, []string{
+			"Spectral", fmt.Sprintf("%d", r), eval.Seconds(build),
+			eval.Seconds(medianDuration(times)), fmt.Sprintf("%.3f", recall),
+		})
+	}
+	fmt.Printf("Spectral (FSR) engine on %s (top-%d, oracle = exact MogulE, out-of-sample queries)\n", ds.Name, k)
+	emitTable(rows)
+}

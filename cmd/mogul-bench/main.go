@@ -66,9 +66,10 @@ func main() {
 		"sharded":  expSharded,
 		"dist":     expDist,
 		"emr":      expEMR,
+		"spectral": expSpectral,
 		"build":    expBuild,
 	}
-	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded", "dist", "emr", "build"}
+	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded", "dist", "emr", "spectral", "build"}
 
 	var selected []string
 	if *exp == "all" {

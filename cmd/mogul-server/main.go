@@ -60,9 +60,10 @@ func main() {
 		approx    = flag.Bool("approx-graph", false, "build the k-NN graph with the IVF index")
 		shards    = flag.Int("shards", 1, "partition the dataset into N shards (parallel build, fan-out search)")
 		partition = flag.String("partitioner", "contiguous", "shard partitioner: contiguous or kmeans")
-		engine    = flag.String("engine", "graph", "ranking engine: graph (k-NN graph index) or emr (anchor-graph EMR)")
+		engine    = flag.String("engine", "graph", "ranking engine: graph (k-NN graph index), emr (anchor-graph EMR), or spectral (truncated eigenbasis)")
 		anchors   = flag.Int("anchors", 0, "emr engine: number of k-means anchors (0 = default)")
 		anchorsPP = flag.Int("anchors-per-point", 0, "emr engine: anchors in each point's support (0 = default)")
+		rank      = flag.Int("rank", 0, "spectral engine: retained eigenpairs (0 = default)")
 
 		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "query-result cache budget in bytes (0 disables)")
 		batchWindow = flag.Duration("batch-window", 0, "micro-batch window for /search/vector (0 disables, try 200us)")
@@ -82,8 +83,8 @@ func main() {
 	flag.StringVar(&indexPath, "index", "", "alias for -load-index")
 	flag.Parse()
 
-	if *engine != "graph" && *engine != "emr" {
-		log.Fatalf("mogul-server: unknown -engine %q (want graph or emr)", *engine)
+	if *engine != "graph" && *engine != "emr" && *engine != "spectral" {
+		log.Fatalf("mogul-server: unknown -engine %q (want graph, emr, or spectral)", *engine)
 	}
 	serveOpts := serve.Options{
 		CacheBytes:  *cacheBytes,
@@ -155,6 +156,20 @@ func main() {
 			idx = e
 			log.Printf("built EMR engine over %d items (%d anchors) in %v",
 				e.Len(), e.NumAnchors(), time.Since(t0).Round(time.Millisecond))
+		} else if *engine == "spectral" {
+			if *shards > 1 {
+				log.Fatal("mogul-server: -engine spectral builds one eigenbasis; use -shards 1 (shard spectral engines across processes via -mode coordinator)")
+			}
+			if *exact {
+				log.Fatal("mogul-server: -engine spectral serves truncated-eigenbasis scores; -exact selects the graph engine's MogulE")
+			}
+			e, err := mogul.BuildSpectral(ds.Points, opts, mogul.SpectralOptions{Rank: *rank})
+			if err != nil {
+				log.Fatal("mogul-server: ", err)
+			}
+			idx = e
+			log.Printf("built spectral engine over %d items (rank %d) in %v",
+				e.Len(), e.Rank(), time.Since(t0).Round(time.Millisecond))
 		} else if *shards > 1 {
 			var p mogul.Partitioner
 			switch *partition {

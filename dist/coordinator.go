@@ -67,10 +67,12 @@ type ShardIndex interface {
 var (
 	_ ShardIndex = (*mogul.Index)(nil)
 	_ ShardIndex = (*mogul.EMRIndex)(nil)
+	_ ShardIndex = (*mogul.SpectralIndex)(nil)
 )
 
-// LocalShard adapts an in-process engine (flat *mogul.Index or
-// anchor-graph *mogul.EMRIndex) to the Backend surface, so a
+// LocalShard adapts an in-process engine (flat *mogul.Index,
+// anchor-graph *mogul.EMRIndex, or truncated-eigenbasis
+// *mogul.SpectralIndex) to the Backend surface, so a
 // coordinator can serve mixed local + remote shard sets (e.g. one
 // resident shard plus N remote ones) through one code path. Context
 // cancellation is checked at call entry; the underlying searches are

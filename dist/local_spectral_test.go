@@ -1,0 +1,173 @@
+package dist_test
+
+// The spectral truncated-eigenbasis engine behind the distributed
+// fan-out: a coordinator over a single LocalShard wrapping a
+// *mogul.SpectralIndex is a pure passthrough (one shard, scale 1,
+// merge of one list), so every search path must return bit-identical
+// scores to the engine called directly — and stay bit-identical as
+// Insert/Delete/Compact flow through the coordinator. This is the
+// runtime counterpart of the compile-time ShardIndex assertion in
+// coordinator.go.
+//
+// One semantic wrinkle: on Compact the flat engine renumbers live
+// items densely while the coordinator keeps global ids stable and
+// only remaps its shard-local table (compactShard), so the
+// post-compact probe translates ids across that renumbering; scores
+// must still match bit for bit.
+
+import (
+	"math"
+	"testing"
+
+	"mogul"
+	"mogul/dist"
+)
+
+func sameSpectralResults(t *testing.T, path string, got, want []mogul.Result, toGlobal func(int) int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", path, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Node != toGlobal(want[i].Node) ||
+			math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+			t.Fatalf("%s rank %d: got (%d, %x), want (%d, %x)", path, i,
+				got[i].Node, math.Float64bits(got[i].Score),
+				toGlobal(want[i].Node), math.Float64bits(want[i].Score))
+		}
+	}
+}
+
+func TestLocalShardSpectralBitIdentical(t *testing.T) {
+	ds := mogul.NewMixture(mogul.MixtureConfig{
+		N: 220, Classes: 20, Dim: 8, WithinStd: 0.25, Separation: 3.0, Seed: 7,
+	})
+	base, extra := ds.Points[:200], ds.Points[200:]
+
+	// Two engines built identically: one queried directly (the
+	// oracle), one behind a single-shard coordinator. Mutations are
+	// applied to the oracle directly and to the other only through the
+	// coordinator, so the test also pins the LocalShard mutation path.
+	direct, err := mogul.BuildSpectral(base, mogul.Options{Seed: 3}, mogul.SpectralOptions{Rank: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	behind, err := mogul.BuildSpectral(base, mogul.Options{Seed: 3}, mogul.SpectralOptions{Rank: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := dist.NewCoordinator(
+		[]dist.Shard{{Replicas: []dist.Backend{dist.LocalShard{Ix: behind}}}},
+		dist.ContiguousPartition(len(base), 1),
+		dist.CoordOptions{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	identity := func(id int) int { return id }
+
+	// probe compares the coordinator against the direct engine on all
+	// three search paths. toDirect maps a coordinator global id to the
+	// direct engine's id space; toGlobal inverts it (both identity
+	// until the compaction stage renumbers the direct engine).
+	probe := func(stage string, globalIDs []int, toDirect, toGlobal func(int) int) {
+		t.Helper()
+		for _, g := range globalIDs {
+			want, err := direct.TopK(toDirect(g), 10)
+			if err != nil {
+				t.Fatalf("%s: direct TopK(%d): %v", stage, toDirect(g), err)
+			}
+			got, err := coord.TopK(g, 10)
+			if err != nil {
+				t.Fatalf("%s: coordinator TopK(%d): %v", stage, g, err)
+			}
+			sameSpectralResults(t, stage+"/TopK", got, want, toGlobal)
+		}
+		for i, q := range extra {
+			want, err := direct.TopKVector(q, 10)
+			if err != nil {
+				t.Fatalf("%s: direct TopKVector[%d]: %v", stage, i, err)
+			}
+			got, err := coord.TopKVector(q, 10)
+			if err != nil {
+				t.Fatalf("%s: coordinator TopKVector[%d]: %v", stage, i, err)
+			}
+			sameSpectralResults(t, stage+"/TopKVector", got, want, toGlobal)
+		}
+		seeds := globalIDs[:3]
+		directSeeds := make([]int, len(seeds))
+		for i, g := range seeds {
+			directSeeds[i] = toDirect(g)
+		}
+		want, err := direct.TopKSet(directSeeds, 10)
+		if err != nil {
+			t.Fatalf("%s: direct TopKSet: %v", stage, err)
+		}
+		got, err := coord.TopKSet(seeds, 10)
+		if err != nil {
+			t.Fatalf("%s: coordinator TopKSet: %v", stage, err)
+		}
+		sameSpectralResults(t, stage+"/TopKSet", got, want, toGlobal)
+	}
+
+	liveIDs := func() []int {
+		ids := []int{}
+		for g := 0; g < direct.IDSpace(); g += 17 {
+			if direct.Alive(g) {
+				ids = append(ids, g)
+			}
+		}
+		return ids
+	}
+
+	probe("fresh", liveIDs(), identity, identity)
+
+	for _, v := range extra {
+		if _, err := direct.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := coord.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted := []int{5, 60, 201} // two base items and a delta item
+	for _, id := range deleted {
+		if err := direct.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe("mutated", liveIDs(), identity, identity)
+
+	// Compact renumbers the direct engine (live items, old order) but
+	// not the coordinator's global ids: build the translation before
+	// compacting, then verify scores still match across it.
+	space := direct.IDSpace()
+	globals := []int{}
+	toDirect := make(map[int]int, space)
+	toGlobal := make(map[int]int, space)
+	next := 0
+	for g := 0; g < space; g++ {
+		if !direct.Alive(g) {
+			continue
+		}
+		toDirect[g] = next
+		toGlobal[next] = g
+		next++
+		if g%17 == 0 {
+			globals = append(globals, g)
+		}
+	}
+	if err := direct.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	probe("compacted", globals,
+		func(g int) int { return toDirect[g] },
+		func(d int) int { return toGlobal[d] })
+}

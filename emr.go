@@ -96,10 +96,14 @@ type emrState struct {
 	// memory-bandwidth bound.
 	hAnchor []int32
 	hVal    []float64
-	// deadCount counts tombstones; baseN is how many columns the gram
-	// factorization covers (items inserted later are scored but do not
-	// contribute to the factor until Compact folds them in).
+	// deadCount counts all tombstones; deadBase only those in the base
+	// build (the auto-compact policy counts a deleted delta item once:
+	// it is already in the inserted-items term). baseN is how many
+	// columns the gram factorization covers (items inserted later are
+	// scored but do not contribute to the factor until Compact folds
+	// them in).
 	deadCount int
+	deadBase  int
 	baseN     int
 	// gram is the prefactored p x p system I_p - alpha H H^T.
 	gram  *dense.LU
@@ -709,6 +713,9 @@ func (e *EMRIndex) Delete(id int) error {
 	}
 	st.dead[id] = true
 	st.deadCount++
+	if id < st.baseN {
+		st.deadBase++
+	}
 	needCompact := e.needsCompactLocked()
 	e.version.Add(1)
 	e.mu.Unlock()
@@ -721,14 +728,18 @@ func (e *EMRIndex) Delete(id int) error {
 	return nil
 }
 
-// needsCompactLocked applies the AutoCompactFraction policy; callers
-// hold e.mu (any mode) and e.mutMu.
+// needsCompactLocked applies the AutoCompactFraction policy: the
+// pending delta is the items inserted since the base build plus the
+// tombstones in the base. A deleted delta item must count once, not
+// twice — it is already in the inserted-items term — or churny
+// insert-then-delete workloads trip compaction at half the configured
+// threshold. Callers hold e.mu (any mode) and e.mutMu.
 func (e *EMRIndex) needsCompactLocked() bool {
 	if e.autoCompact <= 0 {
 		return false
 	}
 	st := e.st
-	pending := (len(st.points) - st.baseN) + st.deadCount
+	pending := (len(st.points) - st.baseN) + st.deadBase
 	return float64(pending) > e.autoCompact*float64(st.baseN)
 }
 

@@ -350,12 +350,16 @@ func assembleEMR(payloads map[[4]byte][]byte) (*EMRIndex, error) {
 		}
 	}
 	dead := make([]bool, n)
+	deadBase := 0
 	prev := -1
 	for _, id := range deadIDs {
 		if id <= prev || id >= n {
 			return nil, fmt.Errorf("mogul: corrupt tombstone list (id %d after %d, %d points)", id, prev, n)
 		}
 		dead[id] = true
+		if id < baseN {
+			deadBase++
+		}
 		prev = id
 	}
 	if len(deadIDs) >= n {
@@ -401,6 +405,7 @@ func assembleEMR(payloads map[[4]byte][]byte) (*EMRIndex, error) {
 			hAnchor:   hAnchor,
 			hVal:      hVal,
 			deadCount: len(deadIDs),
+			deadBase:  deadBase,
 			baseN:     baseN,
 			gram:      lu,
 			stats: Stats{

@@ -343,11 +343,12 @@ func (ix *Index) NewQuerier() Querier { return ix.NewSearcher() }
 func (six *ShardedIndex) NewQuerier() Querier { return six.NewSearcher() }
 
 // Load reads an index written by (*Index).Save, (*ShardedIndex).Save,
-// or (*EMRIndex).Save, sniffing the magic header to dispatch: a plain
-// MOGULIDX stream loads as *Index, a sharded MOGULSHD manifest as
-// *ShardedIndex, a MOGULEMR stream as *EMRIndex, all behind the shared
-// Retriever surface (type-assert for the concrete API).
-// Old-version, truncated, or corrupted input (both formats carry a
+// (*EMRIndex).Save, or (*SpectralIndex).Save, sniffing the magic
+// header to dispatch: a plain MOGULIDX stream loads as *Index, a
+// sharded MOGULSHD manifest as *ShardedIndex, a MOGULEMR stream as
+// *EMRIndex, a MOGULSPC stream as *SpectralIndex, all behind the
+// shared Retriever surface (type-assert for the concrete API).
+// Old-version, truncated, or corrupted input (every format carries a
 // magic header, a version field, and a whole-file checksum) yields an
 // error, never a panic.
 func Load(r io.Reader) (Retriever, error) {
@@ -364,6 +365,8 @@ func Load(r io.Reader) (Retriever, error) {
 		return LoadSharded(full)
 	case emrMagic:
 		return LoadEMR(full)
+	case spectralMagic:
+		return LoadSpectral(full)
 	}
 	// Everything else — including garbage magic — goes to the plain
 	// reader, whose "not a mogul index file" error names the magic.

@@ -17,7 +17,8 @@ import (
 // Both servers share ONE index; mutations flow through the cached
 // server (exercising its invalidation), probes hit both and must
 // agree byte for byte — on the answer payload and on the status code,
-// across the plain, sharded, and EMR anchor-graph backends.
+// across the plain, sharded, EMR anchor-graph, and spectral
+// truncated-eigenbasis backends.
 func TestCacheIdentityAcrossMutations(t *testing.T) {
 	ds := mogul.NewMixture(mogul.MixtureConfig{
 		N: 160, Classes: 4, Dim: 6, WithinStd: 0.25, Separation: 2.0, Seed: 21,
@@ -42,6 +43,15 @@ func TestCacheIdentityAcrossMutations(t *testing.T) {
 		"emr": func(t *testing.T) mogul.Retriever {
 			e, err := mogul.BuildEMR(ds.Points, mogul.Options{}, mogul.EMROptions{
 				NumAnchors: 16, NumNearestAnchors: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		},
+		"spectral": func(t *testing.T) mogul.Retriever {
+			e, err := mogul.BuildSpectral(ds.Points, mogul.Options{}, mogul.SpectralOptions{
+				Rank: 24,
 			})
 			if err != nil {
 				t.Fatal(err)

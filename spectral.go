@@ -1,0 +1,1117 @@
+package mogul
+
+// The spectral engine: Fast Spectral Ranking (Iscen et al., CVPR'18)
+// as a first-class serving backend.
+//
+// The exact engine answers a query by solving (I - alpha*S) x =
+// (1-alpha) q against a sparse factorization; EMR shrinks the solve to
+// anchor space. The spectral engine removes the solve altogether.
+// BuildSpectral computes the top-r eigenpairs S ~ U diag(lambda) U^T
+// of the normalized k-NN graph adjacency once at build (Lanczos with
+// full reorthogonalization, internal/spectral), and the query-time
+// resolvent splits into an exact short-range part and a spectral tail:
+//
+//	x = (1-alpha) (I - alpha S)^{-1} q
+//	  = (1-alpha) [ sum_{t<T} (alpha S)^t q  +  (alpha S)^T (I - alpha S)^{-1} q ]
+//	  ~ (1-alpha) [ sum_{t<T} (alpha S)^t q  +  U diag(g) U^T q ],
+//	g(lambda) = (alpha*lambda)^T / (1 - alpha*lambda).
+//
+// The first T hops run exactly as a sparse frontier expansion on the
+// stored base graph — they carry the sharp local ordering that rank
+// truncation destroys — while the eigenbasis carries only the smooth
+// long-range tail, whose fine structure the hops have already damped
+// by (alpha*lambda)^T. The horizon T is adaptive per query: after the
+// guaranteed minimum (SpectralOptions.Hops), expansion continues
+// while the residual mass still matters and an edge-traversal budget
+// (SpectralOptions.HopBudget) allows. On clustered data diffusion is
+// component-local, so the frontier saturates at the query's component
+// and hops run to convergence at tiny cost, carrying virtually the
+// whole resolvent exactly — precisely the regime where the truncated
+// basis fails (the near-degenerate lambda~1 cluster eigenspace cannot
+// be spanned by r < #clusters directions). On well-connected graphs
+// the budget stops the expansion early and the decaying spectrum
+// makes the truncated tail trustworthy. Because the tail coefficient
+// g is evaluated with the actual per-query T, the split stays
+// algebraically exact at r = n for ANY stopping point (a property the
+// tests pin). A query is then: expand hops from the seeds (a local
+// ball or a bounded sweep, never a factorization), project the seeds
+// into the basis (O(r) per seed), scale by the tail coefficients, and
+// stream the n embedding rows through one kernel-routed dot product
+// each — O(n*r) plus the hop ball, with no back-substitution on the
+// query path.
+//
+// Out-of-sample queries and Insert attach through surrogate
+// neighbours: the vector's AttachK nearest live points, heat-kernel
+// weighted with the base graph's bandwidth. Inserted items keep their
+// attachment (ids + weights), so they both answer and seed queries
+// through their base anchors, exactly as EMR's delta columns do.
+// Delete tombstones; Compact re-runs the recorded recipe over the
+// live points, exactly as a fresh BuildSpectral. *SpectralIndex
+// implements the full Retriever surface, so it serves through the
+// serve package, the dist coordinator, and mogul-server
+// interchangeably with the other engines. docs/SPECTRAL.md maps the
+// rank/recall frontier and names the workloads where truncation fails.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mogul/internal/knn"
+	"mogul/internal/sparse"
+	"mogul/internal/spectral"
+	"mogul/internal/topk"
+	"mogul/internal/vec"
+)
+
+// SpectralOptions configures the truncated eigenbasis of
+// BuildSpectral. The zero value gives serving defaults (rank 64,
+// 2*rank+16 Lanczos steps, 3 exact hops, 10 attachment neighbours);
+// the shared Options value supplies the graph recipe (GraphK,
+// ApproximateGraph, MutualGraph, Sigma), Alpha, Seed, and
+// AutoCompactFraction.
+type SpectralOptions struct {
+	// Rank is r, the number of retained eigenpairs. More rank buys
+	// recall on the smooth long-range part at O(n*r) per-query scan
+	// cost; the exact hops below carry the local part regardless.
+	// Default 64.
+	Rank int
+	// Steps is the Lanczos iteration count (the Krylov depth the
+	// Ritz pairs converge in); 0 selects 2*Rank+16, which suits the
+	// gapped spectra of clustered data. Clamped to n.
+	Steps int
+	// Hops is the guaranteed minimum T: how many leading terms of the
+	// Neumann series each query evaluates exactly on the sparse base
+	// graph before the adaptive policy may hand the rest to the
+	// eigenbasis. The hops are a frontier expansion from the seeds and
+	// are what keeps within-neighbourhood ranking sharp under
+	// aggressive rank truncation. Default 3; minimum 1.
+	Hops int
+	// HopBudget bounds the adaptive continuation: past the minimum,
+	// expansion keeps going while the un-diffused seed mass is above
+	// tolerance and the cumulative edge traversals stay within this
+	// budget. On clustered data the frontier saturates at the query's
+	// small component, so convergence costs a few hundred cheap rounds
+	// and the exact part carries essentially the whole resolvent; on
+	// well-connected graphs one round costs ~n*k traversals and the
+	// budget stops the expansion almost immediately, handing the
+	// long-range mass to the eigenbasis (which a decaying spectrum
+	// makes trustworthy there). Default 1<<18.
+	HopBudget int
+	// AttachK is how many nearest stored points an out-of-sample
+	// query or inserted vector attaches to (heat-kernel weighted
+	// surrogate seeds). Default 10.
+	AttachK int
+}
+
+func (o SpectralOptions) withDefaults() SpectralOptions {
+	if o.Rank <= 0 {
+		o.Rank = 64
+	}
+	if o.Hops <= 0 {
+		o.Hops = 3
+	}
+	if o.HopBudget <= 0 {
+		o.HopBudget = 1 << 18
+	}
+	if o.AttachK <= 0 {
+		o.AttachK = 10
+	}
+	return o
+}
+
+// hopMassTol is the convergence cutoff of the adaptive hop expansion:
+// once the un-diffused frontier mass drops below it, the remaining
+// resolvent tail cannot move any ranking (scores carry a further
+// (1-alpha) scale) and expansion stops.
+const hopMassTol = 1e-10
+
+// spectralState is everything a query touches, grouped so Compact can
+// build a replacement off-line and swap it in atomically under the
+// write lock. Within a state, graph/vals/tail/sigma are frozen at
+// build time; points/emb/dead and the attachment arrays grow or flip
+// under the write lock.
+type spectralState struct {
+	dim  int
+	rank int
+	// graph is the normalized adjacency S over the base build — the
+	// sparse operator the exact query-time hops run on. Tombstoned
+	// base items stay in it (they conduct diffusion but are never
+	// returned), exactly as EMR keeps dead columns until Compact.
+	graph *sparse.CSR
+	// sigma is the heat-kernel bandwidth the base graph derived (or
+	// was pinned to) — the attachment kernel for out-of-sample queries
+	// and inserts.
+	sigma float64
+	// vals are the retained eigenvalues, descending. Each query derives
+	// its spectral-tail coefficients (alpha*vals[j])^T / (1 -
+	// alpha*vals[j]) from them with its own adaptive horizon T.
+	vals []float64
+	// points holds every item ever inserted, by id; dead tombstones.
+	points []Vector
+	dead   []bool
+	// emb stores the embedding rows flat with stride rank (item i owns
+	// [i*rank, (i+1)*rank)): one cache-friendly streaming array, which
+	// is what keeps the per-query scan memory-bandwidth bound.
+	emb []float64
+	// Delta attachments: item baseN+d owns attID/attW entries
+	// [attPtr[d], attPtr[d+1]) — its surrogate base anchors. Through
+	// them a delta item receives the hop scores of its neighbourhood
+	// and redistributes its seed mass when queried.
+	attPtr []int
+	attID  []int
+	attW   []float64
+	// deadCount counts all tombstones; deadBase only those in the base
+	// build (the auto-compact policy counts a deleted delta item once:
+	// it is already in the inserted-items term). baseN is how many
+	// rows the eigenbasis and the graph cover.
+	deadCount int
+	deadBase  int
+	baseN     int
+	stats     Stats
+}
+
+// SpectralIndex is the truncated-eigenbasis (Fast Spectral Ranking)
+// serving engine built by BuildSpectral. It implements Retriever:
+// searches run concurrently against the immutable base structures
+// (read lock) on pooled per-searcher scratch, while
+// Insert/Delete/Compact mutate the delta state (or swap the whole
+// basis) behind the write lock.
+type SpectralIndex struct {
+	alpha float64
+	// ropts/sopts/seed/autoCompact are the recorded recipe Compact
+	// rebuilds with, so Insert...Compact converges to exactly what a
+	// fresh BuildSpectral over the live points would produce.
+	seed        int64
+	autoCompact float64
+	ropts       Options // graph recipe (GraphK, Approximate, Mutual, Sigma)
+	sopts       SpectralOptions
+
+	// mu guards st; mutMu serializes mutators so Compact's off-line
+	// rebuild never races another Insert/Delete/Compact while searches
+	// proceed against the old state.
+	mu    sync.RWMutex
+	mutMu sync.Mutex
+	st    *spectralState
+
+	version   atomic.Uint64
+	searchers sync.Pool
+}
+
+// Both the engine and its searcher implement the shared serving
+// surfaces.
+var (
+	_ Retriever = (*SpectralIndex)(nil)
+	_ Querier   = (*SpectralSearcher)(nil)
+)
+
+// BuildSpectral constructs the spectral engine over the given feature
+// vectors. opts supplies the graph recipe, Alpha, Seed, and
+// AutoCompactFraction (Exact is ignored — truncation is the point);
+// sopts sizes the eigenbasis and the exact-hop horizon. The build is
+// deterministic for a fixed seed — byte-identical at any GOMAXPROCS —
+// and query independent: one engine serves any query item, any
+// vector, any k.
+func BuildSpectral(points []Vector, opts Options, sopts SpectralOptions) (*SpectralIndex, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("mogul: BuildSpectral needs at least 2 points, got %d", len(points))
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.99
+	}
+	if opts.Alpha <= 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("mogul: alpha must lie in (0,1), got %g", opts.Alpha)
+	}
+	if opts.AutoCompactFraction < 0 || math.IsNaN(opts.AutoCompactFraction) || math.IsInf(opts.AutoCompactFraction, 0) {
+		return nil, fmt.Errorf("mogul: auto-compact fraction must be finite and non-negative, got %g", opts.AutoCompactFraction)
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("mogul: BuildSpectral needs non-empty feature vectors")
+	}
+	for i, pt := range points {
+		if len(pt) != dim {
+			return nil, fmt.Errorf("mogul: point %d has dim %d, want %d", i, len(pt), dim)
+		}
+		for _, x := range pt {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("mogul: point %d has non-finite component %g", i, x)
+			}
+		}
+	}
+	sopts = sopts.withDefaults()
+	st, err := buildSpectralState(points, opts, sopts)
+	if err != nil {
+		return nil, err
+	}
+	e := &SpectralIndex{
+		alpha:       opts.Alpha,
+		seed:        opts.Seed,
+		autoCompact: opts.AutoCompactFraction,
+		ropts:       opts,
+		sopts:       sopts,
+		st:          st,
+	}
+	e.version.Store(1)
+	return e, nil
+}
+
+// buildSpectralState runs the offline half of the engine: the k-NN
+// graph and its symmetric normalization through the shared parallel
+// pipeline, then the rank-r Lanczos decomposition.
+func buildSpectralState(points []Vector, opts Options, sopts SpectralOptions) (*spectralState, error) {
+	n := len(points)
+	k := opts.GraphK
+	if k <= 0 {
+		k = 5
+	}
+	t0 := time.Now()
+	g, err := knn.BuildGraph(points, knn.GraphConfig{
+		K:           k,
+		Mutual:      opts.MutualGraph,
+		Sigma:       opts.Sigma,
+		Approximate: opts.ApproximateGraph,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mogul: building k-NN graph: %w", err)
+	}
+	S := g.NormalizedAdjacency()
+	graphTime := time.Since(t0)
+
+	t1 := time.Now()
+	basis, err := spectral.Decompose(S, sopts.Rank, sopts.Steps, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("mogul: spectral decomposition: %w", err)
+	}
+	st := &spectralState{
+		dim:    len(points[0]),
+		rank:   basis.Rank,
+		graph:  S,
+		sigma:  g.Sigma,
+		vals:   basis.Vals,
+		points: points,
+		dead:   make([]bool, n),
+		emb:    basis.Vecs,
+		attPtr: []int{0},
+		baseN:  n,
+	}
+	st.stats = Stats{
+		NumNodes:    n,
+		NumClusters: st.rank,
+		FactorNNZ:   n * st.rank,
+		ClusterTime: graphTime,
+		FactorTime:  time.Since(t1),
+	}
+	return st, nil
+}
+
+// tailCoefficient is the eigenvalue-wise weight of the resolvent's
+// remainder after the first hops Neumann terms are evaluated exactly:
+// (alpha*lambda)^hops / (1 - alpha*lambda). Evaluated from the same
+// persisted eigenvalues by the same expression on every engine, so a
+// loaded engine scores bit-identically to the one that saved it.
+func tailCoefficient(alpha, lambda float64, hops int) float64 {
+	av := alpha * lambda
+	p := math.Pow(math.Abs(av), float64(hops))
+	if av < 0 && hops%2 == 1 {
+		p = -p
+	}
+	return p / (1 - av)
+}
+
+// Len returns the number of live (searchable) items.
+func (e *SpectralIndex) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.st.points) - e.st.deadCount
+}
+
+// Exact reports false: spectral scores approximate exact Manifold
+// Ranking through the truncated eigenbasis.
+func (e *SpectralIndex) Exact() bool { return false }
+
+// Stats reports what the latest base build did, mapped onto the
+// shared Stats shape: NumClusters is the retained rank r, FactorNNZ
+// the n x r embedding, ClusterTime the graph construction, FactorTime
+// the Lanczos decomposition.
+func (e *SpectralIndex) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.st.stats
+}
+
+// Delta reports the dynamic state: items inserted since the base
+// build and tombstones awaiting compaction.
+func (e *SpectralIndex) Delta() DeltaStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := e.st
+	deltaDead := st.deadCount - st.deadBase
+	return DeltaStats{
+		BaseItems:  st.baseN,
+		DeltaItems: len(st.points) - st.baseN - deltaDead,
+		Tombstones: st.deadCount,
+	}
+}
+
+// Version is the monotonic mutation counter (same contract as
+// Index.Version): unchanged Version means unchanged answers, which is
+// what lets the serve layer cache results and invalidate implicitly.
+func (e *SpectralIndex) Version() uint64 { return e.version.Load() }
+
+// Rank returns r, the number of eigenpairs the current basis retains.
+func (e *SpectralIndex) Rank() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.st.rank
+}
+
+// Neighbors is unavailable: the eigenbasis stores per-item embedding
+// rows, and the base graph is an internal diffusion operator, not a
+// per-item result surface.
+func (e *SpectralIndex) Neighbors(item int) ([]int, []float64, error) {
+	return nil, nil, fmt.Errorf("mogul: the spectral engine has no item-level neighbour surface (embedding rows only)")
+}
+
+// SpectralSearcher is a dedicated reusable query engine over a
+// SpectralIndex: it owns the projection/coefficient vectors, the
+// top-k collector, the hop-expansion frontier, and the attachment
+// scratch, so a steady query load runs allocation-free. Use one
+// searcher per worker goroutine (the SpectralIndex query methods draw
+// from an internal pool).
+type SpectralSearcher struct {
+	e        *SpectralIndex
+	b, coeff []float64
+	col      topk.Collector
+	// Hop-expansion scratch: hop accumulates the exact Neumann prefix
+	// over base items, pw/tmp carry the current power, and the stamp
+	// arrays make "is this entry mine" O(1) without ever clearing the
+	// dense arrays (hstamp/qepoch per query, estamp/eepoch per hop).
+	hop, pw, tmp   []float64
+	hstamp, estamp []uint64
+	qepoch, eepoch uint64
+	curID, nxtID   []int
+	// dist/nbrID/nbrW are the out-of-sample attachment scratch: the
+	// batched squared-distance sweep and the bounded nearest-live
+	// selection.
+	dist  []float64
+	nbrID []int
+	nbrW  []float64
+	// seeds/baseSeeds/deltaSelf are the query's seed distribution: raw
+	// seeds as given, their base-graph redistribution (delta seeds
+	// forwarded to their anchors), and the t=0 self terms of delta
+	// seeds.
+	seeds, baseSeeds, deltaSelf []seedWeight
+	// aff is the raw heat-kernel affinity of the last out-of-sample
+	// attachment (the unnormalized kernel mass), the same density
+	// proxy the sharded fan-out scales merges with.
+	aff float64
+	// scanned counts items scored by the last query (for SearchInfo).
+	scanned int
+}
+
+// NewSearcher returns a fresh dedicated searcher.
+func (e *SpectralIndex) NewSearcher() *SpectralSearcher { return &SpectralSearcher{e: e} }
+
+// NewQuerier is NewSearcher behind the interface surface (Retriever).
+func (e *SpectralIndex) NewQuerier() Querier { return e.NewSearcher() }
+
+func (e *SpectralIndex) acquire() *SpectralSearcher {
+	if v := e.searchers.Get(); v != nil {
+		return v.(*SpectralSearcher)
+	}
+	return e.NewSearcher()
+}
+
+func (e *SpectralIndex) release(sr *SpectralSearcher) { e.searchers.Put(sr) }
+
+// ensure sizes the scratch for the current state (Compact may change
+// the rank and base size; Insert grows the id space). Callers hold
+// e.mu.
+func (sr *SpectralSearcher) ensure(st *spectralState) {
+	rank := st.rank
+	if cap(sr.b) < rank {
+		sr.b = make([]float64, rank)
+		sr.coeff = make([]float64, rank)
+	}
+	sr.b = sr.b[:rank]
+	sr.coeff = sr.coeff[:rank]
+	for j := range sr.b {
+		sr.b[j] = 0
+	}
+	base := st.baseN
+	if cap(sr.hop) < base {
+		sr.hop = make([]float64, base)
+		sr.pw = make([]float64, base)
+		sr.tmp = make([]float64, base)
+		sr.hstamp = make([]uint64, base)
+		sr.estamp = make([]uint64, base)
+		sr.qepoch, sr.eepoch = 0, 0
+	}
+	sr.hop = sr.hop[:base]
+	sr.pw = sr.pw[:base]
+	sr.tmp = sr.tmp[:base]
+	sr.hstamp = sr.hstamp[:base]
+	sr.estamp = sr.estamp[:base]
+}
+
+// sortSeedsByID orders a seed list ascending by id with a plain
+// insertion sort: seed lists are tiny (a query item, or AttachK
+// anchors), and unlike sort.Slice this never boxes the slice, keeping
+// the steady-state query path allocation-free.
+func sortSeedsByID(s []seedWeight) {
+	for i := 1; i < len(s); i++ {
+		sw := s[i]
+		j := i
+		for j > 0 && s[j-1].id > sw.id {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = sw
+	}
+}
+
+// splitSeeds converts the raw seed list into the base distribution
+// (delta seeds forwarded to their stored anchors, entries merged and
+// ascending) and the delta self-term list. Callers hold e.mu; the raw
+// list must be ascending by id with unique ids.
+func (sr *SpectralSearcher) splitSeeds(raw []seedWeight) {
+	st := sr.e.st
+	sr.baseSeeds = sr.baseSeeds[:0]
+	sr.deltaSelf = sr.deltaSelf[:0]
+	for _, sw := range raw {
+		if sw.id < st.baseN {
+			sr.baseSeeds = append(sr.baseSeeds, sw)
+			continue
+		}
+		sr.deltaSelf = append(sr.deltaSelf, sw)
+		d := sw.id - st.baseN
+		for t := st.attPtr[d]; t < st.attPtr[d+1]; t++ {
+			sr.baseSeeds = append(sr.baseSeeds, seedWeight{id: st.attID[t], w: sw.w * st.attW[t]})
+		}
+	}
+	sortSeedsByID(sr.baseSeeds)
+	uniq := sr.baseSeeds[:0]
+	for _, sw := range sr.baseSeeds {
+		if len(uniq) > 0 && uniq[len(uniq)-1].id == sw.id {
+			uniq[len(uniq)-1].w += sw.w
+			continue
+		}
+		uniq = append(uniq, sw)
+	}
+	sr.baseSeeds = uniq
+}
+
+// expandHops evaluates the exact Neumann prefix sum_{t<T} (alpha S)^t
+// applied to the base seed distribution: a frontier expansion on the
+// sparse base graph, entirely serial (the touched ball is tiny next
+// to the O(n*r) scan) and therefore trivially deterministic. The
+// horizon is adaptive: at least sopts.Hops rounds always run, after
+// which expansion continues while the un-diffused mass exceeds
+// hopMassTol and the cumulative edge traversals stay within
+// sopts.HopBudget — every stopping criterion is a deterministic
+// function of the graph and the seeds. Returns the realized T (so the
+// caller evaluates the spectral tail coefficients with exactly the
+// terms the prefix did not cover). Results land in sr.hop, valid
+// where sr.hstamp[i] == sr.qepoch. Callers hold e.mu.
+func (sr *SpectralSearcher) expandHops(seeds []seedWeight) int {
+	e := sr.e
+	st := e.st
+	sr.qepoch++
+	sr.curID = sr.curID[:0]
+	mass := 0.0
+	for _, sw := range seeds {
+		sr.hop[sw.id] = sw.w
+		sr.pw[sw.id] = sw.w
+		sr.hstamp[sw.id] = sr.qepoch
+		sr.curID = append(sr.curID, sw.id)
+		mass += math.Abs(sw.w)
+	}
+	S := st.graph
+	spent := 0
+	t := 1
+	for ; ; t++ {
+		if len(sr.curID) == 0 {
+			break
+		}
+		if t >= e.sopts.Hops && (mass <= hopMassTol || spent >= e.sopts.HopBudget) {
+			break
+		}
+		sr.eepoch++
+		sr.nxtID = sr.nxtID[:0]
+		for _, j := range sr.curID {
+			v := e.alpha * sr.pw[j]
+			a, b := S.RowPtr[j], S.RowPtr[j+1]
+			for x := a; x < b; x++ {
+				i := S.Col[x]
+				if sr.estamp[i] != sr.eepoch {
+					sr.estamp[i] = sr.eepoch
+					sr.tmp[i] = 0
+					sr.nxtID = append(sr.nxtID, i)
+				}
+				sr.tmp[i] += S.Val[x] * v
+			}
+			spent += b - a
+		}
+		// Ascending-id accumulation keeps the float sums independent of
+		// frontier discovery order.
+		sort.Ints(sr.nxtID)
+		mass = 0
+		for _, i := range sr.nxtID {
+			w := sr.tmp[i]
+			sr.pw[i] = w
+			mass += math.Abs(w)
+			if sr.hstamp[i] != sr.qepoch {
+				sr.hstamp[i] = sr.qepoch
+				sr.hop[i] = w
+			} else {
+				sr.hop[i] += w
+			}
+		}
+		sr.curID, sr.nxtID = sr.nxtID, sr.curID
+	}
+	return t
+}
+
+// collect runs the online half of the engine with e.mu held: expand
+// the exact hops from the base seed distribution, scale the
+// projection sr.b by the spectral-tail coefficients of the realized
+// horizon, then stream every live item through the collector — base
+// items read their hop score directly, delta items gather it through
+// their attachment and add their t=0 self term. The seed lists must
+// already be prepared (splitSeeds) and sr.b filled.
+func (sr *SpectralSearcher) collect(k int) []Result {
+	e := sr.e
+	st := e.st
+	r := st.rank
+	hops := sr.expandHops(sr.baseSeeds)
+	for j := 0; j < r; j++ {
+		sr.coeff[j] = tailCoefficient(e.alpha, st.vals[j], hops) * sr.b[j]
+	}
+	live := len(st.points) - st.deadCount
+	if k > live {
+		k = live
+	}
+	sr.col.Reset(k)
+	for i := 0; i < st.baseN; i++ {
+		if st.dead[i] {
+			continue
+		}
+		// u_i^T coeff in the fixed four-lane summation order of vec.Dot:
+		// the scan is the only O(n) term of a query, and the embedding
+		// rows stream contiguously, so the four independent accumulators
+		// keep it throughput-bound instead of FP-add-latency-bound.
+		off := i * r
+		sum := vec.Dot(st.emb[off:off+r], sr.coeff)
+		if sr.hstamp[i] == sr.qepoch {
+			sum += sr.hop[i]
+		}
+		sr.col.Offer(i, (1-e.alpha)*sum)
+	}
+	si := 0
+	for i := st.baseN; i < len(st.points); i++ {
+		if si < len(sr.deltaSelf) && sr.deltaSelf[si].id < i {
+			si++
+		}
+		if st.dead[i] {
+			continue
+		}
+		off := i * r
+		sum := vec.Dot(st.emb[off:off+r], sr.coeff)
+		d := i - st.baseN
+		for t := st.attPtr[d]; t < st.attPtr[d+1]; t++ {
+			if id := st.attID[t]; sr.hstamp[id] == sr.qepoch {
+				sum += st.attW[t] * sr.hop[id]
+			}
+		}
+		if si < len(sr.deltaSelf) && sr.deltaSelf[si].id == i {
+			sum += sr.deltaSelf[si].w
+		}
+		sr.col.Offer(i, (1-e.alpha)*sum)
+	}
+	sr.scanned = live
+	items := sr.col.Drain()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Node: it.ID, Score: it.Score}
+	}
+	return out
+}
+
+// checkItem validates an item id against the current state. Callers
+// hold e.mu.
+func (st *spectralState) checkItem(id int) error {
+	if id < 0 || id >= len(st.points) {
+		return fmt.Errorf("mogul: item %d outside [0,%d)", id, len(st.points))
+	}
+	if st.dead[id] {
+		return fmt.Errorf("mogul: item %d deleted", id)
+	}
+	return nil
+}
+
+// TopK ranks database items against an in-database query item, best
+// first. The query item itself is included (it typically ranks first).
+func (sr *SpectralSearcher) TopK(query, k int) ([]Result, error) {
+	e := sr.e
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if k <= 0 {
+		return nil, fmt.Errorf("mogul: K must be positive, got %d", k)
+	}
+	st := e.st
+	if err := st.checkItem(query); err != nil {
+		return nil, err
+	}
+	sr.ensure(st)
+	copy(sr.b, st.emb[query*st.rank:(query+1)*st.rank])
+	sr.seeds = append(sr.seeds[:0], seedWeight{id: query, w: 1})
+	sr.splitSeeds(sr.seeds)
+	sr.aff = 0
+	return sr.collect(k), nil
+}
+
+// TopKWithInfo is TopK plus work counters: the spectral engine has no
+// pruning, so every retained eigenpair is "scanned" and every live
+// item scored.
+func (sr *SpectralSearcher) TopKWithInfo(query, k int) ([]Result, *SearchInfo, error) {
+	res, err := sr.TopK(query, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := sr.e
+	e.mu.RLock()
+	r := e.st.rank
+	e.mu.RUnlock()
+	return res, &SearchInfo{ClustersScanned: r, ScoresComputed: sr.scanned}, nil
+}
+
+// attachLive finds the engine's surrogate seeds for an out-of-sample
+// vector: the AttachK nearest live points by one batched
+// squared-distance sweep, heat-kernel weighted with the base graph's
+// bandwidth. baseOnly restricts the candidates to the base build
+// (Insert needs anchors the hop expansion can reach directly). It
+// fills sr.nbrID/sr.nbrW (normalized to unit mass) and returns the
+// count and the raw (unnormalized) kernel mass. Callers hold e.mu.
+func (sr *SpectralSearcher) attachLive(q Vector, baseOnly bool) (int, float64) {
+	e := sr.e
+	st := e.st
+	n := len(st.points)
+	if baseOnly {
+		n = st.baseN
+	}
+	kAttach := e.sopts.AttachK
+	if cap(sr.dist) < n {
+		sr.dist = make([]float64, n)
+	}
+	sr.dist = sr.dist[:n]
+	vec.SquaredEuclideanBatch(q, st.points[:n], sr.dist)
+	if cap(sr.nbrID) < kAttach {
+		sr.nbrID = make([]int, 0, kAttach)
+		sr.nbrW = make([]float64, 0, kAttach)
+	}
+	sr.nbrID = sr.nbrID[:0]
+	sr.nbrW = sr.nbrW[:0]
+	// Bounded insertion selection over (distance, id) — a strict total
+	// order, so the selected set is deterministic.
+	for i := 0; i < n; i++ {
+		if st.dead[i] {
+			continue
+		}
+		d := sr.dist[i]
+		if len(sr.nbrID) == kAttach && d >= sr.nbrW[kAttach-1] {
+			continue
+		}
+		pos := len(sr.nbrID)
+		if pos < kAttach {
+			sr.nbrID = sr.nbrID[:pos+1]
+			sr.nbrW = sr.nbrW[:pos+1]
+		} else {
+			pos = kAttach - 1
+		}
+		for pos > 0 && sr.nbrW[pos-1] > d {
+			sr.nbrID[pos] = sr.nbrID[pos-1]
+			sr.nbrW[pos] = sr.nbrW[pos-1]
+			pos--
+		}
+		sr.nbrID[pos] = i
+		sr.nbrW[pos] = d
+	}
+	// Heat-kernel weights under the base bandwidth; a query so remote
+	// that every weight underflows falls back to uniform attachment
+	// (the ranking is meaningless either way, but stays well-defined).
+	inv := 0.0
+	if st.sigma > 0 {
+		inv = 1 / (2 * st.sigma * st.sigma)
+	}
+	var mass float64
+	for t, d := range sr.nbrW {
+		w := math.Exp(-d * inv)
+		sr.nbrW[t] = w
+		mass += w
+	}
+	if mass > 0 {
+		for t := range sr.nbrW {
+			sr.nbrW[t] /= mass
+		}
+	} else {
+		for t := range sr.nbrW {
+			sr.nbrW[t] = 1 / float64(len(sr.nbrW))
+		}
+	}
+	return len(sr.nbrID), mass
+}
+
+// TopKVector ranks database items against an out-of-sample query
+// vector: the query attaches to its AttachK nearest live points as
+// heat-kernel-weighted surrogate seeds, whose embedding rows project
+// it into the basis and whose graph neighbourhoods seed the exact
+// hops.
+func (sr *SpectralSearcher) TopKVector(q Vector, k int) ([]Result, error) {
+	e := sr.e
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if k <= 0 {
+		return nil, fmt.Errorf("mogul: K must be positive, got %d", k)
+	}
+	st := e.st
+	if len(q) != st.dim {
+		return nil, fmt.Errorf("mogul: query dimension %d, want %d", len(q), st.dim)
+	}
+	sr.ensure(st)
+	m, mass := sr.attachLive(q, false)
+	sr.seeds = sr.seeds[:0]
+	for t := 0; t < m; t++ {
+		id, w := sr.nbrID[t], sr.nbrW[t]
+		off := id * st.rank
+		vec.Axpy(sr.b, w, st.emb[off:off+st.rank])
+		sr.seeds = append(sr.seeds, seedWeight{id: id, w: w})
+	}
+	sortSeedsByID(sr.seeds)
+	sr.splitSeeds(sr.seeds)
+	sr.aff = mass
+	return sr.collect(k), nil
+}
+
+// TopKSet ranks database items against a set of seed items with equal
+// weights 1/len(seeds), so query mass matches a single-item query.
+func (sr *SpectralSearcher) TopKSet(seeds []int, k int) ([]Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("mogul: TopKSet needs at least one seed item")
+	}
+	return sr.topKSetWeighted(seeds, 1/float64(len(seeds)), k)
+}
+
+// topKSetWeighted seeds the query vector with q[seed] = weight for
+// every seed (duplicates accumulate).
+func (sr *SpectralSearcher) topKSetWeighted(seeds []int, weight float64, k int) ([]Result, error) {
+	e := sr.e
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if k <= 0 {
+		return nil, fmt.Errorf("mogul: K must be positive, got %d", k)
+	}
+	st := e.st
+	sr.seeds = sr.seeds[:0]
+	for _, id := range seeds {
+		if err := st.checkItem(id); err != nil {
+			return nil, err
+		}
+		sr.seeds = append(sr.seeds, seedWeight{id: id, w: weight})
+	}
+	sortSeedsByID(sr.seeds)
+	// Merge duplicate seeds so the downstream cursors see unique
+	// ascending ids.
+	uniq := sr.seeds[:0]
+	for _, sw := range sr.seeds {
+		if len(uniq) > 0 && uniq[len(uniq)-1].id == sw.id {
+			uniq[len(uniq)-1].w += sw.w
+			continue
+		}
+		uniq = append(uniq, sw)
+	}
+	sr.seeds = uniq
+	sr.ensure(st)
+	for _, sw := range sr.seeds {
+		off := sw.id * st.rank
+		vec.Axpy(sr.b, sw.w, st.emb[off:off+st.rank])
+	}
+	sr.splitSeeds(sr.seeds)
+	sr.aff = 0
+	return sr.collect(k), nil
+}
+
+// TopK is SpectralSearcher.TopK on a pooled searcher.
+func (e *SpectralIndex) TopK(query, k int) ([]Result, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.TopK(query, k)
+}
+
+// TopKWithInfo is SpectralSearcher.TopKWithInfo on a pooled searcher.
+func (e *SpectralIndex) TopKWithInfo(query, k int) ([]Result, *SearchInfo, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.TopKWithInfo(query, k)
+}
+
+// TopKVector is SpectralSearcher.TopKVector on a pooled searcher.
+func (e *SpectralIndex) TopKVector(q Vector, k int) ([]Result, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.TopKVector(q, k)
+}
+
+// TopKSet is SpectralSearcher.TopKSet on a pooled searcher.
+func (e *SpectralIndex) TopKSet(seeds []int, k int) ([]Result, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.TopKSet(seeds, k)
+}
+
+// TopKBatch answers many in-database queries on a bounded worker pool
+// (parallelism <= 0 selects GOMAXPROCS); results land at their
+// query's index and per-query failures are recorded, never fatal.
+func (e *SpectralIndex) TopKBatch(queries []int, k, parallelism int) []BatchResult {
+	return runBatch(len(queries), parallelism, func() func(i int) BatchResult {
+		sr := e.NewSearcher()
+		return func(i int) BatchResult {
+			res, err := sr.TopK(queries[i], k)
+			return BatchResult{Query: queries[i], Results: res, Err: err}
+		}
+	})
+}
+
+// TopKVectorBatch answers many out-of-sample queries on a bounded
+// worker pool; see TopKBatch.
+func (e *SpectralIndex) TopKVectorBatch(queries []Vector, k, parallelism int) []BatchResult {
+	return runBatch(len(queries), parallelism, func() func(i int) BatchResult {
+		sr := e.NewSearcher()
+		return func(i int) BatchResult {
+			res, err := sr.TopKVector(queries[i], k)
+			return BatchResult{Query: i, Results: res, Err: err}
+		}
+	})
+}
+
+// Insert adds a new point without rebuilding and returns its item id.
+// The point becomes immediately searchable: it attaches to its
+// AttachK nearest live base points (one batched distance sweep, no
+// decomposition), its embedding row is the attachment-weighted
+// combination of theirs, and it reads the exact hop scores through
+// the same anchors. It does not contribute an eigendirection or graph
+// edges of its own until Compact folds it in, so accuracy degrades
+// gently as the delta grows — size the delta with
+// Options.AutoCompactFraction or call Compact. Safe for concurrent
+// use with searches.
+func (e *SpectralIndex) Insert(v Vector) (int, error) {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("mogul: inserted vector has non-finite component %g", x)
+		}
+	}
+	e.mu.Lock()
+	st := e.st
+	if len(v) != st.dim {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("mogul: inserted vector has dim %d, want %d", len(v), st.dim)
+	}
+	id := len(st.points)
+	stored := append(Vector(nil), v...)
+	// The attachment runs on a throwaway searcher: Insert is not the
+	// hot path, and the helper shares the exact code the query-time
+	// attachment uses.
+	sr := e.NewSearcher()
+	m, _ := sr.attachLive(stored, true)
+	row := make([]float64, st.rank)
+	for t := 0; t < m; t++ {
+		off := sr.nbrID[t] * st.rank
+		vec.Axpy(row, sr.nbrW[t], st.emb[off:off+st.rank])
+	}
+	st.points = append(st.points, stored)
+	st.dead = append(st.dead, false)
+	st.emb = append(st.emb, row...)
+	st.attID = append(st.attID, sr.nbrID[:m]...)
+	st.attW = append(st.attW, sr.nbrW[:m]...)
+	st.attPtr = append(st.attPtr, len(st.attID))
+	needCompact := e.needsCompactLocked()
+	e.version.Add(1)
+	e.mu.Unlock()
+
+	if needCompact {
+		if err := e.compactLocked(); err != nil {
+			return id, fmt.Errorf("mogul: auto-compact after insert: %w", err)
+		}
+	}
+	return id, nil
+}
+
+// Delete tombstones an item: it stops appearing in results and stops
+// being a valid query, its id is never reused, and Compact reclaims
+// the storage. Deleting the last live item is refused.
+func (e *SpectralIndex) Delete(id int) error {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+
+	e.mu.Lock()
+	st := e.st
+	if id < 0 || id >= len(st.points) {
+		e.mu.Unlock()
+		return fmt.Errorf("mogul: item %d outside [0,%d)", id, len(st.points))
+	}
+	if st.dead[id] {
+		e.mu.Unlock()
+		return fmt.Errorf("mogul: item %d already deleted", id)
+	}
+	if len(st.points)-st.deadCount <= 1 {
+		e.mu.Unlock()
+		return fmt.Errorf("mogul: cannot delete the last live item")
+	}
+	st.dead[id] = true
+	st.deadCount++
+	if id < st.baseN {
+		st.deadBase++
+	}
+	needCompact := e.needsCompactLocked()
+	e.version.Add(1)
+	e.mu.Unlock()
+
+	if needCompact {
+		if err := e.compactLocked(); err != nil {
+			return fmt.Errorf("mogul: auto-compact after delete: %w", err)
+		}
+	}
+	return nil
+}
+
+// needsCompactLocked applies the AutoCompactFraction policy: the
+// pending delta is the items inserted since the base build plus the
+// tombstones in the base (a deleted delta item already counts through
+// the first term). Callers hold e.mu (any mode) and e.mutMu.
+func (e *SpectralIndex) needsCompactLocked() bool {
+	if e.autoCompact <= 0 {
+		return false
+	}
+	st := e.st
+	pending := (len(st.points) - st.baseN) + st.deadBase
+	return float64(pending) > e.autoCompact*float64(st.baseN)
+}
+
+// Compact folds the delta into a fresh base: graph construction and
+// the Lanczos decomposition re-run over the live points in id order
+// (renumbering ids contiguously from zero, exactly as a fresh
+// BuildSpectral over those points — the rebuild is deterministic for
+// the recorded seed). Searches proceed against the old state until
+// the swap; mutators queue behind it.
+func (e *SpectralIndex) Compact() error {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	return e.compactLocked()
+}
+
+// compactLocked is Compact with mutMu already held.
+func (e *SpectralIndex) compactLocked() error {
+	e.mu.RLock()
+	st := e.st
+	if len(st.points) == st.baseN && st.deadCount == 0 {
+		e.mu.RUnlock()
+		return nil
+	}
+	live := make([]Vector, 0, len(st.points)-st.deadCount)
+	for i, pt := range st.points {
+		if !st.dead[i] {
+			live = append(live, pt)
+		}
+	}
+	e.mu.RUnlock()
+
+	// The heavy rebuild runs outside every lock; mutMu keeps the live
+	// snapshot authoritative (no mutator can run until the swap).
+	fresh, err := buildSpectralState(live, e.ropts, e.sopts)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.st = fresh
+	e.version.Add(1)
+	e.mu.Unlock()
+	return nil
+}
+
+// --- The extended surface the distributed layer fans out over ---
+
+// IDSpace returns the upper bound of the id space, tombstones
+// included (ids of deleted items are retired until Compact renumbers).
+func (e *SpectralIndex) IDSpace() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.st.points)
+}
+
+// Alive reports whether id addresses a live (non-deleted, in-range)
+// item.
+func (e *SpectralIndex) Alive(id int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return id >= 0 && id < len(e.st.points) && !e.st.dead[id]
+}
+
+// LogLen reports 0: the spectral engine keeps no replayable delta
+// log, so followers replicate it by snapshot only.
+func (e *SpectralIndex) LogLen() int { return 0 }
+
+// TopKWithVector is TopK plus the query item's stored vector and the
+// engine's raw kernel affinity to it — what the distributed
+// coordinator needs from the owner shard in one round trip to probe
+// the remaining shards and scale their answers.
+func (e *SpectralIndex) TopKWithVector(query, k int) ([]Result, Vector, float64, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	res, err := sr.TopK(query, k)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	e.mu.RLock()
+	st := e.st
+	if err := st.checkItem(query); err != nil {
+		e.mu.RUnlock()
+		return nil, nil, 0, err
+	}
+	qvec := append(Vector(nil), st.points[query]...)
+	_, aff := sr.attachLive(qvec, false)
+	e.mu.RUnlock()
+	return res, qvec, aff, nil
+}
+
+// TopKVectorWithAffinity is TopKVector plus the engine's raw kernel
+// affinity to the query (the unnormalized heat-kernel mass of the
+// attachment), the same density proxy the sharded fan-out scales
+// cross-shard merges with.
+func (e *SpectralIndex) TopKVectorWithAffinity(q Vector, k int) ([]Result, float64, error) {
+	sr := e.acquire()
+	defer e.release(sr)
+	res, err := sr.TopKVector(q, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, sr.aff, nil
+}
+
+// TopKSetWeighted ranks items against seed items all carrying the
+// given weight (the coordinator's cross-shard set query, where the
+// global 1/len(seeds) is applied before the fan-out).
+func (e *SpectralIndex) TopKSetWeighted(seeds []int, weight float64, k int) ([]Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("mogul: TopKSetWeighted needs at least one seed item")
+	}
+	sr := e.acquire()
+	defer e.release(sr)
+	return sr.topKSetWeighted(seeds, weight, k)
+}

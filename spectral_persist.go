@@ -1,0 +1,483 @@
+package mogul
+
+// Spectral engine persistence: the MOGULSPC container (docs/FORMAT.md).
+//
+// A saved spectral engine carries everything BuildSpectral computed —
+// the retained eigenvalues, the flat n x rank embedding, the base
+// graph the exact query-time hops run on, the stored points, the
+// delta attachments, the tombstone set, and the recorded build recipe
+// — so a loaded engine answers bit-identically to the one that saved
+// it without re-running the graph build or the Lanczos decomposition
+// (the spectral-tail coefficients are re-derived from the eigenvalues
+// with the same expression the build used, so they match to the
+// bit). Same
+// container discipline as MOGULIDX/MOGULSHD/MOGULEMR: an 8-byte
+// magic, a format version, tag/length section framing (unknown tags
+// skipped for additive evolution), an end marker, and a trailing
+// CRC-32 over everything before it. mogul.Load sniffs the magic and
+// dispatches here; malformed input of any kind yields an error, never
+// a panic.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"mogul/internal/binio"
+	"mogul/internal/sparse"
+)
+
+// spectralMagic identifies a spectral (truncated-eigenbasis) engine
+// file.
+const spectralMagic = "MOGULSPC"
+
+// spectralFormatVersion is the container version this build writes;
+// spectralMinReadVersion the oldest it reads.
+const (
+	spectralFormatVersion  = 1
+	spectralMinReadVersion = 1
+)
+
+// Spectral container section tags (the end marker is the shared
+// tagEend).
+var (
+	tagSpMet = [4]byte{'S', 'M', 'E', 'T'} // scalars: alpha, recipe, shapes, timings
+	tagSpVal = [4]byte{'S', 'V', 'A', 'L'} // retained eigenvalues, descending
+	tagSpGph = [4]byte{'S', 'G', 'P', 'H'} // base graph CSR (the exact-hop operator)
+	tagSpPts = [4]byte{'S', 'P', 'T', 'S'} // stored feature vectors
+	tagSpEmb = [4]byte{'S', 'E', 'M', 'B'} // flat embedding rows + tombstones
+	tagSpAtt = [4]byte{'S', 'A', 'T', 'T'} // delta attachments (anchors + weights)
+)
+
+// Save writes the engine in the versioned MOGULSPC format. Mutators
+// block for the duration; searches proceed.
+func (e *SpectralIndex) Save(w io.Writer) error {
+	// mutMu freezes the delta state so the two-pass section framing
+	// sees identical bytes; the read lock covers the reads themselves.
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	buffered := bufio.NewWriterSize(w, 1<<20)
+	bw := binio.NewWriter(buffered)
+	bw.Raw([]byte(spectralMagic))
+	bw.Uint32(spectralFormatVersion)
+
+	sections := []struct {
+		tag     [4]byte
+		payload func(w io.Writer) error
+	}{
+		{tagSpMet, e.writeSpectralMeta},
+		{tagSpVal, e.writeSpectralValues},
+		{tagSpGph, e.writeSpectralGraph},
+		{tagSpPts, e.writeSpectralPoints},
+		{tagSpEmb, e.writeSpectralEmbedding},
+		{tagSpAtt, e.writeSpectralAttachments},
+	}
+	for _, s := range sections {
+		if err := writeShardSection(bw, s.tag, s.payload); err != nil {
+			return fmt.Errorf("mogul: writing %q section: %w", s.tag[:], err)
+		}
+	}
+	bw.Raw(tagEend[:])
+	bw.Uint64(0)
+	bw.Uint32(bw.Sum32())
+	if err := bw.Err(); err != nil {
+		return err
+	}
+	return buffered.Flush()
+}
+
+func (e *SpectralIndex) writeSpectralMeta(w io.Writer) error {
+	st := e.st
+	bw := binio.NewWriter(w)
+	bw.Float64(e.alpha)
+	bw.Int(int(e.seed))
+	bw.Float64(e.autoCompact)
+	// The recorded build recipe (pre-clamping), so Compact on a loaded
+	// engine rebuilds with the options the original build got: the
+	// graph half of Options, then the SpectralOptions.
+	bw.Int(e.ropts.GraphK)
+	bw.Int(boolInt(e.ropts.ApproximateGraph))
+	bw.Int(boolInt(e.ropts.MutualGraph))
+	bw.Float64(e.ropts.Sigma)
+	bw.Int(e.sopts.Rank)
+	bw.Int(e.sopts.Steps)
+	bw.Int(e.sopts.Hops)
+	bw.Int(e.sopts.HopBudget)
+	bw.Int(e.sopts.AttachK)
+	// The realized shapes and the derived attachment bandwidth.
+	bw.Int(st.dim)
+	bw.Int(st.rank)
+	bw.Float64(st.sigma)
+	bw.Int(st.baseN)
+	bw.Int(len(st.points))
+	bw.Int(int(st.stats.ClusterTime))
+	bw.Int(int(st.stats.FactorTime))
+	return bw.Err()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *SpectralIndex) writeSpectralValues(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Floats(e.st.vals)
+	return bw.Err()
+}
+
+func (e *SpectralIndex) writeSpectralGraph(w io.Writer) error {
+	S := e.st.graph
+	bw := binio.NewWriter(w)
+	bw.Ints(S.RowPtr)
+	bw.Ints(S.Col)
+	bw.Floats(S.Val)
+	return bw.Err()
+}
+
+func (e *SpectralIndex) writeSpectralAttachments(w io.Writer) error {
+	st := e.st
+	bw := binio.NewWriter(w)
+	bw.Ints(st.attPtr)
+	bw.Ints(st.attID)
+	bw.Floats(st.attW)
+	return bw.Err()
+}
+
+func (e *SpectralIndex) writeSpectralPoints(w io.Writer) error {
+	st := e.st
+	bw := binio.NewWriter(w)
+	for _, pt := range st.points {
+		bw.Floats(pt)
+	}
+	return bw.Err()
+}
+
+func (e *SpectralIndex) writeSpectralEmbedding(w io.Writer) error {
+	st := e.st
+	bw := binio.NewWriter(w)
+	bw.Floats(st.emb)
+	dead := make([]int, 0, st.deadCount)
+	for id, d := range st.dead {
+		if d {
+			dead = append(dead, id)
+		}
+	}
+	bw.Ints(dead)
+	return bw.Err()
+}
+
+// SaveFile writes the engine to a file via Save with the same atomic
+// temp-file-and-rename protocol as Index.SaveFile.
+func (e *SpectralIndex) SaveFile(path string) error {
+	return saveFileAtomic(path, e.Save)
+}
+
+// LoadSpectral reads an engine written by SpectralIndex.Save.
+// Malformed input of any kind — wrong magic, unknown version,
+// truncation, checksum mismatch, shape mismatches between sections —
+// yields an error, never a panic. Callers normally go through Load,
+// which sniffs the magic and dispatches here.
+func LoadSpectral(r io.Reader) (*SpectralIndex, error) {
+	br := binio.NewReader(r)
+	var magic [len(spectralMagic)]byte
+	br.Raw(magic[:])
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading spectral engine header: %w", err)
+	}
+	if string(magic[:]) != spectralMagic {
+		return nil, fmt.Errorf("mogul: not a spectral engine file (magic %q)", magic[:])
+	}
+	version := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading spectral engine header: %w", err)
+	}
+	if version < spectralMinReadVersion || version > spectralFormatVersion {
+		return nil, fmt.Errorf("mogul: spectral engine format version %d, this build reads versions %d-%d", version, spectralMinReadVersion, spectralFormatVersion)
+	}
+
+	payloads := map[[4]byte][]byte{}
+	for {
+		var tag [4]byte
+		br.Raw(tag[:])
+		n := br.Uint64()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: reading section header: %w", err)
+		}
+		if tag == tagEend {
+			if n != 0 {
+				return nil, fmt.Errorf("mogul: end marker carries %d payload bytes", n)
+			}
+			break
+		}
+		if n > binio.MaxCount {
+			return nil, fmt.Errorf("mogul: section %q claims %d bytes", tag[:], n)
+		}
+		switch tag {
+		case tagSpMet, tagSpVal, tagSpGph, tagSpPts, tagSpEmb, tagSpAtt:
+			if payloads[tag] != nil {
+				return nil, fmt.Errorf("mogul: duplicate %q section", tag[:])
+			}
+			payload, err := readShardPayload(br, n)
+			if err != nil {
+				return nil, fmt.Errorf("mogul: reading %q section: %w", tag[:], err)
+			}
+			payloads[tag] = payload
+		default:
+			// A section from a newer writer: skip (the bytes still
+			// count toward the checksum), keeping additive evolution
+			// open.
+			br.Skip(int64(n))
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("mogul: skipping %q section: %w", tag[:], err)
+			}
+		}
+	}
+	want := br.Sum32()
+	got := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("mogul: checksum mismatch (file %08x, computed %08x): spectral engine file is corrupt", got, want)
+	}
+	for _, tag := range [][4]byte{tagSpMet, tagSpVal, tagSpGph, tagSpPts, tagSpEmb, tagSpAtt} {
+		if payloads[tag] == nil {
+			return nil, fmt.Errorf("mogul: spectral engine file is missing its %q section", tag[:])
+		}
+	}
+	return assembleSpectral(payloads)
+}
+
+// assembleSpectral decodes the section payloads and cross-validates
+// every shape and value invariant the engine relies on.
+func assembleSpectral(payloads map[[4]byte][]byte) (*SpectralIndex, error) {
+	mr := binio.NewReader(bytes.NewReader(payloads[tagSpMet]))
+	alpha := mr.Float64()
+	seed := mr.Int()
+	autoCompact := mr.Float64()
+	graphK := mr.Int()
+	approx := mr.Int()
+	mutual := mr.Int()
+	sigmaOpt := mr.Float64()
+	recipeRank := mr.Int()
+	recipeSteps := mr.Int()
+	hops := mr.Int()
+	hopBudget := mr.Int()
+	attachK := mr.Int()
+	dim := mr.Int()
+	rank := mr.Int()
+	sigma := mr.Float64()
+	baseN := mr.Int()
+	n := mr.Int()
+	clusterTime := mr.Int()
+	factorTime := mr.Int()
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding spectral metadata: %w", err)
+	}
+	switch {
+	case math.IsNaN(alpha) || alpha <= 0 || alpha >= 1:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: alpha %g", alpha)
+	case math.IsNaN(autoCompact) || math.IsInf(autoCompact, 0) || autoCompact < 0:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: auto-compact fraction %g", autoCompact)
+	case graphK < 0 || approx < 0 || approx > 1 || mutual < 0 || mutual > 1:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: graph recipe %d/%d/%d", graphK, approx, mutual)
+	case math.IsNaN(sigmaOpt) || math.IsInf(sigmaOpt, 0) || sigmaOpt < 0:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: recipe bandwidth %g", sigmaOpt)
+	case recipeRank < 1 || recipeSteps < 0 || hops < 1 || hopBudget < 1 || attachK < 1:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: spectral recipe %d/%d/%d/%d/%d", recipeRank, recipeSteps, hops, hopBudget, attachK)
+	case dim < 1 || dim > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: dimension %d", dim)
+	case n < 1 || n > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: %d points", n)
+	case baseN < 2 || baseN > n:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: base size %d of %d points", baseN, n)
+	case rank < 1 || rank > baseN:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: rank %d for base size %d", rank, baseN)
+	case math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma < 0:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: attachment bandwidth %g", sigma)
+	case clusterTime < 0 || factorTime < 0:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: negative build timings")
+	}
+
+	vr := binio.NewReader(bytes.NewReader(payloads[tagSpVal]))
+	vals := vr.Floats(binio.MaxCount)
+	if err := vr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding eigenvalues: %w", err)
+	}
+	if len(vals) != rank {
+		return nil, fmt.Errorf("mogul: %d eigenvalues for rank %d", len(vals), rank)
+	}
+	for t, v := range vals {
+		if math.IsNaN(v) || v < -1 || v > 1 {
+			return nil, fmt.Errorf("mogul: eigenvalue %d outside [-1,1]: %g", t, v)
+		}
+		if t > 0 && v > vals[t-1] {
+			return nil, fmt.Errorf("mogul: eigenvalues not descending at %d (%g after %g)", t, v, vals[t-1])
+		}
+	}
+
+	pr := binio.NewReader(bytes.NewReader(payloads[tagSpPts]))
+	points := make([]Vector, n)
+	for i := range points {
+		v := pr.Floats(binio.MaxCount)
+		if err := pr.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding point %d: %w", i, err)
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("mogul: point %d has dim %d, want %d", i, len(v), dim)
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("mogul: point %d has non-finite component", i)
+			}
+		}
+		points[i] = v
+	}
+
+	er := binio.NewReader(bytes.NewReader(payloads[tagSpEmb]))
+	emb := er.Floats(binio.MaxCount)
+	deadIDs := er.Ints(binio.MaxCount)
+	if err := er.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding embedding: %w", err)
+	}
+	if len(emb) != n*rank {
+		return nil, fmt.Errorf("mogul: embedding carries %d elements, want %d", len(emb), n*rank)
+	}
+	for i, v := range emb {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("mogul: embedding element %d is non-finite", i)
+		}
+	}
+	dead := make([]bool, n)
+	deadBase := 0
+	prev := -1
+	for _, id := range deadIDs {
+		if id <= prev || id >= n {
+			return nil, fmt.Errorf("mogul: corrupt tombstone list (id %d after %d, %d points)", id, prev, n)
+		}
+		dead[id] = true
+		if id < baseN {
+			deadBase++
+		}
+		prev = id
+	}
+	if len(deadIDs) >= n {
+		return nil, fmt.Errorf("mogul: every item tombstoned")
+	}
+
+	gr := binio.NewReader(bytes.NewReader(payloads[tagSpGph]))
+	rowPtr := gr.Ints(binio.MaxCount)
+	col := gr.Ints(binio.MaxCount)
+	val := gr.Floats(binio.MaxCount)
+	if err := gr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding base graph: %w", err)
+	}
+	if len(rowPtr) != baseN+1 || rowPtr[0] != 0 {
+		return nil, fmt.Errorf("mogul: base graph row index carries %d entries for base size %d", len(rowPtr), baseN)
+	}
+	for i := 1; i < len(rowPtr); i++ {
+		if rowPtr[i] < rowPtr[i-1] {
+			return nil, fmt.Errorf("mogul: base graph row index decreases at row %d", i)
+		}
+	}
+	if rowPtr[baseN] != len(col) || len(col) != len(val) {
+		return nil, fmt.Errorf("mogul: base graph shape mismatch (%d row-index end, %d columns, %d values)", rowPtr[baseN], len(col), len(val))
+	}
+	for x, c := range col {
+		if c < 0 || c >= baseN {
+			return nil, fmt.Errorf("mogul: base graph edge %d targets %d outside [0,%d)", x, c, baseN)
+		}
+		if v := val[x]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("mogul: base graph edge %d has non-finite weight", x)
+		}
+	}
+
+	ar := binio.NewReader(bytes.NewReader(payloads[tagSpAtt]))
+	attPtr := ar.Ints(binio.MaxCount)
+	attID := ar.Ints(binio.MaxCount)
+	attW := ar.Floats(binio.MaxCount)
+	if err := ar.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding delta attachments: %w", err)
+	}
+	if len(attPtr) != (n-baseN)+1 || attPtr[0] != 0 {
+		return nil, fmt.Errorf("mogul: attachment index carries %d entries for %d delta items", len(attPtr), n-baseN)
+	}
+	for i := 1; i < len(attPtr); i++ {
+		if attPtr[i] < attPtr[i-1] {
+			return nil, fmt.Errorf("mogul: attachment index decreases at delta item %d", i-1)
+		}
+	}
+	if attPtr[len(attPtr)-1] != len(attID) || len(attID) != len(attW) {
+		return nil, fmt.Errorf("mogul: attachment shape mismatch (%d index end, %d anchors, %d weights)", attPtr[len(attPtr)-1], len(attID), len(attW))
+	}
+	for t, id := range attID {
+		if id < 0 || id >= baseN {
+			return nil, fmt.Errorf("mogul: attachment anchor %d targets %d outside [0,%d)", t, id, baseN)
+		}
+		if w := attW[t]; math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("mogul: attachment anchor %d has invalid weight %g", t, attW[t])
+		}
+	}
+
+	e := &SpectralIndex{
+		alpha:       alpha,
+		seed:        int64(seed),
+		autoCompact: autoCompact,
+		ropts: Options{
+			GraphK:              graphK,
+			ApproximateGraph:    approx == 1,
+			MutualGraph:         mutual == 1,
+			Sigma:               sigmaOpt,
+			Alpha:               alpha,
+			Seed:                int64(seed),
+			AutoCompactFraction: autoCompact,
+		},
+		sopts: SpectralOptions{Rank: recipeRank, Steps: recipeSteps, Hops: hops, HopBudget: hopBudget, AttachK: attachK},
+		st: &spectralState{
+			dim:       dim,
+			rank:      rank,
+			graph:     &sparse.CSR{RowPtr: rowPtr, Col: col, Val: val, Rows: baseN, Cols: baseN},
+			sigma:     sigma,
+			vals:      vals,
+			points:    points,
+			dead:      dead,
+			emb:       emb,
+			attPtr:    attPtr,
+			attID:     attID,
+			attW:      attW,
+			deadCount: len(deadIDs),
+			deadBase:  deadBase,
+			baseN:     baseN,
+			stats: Stats{
+				NumNodes:    baseN,
+				NumClusters: rank,
+				FactorNNZ:   baseN * rank,
+				ClusterTime: time.Duration(clusterTime),
+				FactorTime:  time.Duration(factorTime),
+			},
+		},
+	}
+	e.version.Store(1)
+	return e, nil
+}
+
+// LoadSpectralFile reads a spectral engine file written by
+// SpectralIndex.SaveFile.
+func LoadSpectralFile(path string) (*SpectralIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSpectral(f)
+}
