@@ -53,6 +53,58 @@ func benchBaselineRefs(t *testing.T) []string {
 	return names
 }
 
+// TestF32BaselineStreamRatio pins the mixed-precision acceptance
+// criterion into the committed BENCH_f32.json: every F32 distance
+// kernel must stream fewer bytes per op than its F64 counterpart, and
+// the dense batch kernels (whose traffic is pure element storage, no
+// index columns) must show at least the 1.5x reduction the storage
+// mode exists for. The ratio is a property of the layout, not the
+// machine, so a committed baseline that violates it was generated
+// against regressed kernels.
+func TestF32BaselineStreamRatio(t *testing.T) {
+	data, err := os.ReadFile("BENCH_f32.json")
+	if err != nil {
+		t.Fatalf("baseline BENCH_f32.json missing: %v", err)
+	}
+	var rep struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	stream := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		if v, ok := b.Metrics["stream-B/op"]; ok {
+			stream[b.Name] = v
+		}
+	}
+	pairs := []struct {
+		kernel   string
+		minRatio float64
+	}{
+		{"BenchmarkKernelSquaredEuclideanBatch", 1.5},
+		{"BenchmarkKernelDotRows", 1.5},
+		// The gather kernel's traffic includes the int32 index column,
+		// which does not narrow: 12 -> 8 bytes per element, ratio 1.5.
+		{"BenchmarkKernelGather", 1.4},
+	}
+	for _, p := range pairs {
+		f64, ok64 := stream[p.kernel+"F64"]
+		f32, ok32 := stream[p.kernel+"F32"]
+		if !ok64 || !ok32 {
+			t.Errorf("BENCH_f32.json is missing the %sF64/F32 pair", p.kernel)
+			continue
+		}
+		if ratio := f64 / f32; ratio < p.minRatio {
+			t.Errorf("%s: f64 streams %.0f B/op vs f32 %.0f (%.2fx), want >= %.1fx less traffic",
+				p.kernel, f64, f32, ratio, p.minRatio)
+		}
+	}
+}
+
 func TestCommittedBenchBaselinesPresent(t *testing.T) {
 	for _, name := range benchBaselineRefs(t) {
 		t.Run(name, func(t *testing.T) {

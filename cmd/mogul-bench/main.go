@@ -68,8 +68,9 @@ func main() {
 		"emr":      expEMR,
 		"spectral": expSpectral,
 		"build":    expBuild,
+		"memory":   expMemory,
 	}
-	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded", "dist", "emr", "spectral", "build"}
+	order := []string{"fig1", "fig234", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "nnz", "ordering", "scaling", "quality", "mogulcg", "serving", "sharded", "dist", "emr", "spectral", "build", "memory"}
 
 	var selected []string
 	if *exp == "all" {

@@ -16,6 +16,15 @@
 // construction, no clustering, no factorization. All handler logic
 // lives in package serve; this command is flag parsing and wiring.
 //
+// -precision f32 builds the index with float32 bulk storage (about
+// half the resident bytes per point). Saving with -save-align 4096 and
+// serving with -load-index -mmap maps the file read-only instead of
+// copying it onto the heap, so N server processes over one index file
+// share a single physical copy of the big arrays:
+//
+//	mogul-server -data coil.gob -precision f32 -save-index coil.mogul -save-align 4096
+//	mogul-server -load-index coil.mogul -mmap -addr :8080
+//
 // The same binary also runs the distributed topology (docs/DISTRIBUTED.md):
 //
 //	# one shard server per process (plain index only, -shards must be 1)
@@ -34,6 +43,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -64,6 +74,9 @@ func main() {
 		anchors   = flag.Int("anchors", 0, "emr engine: number of k-means anchors (0 = default)")
 		anchorsPP = flag.Int("anchors-per-point", 0, "emr engine: anchors in each point's support (0 = default)")
 		rank      = flag.Int("rank", 0, "spectral engine: retained eigenpairs (0 = default)")
+		precision = flag.String("precision", "f64", "storage precision for built indexes: f64 or f32 (f32 roughly halves resident bulk-array bytes; ranking differs only by storage rounding)")
+		saveAlign = flag.Int("save-align", 0, "with -save-index: pad container sections to this power-of-two byte boundary (0 = compact layout; 4096 suits -mmap serving)")
+		useMmap   = flag.Bool("mmap", false, "with -load-index: serve through a read-only memory map so concurrent server processes share one physical copy of the file")
 
 		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "query-result cache budget in bytes (0 disables)")
 		batchWindow = flag.Duration("batch-window", 0, "micro-batch window for /search/vector (0 disables, try 200us)")
@@ -85,6 +98,15 @@ func main() {
 
 	if *engine != "graph" && *engine != "emr" && *engine != "spectral" {
 		log.Fatalf("mogul-server: unknown -engine %q (want graph, emr, or spectral)", *engine)
+	}
+	var prec mogul.Precision
+	switch *precision {
+	case "f64":
+		prec = mogul.F64
+	case "f32":
+		prec = mogul.F32
+	default:
+		log.Fatalf("mogul-server: unknown -precision %q (want f64 or f32)", *precision)
 	}
 	serveOpts := serve.Options{
 		CacheBytes:  *cacheBytes,
@@ -113,13 +135,25 @@ func main() {
 	switch {
 	case indexPath != "":
 		t0 := time.Now()
-		// LoadFile sniffs the file's magic header: a plain index and a
-		// sharded manifest both come back behind the Retriever surface.
-		idx, err = mogul.LoadFile(indexPath)
+		how := "loaded"
+		if *useMmap {
+			// The mapping must outlive the engine; main's defer releases
+			// it after the handler drains at shutdown.
+			var closer io.Closer
+			idx, closer, err = mogul.LoadFileMapped(indexPath)
+			if err == nil {
+				defer closer.Close()
+			}
+			how = "mapped"
+		} else {
+			// LoadFile sniffs the file's magic header: a plain index and a
+			// sharded manifest both come back behind the Retriever surface.
+			idx, err = mogul.LoadFile(indexPath)
+		}
 		if err != nil {
 			log.Fatal("mogul-server: ", err)
 		}
-		log.Printf("loaded index (%d items) in %v", idx.Len(), time.Since(t0).Round(time.Millisecond))
+		log.Printf("%s index (%d items) in %v", how, idx.Len(), time.Since(t0).Round(time.Millisecond))
 		// Labels may come from the dataset alongside, when given.
 		if *data != "" {
 			if ds, err := loadDataset(*data); err == nil && ds.Len() == idx.Len() {
@@ -137,6 +171,7 @@ func main() {
 			Alpha:            *alpha,
 			Exact:            *exact,
 			ApproximateGraph: *approx,
+			Precision:        prec,
 		}
 		t0 := time.Now()
 		if *engine == "emr" {
@@ -199,7 +234,17 @@ func main() {
 	}
 
 	if *saveIndex != "" {
-		if err := idx.SaveFile(*saveIndex); err != nil {
+		var err error
+		if *saveAlign > 0 {
+			s, ok := idx.(interface{ SaveFileAligned(string, int) error })
+			if !ok {
+				log.Fatalf("mogul-server: -save-align is not supported for %T (the sharded manifest has no aligned layout)", idx)
+			}
+			err = s.SaveFileAligned(*saveIndex, *saveAlign)
+		} else {
+			err = idx.SaveFile(*saveIndex)
+		}
+		if err != nil {
 			log.Fatal("mogul-server: saving index: ", err)
 		}
 		log.Printf("index saved to %s", *saveIndex)

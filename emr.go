@@ -87,13 +87,19 @@ type emrState struct {
 	// are attached against the base graph's normalization).
 	anchors        []Vector
 	colSum, lambda []float64
-	// points holds every item ever inserted, by id; dead tombstones.
+	// points holds every item ever inserted, by id; dead tombstones. In
+	// mixed-precision mode points is nil and the vectors live flattened
+	// in pts32 with stride dim.
 	points []Vector
+	pts32  []float32
 	dead   []bool
 	// hAnchor/hVal store the H columns flat with stride s (item i owns
 	// [i*s, (i+1)*s)): one cache-friendly streaming array instead of n
 	// little slices, which is what keeps the per-query scan
-	// memory-bandwidth bound.
+	// memory-bandwidth bound. In mixed-precision mode hVal is nil and
+	// the attachment weights live in hVal32; anchors, colSum, lambda,
+	// and the gram factor stay float64 (p-sized, cold next to the scan).
+	hVal32  []float32
 	hAnchor []int32
 	hVal    []float64
 	// deadCount counts all tombstones; deadBase only those in the base
@@ -108,6 +114,42 @@ type emrState struct {
 	// gram is the prefactored p x p system I_p - alpha H H^T.
 	gram  *dense.LU
 	stats Stats
+}
+
+// f32 reports whether the state stores its bulk arrays narrowed.
+func (st *emrState) f32() bool { return st.hVal32 != nil }
+
+// numPoints returns the id-space size in either precision.
+func (st *emrState) numPoints() int {
+	if st.pts32 != nil {
+		return len(st.pts32) / st.dim
+	}
+	return len(st.points)
+}
+
+// pointVec returns item i's stored vector. In f64 mode the returned
+// slice aliases state storage; in f32 mode it is freshly widened —
+// callers that retain it must copy in either case.
+func (st *emrState) pointVec(i int) Vector {
+	if st.pts32 != nil {
+		return Vector(vec.Widen64(nil, st.pts32[i*st.dim:(i+1)*st.dim]))
+	}
+	return st.points[i]
+}
+
+// narrow32 moves the state into mixed-precision storage: the point
+// matrix flattens to float32 rows and the H attachment weights round to
+// float32, halving the bytes the per-query scan streams. Applied
+// exactly once, after the (always float64) build; anchors, column
+// sums, and the gram factor keep full precision.
+func (st *emrState) narrow32() {
+	if st.f32() {
+		return
+	}
+	st.pts32, _ = vec.Flatten32(st.points)
+	st.points = nil
+	st.hVal32 = vec.Narrow32(nil, st.hVal)
+	st.hVal = nil
 }
 
 // EMRIndex is the anchor-graph (Efficient Manifold Ranking) serving
@@ -179,6 +221,13 @@ func BuildEMR(points []Vector, opts Options, eopts EMROptions) (*EMRIndex, error
 	st, err := buildEMRState(points, alpha, opts.Seed, eopts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Precision == F32 {
+		// The build itself always runs in float64 (k-means, attachment,
+		// gram factorization); narrowing once at the end is the only
+		// lossy step, so an f32 engine differs from its f64 twin by one
+		// rounding of each stored value, never by accumulated error.
+		st.narrow32()
 	}
 	e := &EMRIndex{
 		alpha:       alpha,
@@ -317,12 +366,23 @@ func (st *emrState) attachColumn(v Vector, sc *baseline.AnchorScratch, idx []int
 func (e *EMRIndex) Len() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.st.points) - e.st.deadCount
+	return e.st.numPoints() - e.st.deadCount
 }
 
 // Exact reports false: EMR scores approximate exact Manifold Ranking
 // through the anchor graph.
 func (e *EMRIndex) Exact() bool { return false }
+
+// Precision reports the storage precision the engine was built (or
+// loaded) with.
+func (e *EMRIndex) Precision() Precision {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.st.f32() {
+		return F32
+	}
+	return F64
+}
 
 // Stats reports what the latest base build did, mapped onto the shared
 // Stats shape: NumClusters is the anchor count p, FactorNNZ the dense
@@ -348,7 +408,7 @@ func (e *EMRIndex) Delta() DeltaStats {
 	}
 	return DeltaStats{
 		BaseItems:  st.baseN,
-		DeltaItems: len(st.points) - st.baseN - deltaDead,
+		DeltaItems: st.numPoints() - st.baseN - deltaDead,
 		Tombstones: st.deadCount,
 	}
 }
@@ -436,14 +496,16 @@ func (sr *EMRSearcher) collect(k int, seeds []seedWeight) []Result {
 	e := sr.e
 	st := e.st
 	z := st.gram.SolveInto(sr.z, sr.rhs)
-	live := len(st.points) - st.deadCount
+	n := st.numPoints()
+	live := n - st.deadCount
 	if k > live {
 		k = live
 	}
 	sr.col.Reset(k)
 	si := 0
 	s := st.s
-	for i := 0; i < len(st.points); i++ {
+	hv32 := st.hVal32
+	for i := 0; i < n; i++ {
 		if st.dead[i] {
 			continue
 		}
@@ -452,9 +514,15 @@ func (sr *EMRSearcher) collect(k int, seeds []seedWeight) []Result {
 		// the only O(n) term of a query, and the four independent
 		// accumulators keep it throughput-bound instead of
 		// FP-add-latency-bound while preserving bit-identity with the
-		// baseline's scores.
+		// baseline's scores. In f32 mode the weights stream at half the
+		// bytes and widen to float64 in registers (same lane order).
 		off := i * s
-		sum := vec.DotGather32(st.hVal[off:off+s], st.hAnchor[off:off+s], z)
+		var sum float64
+		if hv32 != nil {
+			sum = vec.DotGather32I32(hv32[off:off+s], st.hAnchor[off:off+s], z)
+		} else {
+			sum = vec.DotGatherI32(st.hVal[off:off+s], st.hAnchor[off:off+s], z)
+		}
 		sum *= e.alpha
 		if si < len(seeds) && seeds[si].id == i {
 			sum += seeds[si].w
@@ -474,8 +542,8 @@ func (sr *EMRSearcher) collect(k int, seeds []seedWeight) []Result {
 // checkItem validates an item id against the current state. Callers
 // hold e.mu.
 func (st *emrState) checkItem(id int) error {
-	if id < 0 || id >= len(st.points) {
-		return fmt.Errorf("mogul: item %d outside [0,%d)", id, len(st.points))
+	if n := st.numPoints(); id < 0 || id >= n {
+		return fmt.Errorf("mogul: item %d outside [0,%d)", id, n)
 	}
 	if st.dead[id] {
 		return fmt.Errorf("mogul: item %d deleted", id)
@@ -498,8 +566,14 @@ func (sr *EMRSearcher) TopK(query, k int) ([]Result, error) {
 	}
 	sr.ensure(st.p)
 	off := query * st.s
-	for t := 0; t < st.s; t++ {
-		sr.rhs[st.hAnchor[off+t]] = st.hVal[off+t]
+	if st.hVal32 != nil {
+		for t := 0; t < st.s; t++ {
+			sr.rhs[st.hAnchor[off+t]] = float64(st.hVal32[off+t])
+		}
+	} else {
+		for t := 0; t < st.s; t++ {
+			sr.rhs[st.hAnchor[off+t]] = st.hVal[off+t]
+		}
 	}
 	sr.seeds = append(sr.seeds[:0], seedWeight{id: query, w: 1})
 	sr.aff = 0
@@ -585,8 +659,14 @@ func (sr *EMRSearcher) topKSetWeighted(seeds []int, weight float64, k int) ([]Re
 	sr.ensure(st.p)
 	for _, sw := range sr.seeds {
 		off := sw.id * st.s
-		for t := 0; t < st.s; t++ {
-			sr.rhs[st.hAnchor[off+t]] += sw.w * st.hVal[off+t]
+		if st.hVal32 != nil {
+			for t := 0; t < st.s; t++ {
+				sr.rhs[st.hAnchor[off+t]] += sw.w * float64(st.hVal32[off+t])
+			}
+		} else {
+			for t := 0; t < st.s; t++ {
+				sr.rhs[st.hAnchor[off+t]] += sw.w * st.hVal[off+t]
+			}
 		}
 	}
 	sr.aff = 0
@@ -668,16 +748,29 @@ func (e *EMRIndex) Insert(v Vector) (int, error) {
 		e.mu.Unlock()
 		return 0, fmt.Errorf("mogul: inserted vector has dim %d, want %d", len(v), st.dim)
 	}
-	id := len(st.points)
+	id := st.numPoints()
 	stored := append(Vector(nil), v...)
 	var sc baseline.AnchorScratch
 	dstIdx := make([]int32, st.s)
 	dstVal := make([]float64, st.s)
 	st.attachColumn(stored, &sc, make([]int, 0, st.s), make([]float64, 0, st.s), dstIdx, dstVal)
-	st.points = append(st.points, stored)
+	if st.f32() {
+		// Attachment ran in full precision against the f64 anchors; the
+		// stored copies round once, like everything else in this mode.
+		// (A state loaded from a mapped file appends safely: views have
+		// cap == len, so the first append reallocates onto the heap.)
+		for _, x := range stored {
+			st.pts32 = append(st.pts32, float32(x))
+		}
+		for _, x := range dstVal {
+			st.hVal32 = append(st.hVal32, float32(x))
+		}
+	} else {
+		st.points = append(st.points, stored)
+		st.hVal = append(st.hVal, dstVal...)
+	}
 	st.dead = append(st.dead, false)
 	st.hAnchor = append(st.hAnchor, dstIdx...)
-	st.hVal = append(st.hVal, dstVal...)
 	needCompact := e.needsCompactLocked()
 	e.version.Add(1)
 	e.mu.Unlock()
@@ -699,15 +792,15 @@ func (e *EMRIndex) Delete(id int) error {
 
 	e.mu.Lock()
 	st := e.st
-	if id < 0 || id >= len(st.points) {
+	if n := st.numPoints(); id < 0 || id >= n {
 		e.mu.Unlock()
-		return fmt.Errorf("mogul: item %d outside [0,%d)", id, len(st.points))
+		return fmt.Errorf("mogul: item %d outside [0,%d)", id, n)
 	}
 	if st.dead[id] {
 		e.mu.Unlock()
 		return fmt.Errorf("mogul: item %d already deleted", id)
 	}
-	if len(st.points)-st.deadCount <= 1 {
+	if st.numPoints()-st.deadCount <= 1 {
 		e.mu.Unlock()
 		return fmt.Errorf("mogul: cannot delete the last live item")
 	}
@@ -739,7 +832,7 @@ func (e *EMRIndex) needsCompactLocked() bool {
 		return false
 	}
 	st := e.st
-	pending := (len(st.points) - st.baseN) + st.deadBase
+	pending := (st.numPoints() - st.baseN) + st.deadBase
 	return float64(pending) > e.autoCompact*float64(st.baseN)
 }
 
@@ -759,23 +852,30 @@ func (e *EMRIndex) Compact() error {
 func (e *EMRIndex) compactLocked() error {
 	e.mu.RLock()
 	st := e.st
-	if len(st.points) == st.baseN && st.deadCount == 0 {
+	n := st.numPoints()
+	if n == st.baseN && st.deadCount == 0 {
 		e.mu.RUnlock()
 		return nil
 	}
-	live := make([]Vector, 0, len(st.points)-st.deadCount)
-	for i, pt := range st.points {
+	wasF32 := st.f32()
+	live := make([]Vector, 0, n-st.deadCount)
+	for i := 0; i < n; i++ {
 		if !st.dead[i] {
-			live = append(live, pt)
+			live = append(live, st.pointVec(i))
 		}
 	}
 	e.mu.RUnlock()
 
 	// The heavy rebuild runs outside every lock; mutMu keeps the live
-	// snapshot authoritative (no mutator can run until the swap).
+	// snapshot authoritative (no mutator can run until the swap). An
+	// f32 engine rebuilds from its widened points (exact) in float64
+	// and narrows the result, preserving the storage mode.
 	fresh, err := buildEMRState(live, e.alpha, e.seed, e.eopts)
 	if err != nil {
 		return err
+	}
+	if wasF32 {
+		fresh.narrow32()
 	}
 	e.mu.Lock()
 	e.st = fresh
@@ -791,7 +891,7 @@ func (e *EMRIndex) compactLocked() error {
 func (e *EMRIndex) IDSpace() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.st.points)
+	return e.st.numPoints()
 }
 
 // Alive reports whether id addresses a live (non-deleted, in-range)
@@ -799,7 +899,7 @@ func (e *EMRIndex) IDSpace() int {
 func (e *EMRIndex) Alive(id int) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return id >= 0 && id < len(e.st.points) && !e.st.dead[id]
+	return id >= 0 && id < e.st.numPoints() && !e.st.dead[id]
 }
 
 // LogLen reports 0: the EMR engine keeps no replayable delta log, so
@@ -823,7 +923,7 @@ func (e *EMRIndex) TopKWithVector(query, k int) ([]Result, Vector, float64, erro
 		e.mu.RUnlock()
 		return nil, nil, 0, err
 	}
-	qvec := append(Vector(nil), st.points[query]...)
+	qvec := append(Vector(nil), st.pointVec(query)...)
 	_, _, aff := baseline.NearestAnchorWeights(qvec, st.anchors, st.s, &sr.sc, sr.wIdx[:0], sr.wVal[:0])
 	e.mu.RUnlock()
 	return res, qvec, aff, nil

@@ -29,11 +29,15 @@ import (
 // emrMagic identifies an EMR (anchor-graph) engine file.
 const emrMagic = "MOGULEMR"
 
-// emrFormatVersion is the container version this build writes;
-// emrMinReadVersion the oldest it reads.
+// emrFormatVersion is the container version plain float64 saves write
+// (kept at 1 so existing files reproduce byte for byte);
+// emrFormatVersionPrec the version carrying precision and alignment
+// metadata (written for f32 engines and aligned saves);
+// emrMinReadVersion the oldest this build reads.
 const (
-	emrFormatVersion  = 1
-	emrMinReadVersion = 1
+	emrFormatVersion     = 1
+	emrFormatVersionPrec = 2
+	emrMinReadVersion    = 1
 )
 
 // EMR container section tags.
@@ -47,7 +51,9 @@ var (
 )
 
 // Save writes the engine in the versioned MOGULEMR format. Mutators
-// block for the duration; searches proceed.
+// block for the duration; searches proceed. A float64 engine writes
+// version 1, byte-identical to previous releases; a mixed-precision
+// engine writes version 2 with its arrays narrowed.
 func (e *EMRIndex) Save(w io.Writer) error {
 	// mutMu freezes the delta state so the two-pass section framing
 	// sees identical bytes; the read lock covers the reads themselves.
@@ -55,6 +61,10 @@ func (e *EMRIndex) Save(w io.Writer) error {
 	defer e.mutMu.Unlock()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+
+	if e.st.f32() {
+		return e.savePrecLocked(w, 0)
+	}
 
 	buffered := bufio.NewWriterSize(w, 1<<20)
 	bw := binio.NewWriter(buffered)
@@ -99,7 +109,7 @@ func (e *EMRIndex) writeEMRMeta(w io.Writer) error {
 	bw.Int(st.p)
 	bw.Int(st.s)
 	bw.Int(st.baseN)
-	bw.Int(len(st.points))
+	bw.Int(st.numPoints())
 	bw.Int(int(st.stats.ClusterTime))
 	bw.Int(int(st.stats.FactorTime))
 	return bw.Err()
@@ -159,6 +169,12 @@ func (e *EMRIndex) SaveFile(path string) error {
 	return saveFileAtomic(path, e.Save)
 }
 
+// SaveFileAligned is SaveAligned to a file with the same atomic
+// temp-file-and-rename protocol as SaveFile.
+func (e *EMRIndex) SaveFileAligned(path string, align int) error {
+	return saveFileAtomic(path, func(w io.Writer) error { return e.SaveAligned(w, align) })
+}
+
 // LoadEMR reads an engine written by EMRIndex.Save. Malformed input of
 // any kind — wrong magic, unknown version, truncation, checksum
 // mismatch, shape mismatches between sections, a corrupt gram factor —
@@ -178,11 +194,12 @@ func LoadEMR(r io.Reader) (*EMRIndex, error) {
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("mogul: reading EMR engine header: %w", err)
 	}
-	if version < emrMinReadVersion || version > emrFormatVersion {
-		return nil, fmt.Errorf("mogul: EMR engine format version %d, this build reads versions %d-%d", version, emrMinReadVersion, emrFormatVersion)
+	if version < emrMinReadVersion || version > emrFormatVersionPrec {
+		return nil, fmt.Errorf("mogul: EMR engine format version %d, this build reads versions %d-%d", version, emrMinReadVersion, emrFormatVersionPrec)
 	}
 
 	payloads := map[[4]byte][]byte{}
+	bases := map[[4]byte]int64{}
 	for {
 		var tag [4]byte
 		br.Raw(tag[:])
@@ -204,6 +221,7 @@ func LoadEMR(r io.Reader) (*EMRIndex, error) {
 			if payloads[tag] != nil {
 				return nil, fmt.Errorf("mogul: duplicate %q section", tag[:])
 			}
+			bases[tag] = br.Count()
 			payload, err := readShardPayload(br, n)
 			if err != nil {
 				return nil, fmt.Errorf("mogul: reading %q section: %w", tag[:], err)
@@ -231,6 +249,9 @@ func LoadEMR(r io.Reader) (*EMRIndex, error) {
 		if payloads[tag] == nil {
 			return nil, fmt.Errorf("mogul: EMR engine file is missing its %q section", tag[:])
 		}
+	}
+	if version >= emrFormatVersionPrec {
+		return assembleEMRPrec(payloads, bases)
 	}
 	return assembleEMR(payloads)
 }
@@ -429,4 +450,453 @@ func LoadEMRFile(path string) (*EMRIndex, error) {
 	}
 	defer f.Close()
 	return LoadEMR(f)
+}
+
+// --- Version 2: precision + alignment ---
+//
+// Version 2 generalizes version 1 the same two ways the core index's
+// version 4 does (docs/FORMAT.md): the EMET section additionally
+// records a precision flag and an alignment, the stored points become
+// ONE flat row-major array, the H columns store int32 anchor ids, and
+// — when the engine is mixed-precision — the point matrix and the
+// attachment weights are written as float32. When a positive alignment
+// is recorded, every large array in the bulk sections starts on that
+// boundary, so LoadEMRBytes over an mmap'd image hands out zero-copy
+// views. Anchors, column sums, and the gram factor stay float64.
+
+// SaveAligned writes the engine in the version-2 aligned layout: large
+// arrays start on align-byte boundaries (use the page size for mmap
+// sharing). Works in either precision; align must be a positive power
+// of two.
+func (e *EMRIndex) SaveAligned(w io.Writer, align int) error {
+	if align <= 0 || align&(align-1) != 0 {
+		return fmt.Errorf("mogul: alignment %d is not a positive power of two", align)
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.savePrecLocked(w, align)
+}
+
+// savePrecLocked writes the version-2 container; align == 0 selects
+// the packed (unaligned) variant used for plain f32 saves. Callers
+// hold mutMu and e.mu.
+func (e *EMRIndex) savePrecLocked(w io.Writer, align int) error {
+	st := e.st
+	buffered := bufio.NewWriterSize(w, 1<<20)
+	bw := binio.NewWriter(buffered)
+	bw.Raw([]byte(emrMagic))
+	bw.Uint32(emrFormatVersionPrec)
+
+	prec := 0
+	if st.f32() {
+		prec = 1
+	}
+	writeMeta := func(w io.Writer) error {
+		if err := e.writeEMRMeta(w); err != nil {
+			return err
+		}
+		mw := binio.NewWriter(w)
+		mw.Int(prec)
+		mw.Int(align)
+		return mw.Err()
+	}
+	if err := writeShardSection(bw, tagEmet, writeMeta); err != nil {
+		return fmt.Errorf("mogul: writing %q section: %w", tagEmet[:], err)
+	}
+
+	sections := []struct {
+		tag     [4]byte
+		payload func(sw *binio.Writer) error
+	}{
+		{tagEanc, func(sw *binio.Writer) error {
+			for _, c := range st.anchors {
+				sw.Floats(c)
+			}
+			sw.Floats(st.colSum)
+			return sw.Err()
+		}},
+		{tagEpts, func(sw *binio.Writer) error {
+			if st.f32() {
+				sw.Float32s(st.pts32)
+			} else {
+				flat := make([]float64, 0, len(st.points)*st.dim)
+				for _, pt := range st.points {
+					flat = append(flat, pt...)
+				}
+				sw.Floats(flat)
+			}
+			return sw.Err()
+		}},
+		{tagEhco, func(sw *binio.Writer) error {
+			sw.Int32s(st.hAnchor)
+			if st.f32() {
+				sw.Float32s(st.hVal32)
+			} else {
+				sw.Floats(st.hVal)
+			}
+			dead := make([]int, 0, st.deadCount)
+			for id, d := range st.dead {
+				if d {
+					dead = append(dead, id)
+				}
+			}
+			sw.Ints(dead)
+			return sw.Err()
+		}},
+		{tagEgrm, func(sw *binio.Writer) error {
+			lu, pivot, signDet := st.gram.Components()
+			sw.Int(lu.Rows)
+			sw.Floats(lu.Data)
+			sw.Ints(pivot)
+			sw.Float64(signDet)
+			return sw.Err()
+		}},
+	}
+	for _, s := range sections {
+		if err := writeEMRSectionPrec(bw, s.tag, align, s.payload); err != nil {
+			return fmt.Errorf("mogul: writing %q section: %w", s.tag[:], err)
+		}
+	}
+	bw.Raw(tagEend[:])
+	bw.Uint64(0)
+	bw.Uint32(bw.Sum32())
+	if err := bw.Err(); err != nil {
+		return err
+	}
+	return buffered.Flush()
+}
+
+// writeEMRSectionPrec frames a payload whose codec needs the
+// container's binio.Writer directly plus the absolute base offset of
+// its payload, so alignment pads come out identical in the counting
+// pass and the real pass (same two-pass protocol as writeShardSection).
+func writeEMRSectionPrec(bw *binio.Writer, tag [4]byte, align int, payload func(sw *binio.Writer) error) error {
+	base := bw.Count() + 12 // the 4-byte tag and 8-byte length precede the payload
+	var count int64
+	cw := binio.NewWriter(writerFunc(func(p []byte) (int, error) {
+		count += int64(len(p))
+		return len(p), nil
+	}))
+	cw.EnableAlign(align, base)
+	if err := payload(cw); err != nil {
+		return err
+	}
+	if err := cw.Err(); err != nil {
+		return err
+	}
+	bw.Raw(tag[:])
+	bw.Uint64(uint64(count))
+	before := bw.Count()
+	sw := binio.NewWriter(writerFunc(func(p []byte) (int, error) {
+		bw.Raw(p)
+		if err := bw.Err(); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}))
+	sw.EnableAlign(align, base)
+	if err := payload(sw); err != nil {
+		return err
+	}
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	if got := bw.Count() - before; got != count {
+		return fmt.Errorf("mogul: section produced %d bytes, declared %d", got, count)
+	}
+	return bw.Err()
+}
+
+// LoadEMRBytes parses a complete EMR engine image held in memory —
+// typically an mmap'd file (LoadFileMapped) — using zero-copy views
+// for the large arrays wherever the layout allows. The returned engine
+// aliases data, which must stay valid (mapped) for the engine's
+// lifetime. The trailing CRC is NOT verified (hashing the image would
+// fault in every page); all structural and index-range validation
+// still runs, so corrupt input errors rather than panicking later.
+func LoadEMRBytes(data []byte) (*EMRIndex, error) {
+	br := binio.NewBytesReader(data)
+	var magic [len(emrMagic)]byte
+	br.Raw(magic[:])
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading EMR engine header: %w", err)
+	}
+	if string(magic[:]) != emrMagic {
+		return nil, fmt.Errorf("mogul: not an EMR engine file (magic %q)", magic[:])
+	}
+	version := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading EMR engine header: %w", err)
+	}
+	if version < emrMinReadVersion || version > emrFormatVersionPrec {
+		return nil, fmt.Errorf("mogul: EMR engine format version %d, this build reads versions %d-%d", version, emrMinReadVersion, emrFormatVersionPrec)
+	}
+
+	payloads := map[[4]byte][]byte{}
+	bases := map[[4]byte]int64{}
+	for {
+		var tag [4]byte
+		br.Raw(tag[:])
+		n := br.Uint64()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: reading section header: %w", err)
+		}
+		if tag == tagEend {
+			if n != 0 {
+				return nil, fmt.Errorf("mogul: end marker carries %d payload bytes", n)
+			}
+			break
+		}
+		if n > binio.MaxCount {
+			return nil, fmt.Errorf("mogul: section %q claims %d bytes", tag[:], n)
+		}
+		base := br.Count()
+		payload := br.View(int(n))
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: reading %q section: %w", tag[:], err)
+		}
+		switch tag {
+		case tagEmet, tagEanc, tagEpts, tagEhco, tagEgrm:
+			if payloads[tag] != nil {
+				return nil, fmt.Errorf("mogul: duplicate %q section", tag[:])
+			}
+			payloads[tag] = payload
+			bases[tag] = base
+		default:
+			// Unknown section from a newer writer: View already advanced
+			// past it.
+		}
+	}
+	// The trailing checksum must at least be present, so a file cut
+	// right after the end marker still errors.
+	br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading checksum: %w", err)
+	}
+	for _, tag := range [][4]byte{tagEmet, tagEanc, tagEpts, tagEhco, tagEgrm} {
+		if payloads[tag] == nil {
+			return nil, fmt.Errorf("mogul: EMR engine file is missing its %q section", tag[:])
+		}
+	}
+	if version >= emrFormatVersionPrec {
+		return assembleEMRPrec(payloads, bases)
+	}
+	return assembleEMR(payloads)
+}
+
+// assembleEMRPrec decodes a version-2 section set. The big arrays come
+// out as views into the payload bytes (zero-copy when the image is
+// aligned and the host is little-endian, copied otherwise); unlike the
+// version-1 path, the per-element finiteness scans over the point
+// matrix and the attachment weights are skipped — a NaN there degrades
+// a score but can never panic, and scanning would fault in every page
+// of a mapped image.
+func assembleEMRPrec(payloads map[[4]byte][]byte, bases map[[4]byte]int64) (*EMRIndex, error) {
+	mr := binio.NewBytesReader(payloads[tagEmet])
+	alpha := mr.Float64()
+	seed := mr.Int()
+	autoCompact := mr.Float64()
+	recipeAnchors := mr.Int()
+	recipeNearest := mr.Int()
+	dim := mr.Int()
+	p := mr.Int()
+	s := mr.Int()
+	baseN := mr.Int()
+	n := mr.Int()
+	clusterTime := mr.Int()
+	factorTime := mr.Int()
+	prec := mr.Int()
+	align := mr.Int()
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding EMR metadata: %w", err)
+	}
+	switch {
+	case math.IsNaN(alpha) || alpha <= 0 || alpha >= 1:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: alpha %g", alpha)
+	case math.IsNaN(autoCompact) || math.IsInf(autoCompact, 0) || autoCompact < 0:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: auto-compact fraction %g", autoCompact)
+	case dim < 1 || dim > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: dimension %d", dim)
+	case p < 1 || p > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: %d anchors", p)
+	case s < 1 || s > p:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: %d nearest anchors for %d anchors", s, p)
+	case n < 1 || n > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: %d points", n)
+	case n > binio.MaxCount/dim:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: %d points of dim %d", n, dim)
+	case baseN < 1 || baseN > n:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: base size %d of %d points", baseN, n)
+	case recipeAnchors < 1 || recipeNearest < 1:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: anchor recipe %d/%d", recipeAnchors, recipeNearest)
+	case clusterTime < 0 || factorTime < 0:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: negative build timings")
+	case prec != 0 && prec != 1:
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: precision flag %d", prec)
+	case align < 0 || align > binio.MaxCount || (align != 0 && align&(align-1) != 0):
+		return nil, fmt.Errorf("mogul: corrupt EMR metadata: alignment %d", align)
+	}
+	f32 := prec == 1
+
+	ar := binio.NewBytesReader(payloads[tagEanc])
+	ar.EnableAlign(align, bases[tagEanc])
+	anchors := make([]Vector, p)
+	for a := range anchors {
+		v := ar.Floats(binio.MaxCount)
+		if err := ar.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding anchor %d: %w", a, err)
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("mogul: anchor %d has dim %d, want %d", a, len(v), dim)
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("mogul: anchor %d has non-finite component", a)
+			}
+		}
+		anchors[a] = v
+	}
+	colSum := ar.Floats(binio.MaxCount)
+	if err := ar.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding column sums: %w", err)
+	}
+	if len(colSum) != p {
+		return nil, fmt.Errorf("mogul: %d column sums for %d anchors", len(colSum), p)
+	}
+	lambda := make([]float64, p)
+	for k, cs := range colSum {
+		if math.IsNaN(cs) || math.IsInf(cs, 0) || cs < 0 {
+			return nil, fmt.Errorf("mogul: corrupt column sum %g at anchor %d", cs, k)
+		}
+		if cs > 0 {
+			lambda[k] = 1 / cs
+		}
+	}
+
+	pr := binio.NewBytesReader(payloads[tagEpts])
+	pr.EnableAlign(align, bases[tagEpts])
+	var points []Vector
+	var pts32 []float32
+	if f32 {
+		pts32 = pr.Float32sView(binio.MaxCount)
+		if err := pr.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding point matrix: %w", err)
+		}
+		if len(pts32) != n*dim {
+			return nil, fmt.Errorf("mogul: point matrix carries %d values, want %d", len(pts32), n*dim)
+		}
+	} else {
+		flat := pr.FloatsView(binio.MaxCount)
+		if err := pr.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding point matrix: %w", err)
+		}
+		if len(flat) != n*dim {
+			return nil, fmt.Errorf("mogul: point matrix carries %d values, want %d", len(flat), n*dim)
+		}
+		points = make([]Vector, n)
+		for i := range points {
+			points[i] = Vector(flat[i*dim : (i+1)*dim : (i+1)*dim])
+		}
+	}
+
+	hr := binio.NewBytesReader(payloads[tagEhco])
+	hr.EnableAlign(align, bases[tagEhco])
+	hAnchor := hr.Int32sView(binio.MaxCount)
+	var hVal []float64
+	var hVal32 []float32
+	var hLen int
+	if f32 {
+		hVal32 = hr.Float32sView(binio.MaxCount)
+		hLen = len(hVal32)
+	} else {
+		hVal = hr.FloatsView(binio.MaxCount)
+		hLen = len(hVal)
+	}
+	deadIDs := hr.Ints(binio.MaxCount)
+	if err := hr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding H columns: %w", err)
+	}
+	if len(hAnchor) != n*s || hLen != n*s {
+		return nil, fmt.Errorf("mogul: H columns carry %d ids / %d values, want %d", len(hAnchor), hLen, n*s)
+	}
+	for i, a := range hAnchor {
+		if a < 0 || int(a) >= p {
+			return nil, fmt.Errorf("mogul: H column entry %d names anchor %d outside [0,%d)", i, a, p)
+		}
+	}
+	dead := make([]bool, n)
+	deadBase := 0
+	prev := -1
+	for _, id := range deadIDs {
+		if id <= prev || id >= n {
+			return nil, fmt.Errorf("mogul: corrupt tombstone list (id %d after %d, %d points)", id, prev, n)
+		}
+		dead[id] = true
+		if id < baseN {
+			deadBase++
+		}
+		prev = id
+	}
+	if len(deadIDs) >= n {
+		return nil, fmt.Errorf("mogul: every item tombstoned")
+	}
+
+	gr := binio.NewBytesReader(payloads[tagEgrm])
+	gr.EnableAlign(align, bases[tagEgrm])
+	order := gr.Int()
+	if err := gr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding gram factor: %w", err)
+	}
+	if order != p {
+		return nil, fmt.Errorf("mogul: gram factor of order %d for %d anchors", order, p)
+	}
+	luData := gr.FloatsView(binio.MaxCount)
+	pivot := gr.Ints(binio.MaxCount)
+	signDet := gr.Float64()
+	if err := gr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding gram factor: %w", err)
+	}
+	if len(luData) != p*p {
+		return nil, fmt.Errorf("mogul: gram factor carries %d elements, want %d", len(luData), p*p)
+	}
+	lu, err := dense.NewLUFromComponents(&dense.Matrix{Data: luData, Rows: p, Cols: p}, pivot, signDet)
+	if err != nil {
+		return nil, fmt.Errorf("mogul: corrupt gram factor: %w", err)
+	}
+
+	e := &EMRIndex{
+		alpha:       alpha,
+		seed:        int64(seed),
+		autoCompact: autoCompact,
+		eopts:       EMROptions{NumAnchors: recipeAnchors, NumNearestAnchors: recipeNearest},
+		st: &emrState{
+			dim:       dim,
+			p:         p,
+			s:         s,
+			anchors:   anchors,
+			colSum:    colSum,
+			lambda:    lambda,
+			points:    points,
+			pts32:     pts32,
+			dead:      dead,
+			hAnchor:   hAnchor,
+			hVal:      hVal,
+			hVal32:    hVal32,
+			deadCount: len(deadIDs),
+			deadBase:  deadBase,
+			baseN:     baseN,
+			gram:      lu,
+			stats: Stats{
+				NumNodes:    baseN,
+				NumClusters: p,
+				FactorNNZ:   p * p,
+				ClusterTime: time.Duration(clusterTime),
+				FactorTime:  time.Duration(factorTime),
+			},
+		},
+	}
+	e.version.Store(1)
+	return e, nil
 }

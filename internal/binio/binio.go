@@ -47,6 +47,8 @@ type Writer struct {
 	crc     hash.Hash32
 	n       int64
 	err     error
+	align   int64 // 0 = plain layout; else large arrays pad to this boundary
+	base    int64 // absolute file offset of byte 0 of this writer
 	scratch [scratchSize]byte
 }
 
@@ -102,6 +104,7 @@ func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
 // Ints writes a length-prefixed int slice.
 func (w *Writer) Ints(s []int) {
 	w.Uint64(uint64(len(s)))
+	w.alignPad(int64(len(s)) * 8)
 	for len(s) > 0 && w.err == nil {
 		chunk := len(s)
 		if chunk > scratchSize/8 {
@@ -118,6 +121,7 @@ func (w *Writer) Ints(s []int) {
 // Floats writes a length-prefixed float64 slice.
 func (w *Writer) Floats(s []float64) {
 	w.Uint64(uint64(len(s)))
+	w.alignPad(int64(len(s)) * 8)
 	for len(s) > 0 && w.err == nil {
 		chunk := len(s)
 		if chunk > scratchSize/8 {
@@ -135,9 +139,13 @@ func (w *Writer) Floats(s []float64) {
 // Errors are sticky; truncation is reported as io.ErrUnexpectedEOF.
 type Reader struct {
 	r       io.Reader
+	buf     []byte // non-nil = bytes-backed mode (zero-copy views, no CRC)
+	pos     int
 	crc     hash.Hash32
 	n       int64
 	err     error
+	align   int64 // mirrors Writer.align
+	base    int64 // absolute file offset of byte 0 of this reader
 	scratch [scratchSize]byte
 }
 
@@ -152,8 +160,14 @@ func (r *Reader) Err() error { return r.err }
 // Count returns the number of bytes consumed so far.
 func (r *Reader) Count() int64 { return r.n }
 
-// Sum32 returns the CRC-32 (IEEE) of every byte consumed so far.
-func (r *Reader) Sum32() uint32 { return r.crc.Sum32() }
+// Sum32 returns the CRC-32 (IEEE) of every byte consumed so far, or 0
+// for a bytes-backed reader (which maintains no CRC; see CRCTracked).
+func (r *Reader) Sum32() uint32 {
+	if r.crc == nil {
+		return 0
+	}
+	return r.crc.Sum32()
+}
 
 // Fail records err (unless one is already sticky) and returns it.
 func (r *Reader) Fail(err error) error {
@@ -166,6 +180,15 @@ func (r *Reader) Fail(err error) error {
 // Raw fills p, failing with io.ErrUnexpectedEOF on truncation.
 func (r *Reader) Raw(p []byte) {
 	if r.err != nil {
+		return
+	}
+	if r.buf != nil {
+		m := copy(p, r.buf[r.pos:])
+		r.pos += m
+		r.n += int64(m)
+		if m != len(p) {
+			r.err = io.ErrUnexpectedEOF
+		}
 		return
 	}
 	m, err := io.ReadFull(r.r, p)
@@ -227,6 +250,11 @@ func (r *Reader) Ints(max int) []int {
 	if !ok {
 		return nil
 	}
+	r.alignSkip(int64(n) * 8)
+	return r.intsBody(n)
+}
+
+func (r *Reader) intsBody(n int) []int {
 	cap0 := n
 	if cap0 > maxInitialElems {
 		cap0 = maxInitialElems
@@ -255,6 +283,11 @@ func (r *Reader) Floats(max int) []float64 {
 	if !ok {
 		return nil
 	}
+	r.alignSkip(int64(n) * 8)
+	return r.floatsBody(n)
+}
+
+func (r *Reader) floatsBody(n int) []float64 {
 	cap0 := n
 	if cap0 > maxInitialElems {
 		cap0 = maxInitialElems

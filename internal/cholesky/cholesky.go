@@ -42,8 +42,12 @@ type Factor struct {
 	ColPtr []int
 	// RowIdx holds the row index of each stored entry of L.
 	RowIdx []int
-	// Val holds the value of each stored entry of L.
+	// Val holds the value of each stored entry of L. Exactly one of
+	// Val and Val32 is non-nil (when the factor has entries): Val32 is
+	// the mixed-precision storage mode (f32.go).
 	Val []float64
+	// Val32 holds the values as float32 in mixed-precision mode.
+	Val32 []float32
 	// D is the diagonal matrix of the factorization.
 	D []float64
 	// Clamped counts pivots that were clamped to MinPivot.
@@ -67,6 +71,10 @@ func (f *Factor) Col(j int) (rows []int, vals []float64) {
 // point (ForwardSolve, Solve, SolveInPlace) shares this body, so their
 // arithmetic stays bit-identical by construction.
 func (f *Factor) forwardInPlace(v []float64) {
+	if f.Val32 != nil {
+		f.forwardInPlace32(v)
+		return
+	}
 	for j := 0; j < f.N; j++ {
 		v[j] /= f.D[j]
 		vj := v[j]
@@ -84,6 +92,10 @@ func (f *Factor) forwardInPlace(v []float64) {
 // Solve, and SolveInPlace for the same bit-identity reason as
 // forwardInPlace.
 func (f *Factor) backwardInPlace(v []float64) {
+	if f.Val32 != nil {
+		f.backwardInPlace32(v)
+		return
+	}
 	for i := f.N - 1; i >= 0; i-- {
 		rows, vals := f.Col(i)
 		v[i] -= vec.DotGather(vals, rows, v)

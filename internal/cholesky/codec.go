@@ -65,8 +65,8 @@ func (f *Factor) Validate() error {
 	if len(f.ColPtr) != f.N+1 {
 		return fmt.Errorf("cholesky: %d column pointers for n=%d", len(f.ColPtr), f.N)
 	}
-	if len(f.RowIdx) != len(f.Val) {
-		return fmt.Errorf("cholesky: %d row indices but %d values", len(f.RowIdx), len(f.Val))
+	if len(f.RowIdx) != f.nVals() {
+		return fmt.Errorf("cholesky: %d row indices but %d values", len(f.RowIdx), f.nVals())
 	}
 	if len(f.D) != f.N {
 		return fmt.Errorf("cholesky: diagonal length %d for n=%d", len(f.D), f.N)

@@ -1,0 +1,135 @@
+package cholesky
+
+import (
+	"fmt"
+
+	"mogul/internal/binio"
+	"mogul/internal/vec"
+)
+
+// Mixed-precision factor storage. In f32 mode the strictly-lower
+// values of L live in Val32 and Val is nil; the diagonal D stays
+// float64 (it is O(n), not O(nnz), and pivot precision is what keeps
+// the substitutions stable). The substitution bodies dispatch on
+// Val32, widening each stored value in registers — accumulation stays
+// float64 under the vec four-lane contract, so the only difference
+// from the f64 factor is the one rounding applied by Narrow32.
+
+// F32 reports whether the factor stores its values as float32.
+func (f *Factor) F32() bool { return f.Val32 != nil }
+
+// Narrow32 converts the factor to f32 storage in place, freeing the
+// float64 values. Idempotent.
+func (f *Factor) Narrow32() {
+	if f.Val32 != nil {
+		return
+	}
+	f.Val32 = vec.Narrow32(nil, f.Val)
+	f.Val = nil
+}
+
+// Col32 returns the strictly-lower entries of column j of an f32
+// factor (rows and values alias internal storage).
+func (f *Factor) Col32(j int) (rows []int, vals []float32) {
+	lo, hi := f.ColPtr[j], f.ColPtr[j+1]
+	return f.RowIdx[lo:hi], f.Val32[lo:hi]
+}
+
+// ColWidened writes column j's values into buf (widening when f32) and
+// returns rows plus the values; for cold paths that want one code path
+// over both precisions.
+func (f *Factor) ColWidened(j int, buf []float64) (rows []int, vals []float64) {
+	if f.Val32 == nil {
+		return f.Col(j)
+	}
+	rows32, v32 := f.Col32(j)
+	return rows32, vec.Widen64(buf, v32)
+}
+
+// forwardInPlace32/backwardInPlace32 mirror the f64 bodies exactly —
+// same loop structure, same kernels, f32 storage.
+
+func (f *Factor) forwardInPlace32(v []float64) {
+	for j := 0; j < f.N; j++ {
+		v[j] /= f.D[j]
+		vj := v[j]
+		if vj == 0 {
+			continue
+		}
+		rows, vals := f.Col32(j)
+		vec.ScatterAxpy32(v, rows, vals, -f.D[j]*vj)
+	}
+}
+
+func (f *Factor) backwardInPlace32(v []float64) {
+	for i := f.N - 1; i >= 0; i-- {
+		rows, vals := f.Col32(i)
+		v[i] -= vec.DotGather32(vals, rows, v)
+	}
+}
+
+// WriteToPrec writes the factor through an existing binio.Writer in
+// the format-version-4 layout: N, Clamped, ColPtr, RowIdx, values
+// (Float32s when f32, Floats otherwise), D. With a plain writer and
+// f32=false the bytes are identical to WriteTo.
+func (f *Factor) WriteToPrec(bw *binio.Writer, f32 bool) error {
+	bw.Int(f.N)
+	bw.Int(f.Clamped)
+	bw.Ints(f.ColPtr)
+	bw.Ints(f.RowIdx)
+	if f32 {
+		if f.Val32 == nil {
+			return fmt.Errorf("cholesky: f32 write of a float64 factor")
+		}
+		bw.Float32s(f.Val32)
+	} else {
+		if f.Val == nil && len(f.RowIdx) > 0 {
+			return fmt.Errorf("cholesky: f64 write of an f32 factor")
+		}
+		bw.Floats(f.Val)
+	}
+	bw.Floats(f.D)
+	return bw.Err()
+}
+
+// ReadFactorPrec reads a factor written by WriteToPrec from an
+// existing binio.Reader, using zero-copy views where the reader
+// allows. The caller owns structural validation context (container
+// framing); the factor's own invariants are validated here.
+func ReadFactorPrec(br *binio.Reader, f32 bool) (*Factor, error) {
+	n := br.Int()
+	clamped := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("cholesky: reading factor header: %w", err)
+	}
+	if n < 0 || n > binio.MaxCount || clamped < 0 || clamped > n {
+		return nil, fmt.Errorf("cholesky: corrupt factor header (n=%d, clamped=%d)", n, clamped)
+	}
+	f := &Factor{
+		N:       n,
+		Clamped: clamped,
+		ColPtr:  br.IntsView(n + 1),
+		RowIdx:  br.IntsView(binio.MaxCount),
+	}
+	if f32 {
+		f.Val32 = br.Float32sView(binio.MaxCount)
+	} else {
+		f.Val = br.FloatsView(binio.MaxCount)
+	}
+	f.D = br.FloatsView(n)
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("cholesky: reading factor body: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// nVals returns the stored value count regardless of precision.
+func (f *Factor) nVals() int {
+	if f.Val32 != nil {
+		return len(f.Val32)
+	}
+	return len(f.Val)
+}

@@ -64,8 +64,11 @@ func buildBoundTables(f *cholesky.Factor, layout *Layout) *boundTables {
 	}
 	par.For(nc, 1, func(lo, hi int) {
 		// Scratch: per cluster, map border row -> running max, reused
-		// across the clusters of this range.
+		// across the clusters of this range. colBuf holds widened f32
+		// column values; in f64 mode ColWidened aliases factor storage
+		// and the buffer stays nil.
 		acc := make(map[int]float64)
+		var colBuf []float64
 		for c := lo; c < hi; c++ {
 			if c == border || colLo[c] < 0 {
 				// Ū and X are only needed for prunable clusters; border
@@ -74,7 +77,10 @@ func buildBoundTables(f *cholesky.Factor, layout *Layout) *boundTables {
 				continue
 			}
 			for col := colLo[c]; col < colHi[c]; col++ {
-				rows, vals := f.Col(col)
+				rows, vals := f.ColWidened(col, colBuf)
+				if f.F32() {
+					colBuf = vals
+				}
 				for t, r := range rows {
 					a := math.Abs(vals[t])
 					if r < cN {

@@ -60,7 +60,10 @@ func (ix *Index) ExactScoresCG(query int, tol float64) ([]float64, int, error) {
 // memory budget, so it is materialized lazily only when CG is used.
 func (ix *Index) systemMatrix() *sparse.CSR {
 	ix.wOnce.Do(func() {
-		w, err := BuildSystemMatrix(ix.graph.Adj, ix.layout.Perm, ix.alpha)
+		// Widen64 is the identity in f64 mode; in f32 mode the system
+		// matrix is rebuilt from the rounded weights (the factor used as
+		// preconditioner is rounded the same way).
+		w, err := BuildSystemMatrix(ix.graph.Adj.Widen64(), ix.layout.Perm, ix.alpha)
 		if err != nil {
 			// The same construction succeeded during NewIndex; failure
 			// here means the graph was mutated, which is a caller bug.

@@ -122,11 +122,11 @@ func (ix *Index) Insert(v vec.Vector) (int, error) {
 		}
 	}
 	ix.mu.RLock()
-	if len(ix.graph.Points) == 0 {
+	if ix.graph.NumPoints() == 0 {
 		ix.mu.RUnlock()
 		return 0, fmt.Errorf("core: index has no feature vectors; Insert unavailable")
 	}
-	if dim := len(ix.graph.Points[0]); len(v) != dim {
+	if dim := ix.graph.PointDim(); len(v) != dim {
 		ix.mu.RUnlock()
 		return 0, fmt.Errorf("core: inserted vector has dim %d, want %d", len(v), dim)
 	}
@@ -280,9 +280,9 @@ func (ix *Index) compactLocked() error {
 		return nil
 	}
 	pts := make([]vec.Vector, 0, ix.liveTotal())
-	for i, p := range ix.graph.Points {
+	for i, np := 0, ix.graph.NumPoints(); i < np; i++ {
 		if !d.deadBase[i] {
-			pts = append(pts, p)
+			pts = append(pts, ix.graph.PointVec(i))
 		}
 	}
 	for i, p := range d.points {
@@ -419,10 +419,10 @@ func (ix *Index) Point(id int) (vec.Vector, error) {
 		if d.deadBase[id] {
 			return nil, fmt.Errorf("core: item %d is deleted", id)
 		}
-		if len(ix.graph.Points) == 0 {
+		if ix.graph.NumPoints() == 0 {
 			return nil, fmt.Errorf("core: index carries no feature vectors")
 		}
-		return ix.graph.Points[id], nil
+		return ix.graph.PointVec(id), nil
 	default:
 		if d.dead[id-n] {
 			return nil, fmt.Errorf("core: item %d is deleted", id)

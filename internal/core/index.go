@@ -65,6 +65,12 @@ type Options struct {
 	// once the pending delta (inserted slots plus base tombstones)
 	// exceeds this fraction of the base size; 0 disables.
 	AutoCompactFraction float64
+	// F32 selects mixed-precision storage: the build runs entirely in
+	// float64 (topology, permutation, and factor values are computed
+	// bit-identically to the default mode), then the factor values,
+	// graph points, and adjacency weights are narrowed once to float32.
+	// All query-time accumulation stays float64; only storage rounds.
+	F32 bool
 }
 
 // Clusterer selects the graph clustering algorithm feeding
@@ -273,9 +279,20 @@ func NewIndex(g *knn.Graph, opts Options) (*Index, error) {
 	idx.stats.FactorNNZ = idx.factor.NNZ()
 	idx.stats.ClampedPivots = idx.factor.Clamped
 
+	// Mixed precision: narrow the factor BEFORE deriving the bound
+	// tables so bounds computed here and bounds recomputed after a
+	// Save/Load round trip both derive from the same f32 values —
+	// queries stay bit-identical across persistence.
+	if o.F32 {
+		idx.factor.Narrow32()
+	}
+
 	// Step 3: upper-bound tables (Definition 1; precomputable in O(n),
 	// Lemma 8 discussion).
 	idx.bounds = buildBoundTables(idx.factor, idx.layout)
+	if o.F32 {
+		g.Narrow32()
+	}
 	return idx, nil
 }
 

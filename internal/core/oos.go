@@ -68,6 +68,18 @@ func (ix *Index) ensureOOS() {
 			if len(members[c]) == 0 {
 				continue
 			}
+			if ix.graph.F32() {
+				m := make(vec.Vector, ix.graph.PointDim())
+				for _, id := range members[c] {
+					vec.Axpy32(m, 1, ix.graph.Point32(id))
+				}
+				inv := 1 / float64(len(members[c]))
+				for i := range m {
+					m[i] *= inv
+				}
+				means[c] = m
+				continue
+			}
 			pts := make([]vec.Vector, len(members[c]))
 			for i, id := range members[c] {
 				pts[i] = ix.graph.Points[id]
@@ -148,7 +160,7 @@ func (ix *Index) findSurrogates(s *Scratch, q vec.Vector, numNbrs int) error {
 		return fmt.Errorf("core: no live candidates for surrogate selection")
 	}
 	for i := range s.nbrBuf {
-		s.nbrBuf[i].d = math.Sqrt(vec.SquaredEuclidean(q, ix.graph.Points[s.nbrBuf[i].id]))
+		s.nbrBuf[i].d = math.Sqrt(ix.graph.SqDistTo(q, s.nbrBuf[i].id))
 	}
 	slices.SortFunc(s.nbrBuf, func(a, b scoredNbr) int {
 		switch {
@@ -206,11 +218,11 @@ func (ix *Index) findSurrogates(s *Scratch, q vec.Vector, numNbrs int) error {
 func (ix *Index) SurrogateAffinity(s *Scratch, q vec.Vector) (float64, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if len(ix.graph.Points) == 0 {
+	if ix.graph.NumPoints() == 0 {
 		return 0, fmt.Errorf("core: graph has no feature vectors; out-of-sample affinity unavailable")
 	}
-	if len(q) != len(ix.graph.Points[0]) {
-		return 0, fmt.Errorf("core: query dimension %d, want %d", len(q), len(ix.graph.Points[0]))
+	if len(q) != ix.graph.PointDim() {
+		return 0, fmt.Errorf("core: query dimension %d, want %d", len(q), ix.graph.PointDim())
 	}
 	ix.ready(s)
 	if err := ix.findSurrogates(s, q, 0); err != nil {
@@ -262,11 +274,11 @@ func (ix *Index) searchVector(s *Scratch, q vec.Vector, opts OOSOptions, wantBre
 	if opts.K <= 0 {
 		return nil, nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
-	if len(ix.graph.Points) == 0 {
+	if ix.graph.NumPoints() == 0 {
 		return nil, nil, fmt.Errorf("core: graph has no feature vectors; out-of-sample search unavailable")
 	}
-	if len(q) != len(ix.graph.Points[0]) {
-		return nil, nil, fmt.Errorf("core: query dimension %d, want %d", len(q), len(ix.graph.Points[0]))
+	if len(q) != ix.graph.PointDim() {
+		return nil, nil, fmt.Errorf("core: query dimension %d, want %d", len(q), ix.graph.PointDim())
 	}
 	ix.ready(s)
 

@@ -204,6 +204,14 @@ func (ix *Index) searchSources(s *Scratch, opts SearchOptions) ([]Result, error)
 			if yj == 0 {
 				continue
 			}
+			if f.Val32 != nil {
+				rows, vals := f.Col32(j)
+				dj := f.D[j]
+				for t, i := range rows {
+					y[i] -= float64(vals[t]) * dj * yj
+				}
+				continue
+			}
 			rows, vals := f.Col(j)
 			dj := f.D[j]
 			for t, i := range rows {
@@ -310,6 +318,17 @@ func (ix *Index) offerLive(s *Scratch, lo, hi int) {
 // [lo, hi) — i.e. the C_N block — is already computed.
 func (ix *Index) backSubstituteRange(x, y []float64, lo, hi int) {
 	f := ix.factor
+	if f.Val32 != nil {
+		for i := hi - 1; i >= lo; i-- {
+			rows, vals := f.Col32(i)
+			s := y[i]
+			for t, j := range rows {
+				s -= float64(vals[t]) * x[j]
+			}
+			x[i] = s
+		}
+		return
+	}
 	for i := hi - 1; i >= lo; i-- {
 		rows, vals := f.Col(i)
 		s := y[i]

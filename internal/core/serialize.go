@@ -79,6 +79,14 @@ type section struct {
 // Output is buffered internally, so writing straight to an os.File is
 // fine.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	f32 := ix.factor.F32()
+	ix.mu.RUnlock()
+	if f32 {
+		// Mixed-precision indexes need the version-4 layout; the default
+		// float64 path below stays byte-identical to prior releases.
+		return ix.writePrec(w, 0)
+	}
 	// The read lock freezes the delta layer and the base pointers for
 	// the duration: concurrent searches proceed, mutators wait.
 	ix.mu.RLock()
@@ -99,7 +107,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	// The quantizer needs feature vectors; indexes built over a bare
 	// adjacency (no points) cannot serve vector queries anyway, so the
 	// section is simply omitted for them.
-	if len(ix.graph.Points) > 0 {
+	if ix.graph.NumPoints() > 0 {
 		ix.ensureOOS()
 		sections = append(sections, section{tagOosq, ix.writeOOS})
 	}
@@ -290,11 +298,12 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("core: reading index header: %w", err)
 	}
-	if version < minReadVersion || version > FormatVersion {
-		return nil, fmt.Errorf("core: index format version %d, this build reads versions %d-%d", version, minReadVersion, FormatVersion)
+	if version < minReadVersion || version > formatVersionPrec {
+		return nil, fmt.Errorf("core: index format version %d, this build reads versions %d-%d", version, minReadVersion, formatVersionPrec)
 	}
 
 	payloads := map[[4]byte][]byte{}
+	bases := map[[4]byte]int64{}
 	for {
 		var tag [4]byte
 		br.Raw(tag[:])
@@ -313,12 +322,14 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		}
 		switch tag {
 		case tagMeta, tagGrph, tagLayt, tagFact, tagStat, tagOosq, tagBcfg, tagDelt:
+			base := br.Count()
 			payload, err := readPayload(br, n)
 			if err != nil {
 				return nil, fmt.Errorf("core: reading %q section: %w", tag[:], err)
 			}
 			// Later duplicates win.
 			payloads[tag] = payload
+			bases[tag] = base
 		default:
 			// A section from a newer writer: skip it (the skipped
 			// bytes still count toward the checksum), which makes
@@ -343,7 +354,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("core: index file is missing required section %q", required[:])
 		}
 	}
-	return assembleIndex(payloads)
+	return assembleIndex(version, payloads, bases)
 }
 
 // readPayload reads exactly n bytes, growing the buffer in bounded
@@ -369,13 +380,19 @@ func readPayload(br *binio.Reader, n uint64) ([]byte, error) {
 // bound tables, statistics). Each payload is released as soon as it
 // is decoded so peak load memory stays near one copy of the large
 // sections (the graph dominates).
-func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
-	// META: alpha, exact flag, node count.
+func assembleIndex(version uint32, payloads map[[4]byte][]byte, bases map[[4]byte]int64) (*Index, error) {
+	// META: alpha, exact flag, node count; version 4 adds the precision
+	// flag and the alignment the large sections were written with.
 	mr := binio.NewReader(bytes.NewReader(payloads[tagMeta]))
 	delete(payloads, tagMeta)
 	alpha := mr.Float64()
 	exact := mr.Int()
 	n := mr.Int()
+	prec, align := 0, 0
+	if version >= formatVersionPrec {
+		prec = mr.Int()
+		align = mr.Int()
+	}
 	if err := mr.Err(); err != nil {
 		return nil, fmt.Errorf("core: decoding metadata: %w", err)
 	}
@@ -388,9 +405,26 @@ func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: corrupt metadata: %d nodes", n)
 	}
+	if prec != 0 && prec != 1 {
+		return nil, fmt.Errorf("core: corrupt metadata: precision flag %d", prec)
+	}
+	if align < 0 || align > binio.MaxCount {
+		return nil, fmt.Errorf("core: corrupt metadata: alignment %d", align)
+	}
+	f32 := prec == 1
 
-	// GRPH: the k-NN graph (validated internally).
-	g, err := knn.ReadGraph(bytes.NewReader(payloads[tagGrph]))
+	// GRPH: the k-NN graph (validated internally). Version 4 decodes
+	// through the precision-aware codec over a bytes reader, so array
+	// payloads become zero-copy views when the backing bytes allow.
+	var g *knn.Graph
+	var err error
+	if version >= formatVersionPrec {
+		gr := binio.NewBytesReader(payloads[tagGrph])
+		gr.EnableAlign(align, bases[tagGrph])
+		g, err = knn.ReadGraphPrec(gr, f32)
+	} else {
+		g, err = knn.ReadGraph(bytes.NewReader(payloads[tagGrph]))
+	}
 	delete(payloads, tagGrph)
 	if err != nil {
 		return nil, err
@@ -416,7 +450,14 @@ func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
 	}
 
 	// FACT: the LDL^T factor (validated internally).
-	factor, err := cholesky.ReadFactor(bytes.NewReader(payloads[tagFact]))
+	var factor *cholesky.Factor
+	if version >= formatVersionPrec {
+		fr := binio.NewBytesReader(payloads[tagFact])
+		fr.EnableAlign(align, bases[tagFact])
+		factor, err = cholesky.ReadFactorPrec(fr, f32)
+	} else {
+		factor, err = cholesky.ReadFactor(bytes.NewReader(payloads[tagFact]))
+	}
 	delete(payloads, tagFact)
 	if err != nil {
 		return nil, err
@@ -431,7 +472,7 @@ func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
 		exact:   exact == 1,
 		layout:  layout,
 		factor:  factor,
-		opts:    Options{Alpha: alpha, Exact: exact == 1},
+		opts:    Options{Alpha: alpha, Exact: exact == 1, F32: f32},
 		oosOnce: new(sync.Once),
 		wOnce:   new(sync.Once),
 		epoch:   1,
@@ -468,11 +509,14 @@ func assembleIndex(payloads map[[4]byte][]byte) (*Index, error) {
 	}
 
 	// BCFG (optional, v3): the build configuration that enables
-	// Compact after a load.
+	// Compact after a load. It rebuilds ix.opts wholesale, so the
+	// precision flag is restored afterwards — a compaction of an f32
+	// index must narrow again.
 	if p, ok := payloads[tagBcfg]; ok {
 		if err := ix.readBuildConfig(p); err != nil {
 			return nil, err
 		}
+		ix.opts.F32 = f32
 	}
 
 	// DELT (optional, v3): the dynamic-update layer.
@@ -550,8 +594,8 @@ func (ix *Index) readDelta(payload []byte, n int) error {
 		return fmt.Errorf("core: corrupt delta layer: %d entries", num)
 	}
 	dim := 0
-	if len(ix.graph.Points) > 0 {
-		dim = len(ix.graph.Points[0])
+	if ix.graph.NumPoints() > 0 {
+		dim = ix.graph.PointDim()
 	}
 	if num > 0 && dim == 0 {
 		return fmt.Errorf("core: delta layer present but the graph carries no feature vectors")
@@ -686,8 +730,8 @@ func (ix *Index) readOOS(payload []byte, n int) error {
 		return fmt.Errorf("core: out-of-sample quantizer has %d clusters, layout has %d", nc, ix.layout.NumClusters)
 	}
 	dim := 0
-	if len(ix.graph.Points) > 0 {
-		dim = len(ix.graph.Points[0])
+	if ix.graph.NumPoints() > 0 {
+		dim = ix.graph.PointDim()
 	}
 	means := make([]vec.Vector, nc)
 	members := make([][]int, nc)

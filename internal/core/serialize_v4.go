@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mogul/internal/binio"
+)
+
+// Mixed-precision / aligned container (format version 4).
+//
+// Version 4 generalizes version 3 in two independent ways, both
+// recorded in the META section so readers self-configure:
+//
+//   - precision: the GRPH and FACT payloads store their bulk arrays
+//     (point matrix, adjacency weights, factor values) as float32 when
+//     the index was built with Options.F32. The point matrix also
+//     becomes ONE flat array instead of per-point records, which is
+//     what makes zero-copy loading possible in either precision.
+//   - alignment: when a positive alignment is recorded, every large
+//     array inside the GRPH and FACT payloads pads to that boundary
+//     (the binio aligned layout), so ReadIndexBytes over an mmap'd
+//     image hands out zero-copy array views and many server processes
+//     share one physical copy of the index.
+//
+// The remaining sections (LAYT, STAT, OOSQ, BCFG, DELT) keep the
+// version-3 record layouts and always decode by copying; they are
+// small next to the point matrix, the adjacency, and the factor.
+// Version-3 files load through the copying path unchanged.
+
+// formatVersionPrec is the container version carrying precision and
+// alignment metadata.
+const formatVersionPrec = 4
+
+// WriteToAligned serializes the index in the version-4 aligned layout:
+// large arrays in the graph and factor sections start on align-byte
+// boundaries (use the page size for mmap sharing). Works in either
+// precision. align must be a positive power of two.
+func (ix *Index) WriteToAligned(w io.Writer, align int) (int64, error) {
+	if align <= 0 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("core: alignment %d is not a positive power of two", align)
+	}
+	return ix.writePrec(w, align)
+}
+
+// writePrec writes the version-4 container; align == 0 selects the
+// packed (unaligned) variant used for plain f32 saves.
+func (ix *Index) writePrec(w io.Writer, align int) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	f32 := ix.factor.F32()
+
+	buffered := bufio.NewWriterSize(w, 1<<20)
+	bw := binio.NewWriter(buffered)
+	bw.Raw([]byte(indexMagic))
+	bw.Uint32(formatVersionPrec)
+
+	prec := 0
+	if f32 {
+		prec = 1
+	}
+	writeMeta := func(w io.Writer) error {
+		mw := binio.NewWriter(w)
+		mw.Float64(ix.alpha)
+		exact := 0
+		if ix.exact {
+			exact = 1
+		}
+		mw.Int(exact)
+		mw.Int(ix.factor.N)
+		mw.Int(prec)
+		mw.Int(align)
+		return mw.Err()
+	}
+	if err := writeSection(bw, tagMeta, writeMeta); err != nil {
+		return bw.Count(), fmt.Errorf("core: writing %q section: %w", tagMeta[:], err)
+	}
+	if err := writeSectionPrec(bw, tagGrph, align, func(sw *binio.Writer) error {
+		return ix.graph.WriteToPrec(sw, f32)
+	}); err != nil {
+		return bw.Count(), fmt.Errorf("core: writing %q section: %w", tagGrph[:], err)
+	}
+	if err := writeSection(bw, tagLayt, ix.writeLayout); err != nil {
+		return bw.Count(), fmt.Errorf("core: writing %q section: %w", tagLayt[:], err)
+	}
+	if err := writeSectionPrec(bw, tagFact, align, func(sw *binio.Writer) error {
+		return ix.factor.WriteToPrec(sw, f32)
+	}); err != nil {
+		return bw.Count(), fmt.Errorf("core: writing %q section: %w", tagFact[:], err)
+	}
+
+	tail := []section{{tagStat, ix.writeStats}}
+	if ix.graph.NumPoints() > 0 {
+		ix.ensureOOS()
+		tail = append(tail, section{tagOosq, ix.writeOOS})
+	}
+	if ix.graphCfg != nil {
+		tail = append(tail, section{tagBcfg, ix.writeBuildConfig})
+	}
+	if len(ix.delta.points) > 0 || len(ix.delta.deadBase) > 0 {
+		tail = append(tail, section{tagDelt, ix.writeDelta})
+	}
+	for _, s := range tail {
+		if err := writeSection(bw, s.tag, s.payload); err != nil {
+			return bw.Count(), fmt.Errorf("core: writing %q section: %w", s.tag[:], err)
+		}
+	}
+	bw.Raw(tagEnd[:])
+	bw.Uint64(0)
+	crc := bw.Sum32()
+	bw.Uint32(crc)
+	if err := bw.Err(); err != nil {
+		return bw.Count(), err
+	}
+	return bw.Count(), buffered.Flush()
+}
+
+// writeSectionPrec frames a payload whose codec needs the container's
+// binio.Writer directly (precision-aware leaf codecs) plus the absolute
+// base offset of its payload, so alignment pads come out identical in
+// the counting pass and the real pass.
+func writeSectionPrec(bw *binio.Writer, tag [4]byte, align int, payload func(sw *binio.Writer) error) error {
+	base := bw.Count() + 12 // the 4-byte tag and 8-byte length precede the payload
+	var count countingWriter
+	cw := binio.NewWriter(&count)
+	cw.EnableAlign(align, base)
+	if err := payload(cw); err != nil {
+		return err
+	}
+	if err := cw.Err(); err != nil {
+		return err
+	}
+	bw.Raw(tag[:])
+	bw.Uint64(uint64(count.n))
+	before := bw.Count()
+	sw := binio.NewWriter(sinkWriter{bw})
+	sw.EnableAlign(align, base)
+	if err := payload(sw); err != nil {
+		return err
+	}
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	if got := bw.Count() - before; got != count.n {
+		return fmt.Errorf("core: section produced %d bytes, declared %d", got, count.n)
+	}
+	return bw.Err()
+}
+
+// ReadIndexBytes parses a complete index image held in memory —
+// typically an mmap'd file (mogul.LoadFileMapped) — using zero-copy
+// views for the large arrays wherever the layout allows. The returned
+// index aliases data, which must stay valid (mapped) for the index's
+// lifetime. The trailing CRC is NOT verified: hashing the image would
+// fault in every page and defeat the lazy mapped load; all structural
+// and index-range validation still runs, so corrupt input errors
+// rather than panicking later.
+func ReadIndexBytes(data []byte) (*Index, error) {
+	br := binio.NewBytesReader(data)
+	var magic [len(indexMagic)]byte
+	br.Raw(magic[:])
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if string(magic[:]) != indexMagic {
+		return nil, fmt.Errorf("core: not a mogul index file (magic %q)", magic[:])
+	}
+	version := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if version < minReadVersion || version > formatVersionPrec {
+		return nil, fmt.Errorf("core: index format version %d, this build reads versions %d-%d", version, minReadVersion, formatVersionPrec)
+	}
+
+	payloads := map[[4]byte][]byte{}
+	bases := map[[4]byte]int64{}
+	for {
+		var tag [4]byte
+		br.Raw(tag[:])
+		n := br.Uint64()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("core: reading section header: %w", err)
+		}
+		if tag == tagEnd {
+			if n != 0 {
+				return nil, fmt.Errorf("core: end marker carries %d payload bytes", n)
+			}
+			break
+		}
+		if n > uint64(binio.MaxCount) {
+			return nil, fmt.Errorf("core: section %q claims %d bytes", tag[:], n)
+		}
+		base := br.Count()
+		payload := br.View(int(n))
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("core: reading %q section: %w", tag[:], err)
+		}
+		switch tag {
+		case tagMeta, tagGrph, tagLayt, tagFact, tagStat, tagOosq, tagBcfg, tagDelt:
+			payloads[tag] = payload
+			bases[tag] = base
+		default:
+			// Unknown section from a newer writer: View already advanced
+			// past it.
+		}
+	}
+	// The trailing checksum must at least be present, so a file cut
+	// right after the end marker still errors.
+	br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading checksum: %w", err)
+	}
+	for _, required := range [][4]byte{tagMeta, tagGrph, tagLayt, tagFact} {
+		if _, ok := payloads[required]; !ok {
+			return nil, fmt.Errorf("core: index file is missing required section %q", required[:])
+		}
+	}
+	return assembleIndex(version, payloads, bases)
+}

@@ -1,0 +1,51 @@
+package diskio
+
+// Memory-mapped file loading for the aligned index containers. A
+// Mapping hands the whole file to the caller as one []byte; on unix
+// builds it is a read-only private mmap, so many mogul-server
+// processes loading the same index file share one physical copy of
+// the page cache and cold start costs O(page faults) instead of
+// O(bytes). The mogul_nommap build tag (or a non-unix target)
+// substitutes a whole-file read with the identical interface, which
+// the fallback test uses to prove both paths load files
+// bit-identically.
+
+// Mapping is a loaded file image. Data stays valid until Close; Close
+// is idempotent and safe on a nil Mapping.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when data is an mmap that must be unmapped
+}
+
+// Data returns the file image. Callers must treat it as read-only and
+// must not use any view derived from it after Close.
+func (m *Mapping) Data() []byte {
+	if m == nil {
+		return nil
+	}
+	return m.data
+}
+
+// Mapped reports whether the image is an actual memory map (false on
+// the read-fallback path).
+func (m *Mapping) Mapped() bool { return m != nil && m.mapped }
+
+// Close releases the image.
+func (m *Mapping) Close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	data, mapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if mapped {
+		return unmap(data)
+	}
+	return nil
+}
+
+// MapFile loads path as a read-only image: mmap where the platform
+// supports it, a plain read otherwise. An empty file yields an empty,
+// valid Mapping.
+func MapFile(path string) (*Mapping, error) {
+	return mapFile(path)
+}

@@ -1,0 +1,18 @@
+//go:build !unix || mogul_nommap
+
+package diskio
+
+import "os"
+
+func mapFile(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return &Mapping{}, nil
+	}
+	return &Mapping{data: data, mapped: false}, nil
+}
+
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,63 @@
+package diskio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Runs under both build modes: plain `go test` exercises the unix
+// mmap, `go test -tags mogul_nommap` the read fallback. Both must
+// yield bit-identical images.
+func TestMapFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img.bin")
+	payload := make([]byte, 3*4096+17)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data(), payload) {
+		t.Fatal("mapped image differs from file contents")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if m.Data() != nil {
+		t.Fatal("Data non-nil after Close")
+	}
+}
+
+func TestMapFileEdgeCases(t *testing.T) {
+	if _, err := MapFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file: no error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data()) != 0 || m.Mapped() {
+		t.Fatalf("empty file: len=%d mapped=%v", len(m.Data()), m.Mapped())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilMap *Mapping
+	if nilMap.Data() != nil || nilMap.Close() != nil || nilMap.Mapped() {
+		t.Fatal("nil Mapping misbehaves")
+	}
+}

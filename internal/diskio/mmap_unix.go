@@ -1,0 +1,37 @@
+//go:build unix && !mogul_nommap
+
+package diskio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+func mapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("diskio: file %s size %d not mappable", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("diskio: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -22,7 +22,13 @@ type Graph struct {
 	// Sigma is the heat-kernel bandwidth used for edge weights.
 	Sigma float64
 	// Points are the underlying feature vectors (aliased, not copied).
+	// In mixed-precision mode (f32.go) Points is nil and the vectors
+	// live flattened in Pts32 with stride Dim32.
 	Points []vec.Vector
+	// Pts32 is the flat row-major float32 point matrix in f32 mode.
+	Pts32 []float32
+	// Dim32 is the row stride of Pts32.
+	Dim32 int
 }
 
 // Backend selects the nearest-neighbour search structure used during
@@ -267,8 +273,15 @@ func (g *Graph) Degrees() []float64 { return g.Adj.RowSums() }
 func (g *Graph) NumEdges() int { return g.Adj.NNZ() / 2 }
 
 // Neighbors returns the adjacency list of node i: column ids and
-// weights, aliasing graph storage.
-func (g *Graph) Neighbors(i int) ([]int, []float64) { return g.Adj.Row(i) }
+// weights. In f64 mode the slices alias graph storage; in f32 mode the
+// weights are widened into a fresh slice.
+func (g *Graph) Neighbors(i int) ([]int, []float64) {
+	if g.Adj.F32() {
+		cols, v32 := g.Adj.Row32(i)
+		return cols, vec.Widen64(nil, v32)
+	}
+	return g.Adj.Row(i)
+}
 
 // Components labels connected components with breadth-first search and
 // returns (labels, count). Manifold Ranking scores are zero outside
@@ -290,8 +303,8 @@ func (g *Graph) Components() ([]int, int) {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			cols, _ := g.Adj.Row(u)
-			for _, v := range cols {
+			lo, hi := g.Adj.RowPtr[u], g.Adj.RowPtr[u+1]
+			for _, v := range g.Adj.Col[lo:hi] {
 				if labels[v] == -1 {
 					labels[v] = next
 					queue = append(queue, v)

@@ -73,8 +73,8 @@ func (m *CSR) Validate() error {
 	if len(m.RowPtr) != m.Rows+1 {
 		return fmt.Errorf("sparse: %d row pointers for %d rows", len(m.RowPtr), m.Rows)
 	}
-	if len(m.Col) != len(m.Val) {
-		return fmt.Errorf("sparse: %d column indices but %d values", len(m.Col), len(m.Val))
+	if len(m.Col) != m.nVals() {
+		return fmt.Errorf("sparse: %d column indices but %d values", len(m.Col), m.nVals())
 	}
 	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != len(m.Col) {
 		return fmt.Errorf("sparse: row pointers span [%d,%d], want [0,%d]", m.RowPtr[0], m.RowPtr[m.Rows], len(m.Col))

@@ -30,8 +30,11 @@ type CSR struct {
 	RowPtr []int
 	// Col holds the column index of each stored entry.
 	Col []int
-	// Val holds the value of each stored entry.
+	// Val holds the value of each stored entry. In mixed-precision
+	// mode (f32.go) Val is nil and the values live in Val32.
 	Val []float64
+	// Val32 holds the values as float32 in mixed-precision mode.
+	Val32 []float32
 	// Rows and Cols are the matrix dimensions.
 	Rows, Cols int
 }
@@ -127,9 +130,13 @@ func (m *CSR) Clone() *CSR {
 	out := &CSR{
 		RowPtr: append([]int(nil), m.RowPtr...),
 		Col:    append([]int(nil), m.Col...),
-		Val:    append([]float64(nil), m.Val...),
 		Rows:   m.Rows,
 		Cols:   m.Cols,
+	}
+	if m.Val32 != nil {
+		out.Val32 = append([]float32(nil), m.Val32...)
+	} else {
+		out.Val = append([]float64(nil), m.Val...)
 	}
 	return out
 }
@@ -149,6 +156,13 @@ func (m *CSR) MulVec(x []float64) []float64 {
 func (m *CSR) MulVecTo(y, x []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic("sparse: MulVecTo dimension mismatch")
+	}
+	if m.Val32 != nil {
+		for i := 0; i < m.Rows; i++ {
+			lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+			y[i] = vec.DotGather32(m.Val32[lo:hi], m.Col[lo:hi], x)
+		}
+		return
 	}
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
@@ -210,6 +224,13 @@ func (m *CSR) DropZeros(eps float64) *CSR {
 // is the degree vector C_ii = sum_j A_ij from the paper's Section 3.
 func (m *CSR) RowSums() []float64 {
 	s := make([]float64, m.Rows)
+	if m.Val32 != nil {
+		for i := 0; i < m.Rows; i++ {
+			lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+			s[i] = vec.Sum32(m.Val32[lo:hi])
+		}
+		return s
+	}
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 		s[i] = vec.Sum(m.Val[lo:hi])

@@ -23,6 +23,15 @@ import (
 // untouched — the kernels are pure arithmetic, no filtering — which
 // the property tests assert.
 
+// combineLanes folds the four accumulator lanes in the FIXED order of
+// the summation contract. Every kernel here and in kernels32.go ends
+// with it; keeping the expression in one place is what lets the f32
+// kernels promise bit-identical accumulation to the f64 reference on
+// widened inputs.
+func combineLanes(s0, s1, s2, s3 float64) float64 {
+	return (s0 + s1) + (s2 + s3)
+}
+
 // squaredEuclideanTo is the shared unrolled body of SquaredEuclidean
 // and SquaredEuclideanBatch; callers have validated len(a) == len(b).
 func squaredEuclideanTo(a, b []float64) float64 {
@@ -43,7 +52,7 @@ func squaredEuclideanTo(a, b []float64) float64 {
 		d := a[i] - b[i]
 		s0 += d * d
 	}
-	return (s0 + s1) + (s2 + s3)
+	return combineLanes(s0, s1, s2, s3)
 }
 
 // SquaredEuclideanBatch writes the squared L2 distance from q to every
@@ -104,7 +113,7 @@ func Dot(a, b []float64) float64 {
 	for ; i < len(a); i++ {
 		s0 += a[i] * b[i]
 	}
-	return (s0 + s1) + (s2 + s3)
+	return combineLanes(s0, s1, s2, s3)
 }
 
 // Sum returns the sum of the values under the shared four-lane
@@ -121,7 +130,7 @@ func Sum(a []float64) float64 {
 	for ; i < len(a); i++ {
 		s0 += a[i]
 	}
-	return (s0 + s1) + (s2 + s3)
+	return combineLanes(s0, s1, s2, s3)
 }
 
 // DotGather computes sum_k val[k] * z[idx[k]] — the sparse gather-dot
@@ -144,15 +153,15 @@ func DotGather(val []float64, idx []int, z []float64) float64 {
 	for ; t < len(val); t++ {
 		s0 += val[t] * z[idx[t]]
 	}
-	return (s0 + s1) + (s2 + s3)
+	return combineLanes(s0, s1, s2, s3)
 }
 
-// DotGather32 is DotGather over int32 indices — the flat H-column
+// DotGatherI32 is DotGather over int32 indices — the flat H-column
 // layout of the EMR engine stores anchor ids as int32, and converting
 // per entry would cost more than the dot itself.
-func DotGather32(val []float64, idx []int32, z []float64) float64 {
+func DotGatherI32(val []float64, idx []int32, z []float64) float64 {
 	if len(val) != len(idx) {
-		panic(fmt.Sprintf("vec: DotGather32 lengths %d != %d", len(val), len(idx)))
+		panic(fmt.Sprintf("vec: DotGather lengths %d != %d", len(val), len(idx)))
 	}
 	idx = idx[:len(val)]
 	var s0, s1, s2, s3 float64
@@ -166,7 +175,7 @@ func DotGather32(val []float64, idx []int32, z []float64) float64 {
 	for ; t < len(val); t++ {
 		s0 += val[t] * z[idx[t]]
 	}
-	return (s0 + s1) + (s2 + s3)
+	return combineLanes(s0, s1, s2, s3)
 }
 
 // ScatterAxpy computes y[idx[k]] += a * val[k] for every k — the

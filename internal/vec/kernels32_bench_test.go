@@ -1,0 +1,126 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Distance-kernel benchmarks, f64 vs f32 storage. Each op streams the
+// same logical matrix once; SetBytes + the stream-B/op metric make the
+// traffic explicit so the f32/f64 ratio (2x fewer bytes per op) is
+// visible in the emitted benchmark JSON, independent of allocator noise
+// (-benchmem shows 0 allocs/op for both).
+
+const (
+	benchRows = 4096
+	benchDim  = 128
+)
+
+func benchData() (q []float64, pts []Vector, flat64 []float64, flat32 []float32, out []float64) {
+	rng := rand.New(rand.NewSource(42))
+	q = randSlice(rng, benchDim)
+	pts = make([]Vector, benchRows)
+	flat64 = make([]float64, benchRows*benchDim)
+	flat32 = make([]float32, benchRows*benchDim)
+	for i := range pts {
+		pts[i] = randSlice(rng, benchDim)
+		copy(flat64[i*benchDim:], pts[i])
+		Narrow32(flat32[i*benchDim:(i+1)*benchDim], pts[i])
+	}
+	out = make([]float64, benchRows)
+	return
+}
+
+func BenchmarkKernelSquaredEuclideanBatchF64(b *testing.B) {
+	q, pts, _, _, out := benchData()
+	stream := int64(benchRows * benchDim * 8)
+	b.SetBytes(stream)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredEuclideanBatch(q, pts, out)
+	}
+	b.ReportMetric(float64(stream), "stream-B/op")
+}
+
+func BenchmarkKernelSquaredEuclideanBatchF32(b *testing.B) {
+	q, _, _, flat32, out := benchData()
+	stream := int64(benchRows * benchDim * 4)
+	b.SetBytes(stream)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredEuclideanBatch32(q, flat32, out)
+	}
+	b.ReportMetric(float64(stream), "stream-B/op")
+}
+
+func BenchmarkKernelDotRowsF64(b *testing.B) {
+	q, _, flat64, _, out := benchData()
+	stream := int64(benchRows * benchDim * 8)
+	b.SetBytes(stream)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < benchRows; r++ {
+			out[r] = Dot(q, flat64[r*benchDim:(r+1)*benchDim])
+		}
+	}
+	b.ReportMetric(float64(stream), "stream-B/op")
+}
+
+func BenchmarkKernelDotRowsF32(b *testing.B) {
+	q, _, _, flat32, out := benchData()
+	stream := int64(benchRows * benchDim * 4)
+	b.SetBytes(stream)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < benchRows; r++ {
+			out[r] = Dot32(q, flat32[r*benchDim:(r+1)*benchDim])
+		}
+	}
+	b.ReportMetric(float64(stream), "stream-B/op")
+}
+
+func BenchmarkKernelGatherF64(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	const nnz = benchRows * 24
+	val := randSlice(rng, nnz)
+	idx := make([]int32, nnz)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(2560))
+	}
+	z := randSlice(rng, 2560)
+	stream := int64(nnz * (8 + 4))
+	b.SetBytes(stream)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for r := 0; r < benchRows; r++ {
+			s += DotGatherI32(val[r*24:(r+1)*24], idx[r*24:(r+1)*24], z)
+		}
+		sinkF64 = s
+	}
+	b.ReportMetric(float64(stream), "stream-B/op")
+}
+
+func BenchmarkKernelGatherF32(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	const nnz = benchRows * 24
+	val := Narrow32(nil, randSlice(rng, nnz))
+	idx := make([]int32, nnz)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(2560))
+	}
+	z := randSlice(rng, 2560)
+	stream := int64(nnz * (4 + 4))
+	b.SetBytes(stream)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for r := 0; r < benchRows; r++ {
+			s += DotGather32I32(val[r*24:(r+1)*24], idx[r*24:(r+1)*24], z)
+		}
+		sinkF64 = s
+	}
+	b.ReportMetric(float64(stream), "stream-B/op")
+}
+
+var sinkF64 float64

@@ -120,8 +120,8 @@ func TestDotGatherMatchesContract(t *testing.T) {
 		if got := DotGather(val, idx, z); got != want {
 			t.Fatalf("n=%d: DotGather=%v, contract says %v", n, got, want)
 		}
-		if got := DotGather32(val, idx32, z); got != want {
-			t.Fatalf("n=%d: DotGather32=%v, contract says %v", n, got, want)
+		if got := DotGatherI32(val, idx32, z); got != want {
+			t.Fatalf("n=%d: DotGatherI32=%v, contract says %v", n, got, want)
 		}
 	}
 }
@@ -241,7 +241,7 @@ func TestKernelLengthMismatchesPanic(t *testing.T) {
 		"Dot":         func() { Dot(make([]float64, 2), make([]float64, 3)) },
 		"Axpy":        func() { Axpy(make([]float64, 2), 1, make([]float64, 3)) },
 		"DotGather":   func() { DotGather(make([]float64, 2), make([]int, 3), make([]float64, 4)) },
-		"DotGather32": func() { DotGather32(make([]float64, 2), make([]int32, 3), make([]float64, 4)) },
+		"DotGatherI32": func() { DotGatherI32(make([]float64, 2), make([]int32, 3), make([]float64, 4)) },
 		"ScatterAxpy": func() { ScatterAxpy(make([]float64, 4), make([]int, 3), make([]float64, 2), 1) },
 		"BatchOutLen": func() { SquaredEuclideanBatch(Vector{1}, make([]Vector, 2), make([]float64, 3)) },
 		"BatchPointDim": func() {

@@ -46,6 +46,7 @@ import (
 	"os"
 
 	"mogul/internal/core"
+	"mogul/internal/diskio"
 	"mogul/internal/knn"
 	"mogul/internal/vec"
 )
@@ -68,6 +69,24 @@ type Stats = core.Stats
 // SearchInfo reports per-query work counters (clusters pruned versus
 // scanned, scores computed).
 type SearchInfo = core.SearchInfo
+
+// Precision selects the storage width of an engine's bulk arrays.
+type Precision uint8
+
+const (
+	// F64 stores everything as float64 — the default, bit-identical to
+	// every previous release.
+	F64 Precision = iota
+	// F32 stores the big streamed arrays — point vectors, graph edge
+	// weights, factor values, anchor attachments, embedding rows — as
+	// float32, roughly halving index memory and the bytes each query
+	// streams. Every build and every accumulation still runs in
+	// float64; narrowing happens exactly once when a value enters
+	// storage, so retrieval quality is within rounding of the f64
+	// engine (recall@10 >= 0.995 on the evaluation mixture at n=10^5;
+	// docs/PERFORMANCE.md quantifies the traffic win).
+	F32
+)
 
 // Options configures Build. The zero value gives the paper's
 // evaluation settings (k = 5 graph, alpha = 0.99, approximate Mogul
@@ -102,6 +121,9 @@ type Options struct {
 	// out-of-sample delta scoring; 0 disables auto-compaction. 0.1 is
 	// a reasonable production setting (see README, "Dynamic updates").
 	AutoCompactFraction float64
+	// Precision selects float64 (default) or mixed-precision float32
+	// storage for the index's bulk arrays; see the Precision constants.
+	Precision Precision
 }
 
 // Index is a prebuilt Mogul search structure. Building is
@@ -140,6 +162,7 @@ func Build(points []Vector, opts Options) (*Index, error) {
 		Seed:                opts.Seed,
 		Graph:               &gcfg,
 		AutoCompactFraction: opts.AutoCompactFraction,
+		F32:                 opts.Precision == F32,
 	})
 	if err != nil {
 		return nil, err
@@ -165,6 +188,7 @@ func BuildFromGraphPoints(g *knn.Graph, opts Options) (*Index, error) {
 		Exact:               opts.Exact,
 		Seed:                opts.Seed,
 		AutoCompactFraction: opts.AutoCompactFraction,
+		F32:                 opts.Precision == F32,
 	})
 	if err != nil {
 		return nil, err
@@ -277,6 +301,21 @@ func (ix *Index) Save(w io.Writer) error {
 // can Save to a file they opened themselves.
 func (ix *Index) SaveFile(path string) error {
 	return saveFileAtomic(path, ix.Save)
+}
+
+// SaveAligned writes the index in the aligned container layout: every
+// large array starts on an align-byte boundary (use the page size for
+// mmap sharing via LoadFileMapped). Works in either precision; align
+// must be a positive power of two.
+func (ix *Index) SaveAligned(w io.Writer, align int) error {
+	_, err := ix.core.WriteToAligned(w, align)
+	return err
+}
+
+// SaveFileAligned is SaveAligned to a file with the same atomic
+// temp-file-and-rename protocol as SaveFile.
+func (ix *Index) SaveFileAligned(path string, align int) error {
+	return saveFileAtomic(path, func(w io.Writer) error { return ix.SaveAligned(w, align) })
 }
 
 // Querier is the per-worker reusable query engine surface shared by
@@ -393,6 +432,59 @@ func LoadFile(path string) (Retriever, error) {
 // Deprecated: use LoadFile.
 func LoadIndex(path string) (Retriever, error) { return LoadFile(path) }
 
+// LoadFileMapped reads an index file through a read-only memory map
+// and serves the large arrays directly out of the mapped pages: many
+// processes loading the same file share one physical copy, and cold
+// start costs page faults instead of byte copies. Best paired with a
+// file written by one of the SaveAligned variants (zero-copy needs the
+// arrays on their natural boundaries; unaligned files still load, just
+// through copying decodes). The returned io.Closer unmaps the file and
+// MUST be held open for the engine's whole lifetime — views into the
+// mapping become invalid at Close. Mutating a mapped engine is safe:
+// the mapped arrays are never written in place (appends relocate to
+// the heap, Compact rebuilds fresh state).
+//
+// Unlike the streaming loaders, the trailing CRC is not verified
+// (hashing would fault in every page and defeat the point); the magic,
+// the version, every section frame, and all structural invariants are
+// still checked, so corrupt input yields an error, never a panic. On
+// platforms without mmap (or under the mogul_nommap build tag) the
+// file is read into memory instead, with identical results.
+func LoadFileMapped(path string) (Retriever, io.Closer, error) {
+	m, err := diskio.MapFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	data := m.Data()
+	if len(data) < 8 {
+		m.Close()
+		return nil, nil, fmt.Errorf("mogul: reading index header: %w", io.ErrUnexpectedEOF)
+	}
+	var r Retriever
+	switch string(data[:8]) {
+	case shardedMagic:
+		// The sharded manifest embeds whole sub-engine payloads that the
+		// loader re-frames and copies anyway; decode it through the
+		// streaming reader over the mapped bytes.
+		r, err = LoadSharded(bytes.NewReader(data))
+	case emrMagic:
+		r, err = LoadEMRBytes(data)
+	case spectralMagic:
+		r, err = LoadSpectralBytes(data)
+	default:
+		var ci *core.Index
+		ci, err = core.ReadIndexBytes(data)
+		if err == nil {
+			r = &Index{core: ci}
+		}
+	}
+	if err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	return r, m, nil
+}
+
 // Searcher is a reusable query engine bound to one Index: it owns a
 // private scratch workspace (score vectors, cluster bookkeeping, the
 // top-k heap), so every search it runs allocates nothing beyond the
@@ -452,3 +544,12 @@ func (ix *Index) Stats() Stats { return ix.core.Stats() }
 // scores (MogulE) rather than the incomplete-factorization
 // approximation.
 func (ix *Index) Exact() bool { return ix.core.Exact() }
+
+// Precision reports the storage precision the index was built (or
+// loaded) with.
+func (ix *Index) Precision() Precision {
+	if ix.core.Factor().F32() {
+		return F32
+	}
+	return F64
+}

@@ -150,13 +150,21 @@ type spectralState struct {
 	// its spectral-tail coefficients (alpha*vals[j])^T / (1 -
 	// alpha*vals[j]) from them with its own adaptive horizon T.
 	vals []float64
-	// points holds every item ever inserted, by id; dead tombstones.
+	// points holds every item ever inserted, by id; dead tombstones. In
+	// mixed-precision mode points is nil and the vectors live flattened
+	// in pts32 with stride dim.
 	points []Vector
+	pts32  []float32
 	dead   []bool
 	// emb stores the embedding rows flat with stride rank (item i owns
 	// [i*rank, (i+1)*rank)): one cache-friendly streaming array, which
-	// is what keeps the per-query scan memory-bandwidth bound.
-	emb []float64
+	// is what keeps the per-query scan memory-bandwidth bound. In
+	// mixed-precision mode emb is nil and the rows live in emb32 (and
+	// the base graph's CSR values narrow to Val32); the eigenvalues and
+	// attachment weights stay float64 — they are rank- or
+	// AttachK-sized, cold next to the scan.
+	emb   []float64
+	emb32 []float32
 	// Delta attachments: item baseN+d owns attID/attW entries
 	// [attPtr[d], attPtr[d+1]) — its surrogate base anchors. Through
 	// them a delta item receives the hop scores of its neighbourhood
@@ -172,6 +180,44 @@ type spectralState struct {
 	deadBase  int
 	baseN     int
 	stats     Stats
+}
+
+// f32 reports whether the state stores its bulk arrays narrowed.
+func (st *spectralState) f32() bool { return st.emb32 != nil }
+
+// numPoints returns the id-space size in either precision.
+func (st *spectralState) numPoints() int {
+	if st.pts32 != nil {
+		return len(st.pts32) / st.dim
+	}
+	return len(st.points)
+}
+
+// pointVec returns item i's stored vector. In f64 mode the returned
+// slice aliases state storage; in f32 mode it is freshly widened —
+// callers that retain it must copy in either case.
+func (st *spectralState) pointVec(i int) Vector {
+	if st.pts32 != nil {
+		return Vector(vec.Widen64(nil, st.pts32[i*st.dim:(i+1)*st.dim]))
+	}
+	return st.points[i]
+}
+
+// narrow32 moves the state into mixed-precision storage: the point
+// matrix flattens to float32 rows, the embedding rows and the base
+// graph's edge weights round to float32, halving the bytes each query
+// streams (the O(n*r) embedding scan dominates). Applied exactly once,
+// after the (always float64) build; the eigenvalues and the delta
+// attachment weights keep full precision.
+func (st *spectralState) narrow32() {
+	if st.f32() {
+		return
+	}
+	st.pts32, _ = vec.Flatten32(st.points)
+	st.points = nil
+	st.emb32 = vec.Narrow32(nil, st.emb)
+	st.emb = nil
+	st.graph.Narrow32()
 }
 
 // SpectralIndex is the truncated-eigenbasis (Fast Spectral Ranking)
@@ -246,6 +292,11 @@ func BuildSpectral(points []Vector, opts Options, sopts SpectralOptions) (*Spect
 	st, err := buildSpectralState(points, opts, sopts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Precision == F32 {
+		// The build itself always runs in float64 (graph, Lanczos);
+		// narrowing once at the end is the only lossy step.
+		st.narrow32()
 	}
 	e := &SpectralIndex{
 		alpha:       opts.Alpha,
@@ -327,12 +378,23 @@ func tailCoefficient(alpha, lambda float64, hops int) float64 {
 func (e *SpectralIndex) Len() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.st.points) - e.st.deadCount
+	return e.st.numPoints() - e.st.deadCount
 }
 
 // Exact reports false: spectral scores approximate exact Manifold
 // Ranking through the truncated eigenbasis.
 func (e *SpectralIndex) Exact() bool { return false }
+
+// Precision reports the storage precision the engine was built (or
+// loaded) with.
+func (e *SpectralIndex) Precision() Precision {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.st.f32() {
+		return F32
+	}
+	return F64
+}
 
 // Stats reports what the latest base build did, mapped onto the
 // shared Stats shape: NumClusters is the retained rank r, FactorNNZ
@@ -353,7 +415,7 @@ func (e *SpectralIndex) Delta() DeltaStats {
 	deltaDead := st.deadCount - st.deadBase
 	return DeltaStats{
 		BaseItems:  st.baseN,
-		DeltaItems: len(st.points) - st.baseN - deltaDead,
+		DeltaItems: st.numPoints() - st.baseN - deltaDead,
 		Tombstones: st.deadCount,
 	}
 }
@@ -532,6 +594,7 @@ func (sr *SpectralSearcher) expandHops(seeds []seedWeight) int {
 		mass += math.Abs(sw.w)
 	}
 	S := st.graph
+	sval, sval32 := S.Val, S.Val32
 	spent := 0
 	t := 1
 	for ; ; t++ {
@@ -546,14 +609,26 @@ func (sr *SpectralSearcher) expandHops(seeds []seedWeight) int {
 		for _, j := range sr.curID {
 			v := e.alpha * sr.pw[j]
 			a, b := S.RowPtr[j], S.RowPtr[j+1]
-			for x := a; x < b; x++ {
-				i := S.Col[x]
-				if sr.estamp[i] != sr.eepoch {
-					sr.estamp[i] = sr.eepoch
-					sr.tmp[i] = 0
-					sr.nxtID = append(sr.nxtID, i)
+			if sval32 != nil {
+				for x := a; x < b; x++ {
+					i := S.Col[x]
+					if sr.estamp[i] != sr.eepoch {
+						sr.estamp[i] = sr.eepoch
+						sr.tmp[i] = 0
+						sr.nxtID = append(sr.nxtID, i)
+					}
+					sr.tmp[i] += float64(sval32[x]) * v
 				}
-				sr.tmp[i] += S.Val[x] * v
+			} else {
+				for x := a; x < b; x++ {
+					i := S.Col[x]
+					if sr.estamp[i] != sr.eepoch {
+						sr.estamp[i] = sr.eepoch
+						sr.tmp[i] = 0
+						sr.nxtID = append(sr.nxtID, i)
+					}
+					sr.tmp[i] += sval[x] * v
+				}
 			}
 			spent += b - a
 		}
@@ -592,10 +667,12 @@ func (sr *SpectralSearcher) collect(k int) []Result {
 	for j := 0; j < r; j++ {
 		sr.coeff[j] = tailCoefficient(e.alpha, st.vals[j], hops) * sr.b[j]
 	}
-	live := len(st.points) - st.deadCount
+	n := st.numPoints()
+	live := n - st.deadCount
 	if k > live {
 		k = live
 	}
+	emb32 := st.emb32
 	sr.col.Reset(k)
 	for i := 0; i < st.baseN; i++ {
 		if st.dead[i] {
@@ -604,16 +681,24 @@ func (sr *SpectralSearcher) collect(k int) []Result {
 		// u_i^T coeff in the fixed four-lane summation order of vec.Dot:
 		// the scan is the only O(n) term of a query, and the embedding
 		// rows stream contiguously, so the four independent accumulators
-		// keep it throughput-bound instead of FP-add-latency-bound.
+		// keep it throughput-bound instead of FP-add-latency-bound. In
+		// mixed-precision mode the rows stream as float32 (half the
+		// bytes) through vec.Dot32, which widens in registers and
+		// accumulates in float64 with the same lane order.
 		off := i * r
-		sum := vec.Dot(st.emb[off:off+r], sr.coeff)
+		var sum float64
+		if emb32 != nil {
+			sum = vec.Dot32(sr.coeff, emb32[off:off+r])
+		} else {
+			sum = vec.Dot(st.emb[off:off+r], sr.coeff)
+		}
 		if sr.hstamp[i] == sr.qepoch {
 			sum += sr.hop[i]
 		}
 		sr.col.Offer(i, (1-e.alpha)*sum)
 	}
 	si := 0
-	for i := st.baseN; i < len(st.points); i++ {
+	for i := st.baseN; i < n; i++ {
 		if si < len(sr.deltaSelf) && sr.deltaSelf[si].id < i {
 			si++
 		}
@@ -621,7 +706,12 @@ func (sr *SpectralSearcher) collect(k int) []Result {
 			continue
 		}
 		off := i * r
-		sum := vec.Dot(st.emb[off:off+r], sr.coeff)
+		var sum float64
+		if emb32 != nil {
+			sum = vec.Dot32(sr.coeff, emb32[off:off+r])
+		} else {
+			sum = vec.Dot(st.emb[off:off+r], sr.coeff)
+		}
 		d := i - st.baseN
 		for t := st.attPtr[d]; t < st.attPtr[d+1]; t++ {
 			if id := st.attID[t]; sr.hstamp[id] == sr.qepoch {
@@ -645,8 +735,8 @@ func (sr *SpectralSearcher) collect(k int) []Result {
 // checkItem validates an item id against the current state. Callers
 // hold e.mu.
 func (st *spectralState) checkItem(id int) error {
-	if id < 0 || id >= len(st.points) {
-		return fmt.Errorf("mogul: item %d outside [0,%d)", id, len(st.points))
+	if n := st.numPoints(); id < 0 || id >= n {
+		return fmt.Errorf("mogul: item %d outside [0,%d)", id, n)
 	}
 	if st.dead[id] {
 		return fmt.Errorf("mogul: item %d deleted", id)
@@ -668,7 +758,11 @@ func (sr *SpectralSearcher) TopK(query, k int) ([]Result, error) {
 		return nil, err
 	}
 	sr.ensure(st)
-	copy(sr.b, st.emb[query*st.rank:(query+1)*st.rank])
+	if st.emb32 != nil {
+		vec.Widen64(sr.b[:0], st.emb32[query*st.rank:(query+1)*st.rank])
+	} else {
+		copy(sr.b, st.emb[query*st.rank:(query+1)*st.rank])
+	}
 	sr.seeds = append(sr.seeds[:0], seedWeight{id: query, w: 1})
 	sr.splitSeeds(sr.seeds)
 	sr.aff = 0
@@ -700,7 +794,7 @@ func (sr *SpectralSearcher) TopKWithInfo(query, k int) ([]Result, *SearchInfo, e
 func (sr *SpectralSearcher) attachLive(q Vector, baseOnly bool) (int, float64) {
 	e := sr.e
 	st := e.st
-	n := len(st.points)
+	n := st.numPoints()
 	if baseOnly {
 		n = st.baseN
 	}
@@ -709,7 +803,11 @@ func (sr *SpectralSearcher) attachLive(q Vector, baseOnly bool) (int, float64) {
 		sr.dist = make([]float64, n)
 	}
 	sr.dist = sr.dist[:n]
-	vec.SquaredEuclideanBatch(q, st.points[:n], sr.dist)
+	if st.pts32 != nil {
+		vec.SquaredEuclideanBatch32(q, st.pts32[:n*st.dim], sr.dist)
+	} else {
+		vec.SquaredEuclideanBatch(q, st.points[:n], sr.dist)
+	}
 	if cap(sr.nbrID) < kAttach {
 		sr.nbrID = make([]int, 0, kAttach)
 		sr.nbrW = make([]float64, 0, kAttach)
@@ -788,7 +886,11 @@ func (sr *SpectralSearcher) TopKVector(q Vector, k int) ([]Result, error) {
 	for t := 0; t < m; t++ {
 		id, w := sr.nbrID[t], sr.nbrW[t]
 		off := id * st.rank
-		vec.Axpy(sr.b, w, st.emb[off:off+st.rank])
+		if st.emb32 != nil {
+			vec.Axpy32(sr.b, w, st.emb32[off:off+st.rank])
+		} else {
+			vec.Axpy(sr.b, w, st.emb[off:off+st.rank])
+		}
 		sr.seeds = append(sr.seeds, seedWeight{id: id, w: w})
 	}
 	sortSeedsByID(sr.seeds)
@@ -838,7 +940,11 @@ func (sr *SpectralSearcher) topKSetWeighted(seeds []int, weight float64, k int) 
 	sr.ensure(st)
 	for _, sw := range sr.seeds {
 		off := sw.id * st.rank
-		vec.Axpy(sr.b, sw.w, st.emb[off:off+st.rank])
+		if st.emb32 != nil {
+			vec.Axpy32(sr.b, sw.w, st.emb32[off:off+st.rank])
+		} else {
+			vec.Axpy(sr.b, sw.w, st.emb[off:off+st.rank])
+		}
 	}
 	sr.splitSeeds(sr.seeds)
 	sr.aff = 0
@@ -923,21 +1029,35 @@ func (e *SpectralIndex) Insert(v Vector) (int, error) {
 		e.mu.Unlock()
 		return 0, fmt.Errorf("mogul: inserted vector has dim %d, want %d", len(v), st.dim)
 	}
-	id := len(st.points)
+	id := st.numPoints()
 	stored := append(Vector(nil), v...)
 	// The attachment runs on a throwaway searcher: Insert is not the
 	// hot path, and the helper shares the exact code the query-time
-	// attachment uses.
+	// attachment uses. The row is always accumulated in float64 and
+	// narrowed only on append, matching the build's narrow-last rule.
 	sr := e.NewSearcher()
 	m, _ := sr.attachLive(stored, true)
 	row := make([]float64, st.rank)
 	for t := 0; t < m; t++ {
 		off := sr.nbrID[t] * st.rank
-		vec.Axpy(row, sr.nbrW[t], st.emb[off:off+st.rank])
+		if st.emb32 != nil {
+			vec.Axpy32(row, sr.nbrW[t], st.emb32[off:off+st.rank])
+		} else {
+			vec.Axpy(row, sr.nbrW[t], st.emb[off:off+st.rank])
+		}
 	}
-	st.points = append(st.points, stored)
+	if st.f32() {
+		for _, x := range stored {
+			st.pts32 = append(st.pts32, float32(x))
+		}
+		for _, x := range row {
+			st.emb32 = append(st.emb32, float32(x))
+		}
+	} else {
+		st.points = append(st.points, stored)
+		st.emb = append(st.emb, row...)
+	}
 	st.dead = append(st.dead, false)
-	st.emb = append(st.emb, row...)
 	st.attID = append(st.attID, sr.nbrID[:m]...)
 	st.attW = append(st.attW, sr.nbrW[:m]...)
 	st.attPtr = append(st.attPtr, len(st.attID))
@@ -962,15 +1082,15 @@ func (e *SpectralIndex) Delete(id int) error {
 
 	e.mu.Lock()
 	st := e.st
-	if id < 0 || id >= len(st.points) {
+	if n := st.numPoints(); id < 0 || id >= n {
 		e.mu.Unlock()
-		return fmt.Errorf("mogul: item %d outside [0,%d)", id, len(st.points))
+		return fmt.Errorf("mogul: item %d outside [0,%d)", id, n)
 	}
 	if st.dead[id] {
 		e.mu.Unlock()
 		return fmt.Errorf("mogul: item %d already deleted", id)
 	}
-	if len(st.points)-st.deadCount <= 1 {
+	if st.numPoints()-st.deadCount <= 1 {
 		e.mu.Unlock()
 		return fmt.Errorf("mogul: cannot delete the last live item")
 	}
@@ -1000,7 +1120,7 @@ func (e *SpectralIndex) needsCompactLocked() bool {
 		return false
 	}
 	st := e.st
-	pending := (len(st.points) - st.baseN) + st.deadBase
+	pending := (st.numPoints() - st.baseN) + st.deadBase
 	return float64(pending) > e.autoCompact*float64(st.baseN)
 }
 
@@ -1020,23 +1140,29 @@ func (e *SpectralIndex) Compact() error {
 func (e *SpectralIndex) compactLocked() error {
 	e.mu.RLock()
 	st := e.st
-	if len(st.points) == st.baseN && st.deadCount == 0 {
+	if st.numPoints() == st.baseN && st.deadCount == 0 {
 		e.mu.RUnlock()
 		return nil
 	}
-	live := make([]Vector, 0, len(st.points)-st.deadCount)
-	for i, pt := range st.points {
+	wasF32 := st.f32()
+	live := make([]Vector, 0, st.numPoints()-st.deadCount)
+	for i, n := 0, st.numPoints(); i < n; i++ {
 		if !st.dead[i] {
-			live = append(live, pt)
+			live = append(live, st.pointVec(i))
 		}
 	}
 	e.mu.RUnlock()
 
 	// The heavy rebuild runs outside every lock; mutMu keeps the live
-	// snapshot authoritative (no mutator can run until the swap).
+	// snapshot authoritative (no mutator can run until the swap). The
+	// rebuild itself is always float64; a narrowed engine re-narrows
+	// the fresh state after, preserving the storage mode.
 	fresh, err := buildSpectralState(live, e.ropts, e.sopts)
 	if err != nil {
 		return err
+	}
+	if wasF32 {
+		fresh.narrow32()
 	}
 	e.mu.Lock()
 	e.st = fresh
@@ -1052,7 +1178,7 @@ func (e *SpectralIndex) compactLocked() error {
 func (e *SpectralIndex) IDSpace() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.st.points)
+	return e.st.numPoints()
 }
 
 // Alive reports whether id addresses a live (non-deleted, in-range)
@@ -1060,7 +1186,7 @@ func (e *SpectralIndex) IDSpace() int {
 func (e *SpectralIndex) Alive(id int) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return id >= 0 && id < len(e.st.points) && !e.st.dead[id]
+	return id >= 0 && id < e.st.numPoints() && !e.st.dead[id]
 }
 
 // LogLen reports 0: the spectral engine keeps no replayable delta
@@ -1084,7 +1210,7 @@ func (e *SpectralIndex) TopKWithVector(query, k int) ([]Result, Vector, float64,
 		e.mu.RUnlock()
 		return nil, nil, 0, err
 	}
-	qvec := append(Vector(nil), st.points[query]...)
+	qvec := append(Vector(nil), st.pointVec(query)...)
 	_, aff := sr.attachLive(qvec, false)
 	e.mu.RUnlock()
 	return res, qvec, aff, nil

@@ -35,11 +35,15 @@ import (
 // file.
 const spectralMagic = "MOGULSPC"
 
-// spectralFormatVersion is the container version this build writes;
-// spectralMinReadVersion the oldest it reads.
+// spectralFormatVersion is the container version plain float64 saves
+// write (kept at 1 so existing files reproduce byte for byte);
+// spectralFormatVersionPrec the version carrying precision and
+// alignment metadata (written for f32 engines and aligned saves);
+// spectralMinReadVersion the oldest this build reads.
 const (
-	spectralFormatVersion  = 1
-	spectralMinReadVersion = 1
+	spectralFormatVersion     = 1
+	spectralFormatVersionPrec = 2
+	spectralMinReadVersion    = 1
 )
 
 // Spectral container section tags (the end marker is the shared
@@ -54,7 +58,9 @@ var (
 )
 
 // Save writes the engine in the versioned MOGULSPC format. Mutators
-// block for the duration; searches proceed.
+// block for the duration; searches proceed. A float64 engine writes
+// version 1, byte-identical to previous releases; a mixed-precision
+// engine writes version 2 with its arrays narrowed.
 func (e *SpectralIndex) Save(w io.Writer) error {
 	// mutMu freezes the delta state so the two-pass section framing
 	// sees identical bytes; the read lock covers the reads themselves.
@@ -62,6 +68,10 @@ func (e *SpectralIndex) Save(w io.Writer) error {
 	defer e.mutMu.Unlock()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+
+	if e.st.f32() {
+		return e.savePrecLocked(w, 0)
+	}
 
 	buffered := bufio.NewWriterSize(w, 1<<20)
 	bw := binio.NewWriter(buffered)
@@ -116,7 +126,7 @@ func (e *SpectralIndex) writeSpectralMeta(w io.Writer) error {
 	bw.Int(st.rank)
 	bw.Float64(st.sigma)
 	bw.Int(st.baseN)
-	bw.Int(len(st.points))
+	bw.Int(st.numPoints())
 	bw.Int(int(st.stats.ClusterTime))
 	bw.Int(int(st.stats.FactorTime))
 	return bw.Err()
@@ -182,6 +192,12 @@ func (e *SpectralIndex) SaveFile(path string) error {
 	return saveFileAtomic(path, e.Save)
 }
 
+// SaveFileAligned is SaveAligned to a file with the same atomic
+// temp-file-and-rename protocol as SaveFile.
+func (e *SpectralIndex) SaveFileAligned(path string, align int) error {
+	return saveFileAtomic(path, func(w io.Writer) error { return e.SaveAligned(w, align) })
+}
+
 // LoadSpectral reads an engine written by SpectralIndex.Save.
 // Malformed input of any kind — wrong magic, unknown version,
 // truncation, checksum mismatch, shape mismatches between sections —
@@ -201,11 +217,12 @@ func LoadSpectral(r io.Reader) (*SpectralIndex, error) {
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("mogul: reading spectral engine header: %w", err)
 	}
-	if version < spectralMinReadVersion || version > spectralFormatVersion {
-		return nil, fmt.Errorf("mogul: spectral engine format version %d, this build reads versions %d-%d", version, spectralMinReadVersion, spectralFormatVersion)
+	if version < spectralMinReadVersion || version > spectralFormatVersionPrec {
+		return nil, fmt.Errorf("mogul: spectral engine format version %d, this build reads versions %d-%d", version, spectralMinReadVersion, spectralFormatVersionPrec)
 	}
 
 	payloads := map[[4]byte][]byte{}
+	bases := map[[4]byte]int64{}
 	for {
 		var tag [4]byte
 		br.Raw(tag[:])
@@ -227,6 +244,7 @@ func LoadSpectral(r io.Reader) (*SpectralIndex, error) {
 			if payloads[tag] != nil {
 				return nil, fmt.Errorf("mogul: duplicate %q section", tag[:])
 			}
+			bases[tag] = br.Count()
 			payload, err := readShardPayload(br, n)
 			if err != nil {
 				return nil, fmt.Errorf("mogul: reading %q section: %w", tag[:], err)
@@ -254,6 +272,9 @@ func LoadSpectral(r io.Reader) (*SpectralIndex, error) {
 		if payloads[tag] == nil {
 			return nil, fmt.Errorf("mogul: spectral engine file is missing its %q section", tag[:])
 		}
+	}
+	if version >= spectralFormatVersionPrec {
+		return assembleSpectralPrec(payloads, bases)
 	}
 	return assembleSpectral(payloads)
 }
@@ -480,4 +501,461 @@ func LoadSpectralFile(path string) (*SpectralIndex, error) {
 	}
 	defer f.Close()
 	return LoadSpectral(f)
+}
+
+// --- Version 2: precision + alignment ---
+//
+// Version 2 generalizes version 1 the same two ways MOGULEMR's
+// version 2 does (docs/FORMAT.md): the SMET section additionally
+// records a precision flag and an alignment, the stored points become
+// ONE flat row-major array, and — when the engine is mixed-precision —
+// the point matrix, the embedding rows, and the base graph's edge
+// weights are written as float32. When a positive alignment is
+// recorded, every large array in the bulk sections starts on that
+// boundary, so LoadSpectralBytes over an mmap'd image hands out
+// zero-copy views. Eigenvalues and attachment weights stay float64.
+
+// SaveAligned writes the engine in the version-2 aligned layout: large
+// arrays start on align-byte boundaries (use the page size for mmap
+// sharing). Works in either precision; align must be a positive power
+// of two.
+func (e *SpectralIndex) SaveAligned(w io.Writer, align int) error {
+	if align <= 0 || align&(align-1) != 0 {
+		return fmt.Errorf("mogul: alignment %d is not a positive power of two", align)
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.savePrecLocked(w, align)
+}
+
+// savePrecLocked writes the version-2 container; align == 0 selects
+// the packed (unaligned) variant used for plain f32 saves. Callers
+// hold mutMu and e.mu.
+func (e *SpectralIndex) savePrecLocked(w io.Writer, align int) error {
+	st := e.st
+	buffered := bufio.NewWriterSize(w, 1<<20)
+	bw := binio.NewWriter(buffered)
+	bw.Raw([]byte(spectralMagic))
+	bw.Uint32(spectralFormatVersionPrec)
+
+	prec := 0
+	if st.f32() {
+		prec = 1
+	}
+	writeMeta := func(w io.Writer) error {
+		if err := e.writeSpectralMeta(w); err != nil {
+			return err
+		}
+		mw := binio.NewWriter(w)
+		mw.Int(prec)
+		mw.Int(align)
+		return mw.Err()
+	}
+	if err := writeShardSection(bw, tagSpMet, writeMeta); err != nil {
+		return fmt.Errorf("mogul: writing %q section: %w", tagSpMet[:], err)
+	}
+
+	sections := []struct {
+		tag     [4]byte
+		payload func(sw *binio.Writer) error
+	}{
+		{tagSpVal, func(sw *binio.Writer) error {
+			sw.Floats(st.vals)
+			return sw.Err()
+		}},
+		{tagSpGph, func(sw *binio.Writer) error {
+			S := st.graph
+			sw.Ints(S.RowPtr)
+			sw.Ints(S.Col)
+			if st.f32() {
+				sw.Float32s(S.Val32)
+			} else {
+				sw.Floats(S.Val)
+			}
+			return sw.Err()
+		}},
+		{tagSpPts, func(sw *binio.Writer) error {
+			if st.f32() {
+				sw.Float32s(st.pts32)
+			} else {
+				flat := make([]float64, 0, len(st.points)*st.dim)
+				for _, pt := range st.points {
+					flat = append(flat, pt...)
+				}
+				sw.Floats(flat)
+			}
+			return sw.Err()
+		}},
+		{tagSpEmb, func(sw *binio.Writer) error {
+			if st.f32() {
+				sw.Float32s(st.emb32)
+			} else {
+				sw.Floats(st.emb)
+			}
+			dead := make([]int, 0, st.deadCount)
+			for id, d := range st.dead {
+				if d {
+					dead = append(dead, id)
+				}
+			}
+			sw.Ints(dead)
+			return sw.Err()
+		}},
+		{tagSpAtt, func(sw *binio.Writer) error {
+			sw.Ints(st.attPtr)
+			sw.Ints(st.attID)
+			sw.Floats(st.attW)
+			return sw.Err()
+		}},
+	}
+	for _, s := range sections {
+		if err := writeEMRSectionPrec(bw, s.tag, align, s.payload); err != nil {
+			return fmt.Errorf("mogul: writing %q section: %w", s.tag[:], err)
+		}
+	}
+	bw.Raw(tagEend[:])
+	bw.Uint64(0)
+	bw.Uint32(bw.Sum32())
+	if err := bw.Err(); err != nil {
+		return err
+	}
+	return buffered.Flush()
+}
+
+// LoadSpectralBytes parses a complete spectral engine image held in
+// memory — typically an mmap'd file (LoadFileMapped) — using zero-copy
+// views for the large arrays wherever the layout allows. The returned
+// engine aliases data, which must stay valid (mapped) for the engine's
+// lifetime. The trailing CRC is NOT verified (hashing the image would
+// fault in every page); all structural and index-range validation
+// still runs, so corrupt input errors rather than panicking later.
+func LoadSpectralBytes(data []byte) (*SpectralIndex, error) {
+	br := binio.NewBytesReader(data)
+	var magic [len(spectralMagic)]byte
+	br.Raw(magic[:])
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading spectral engine header: %w", err)
+	}
+	if string(magic[:]) != spectralMagic {
+		return nil, fmt.Errorf("mogul: not a spectral engine file (magic %q)", magic[:])
+	}
+	version := br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading spectral engine header: %w", err)
+	}
+	if version < spectralMinReadVersion || version > spectralFormatVersionPrec {
+		return nil, fmt.Errorf("mogul: spectral engine format version %d, this build reads versions %d-%d", version, spectralMinReadVersion, spectralFormatVersionPrec)
+	}
+
+	payloads := map[[4]byte][]byte{}
+	bases := map[[4]byte]int64{}
+	for {
+		var tag [4]byte
+		br.Raw(tag[:])
+		n := br.Uint64()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: reading section header: %w", err)
+		}
+		if tag == tagEend {
+			if n != 0 {
+				return nil, fmt.Errorf("mogul: end marker carries %d payload bytes", n)
+			}
+			break
+		}
+		if n > binio.MaxCount {
+			return nil, fmt.Errorf("mogul: section %q claims %d bytes", tag[:], n)
+		}
+		base := br.Count()
+		payload := br.View(int(n))
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: reading %q section: %w", tag[:], err)
+		}
+		switch tag {
+		case tagSpMet, tagSpVal, tagSpGph, tagSpPts, tagSpEmb, tagSpAtt:
+			if payloads[tag] != nil {
+				return nil, fmt.Errorf("mogul: duplicate %q section", tag[:])
+			}
+			payloads[tag] = payload
+			bases[tag] = base
+		default:
+			// Unknown section from a newer writer: View already advanced
+			// past it.
+		}
+	}
+	// The trailing checksum must at least be present, so a file cut
+	// right after the end marker still errors.
+	br.Uint32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: reading checksum: %w", err)
+	}
+	for _, tag := range [][4]byte{tagSpMet, tagSpVal, tagSpGph, tagSpPts, tagSpEmb, tagSpAtt} {
+		if payloads[tag] == nil {
+			return nil, fmt.Errorf("mogul: spectral engine file is missing its %q section", tag[:])
+		}
+	}
+	if version >= spectralFormatVersionPrec {
+		return assembleSpectralPrec(payloads, bases)
+	}
+	return assembleSpectral(payloads)
+}
+
+// assembleSpectralPrec decodes a version-2 section set. The big arrays
+// come out as views into the payload bytes (zero-copy when the image is
+// aligned and the host is little-endian, copied otherwise); unlike the
+// version-1 path, the per-element finiteness scans over the point
+// matrix, the embedding, and the graph's edge weights are skipped — a
+// NaN there degrades a score but can never panic, and scanning would
+// fault in every page of a mapped image.
+func assembleSpectralPrec(payloads map[[4]byte][]byte, bases map[[4]byte]int64) (*SpectralIndex, error) {
+	mr := binio.NewBytesReader(payloads[tagSpMet])
+	alpha := mr.Float64()
+	seed := mr.Int()
+	autoCompact := mr.Float64()
+	graphK := mr.Int()
+	approx := mr.Int()
+	mutual := mr.Int()
+	sigmaOpt := mr.Float64()
+	recipeRank := mr.Int()
+	recipeSteps := mr.Int()
+	hops := mr.Int()
+	hopBudget := mr.Int()
+	attachK := mr.Int()
+	dim := mr.Int()
+	rank := mr.Int()
+	sigma := mr.Float64()
+	baseN := mr.Int()
+	n := mr.Int()
+	clusterTime := mr.Int()
+	factorTime := mr.Int()
+	prec := mr.Int()
+	align := mr.Int()
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding spectral metadata: %w", err)
+	}
+	switch {
+	case math.IsNaN(alpha) || alpha <= 0 || alpha >= 1:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: alpha %g", alpha)
+	case math.IsNaN(autoCompact) || math.IsInf(autoCompact, 0) || autoCompact < 0:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: auto-compact fraction %g", autoCompact)
+	case graphK < 0 || approx < 0 || approx > 1 || mutual < 0 || mutual > 1:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: graph recipe %d/%d/%d", graphK, approx, mutual)
+	case math.IsNaN(sigmaOpt) || math.IsInf(sigmaOpt, 0) || sigmaOpt < 0:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: recipe bandwidth %g", sigmaOpt)
+	case recipeRank < 1 || recipeSteps < 0 || hops < 1 || hopBudget < 1 || attachK < 1:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: spectral recipe %d/%d/%d/%d/%d", recipeRank, recipeSteps, hops, hopBudget, attachK)
+	case dim < 1 || dim > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: dimension %d", dim)
+	case n < 1 || n > binio.MaxCount:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: %d points", n)
+	case n > binio.MaxCount/dim:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: %d points of dim %d", n, dim)
+	case baseN < 2 || baseN > n:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: base size %d of %d points", baseN, n)
+	case rank < 1 || rank > baseN:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: rank %d for base size %d", rank, baseN)
+	case n > binio.MaxCount/rank:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: %d points of rank %d", n, rank)
+	case math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma < 0:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: attachment bandwidth %g", sigma)
+	case clusterTime < 0 || factorTime < 0:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: negative build timings")
+	case prec != 0 && prec != 1:
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: precision flag %d", prec)
+	case align < 0 || align > binio.MaxCount || (align != 0 && align&(align-1) != 0):
+		return nil, fmt.Errorf("mogul: corrupt spectral metadata: alignment %d", align)
+	}
+	f32 := prec == 1
+
+	vr := binio.NewBytesReader(payloads[tagSpVal])
+	vr.EnableAlign(align, bases[tagSpVal])
+	vals := vr.Floats(binio.MaxCount)
+	if err := vr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding eigenvalues: %w", err)
+	}
+	if len(vals) != rank {
+		return nil, fmt.Errorf("mogul: %d eigenvalues for rank %d", len(vals), rank)
+	}
+	for t, v := range vals {
+		if math.IsNaN(v) || v < -1 || v > 1 {
+			return nil, fmt.Errorf("mogul: eigenvalue %d outside [-1,1]: %g", t, v)
+		}
+		if t > 0 && v > vals[t-1] {
+			return nil, fmt.Errorf("mogul: eigenvalues not descending at %d (%g after %g)", t, v, vals[t-1])
+		}
+	}
+
+	gr := binio.NewBytesReader(payloads[tagSpGph])
+	gr.EnableAlign(align, bases[tagSpGph])
+	rowPtr := gr.IntsView(binio.MaxCount)
+	col := gr.IntsView(binio.MaxCount)
+	var val []float64
+	var val32 []float32
+	var nnz int
+	if f32 {
+		val32 = gr.Float32sView(binio.MaxCount)
+		nnz = len(val32)
+	} else {
+		val = gr.FloatsView(binio.MaxCount)
+		nnz = len(val)
+	}
+	if err := gr.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding base graph: %w", err)
+	}
+	if len(rowPtr) != baseN+1 || rowPtr[0] != 0 {
+		return nil, fmt.Errorf("mogul: base graph row index carries %d entries for base size %d", len(rowPtr), baseN)
+	}
+	for i := 1; i < len(rowPtr); i++ {
+		if rowPtr[i] < rowPtr[i-1] {
+			return nil, fmt.Errorf("mogul: base graph row index decreases at row %d", i)
+		}
+	}
+	if rowPtr[baseN] != len(col) || len(col) != nnz {
+		return nil, fmt.Errorf("mogul: base graph shape mismatch (%d row-index end, %d columns, %d values)", rowPtr[baseN], len(col), nnz)
+	}
+	for x, c := range col {
+		if c < 0 || c >= baseN {
+			return nil, fmt.Errorf("mogul: base graph edge %d targets %d outside [0,%d)", x, c, baseN)
+		}
+	}
+
+	pr := binio.NewBytesReader(payloads[tagSpPts])
+	pr.EnableAlign(align, bases[tagSpPts])
+	var points []Vector
+	var pts32 []float32
+	if f32 {
+		pts32 = pr.Float32sView(binio.MaxCount)
+		if err := pr.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding point matrix: %w", err)
+		}
+		if len(pts32) != n*dim {
+			return nil, fmt.Errorf("mogul: point matrix carries %d values, want %d", len(pts32), n*dim)
+		}
+	} else {
+		flat := pr.FloatsView(binio.MaxCount)
+		if err := pr.Err(); err != nil {
+			return nil, fmt.Errorf("mogul: decoding point matrix: %w", err)
+		}
+		if len(flat) != n*dim {
+			return nil, fmt.Errorf("mogul: point matrix carries %d values, want %d", len(flat), n*dim)
+		}
+		points = make([]Vector, n)
+		for i := range points {
+			points[i] = Vector(flat[i*dim : (i+1)*dim : (i+1)*dim])
+		}
+	}
+
+	er := binio.NewBytesReader(payloads[tagSpEmb])
+	er.EnableAlign(align, bases[tagSpEmb])
+	var emb []float64
+	var emb32 []float32
+	var embLen int
+	if f32 {
+		emb32 = er.Float32sView(binio.MaxCount)
+		embLen = len(emb32)
+	} else {
+		emb = er.FloatsView(binio.MaxCount)
+		embLen = len(emb)
+	}
+	deadIDs := er.Ints(binio.MaxCount)
+	if err := er.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding embedding: %w", err)
+	}
+	if embLen != n*rank {
+		return nil, fmt.Errorf("mogul: embedding carries %d elements, want %d", embLen, n*rank)
+	}
+	dead := make([]bool, n)
+	deadBase := 0
+	prev := -1
+	for _, id := range deadIDs {
+		if id <= prev || id >= n {
+			return nil, fmt.Errorf("mogul: corrupt tombstone list (id %d after %d, %d points)", id, prev, n)
+		}
+		dead[id] = true
+		if id < baseN {
+			deadBase++
+		}
+		prev = id
+	}
+	if len(deadIDs) >= n {
+		return nil, fmt.Errorf("mogul: every item tombstoned")
+	}
+
+	ar := binio.NewBytesReader(payloads[tagSpAtt])
+	ar.EnableAlign(align, bases[tagSpAtt])
+	attPtr := ar.Ints(binio.MaxCount)
+	attID := ar.Ints(binio.MaxCount)
+	attW := ar.Floats(binio.MaxCount)
+	if err := ar.Err(); err != nil {
+		return nil, fmt.Errorf("mogul: decoding delta attachments: %w", err)
+	}
+	if len(attPtr) != (n-baseN)+1 || attPtr[0] != 0 {
+		return nil, fmt.Errorf("mogul: attachment index carries %d entries for %d delta items", len(attPtr), n-baseN)
+	}
+	for i := 1; i < len(attPtr); i++ {
+		if attPtr[i] < attPtr[i-1] {
+			return nil, fmt.Errorf("mogul: attachment index decreases at delta item %d", i-1)
+		}
+	}
+	if attPtr[len(attPtr)-1] != len(attID) || len(attID) != len(attW) {
+		return nil, fmt.Errorf("mogul: attachment shape mismatch (%d index end, %d anchors, %d weights)", attPtr[len(attPtr)-1], len(attID), len(attW))
+	}
+	for t, id := range attID {
+		if id < 0 || id >= baseN {
+			return nil, fmt.Errorf("mogul: attachment anchor %d targets %d outside [0,%d)", t, id, baseN)
+		}
+		if w := attW[t]; math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("mogul: attachment anchor %d has invalid weight %g", t, attW[t])
+		}
+	}
+
+	ropts := Options{
+		GraphK:              graphK,
+		ApproximateGraph:    approx == 1,
+		MutualGraph:         mutual == 1,
+		Sigma:               sigmaOpt,
+		Alpha:               alpha,
+		Seed:                int64(seed),
+		AutoCompactFraction: autoCompact,
+	}
+	if f32 {
+		// Compact on a loaded engine rebuilds with the recorded recipe;
+		// restoring the precision keeps the rebuilt state narrowed.
+		ropts.Precision = F32
+	}
+	e := &SpectralIndex{
+		alpha:       alpha,
+		seed:        int64(seed),
+		autoCompact: autoCompact,
+		ropts:       ropts,
+		sopts:       SpectralOptions{Rank: recipeRank, Steps: recipeSteps, Hops: hops, HopBudget: hopBudget, AttachK: attachK},
+		st: &spectralState{
+			dim:       dim,
+			rank:      rank,
+			graph:     &sparse.CSR{RowPtr: rowPtr, Col: col, Val: val, Val32: val32, Rows: baseN, Cols: baseN},
+			sigma:     sigma,
+			vals:      vals,
+			points:    points,
+			pts32:     pts32,
+			dead:      dead,
+			emb:       emb,
+			emb32:     emb32,
+			attPtr:    attPtr,
+			attID:     attID,
+			attW:      attW,
+			deadCount: len(deadIDs),
+			deadBase:  deadBase,
+			baseN:     baseN,
+			stats: Stats{
+				NumNodes:    baseN,
+				NumClusters: rank,
+				FactorNNZ:   baseN * rank,
+				ClusterTime: time.Duration(clusterTime),
+				FactorTime:  time.Duration(factorTime),
+			},
+		},
+	}
+	e.version.Store(1)
+	return e, nil
 }
